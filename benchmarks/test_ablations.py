@@ -1,0 +1,128 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* fixed-size chunking granularity (Kruskal–Weiss): small loads balance
+  better but pay more queue atomics; large loads amortize the queue
+  but re-introduce imbalance;
+* adaptive signature dimensionality (§4.2 remedy): null-signature
+  fraction with and without the remedy;
+* ARMCI-aggregated vocabulary registration vs per-term RPC inserts.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.bench import default_figure_config
+from repro.datasets import generate_trec
+from repro.engine import EngineConfig, ParallelTextEngine, SerialTextEngine
+from repro.ga import GlobalHashMap
+from repro.runtime import Cluster
+
+from conftest import write_report
+
+
+def test_chunk_size_ablation(benchmark, out_dir):
+    """Indexing wall/imbalance vs the fixed-size chunking parameter."""
+    corpus = generate_trec(1_500_000, seed=11, max_body_tokens=2_000)
+    base = default_figure_config()
+    rows = []
+
+    def run_chunk(chunk):
+        cfg = replace(base, chunk_docs=chunk)
+        res = ParallelTextEngine(8, config=cfg).run(corpus)
+        per_rank = res.timings.extras["index_invert_per_rank"]
+        return (
+            float(per_rank.max()),
+            float(per_rank.max() / per_rank.mean()),
+        )
+
+    for chunk in (1, 2, 4, 16, 64):
+        wall, imb = run_chunk(chunk)
+        rows.append((chunk, wall, imb))
+    benchmark.pedantic(lambda: run_chunk(4), rounds=1, iterations=1)
+
+    lines = ["Fixed-size chunking ablation (P=8, skewed TREC corpus)"]
+    lines.append(f"{'chunk_docs':>10}  {'invert wall (s)':>16}  {'imbalance':>10}")
+    for chunk, wall, imb in rows:
+        lines.append(f"{chunk:>10}  {wall:>16.4f}  {imb:>10.3f}")
+    write_report(out_dir, "ablation_chunksize.txt", "\n".join(lines))
+
+    imb_by_chunk = {c: imb for c, _, imb in rows}
+    # fine chunks balance better than the coarsest ones
+    assert imb_by_chunk[1] < imb_by_chunk[64]
+
+
+def test_adaptive_dimensionality_ablation(benchmark, out_dir):
+    """Null-signature fraction with/without the §4.2 remedy."""
+    from repro.text import Corpus, Document
+
+    rng = np.random.default_rng(5)
+    docs = []
+    for i in range(120):
+        word = f"theme{i % 40:02d}"
+        filler = " ".join(
+            f"bg{int(rng.integers(30)):02d}" for _ in range(20)
+        )
+        docs.append(Document(i, {"body": f"{word} {word} {filler}"}))
+    corpus = Corpus("adapt-ablation", docs)
+
+    def run(adapt):
+        cfg = EngineConfig(
+            n_major_terms=4,
+            min_df=1,
+            n_clusters=4,
+            kmeans_sample=32,
+            adapt_dimensionality=adapt,
+            max_null_fraction=0.05,
+            max_major_terms=128,
+        )
+        return SerialTextEngine(cfg).run(corpus)
+
+    with_adapt = run(True)
+    without = run(False)
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+
+    lines = [
+        "Adaptive dimensionality ablation (§4.2 remedy)",
+        f"{'variant':>12}  {'N':>6}  {'rounds':>6}  {'null fraction':>14}",
+        f"{'adaptive':>12}  {with_adapt.n_major:>6}  "
+        f"{with_adapt.adapt_rounds:>6}  {with_adapt.null_fraction:>14.3f}",
+        f"{'static':>12}  {without.n_major:>6}  "
+        f"{without.adapt_rounds:>6}  {without.null_fraction:>14.3f}",
+    ]
+    write_report(out_dir, "ablation_adaptive.txt", "\n".join(lines))
+
+    assert with_adapt.null_fraction < without.null_fraction
+    assert with_adapt.adapt_rounds > 0
+
+
+def test_hashmap_aggregation_ablation(benchmark, out_dir):
+    """ARMCI-aggregated batch inserts vs one RPC per unique term."""
+    words = [f"term{i:05d}" for i in range(3_000)]
+
+    def run(batched):
+        def program(ctx):
+            hm = GlobalHashMap.create(ctx, "v")
+            mine = words[ctx.rank :: ctx.nprocs]
+            if batched:
+                hm.get_or_insert_batch(mine)
+            else:
+                for w in mine:
+                    hm.get_or_insert(w)
+            ctx.comm.barrier()
+            return ctx.now
+
+        return Cluster(8).run(program).wall_time
+
+    t_batched = run(True)
+    t_per_term = run(False)
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+
+    lines = [
+        "Vocabulary registration ablation (8 ranks, 3000 unique terms)",
+        f"  per-term RPC inserts : {t_per_term * 1e3:9.3f} ms (virtual)",
+        f"  ARMCI-aggregated     : {t_batched * 1e3:9.3f} ms (virtual)",
+        f"  speedup              : {t_per_term / t_batched:9.1f}x",
+    ]
+    write_report(out_dir, "ablation_hashmap.txt", "\n".join(lines))
+    assert t_batched < t_per_term / 3

@@ -1,0 +1,48 @@
+"""Figure 5: overall wall-clock time vs processors (both datasets).
+
+Regenerates the two panels of the paper's Figure 5 and checks their
+shape: times fall near-linearly with processors for every problem
+size, larger problems take proportionally longer, and the 16.44 GB
+PubMed run is disproportionately slow at 4 processors (the memory-
+pressure anomaly the paper reports).
+
+The ``benchmark`` fixture times one representative full engine
+simulation (PubMed 2.75 GB at 8 processors).
+"""
+
+from repro.bench import figure5, make_workload
+from repro.engine import ParallelTextEngine
+
+from conftest import _env_downscale, write_report
+
+
+def test_figure5(benchmark, sweeps, out_dir):
+    wl = make_workload(
+        "pubmed", "2.75 GB", 2.75e9, downscale=_env_downscale()
+    )
+    cfg = sweeps[("pubmed", "2.75 GB")].config
+
+    def one_run():
+        return ParallelTextEngine(8, config=cfg).run(wl.corpus)
+
+    benchmark.pedantic(one_run, rounds=1, iterations=1)
+
+    rep = figure5(sweeps)
+    write_report(out_dir, "figure5.txt", rep.text)
+
+    for dataset in ("pubmed", "trec"):
+        minutes = rep.data[dataset]["minutes"]
+        procs = rep.data[dataset]["procs"]
+        for label, vals in minutes.items():
+            # monotone decrease with processors
+            assert all(
+                a > b for a, b in zip(vals, vals[1:])
+            ), (dataset, label, vals)
+    # size ordering at the largest proc count
+    pm = rep.data["pubmed"]["minutes"]
+    assert pm["16.44 GB"][-1] > pm["6.67 GB"][-1] > pm["2.75 GB"][-1]
+    # the anomaly: 16.44 GB at the smallest P is far above a linear
+    # extrapolation from the next size
+    ratio_small = pm["16.44 GB"][0] / pm["6.67 GB"][0]
+    ratio_large = pm["16.44 GB"][-1] / pm["6.67 GB"][-1]
+    assert ratio_small > 2.0 * ratio_large

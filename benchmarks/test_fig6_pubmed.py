@@ -1,0 +1,58 @@
+"""Figure 6: PubMed speedup (a) and component percentages (b).
+
+Shape checks against the paper:
+* speedup grows with processors for every size and stays within the
+  near-linear band;
+* the 16.44 GB curve is depressed at 4 processors (memory pressure)
+  and recovers at 8+;
+* component time percentages are roughly constant in P for every
+  component except topicality, whose share grows with P (its
+  merge/allreduce communication does not scale).
+"""
+
+import numpy as np
+
+from repro.bench import figure6, make_workload
+from repro.engine import ParallelTextEngine
+
+from conftest import _env_downscale, write_report
+
+
+def test_figure6(benchmark, sweeps, out_dir):
+    wl = make_workload(
+        "pubmed", "2.75 GB", 2.75e9, downscale=_env_downscale()
+    )
+    cfg = sweeps[("pubmed", "2.75 GB")].config
+
+    def one_run():
+        return ParallelTextEngine(16, config=cfg).run(wl.corpus)
+
+    benchmark.pedantic(one_run, rounds=1, iterations=1)
+
+    rep = figure6(sweeps)
+    write_report(out_dir, "figure6.txt", rep.text)
+
+    procs = rep.data["procs"]
+    speedup = rep.data["speedup"]
+    for label, vals in speedup.items():
+        assert all(b > a for a, b in zip(vals, vals[1:])), (label, vals)
+        # parallel efficiency at the top of the sweep stays sane for
+        # the non-thrashing sizes
+        if label != "16.44 GB":
+            eff = vals[-1] / procs[-1]
+            assert 0.5 < eff <= 1.1, (label, vals)
+    # anomaly: 16.44 GB depressed at the smallest proc count
+    assert (
+        speedup["16.44 GB"][0]
+        < 0.8 * speedup["2.75 GB"][0]
+    )
+
+    pct = rep.data["percentages"]
+    # components' shares stay roughly constant in P ...
+    for comp in ("scan", "index", "DocVec", "ClusProj"):
+        key = comp if comp in pct else comp.lower()
+        vals = np.array(pct[key])
+        assert vals.max() - vals.min() < 12.0, (comp, vals)
+    # ... except topicality, whose share must grow with P
+    topic = pct["topic"]
+    assert topic[-1] > topic[0]

@@ -1,0 +1,42 @@
+"""Figure 7: TREC speedup (a) and component percentages (b).
+
+Same shape checks as Figure 6 but on the GOV2-like corpus; none of the
+TREC sizes trigger memory pressure, so every curve should be
+near-linear (as in the paper, which shows linear speedup for all three
+TREC sizes).
+"""
+
+import numpy as np
+
+from repro.bench import figure7, make_workload
+from repro.engine import ParallelTextEngine
+
+from conftest import _env_downscale, write_report
+
+
+def test_figure7(benchmark, sweeps, out_dir):
+    wl = make_workload("trec", "1.00 GB", 1.0e9, downscale=_env_downscale())
+    cfg = sweeps[("trec", "1.00 GB")].config
+
+    def one_run():
+        return ParallelTextEngine(16, config=cfg).run(wl.corpus)
+
+    benchmark.pedantic(one_run, rounds=1, iterations=1)
+
+    rep = figure7(sweeps)
+    write_report(out_dir, "figure7.txt", rep.text)
+
+    procs = rep.data["procs"]
+    for label, vals in rep.data["speedup"].items():
+        assert all(b > a for a, b in zip(vals, vals[1:])), (label, vals)
+        eff = vals[-1] / procs[-1]
+        assert 0.5 < eff <= 1.1, (label, vals)
+
+    pct = rep.data["percentages"]
+    for comp in ("scan", "index", "DocVec", "ClusProj"):
+        vals = np.array(pct[comp])
+        assert vals.max() - vals.min() < 12.0, (comp, vals)
+    assert pct["topic"][-1] > pct["topic"][0]
+    # percentages sum to 100 at every P
+    for j in range(len(procs)):
+        assert abs(sum(v[j] for v in pct.values()) - 100.0) < 0.5

@@ -1,0 +1,44 @@
+"""Figure 8: per-component speedup for both datasets.
+
+The paper's four panels per dataset -- scanning, indexing, signature
+generation, clustering & projection -- each scale near-linearly for
+every problem size.  We assert each component's speedup grows with
+processors and reaches a sane parallel efficiency at the top of the
+sweep.
+"""
+
+from repro.bench import figure8, make_workload
+from repro.engine import ParallelTextEngine
+
+from conftest import _env_downscale, write_report
+
+
+def test_figure8(benchmark, sweeps, out_dir):
+    wl = make_workload("trec", "4.00 GB", 4.0e9, downscale=_env_downscale())
+    cfg = sweeps[("trec", "4.00 GB")].config
+
+    def one_run():
+        return ParallelTextEngine(32, config=cfg).run(wl.corpus)
+
+    benchmark.pedantic(one_run, rounds=1, iterations=1)
+
+    rep = figure8(sweeps)
+    write_report(out_dir, "figure8.txt", rep.text)
+
+    for dataset in ("pubmed", "trec"):
+        panels = rep.data[dataset]
+        for group, payload in panels.items():
+            procs = payload["procs"]
+            for label, vals in payload.items():
+                if label == "procs":
+                    continue
+                # speedup grows with processors
+                assert all(
+                    b > a for a, b in zip(vals, vals[1:])
+                ), (dataset, group, label, vals)
+            # heavyweight components reach decent efficiency for the
+            # *largest* (most compute-bound) size at max P
+            if group in ("Scanning", "Indexing"):
+                big = [k for k in payload if k != "procs"][-1]
+                eff = payload[big][-1] / procs[-1]
+                assert eff > 0.45, (dataset, group, payload)

@@ -1,0 +1,123 @@
+"""Microbenchmarks of the engine's computational kernels.
+
+These are *real-time* benchmarks (pytest-benchmark statistics) of the
+hot paths: tokenization, FAST-INV inversion, signature generation,
+k-means assignment, PCA, and the simulated runtime's own primitives
+(collectives, atomics, hashmap inserts).
+"""
+
+import numpy as np
+
+from repro.cluster import assign_points, kmeanspp_seeds
+from repro.datasets import generate_pubmed
+from repro.ga import GlobalArray, GlobalHashMap
+from repro.index import invert_chunk
+from repro.project import fit_pca
+from repro.runtime import Cluster
+from repro.signature import compute_signatures, major_lookup_arrays
+from repro.text import Tokenizer
+from repro.viz import build_themeview
+
+
+def test_tokenizer_throughput(benchmark):
+    corpus = generate_pubmed(200_000, seed=1)
+    text = " ".join(d.fields["abstract"] for d in corpus)
+    tok = Tokenizer()
+    tokens = benchmark(tok.tokens, text)
+    assert len(tokens) > 10_000
+
+
+def test_fastinv_invert_chunk(benchmark):
+    rng = np.random.default_rng(0)
+    n = 200_000
+    docs = np.sort(rng.integers(0, 2_000, size=n)).astype(np.int64)
+    gids = rng.integers(0, 20_000, size=n).astype(np.int64)
+    fields = docs * 3 + rng.integers(0, 3, size=n)
+    fields = np.sort(fields)
+    t2f, t2d = benchmark(invert_chunk, gids, docs, fields)
+    assert len(t2d) > 0
+
+
+def test_signature_generation(benchmark):
+    rng = np.random.default_rng(1)
+    n_major, n_topics = 1500, 150
+    assoc = rng.random((n_major, n_topics))
+    sorted_gids, positions = major_lookup_arrays(
+        sorted(rng.choice(20_000, size=n_major, replace=False).tolist())
+    )
+    docs = [
+        rng.integers(0, 20_000, size=200).astype(np.int64)
+        for _ in range(300)
+    ]
+    batch = benchmark(
+        compute_signatures, docs, sorted_gids, positions, assoc
+    )
+    assert batch.signatures.shape == (300, n_topics)
+
+
+def test_kmeans_assignment_step(benchmark):
+    rng = np.random.default_rng(2)
+    points = rng.random((5_000, 150))
+    centroids = kmeanspp_seeds(points[:500], 16, rng)
+    labels, sq = benchmark(assign_points, points, centroids)
+    assert labels.shape == (5_000,)
+
+
+def test_pca_fit(benchmark):
+    rng = np.random.default_rng(3)
+    centroids = rng.random((16, 150))
+    tr = benchmark(fit_pca, centroids, 2)
+    assert tr.components.shape == (150, 2)
+
+
+def test_themeview_build(benchmark):
+    rng = np.random.default_rng(4)
+    coords = rng.normal(size=(5_000, 2))
+    view = benchmark(build_themeview, coords)
+    assert view.heights.shape == (48, 48)
+
+
+def test_runtime_allreduce(benchmark):
+    """Real-time cost of a simulated 8-rank allreduce round."""
+
+    def round_trip():
+        def program(ctx):
+            return ctx.comm.allreduce(np.ones(1000))
+
+        return Cluster(8).run(program)
+
+    res = benchmark(round_trip)
+    assert res.nprocs == 8
+
+
+def test_runtime_read_inc(benchmark):
+    """Real-time cost of the GA fetch-and-increment hot loop."""
+
+    def hot_loop():
+        def program(ctx):
+            ga = GlobalArray.create(ctx, "c", (1,), dtype=np.int64)
+            ga.sync()
+            for _ in range(50):
+                ga.read_inc(0)
+            ctx.comm.barrier()
+
+        return Cluster(4).run(program)
+
+    benchmark(hot_loop)
+
+
+def test_hashmap_batch_insert(benchmark):
+    words = [f"word{i}" for i in range(5_000)]
+
+    def insert_all():
+        def program(ctx):
+            hm = GlobalHashMap.create(ctx, "v")
+            part = words[ctx.rank :: ctx.nprocs]
+            hm.get_or_insert_batch(part)
+            ctx.comm.barrier()
+            return hm.global_size()
+
+        return Cluster(4).run(program)
+
+    res = benchmark(insert_all)
+    assert res.rank_results[0] == 5_000

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Interactive analysis of an engine run (the paper's "next frontier").
+
+Runs the engine on a mixed-theme corpus and then exercises the analyst
+interactions the paper's conclusion motivates: probing a region of the
+ThemeView, finding documents similar to one being read, summarising
+clusters, and seeding a search from query terms.
+
+Run:  python examples/interactive_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import AnalysisSession
+from repro.datasets import generate_pubmed
+from repro.engine import EngineConfig, SerialTextEngine
+
+
+def main() -> None:
+    print("building the collection view ...")
+    corpus = generate_pubmed(200_000, seed=8, n_themes=5)
+    config = EngineConfig(n_major_terms=300, n_clusters=5)
+    result = SerialTextEngine(config).run(corpus)
+    print(result.summary())
+
+    session = AnalysisSession(result)
+
+    print("\n--- cluster summaries ------------------------------------")
+    for c in range(result.centroids.shape[0]):
+        s = session.cluster_summary(c, n_terms=4, n_docs=3)
+        print(
+            f"cluster {c}: {s.size:>3} docs | {' '.join(s.top_terms):<60}"
+            f" | e.g. docs {s.representative_docs}"
+        )
+
+    print("\n--- probing a mountain ------------------------------------")
+    # pick the densest spot of the landscape
+    densest = result.coords[
+        np.argmin(
+            np.sum(
+                (result.coords - result.coords.mean(axis=0)) ** 2, axis=1
+            )
+        )
+    ]
+    terms = session.region_terms(densest[0], densest[1], radius=0.3)
+    print(f"the region around ({densest[0]:.2f}, {densest[1]:.2f}) is about:")
+    print("  " + " ".join(terms))
+    hits = session.nearest_documents(densest[0], densest[1], k=5)
+    print("nearest documents:", [h.doc_id for h in hits])
+
+    print("\n--- 'more like this' ---------------------------------------")
+    seed_doc = hits[0].doc_id
+    title = corpus[seed_doc].fields["title"]
+    print(f"reading doc {seed_doc}: {title[:70]} ...")
+    for h in session.similar_documents(seed_doc, k=5):
+        print(
+            f"  doc {h.doc_id:>4}  cosine={h.score:.3f}  "
+            f"cluster={h.cluster}"
+        )
+
+    print("\n--- term query ---------------------------------------------")
+    query_terms = result.topic_term_strings[:2]
+    print(f"query: {' '.join(query_terms)}")
+    for h in session.query(query_terms, k=5):
+        print(f"  doc {h.doc_id:>4}  score={h.score:.3f}")
+
+    print("\n--- weakly themed documents --------------------------------")
+    for o in session.outliers(k=5):
+        print(
+            f"  doc {o.doc_id:>4}  distance={o.score:.3f}  "
+            f"cluster={o.cluster}"
+        )
+
+
+if __name__ == "__main__":
+    main()

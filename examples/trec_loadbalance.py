@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Dynamic load balancing on a skewed web corpus (paper §3.3 / Fig. 9).
+
+A GOV2-like crawl mixes text-dense pages with runs of markup-heavy
+pages, so partitions balanced by *bytes* carry very different
+inverted-file-indexing loads.  This example runs the parallel engine
+twice -- with static partitioning and with the GA-atomic shared task
+queue -- and prints each processor's inversion busy time, plus the
+standalone §3.3 strategy comparison (GA queue vs master-worker).
+
+Run:  python examples/trec_loadbalance.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.baselines import run_ga_queue, run_master_worker, run_static
+from repro.bench import default_figure_config, format_series
+from repro.datasets import generate_trec
+from repro.engine import ParallelTextEngine
+from repro.runtime import Cluster
+
+
+def engine_comparison(nprocs: int = 8) -> None:
+    print("generating a skewed 2 MB GOV2-like corpus ...")
+    corpus = generate_trec(2_000_000, seed=9, max_body_tokens=2_000)
+    print(f"  {len(corpus)} documents")
+    base = replace(default_figure_config(), chunk_docs=1)
+    rows = {}
+    for label, dyn in (("dynamic LB", True), ("static LB", False)):
+        cfg = replace(base, dynamic_load_balancing=dyn)
+        res = ParallelTextEngine(nprocs, config=cfg).run(corpus)
+        per_rank = res.timings.extras["index_invert_per_rank"]
+        rows[label] = list(per_rank)
+    print()
+    print(
+        format_series(
+            f"Inversion busy time per processor (seconds, P={nprocs})",
+            "Strategy",
+            list(range(nprocs)),
+            rows,
+            fmt="{:.4f}",
+        )
+    )
+    for label, vals in rows.items():
+        arr = np.array(vals)
+        print(
+            f"  {label}: wall={arr.max():.4f}s  "
+            f"imbalance(max/mean)={arr.max() / arr.mean():.3f}"
+        )
+
+
+def strategy_comparison() -> None:
+    print("\nstrategy ablation: 16 ranks, 60 fine-grained tasks each")
+    nprocs = 16
+    rng = np.random.default_rng(1)
+    costs = [
+        list(rng.uniform(0.5, 1.5, size=60) * 1e-4 * (1 + 3 * (r % 2)))
+        for r in range(nprocs)
+    ]
+    for name, strategy in (
+        ("static partitioning ", run_static),
+        ("master-worker       ", run_master_worker),
+        ("GA fetch-and-inc    ", run_ga_queue),
+    ):
+        res = Cluster(nprocs).run(lambda ctx: strategy(ctx, costs))
+        print(f"  {name} wall = {res.wall_time * 1e3:8.3f} ms")
+    print(
+        "\nThe GA-atomic queue matches the master-worker's balancing "
+        "without the\nmaster's serialized dispatch -- the paper's "
+        "argument for GA atomics."
+    )
+
+
+if __name__ == "__main__":
+    engine_comparison()
+    strategy_comparison()

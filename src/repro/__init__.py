@@ -1,0 +1,21 @@
+"""repro: reproduction of *Scalable Visual Analytics of Massive
+Textual Datasets* (Krishnan et al., IPPS 2007).
+
+A from-scratch Python implementation of the parallel IN-SPIRE text
+processing engine -- scanning, inverted-file indexing with dynamic
+load balancing, Bookstein topicality, association-matrix knowledge
+signatures, distributed k-means, and PCA projection -- running on a
+deterministic virtual-time SPMD runtime with a Global-Arrays-style
+global address space.
+
+Quickstart
+----------
+>>> from repro.datasets import generate_pubmed
+>>> from repro.engine import SerialTextEngine, EngineConfig
+>>> corpus = generate_pubmed(target_bytes=200_000, seed=7)
+>>> result = SerialTextEngine(EngineConfig()).run(corpus)
+>>> result.coords.shape[1]
+2
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,234 @@
+"""Interactive analysis over the engine's products.
+
+The paper's conclusion names "the interactions associated with massive
+datasets within a visual analytics environment" as the next frontier.
+This module implements that layer over an :class:`EngineResult`: the
+spatial and semantic queries an analyst issues against a ThemeView --
+probing a region of the landscape, finding documents similar to one
+being read, summarising a cluster, and seeding a view from query terms.
+
+All queries are vectorized over the persisted signatures/coordinates,
+so they run interactively even for large collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.results import EngineResult
+
+
+@dataclass(frozen=True)
+class DocumentHit:
+    """One document returned by a query, with its relevance score."""
+
+    doc_id: int
+    score: float
+    cluster: int
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """Descriptive statistics of one thematic grouping."""
+
+    cluster: int
+    size: int
+    top_terms: list[str]
+    representative_docs: list[int]
+    centroid_norm: float
+
+
+class AnalysisSession:
+    """Query layer over one engine run's results."""
+
+    def __init__(self, result: EngineResult):
+        if result.signatures is None:
+            raise ValueError(
+                "AnalysisSession needs signatures; run the engine with "
+                "keep_signatures=True"
+            )
+        self.result = result
+        self._sigs = result.signatures
+        self._coords = result.coords
+        self._assignments = result.assignments
+        self._doc_ids = result.doc_ids
+        # L2-normalized signatures for cosine similarity (null-safe)
+        norms = np.linalg.norm(self._sigs, axis=1, keepdims=True)
+        self._unit = np.divide(
+            self._sigs,
+            np.where(norms > 0, norms, 1.0),
+        )
+        self._term_row = {
+            t.term: i for i, t in enumerate(result.major_terms)
+        }
+
+    # ------------------------------------------------------------------
+    # spatial queries (ThemeView interactions)
+    # ------------------------------------------------------------------
+    def nearest_documents(self, x: float, y: float, k: int = 10) -> list[DocumentHit]:
+        """The ``k`` documents closest to a point of the landscape."""
+        k = min(max(1, k), len(self._doc_ids))
+        point = np.array([x, y], dtype=np.float64)
+        d2 = np.sum((self._coords[:, :2] - point) ** 2, axis=1)
+        idx = np.argpartition(d2, k - 1)[:k]
+        idx = idx[np.argsort(d2[idx])]
+        return [
+            DocumentHit(
+                doc_id=int(self._doc_ids[i]),
+                score=float(-np.sqrt(d2[i])),
+                cluster=int(self._assignments[i]),
+            )
+            for i in idx
+        ]
+
+    def region_terms(
+        self, x: float, y: float, radius: float, n_terms: int = 6
+    ) -> list[str]:
+        """Dominant topic terms of the documents inside a circle.
+
+        This is the "what is this mountain about?" interaction: the
+        mean signature of the region's documents names its strongest
+        topic dimensions.
+        """
+        point = np.array([x, y], dtype=np.float64)
+        d2 = np.sum((self._coords[:, :2] - point) ** 2, axis=1)
+        mask = d2 <= radius * radius
+        if not mask.any():
+            return []
+        mean_sig = self._sigs[mask].mean(axis=0)
+        order = np.argsort(-mean_sig)[:n_terms]
+        topics = self.result.topic_term_strings
+        return [topics[j] for j in order if mean_sig[j] > 0]
+
+    # ------------------------------------------------------------------
+    # semantic queries (signature space)
+    # ------------------------------------------------------------------
+    def _row_of_doc(self, doc_id: int) -> int:
+        rows = np.flatnonzero(self._doc_ids == doc_id)
+        if rows.size == 0:
+            raise KeyError(f"unknown doc_id {doc_id}")
+        return int(rows[0])
+
+    def similar_documents(
+        self, doc_id: int, k: int = 10, include_self: bool = False
+    ) -> list[DocumentHit]:
+        """Documents most similar (cosine over signatures) to one doc."""
+        row = self._row_of_doc(doc_id)
+        sims = self._unit @ self._unit[row]
+        if not include_self:
+            sims[row] = -np.inf
+        k = min(max(1, k), len(sims) - (0 if include_self else 1))
+        idx = np.argpartition(-sims, k - 1)[:k]
+        idx = idx[np.argsort(-sims[idx])]
+        return [
+            DocumentHit(
+                doc_id=int(self._doc_ids[i]),
+                score=float(sims[i]),
+                cluster=int(self._assignments[i]),
+            )
+            for i in idx
+        ]
+
+    def query(self, terms: list[str], k: int = 10) -> list[DocumentHit]:
+        """Rank documents against a bag of query terms.
+
+        The query is turned into a pseudo-signature exactly the way a
+        document would be: the association-matrix rows of the known
+        query terms are combined and L1-normalized.  Unknown terms
+        (outside the major-term model) are ignored; an empty overlap
+        returns no hits.
+        """
+        rows = [self._term_row[t] for t in terms if t in self._term_row]
+        if not rows:
+            return []
+        sig = self.result.association[rows].sum(axis=0)
+        total = sig.sum()
+        if total <= 0:
+            return []
+        sig = sig / total
+        unit = sig / (np.linalg.norm(sig) or 1.0)
+        sims = self._unit @ unit
+        k = min(max(1, k), len(sims))
+        idx = np.argpartition(-sims, k - 1)[:k]
+        idx = idx[np.argsort(-sims[idx])]
+        return [
+            DocumentHit(
+                doc_id=int(self._doc_ids[i]),
+                score=float(sims[i]),
+                cluster=int(self._assignments[i]),
+            )
+            for i in idx
+        ]
+
+    # ------------------------------------------------------------------
+    # cluster-level interactions
+    # ------------------------------------------------------------------
+    def cluster_summary(
+        self, cluster: int, n_terms: int = 6, n_docs: int = 5
+    ) -> ClusterSummary:
+        """Size, labels and representative documents of one cluster."""
+        kmax = self.result.centroids.shape[0]
+        if not 0 <= cluster < kmax:
+            raise KeyError(f"cluster {cluster} out of range [0, {kmax})")
+        centroid = self.result.centroids[cluster]
+        members = np.flatnonzero(self._assignments == cluster)
+        order = np.argsort(-centroid)[:n_terms]
+        topics = self.result.topic_term_strings
+        top_terms = [topics[j] for j in order if centroid[j] > 0]
+        reps: list[int] = []
+        if members.size:
+            d2 = np.sum((self._sigs[members] - centroid) ** 2, axis=1)
+            take = min(n_docs, members.size)
+            best = members[np.argsort(d2)[:take]]
+            reps = [int(self._doc_ids[i]) for i in best]
+        return ClusterSummary(
+            cluster=cluster,
+            size=int(members.size),
+            top_terms=top_terms,
+            representative_docs=reps,
+            centroid_norm=float(np.linalg.norm(centroid)),
+        )
+
+    def describe_selection(
+        self, doc_ids: list[int], n_terms: int = 6
+    ) -> list[str]:
+        """Discriminating topic terms of a brushed document selection.
+
+        The analyst lassos a set of documents on the landscape and asks
+        what distinguishes them: we return the topic dimensions where
+        the selection's mean signature most exceeds the collection's
+        mean (not merely its strongest dimensions, which may be
+        collection-wide commonplaces).
+        """
+        rows = [self._row_of_doc(d) for d in doc_ids]
+        if not rows:
+            return []
+        sel_mean = self._sigs[rows].mean(axis=0)
+        all_mean = self._sigs.mean(axis=0)
+        excess = sel_mean - all_mean
+        order = np.argsort(-excess)[:n_terms]
+        topics = self.result.topic_term_strings
+        return [topics[j] for j in order if excess[j] > 0]
+
+    def outliers(self, k: int = 10) -> list[DocumentHit]:
+        """Documents farthest from their cluster centroid.
+
+        These are the weakly-themed documents an analyst may want to
+        inspect individually (or the null signatures the adaptive-
+        dimensionality remedy targets).
+        """
+        cents = self.result.centroids[self._assignments]
+        d2 = np.sum((self._sigs - cents) ** 2, axis=1)
+        k = min(max(1, k), len(d2))
+        idx = np.argpartition(-d2, k - 1)[:k]
+        idx = idx[np.argsort(-d2[idx])]
+        return [
+            DocumentHit(
+                doc_id=int(self._doc_ids[i]),
+                score=float(np.sqrt(d2[i])),
+                cluster=int(self._assignments[i]),
+            )
+            for i in idx
+        ]

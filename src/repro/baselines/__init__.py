@@ -1,0 +1,5 @@
+"""Baseline strategies the paper compares against."""
+
+from .loadbalance import run_ga_queue, run_master_worker, run_static
+
+__all__ = ["run_ga_queue", "run_master_worker", "run_static"]

@@ -1,0 +1,117 @@
+"""Load-balancing strategy baselines (paper §3.3).
+
+The paper argues that dynamic load balancing built on GA atomic
+fetch-and-increment beats the traditional message-passing master-worker
+strategy, whose single master "becomes a bottleneck" as processors
+increase.  This module provides three interchangeable schedulers over
+an abstract bag of tasks with known virtual costs, so the claim can be
+benchmarked directly:
+
+* :func:`run_static` -- no dynamic balancing: every rank runs exactly
+  the tasks it owns;
+* :func:`run_ga_queue` -- the paper's scheme: per-owner shared counters
+  claimed with one-sided atomics (own loads first, then stealing);
+* :func:`run_master_worker` -- the baseline: a dedicated master
+  serializes every task hand-out (two messages + handling time per
+  task), so workers queue up behind it at scale.
+
+All three run the same task multiset; the return value is the list of
+(task_id, executing rank) pairs plus per-rank completion times coming
+from the run's virtual clocks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ga.taskqueue import SharedTaskQueue
+from repro.runtime.context import RankContext
+
+
+def _execute(ctx: RankContext, cost: float) -> None:
+    ctx.charge(cost)
+
+
+def run_static(
+    ctx: RankContext, task_costs: Sequence[Sequence[float]]
+) -> list[tuple[int, int]]:
+    """Each rank executes only its own tasks (no balancing)."""
+    offsets = [0]
+    for costs in task_costs:
+        offsets.append(offsets[-1] + len(costs))
+    executed = []
+    for i, cost in enumerate(task_costs[ctx.rank]):
+        _execute(ctx, cost)
+        executed.append((offsets[ctx.rank] + i, ctx.rank))
+    ctx.comm.barrier()
+    return executed
+
+
+def run_ga_queue(
+    ctx: RankContext,
+    task_costs: Sequence[Sequence[float]],
+    chunk: int = 1,
+) -> list[tuple[int, int]]:
+    """The paper's GA-atomic shared task queue with work stealing."""
+    flat: list[float] = []
+    for costs in task_costs:
+        flat.extend(costs)
+    queue = SharedTaskQueue(
+        ctx, "lb", [len(c) for c in task_costs], chunk=chunk
+    )
+    executed = []
+    while (got := queue.next_chunk()) is not None:
+        for t in range(got[0], got[1]):
+            _execute(ctx, flat[t])
+            executed.append((t, ctx.rank))
+    ctx.comm.barrier()
+    return executed
+
+
+class _MasterState:
+    """Serialized master bookkeeping shared across ranks.
+
+    The master is modelled rather than run on a dedicated rank: each
+    hand-out occupies the master for ``handle_cost`` seconds and the
+    requests queue up in virtual-time order -- exactly the
+    serialization that makes the strategy degrade with P.
+    """
+
+    def __init__(self) -> None:
+        self.next_task = 0
+        self.busy_until = 0.0
+
+
+def run_master_worker(
+    ctx: RankContext,
+    task_costs: Sequence[Sequence[float]],
+    handle_cost: float = 20e-6,
+) -> list[tuple[int, int]]:
+    """Master-worker baseline: a single master serializes dispatch."""
+    flat: list[float] = []
+    for costs in task_costs:
+        flat.extend(costs)
+    ctx.sched.wait_turn(ctx.rank)
+    master: _MasterState = ctx.world.registry.setdefault(
+        "lb:master", _MasterState()
+    )
+    machine = ctx.machine
+    _, transit = machine.p2p_seconds(32.0)
+    executed = []
+    while True:
+        # request -> master; master serializes; reply -> worker
+        ctx.sched.wait_turn(ctx.rank)
+        arrive = ctx.now + transit
+        start = max(master.busy_until, arrive)
+        master.busy_until = start + handle_cost
+        task = master.next_task
+        if task < len(flat):
+            master.next_task += 1
+        reply_at = master.busy_until + transit
+        ctx.sched.clocks[ctx.rank].advance_to(reply_at)
+        if task >= len(flat):
+            break
+        _execute(ctx, flat[task])
+        executed.append((task, ctx.rank))
+    ctx.comm.barrier()
+    return executed

@@ -1,0 +1,48 @@
+"""Benchmark harness: workload generation, sweeps, figure reproduction."""
+
+from .figures import (
+    FigureReport,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    reproduce_all,
+    run_all_sweeps,
+)
+from .harness import (
+    PAPER_PROCS,
+    PUBMED_SIZES,
+    TREC_SIZES,
+    SweepResult,
+    Workload,
+    default_figure_config,
+    make_workload,
+    run_sweep,
+)
+from .tables import format_series, format_table
+from .verify import ShapeCheck, render_checks, verify_shapes
+
+__all__ = [
+    "FigureReport",
+    "PAPER_PROCS",
+    "PUBMED_SIZES",
+    "SweepResult",
+    "TREC_SIZES",
+    "Workload",
+    "default_figure_config",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "ShapeCheck",
+    "format_series",
+    "format_table",
+    "make_workload",
+    "render_checks",
+    "reproduce_all",
+    "run_all_sweeps",
+    "run_sweep",
+    "verify_shapes",
+]

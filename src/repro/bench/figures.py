@@ -1,0 +1,339 @@
+"""Reproductions of every evaluation figure in the paper.
+
+Each ``figure*`` function regenerates the data behind one figure of
+§4.2 and renders it as an ASCII table, mirroring the rows/series the
+paper plots:
+
+* Figure 5 -- overall wall-clock time vs processors, both datasets,
+  three problem sizes each;
+* Figure 6 -- (a) PubMed speedup curves, (b) PubMed per-component time
+  percentages for the 2.75 GB size;
+* Figure 7 -- (a) TREC speedup curves, (b) TREC per-component time
+  percentages for the 1 GB size;
+* Figure 8 -- per-component speedup (scanning, indexing, signature
+  generation, clustering & projection) for both datasets;
+* Figure 9 -- effectiveness of dynamic load balancing in the indexing
+  component (per-processor indexing times, dynamic vs static).
+
+Sweeps are shared: :func:`run_all_sweeps` computes each workload's
+sweep once and every figure renders from that cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine import EngineConfig, ParallelTextEngine
+from repro.engine.timings import PAPER_LABELS
+from repro.runtime import MachineSpec
+
+from .harness import (
+    PAPER_PROCS,
+    PUBMED_SIZES,
+    TREC_SIZES,
+    SweepResult,
+    Workload,
+    default_figure_config,
+    make_workload,
+    run_sweep,
+)
+from .tables import format_series
+
+#: Figure 8 groups the six pipeline components into four panels
+FIG8_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("Scanning", ("scan",)),
+    ("Indexing", ("index",)),
+    ("Signature Generation", ("topic", "am", "docvec")),
+    ("Clustering & Projection", ("clusproj",)),
+)
+
+_COMPONENT_ORDER = ("scan", "index", "topic", "am", "docvec", "clusproj")
+
+
+@dataclass
+class FigureReport:
+    """One reproduced figure: machine-readable data + rendered text."""
+
+    figure: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+    def write(self, directory) -> None:
+        """Write both renderings: ``<fig>.txt`` and ``<fig>.json``."""
+        import json
+        from pathlib import Path
+
+        def jsonable(obj):
+            if isinstance(obj, dict):
+                return {str(k): jsonable(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [jsonable(v) for v in obj]
+            if isinstance(obj, np.ndarray):
+                return obj.tolist()
+            if isinstance(obj, (np.integer,)):
+                return int(obj)
+            if isinstance(obj, (np.floating,)):
+                return float(obj)
+            return obj
+
+        d = Path(directory)
+        d.mkdir(parents=True, exist_ok=True)
+        stem = self.figure.lower().replace(" ", "")
+        (d / f"{stem}.txt").write_text(self.text + "\n")
+        (d / f"{stem}.json").write_text(json.dumps(jsonable(self.data)))
+
+
+Sweeps = dict[tuple[str, str], SweepResult]
+
+
+def run_all_sweeps(
+    downscale: float = 10_000.0,
+    procs: tuple[int, ...] = PAPER_PROCS,
+    machine: Optional[MachineSpec] = None,
+    config: Optional[EngineConfig] = None,
+    seed: int = 7,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Sweeps:
+    """Run the full evaluation grid once (both datasets, all sizes)."""
+    sweeps: Sweeps = {}
+    for dataset, sizes in (("pubmed", PUBMED_SIZES), ("trec", TREC_SIZES)):
+        for label, rep in sizes:
+            wl = make_workload(
+                dataset, label, rep, downscale=downscale, seed=seed
+            )
+            sweeps[(dataset, label)] = run_sweep(
+                wl,
+                procs=procs,
+                machine=machine,
+                config=config,
+                progress=progress,
+            )
+    return sweeps
+
+
+def _dataset_sweeps(sweeps: Sweeps, dataset: str) -> list[SweepResult]:
+    return [s for (d, _), s in sweeps.items() if d == dataset]
+
+
+# ----------------------------------------------------------------------
+# Figure 5: overall wall-clock timings
+# ----------------------------------------------------------------------
+def figure5(sweeps: Sweeps) -> FigureReport:
+    blocks = []
+    data: dict = {}
+    for dataset, title in (
+        ("pubmed", "Pubmed - Overall Timings (wall clock, minutes)"),
+        ("trec", "TREC - Overall Timings (wall clock, minutes)"),
+    ):
+        ds = _dataset_sweeps(sweeps, dataset)
+        if not ds:
+            continue
+        procs = sorted(ds[0].results)
+        series = {
+            s.workload.label: [s.wall(p) / 60.0 for p in procs]
+            for s in ds
+        }
+        data[dataset] = {"procs": procs, "minutes": series}
+        blocks.append(
+            format_series(title, "Processors", procs, series, fmt="{:.2f}")
+        )
+    return FigureReport(
+        figure="Figure 5", text="\n\n".join(blocks), data=data
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6a/7a: overall speedup; 6b/7b: component percentages
+# ----------------------------------------------------------------------
+def _speedup_report(
+    sweeps: Sweeps, dataset: str, fig_name: str, pct_size: str
+) -> FigureReport:
+    ds = _dataset_sweeps(sweeps, dataset)
+    procs = sorted(ds[0].results)
+    speedups = {
+        s.workload.label: [s.speedup(p) for p in procs] for s in ds
+    }
+    part_a = format_series(
+        f"{fig_name}a. {dataset.upper()} - Overall Speedup "
+        "(vs ideal serial)",
+        "Processors",
+        procs,
+        speedups,
+        fmt="{:.2f}",
+    )
+    small = next(s for s in ds if s.workload.label == pct_size)
+    pct_series: dict[str, list[float]] = {}
+    for comp in _COMPONENT_ORDER:
+        pct_series[PAPER_LABELS[comp]] = [
+            small.component_percentages(p).get(comp, 0.0) for p in procs
+        ]
+    part_b = format_series(
+        f"{fig_name}b. {dataset.upper()} {pct_size} - "
+        "Time Percentage in Components",
+        "Component/P",
+        procs,
+        pct_series,
+        fmt="{:.1f}",
+    )
+    return FigureReport(
+        figure=f"Figure {fig_name}",
+        text=part_a + "\n\n" + part_b,
+        data={
+            "procs": procs,
+            "speedup": speedups,
+            "percentages": pct_series,
+            "pct_size": pct_size,
+        },
+    )
+
+
+def figure6(sweeps: Sweeps) -> FigureReport:
+    """PubMed speedups + component percentages (2.75 GB)."""
+    return _speedup_report(sweeps, "pubmed", "6", "2.75 GB")
+
+
+def figure7(sweeps: Sweeps) -> FigureReport:
+    """TREC speedups + component percentages (1 GB)."""
+    return _speedup_report(sweeps, "trec", "7", "1.00 GB")
+
+
+# ----------------------------------------------------------------------
+# Figure 8: per-component speedup
+# ----------------------------------------------------------------------
+def figure8(sweeps: Sweeps) -> FigureReport:
+    blocks = []
+    data: dict = {}
+    for dataset in ("pubmed", "trec"):
+        ds = _dataset_sweeps(sweeps, dataset)
+        if not ds:
+            continue
+        procs = sorted(ds[0].results)
+        data[dataset] = {}
+        for group_name, comps in FIG8_GROUPS:
+            series = {}
+            for s in ds:
+                serial_t = sum(
+                    s.serial_result.timings.component_seconds.get(c, 0.0)
+                    for c in comps
+                )
+                vals = []
+                for p in procs:
+                    par_t = sum(
+                        s.component_seconds(p).get(c, 0.0) for c in comps
+                    )
+                    vals.append(serial_t / par_t if par_t > 0 else 0.0)
+                series[s.workload.label] = vals
+            data[dataset][group_name] = {"procs": procs, **series}
+            blocks.append(
+                format_series(
+                    f"{dataset.upper()} - {group_name} Speedup",
+                    "Processors",
+                    procs,
+                    series,
+                    fmt="{:.2f}",
+                )
+            )
+    return FigureReport(
+        figure="Figure 8", text="\n\n".join(blocks), data=data
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: dynamic load balancing effectiveness
+# ----------------------------------------------------------------------
+def figure9(
+    nprocs: int = 8,
+    gen_bytes: int = 3_000_000,
+    machine: Optional[MachineSpec] = None,
+    config: Optional[EngineConfig] = None,
+    seed: int = 7,
+) -> FigureReport:
+    """Per-processor indexing times, dynamic vs static balancing.
+
+    Uses the skewed TREC-like corpus where byte-balanced partitions
+    carry unequal posting loads.  The fixed-size chunk is one document
+    per load so the balancer has fine-grained work to redistribute, as
+    in the paper's Kruskal-Weiss chunking.  Unlike the scaling figures
+    this runs *unscaled* (one generated byte is one byte): workload
+    scaling would inflate each document into an indivisible multi-
+    second task and hide the balancer's effect behind task granularity.
+    """
+    from repro.datasets import generate_trec
+
+    corpus = generate_trec(
+        gen_bytes,
+        seed=seed,
+        max_body_tokens=2_000,
+    )
+    base = config if config is not None else default_figure_config()
+    results = {}
+    for label, dyn in (("dynamic", True), ("static", False)):
+        from dataclasses import replace as dc_replace
+
+        cfg = dc_replace(base, dynamic_load_balancing=dyn, chunk_docs=1)
+        results[label] = ParallelTextEngine(
+            nprocs, machine=machine, config=cfg
+        ).run(corpus)
+    series = {}
+    stats = {}
+    for label, res in results.items():
+        per_rank = res.timings.extras["index_invert_per_rank"]
+        series[f"{label} LB"] = list(per_rank)
+        stats[label] = {
+            "wall": float(per_rank.max()),
+            "mean": float(per_rank.mean()),
+            "imbalance": float(per_rank.max() / max(1e-12, per_rank.mean())),
+        }
+    text = format_series(
+        f"Figure 9. Indexing time per processor (seconds, P={nprocs}, "
+        "TREC synthetic)",
+        "Strategy/rank",
+        list(range(nprocs)),
+        series,
+        fmt="{:.3f}",
+    )
+    text += (
+        f"\n\nimbalance (max/mean): dynamic="
+        f"{stats['dynamic']['imbalance']:.3f}  "
+        f"static={stats['static']['imbalance']:.3f}\n"
+        f"indexing wall: dynamic={stats['dynamic']['wall']:.3f}s  "
+        f"static={stats['static']['wall']:.3f}s"
+    )
+    return FigureReport(
+        figure="Figure 9",
+        text=text,
+        data={"per_rank": series, "stats": stats, "nprocs": nprocs},
+    )
+
+
+def reproduce_all(
+    downscale: float = 10_000.0,
+    procs: tuple[int, ...] = PAPER_PROCS,
+    machine: Optional[MachineSpec] = None,
+    config: Optional[EngineConfig] = None,
+    seed: int = 7,
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[FigureReport]:
+    """Regenerate every evaluation figure; returns the reports."""
+    sweeps = run_all_sweeps(
+        downscale=downscale,
+        procs=procs,
+        machine=machine,
+        config=config,
+        seed=seed,
+        progress=progress,
+    )
+    reports = [
+        figure5(sweeps),
+        figure6(sweeps),
+        figure7(sweeps),
+        figure8(sweeps),
+        figure9(machine=machine, config=config, seed=seed),
+    ]
+    return reports

@@ -1,0 +1,56 @@
+"""ASCII table / series formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    col_header: str,
+    col_labels: Sequence[str],
+    rows: Sequence[tuple[str, Sequence[float]]],
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a labelled numeric table.
+
+    ``rows`` is a list of (row label, values) with one value per column.
+    """
+    label_w = max(
+        [len(col_header)] + [len(str(r[0])) for r in rows], default=8
+    )
+    cells = [[fmt.format(v) for v in values] for _, values in rows]
+    col_ws = [
+        max([len(col_labels[j])] + [len(c[j]) for c in cells])
+        for j in range(len(col_labels))
+    ]
+    lines = [title]
+    header = str(col_header).ljust(label_w) + "  " + "  ".join(
+        col_labels[j].rjust(col_ws[j]) for j in range(len(col_labels))
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for (label, _), row_cells in zip(rows, cells):
+        lines.append(
+            str(label).ljust(label_w)
+            + "  "
+            + "  ".join(
+                row_cells[j].rjust(col_ws[j])
+                for j in range(len(col_labels))
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render one or more y-series over a shared x axis."""
+    rows = [(label, values) for label, values in series.items()]
+    return format_table(
+        title, x_label, [str(v) for v in x], rows, fmt=fmt
+    )

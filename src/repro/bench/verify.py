@@ -1,0 +1,214 @@
+"""Executable verification of the paper's qualitative claims.
+
+`EXPERIMENTS.md` argues that the reproduction matches the paper's
+*shapes*; this module turns each of those shape claims into a checked
+predicate over regenerated sweep data, so the claim table can be
+re-verified mechanically (``python -m repro figures --verify`` or
+:func:`verify_shapes` directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .figures import FigureReport, Sweeps, _dataset_sweeps
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One verified claim."""
+
+    figure: str
+    claim: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.figure}: {self.claim} ({self.detail})"
+
+
+def _near_linear(speedups: list[float], procs: list[int], floor: float) -> bool:
+    """Monotone speedup with terminal parallel efficiency above floor."""
+    if any(b <= a for a, b in zip(speedups, speedups[1:])):
+        return False
+    return speedups[-1] / procs[-1] >= floor
+
+
+def verify_shapes(
+    sweeps: Sweeps, fig9: Optional[FigureReport] = None
+) -> list[ShapeCheck]:
+    """Check every evaluation-figure claim against fresh sweep data."""
+    checks: list[ShapeCheck] = []
+
+    # ---------------- Figure 5/6a/7a: near-linear overall scaling
+    for dataset in ("pubmed", "trec"):
+        for sweep in _dataset_sweeps(sweeps, dataset):
+            procs = sorted(sweep.results)
+            sp = [sweep.speedup(p) for p in procs]
+            label = sweep.workload.label
+            anomalous = dataset == "pubmed" and label == "16.44 GB"
+            if anomalous:
+                ok = sp[0] < 2.0 and _near_linear(sp[1:], procs[1:], 0.5)
+                checks.append(
+                    ShapeCheck(
+                        "Fig 5/6a",
+                        f"{dataset} {label}: depressed at P={procs[0]} "
+                        "(memory pressure), near-linear after",
+                        ok,
+                        f"speedups={[round(s, 2) for s in sp]}",
+                    )
+                )
+            else:
+                ok = _near_linear(sp, procs, 0.5)
+                checks.append(
+                    ShapeCheck(
+                        "Fig 5/6a/7a",
+                        f"{dataset} {label}: near-linear speedup",
+                        ok,
+                        f"speedups={[round(s, 2) for s in sp]}",
+                    )
+                )
+
+    # ---------------- Figure 5: anomaly magnitude
+    pub = {
+        s.workload.label: s for s in _dataset_sweeps(sweeps, "pubmed")
+    }
+    if {"16.44 GB", "6.67 GB"} <= set(pub):
+        procs = sorted(pub["16.44 GB"].results)
+        p0, p_last = procs[0], procs[-1]
+        r_small = pub["16.44 GB"].wall(p0) / pub["6.67 GB"].wall(p0)
+        r_large = pub["16.44 GB"].wall(p_last) / pub["6.67 GB"].wall(p_last)
+        checks.append(
+            ShapeCheck(
+                "Fig 5",
+                "16.44 GB disproportionately slow at the smallest P",
+                r_small > 2.0 * r_large,
+                f"size-ratio {r_small:.1f}x at P={p0} vs "
+                f"{r_large:.1f}x at P={p_last}",
+            )
+        )
+
+    # ---------------- Figures 6b/7b: component percentage stability
+    for dataset, size in (("pubmed", "2.75 GB"), ("trec", "1.00 GB")):
+        sweep = next(
+            (
+                s
+                for s in _dataset_sweeps(sweeps, dataset)
+                if s.workload.label == size
+            ),
+            None,
+        )
+        if sweep is None:
+            continue
+        procs = sorted(sweep.results)
+        pct = {
+            p: sweep.component_percentages(p) for p in procs
+        }
+        stable = all(
+            max(pct[p].get(c, 0.0) for p in procs)
+            - min(pct[p].get(c, 0.0) for p in procs)
+            < 12.0
+            for c in ("scan", "index", "am", "docvec", "clusproj")
+        )
+        checks.append(
+            ShapeCheck(
+                "Fig 6b/7b",
+                f"{dataset} {size}: component shares constant in P "
+                "(except topicality)",
+                stable,
+                "max spread < 12 points",
+            )
+        )
+        topic = [pct[p].get("topic", 0.0) for p in procs]
+        checks.append(
+            ShapeCheck(
+                "Fig 6b/7b",
+                f"{dataset} {size}: topicality share grows with P "
+                "yet stays smallest",
+                topic[-1] > topic[0]
+                and topic[-1]
+                < min(
+                    pct[procs[-1]].get("scan", 100.0),
+                    pct[procs[-1]].get("index", 100.0),
+                ),
+                f"topic%={[round(t, 2) for t in topic]}",
+            )
+        )
+
+    # ---------------- Figure 8: every component scales
+    from .figures import FIG8_GROUPS
+
+    for dataset in ("pubmed", "trec"):
+        ds = _dataset_sweeps(sweeps, dataset)
+        if not ds:
+            continue
+        procs = sorted(ds[0].results)
+        all_ok = True
+        worst = ""
+        for group, comps in FIG8_GROUPS:
+            for sweep in ds:
+                serial_t = sum(
+                    sweep.serial_result.timings.component_seconds.get(
+                        c, 0.0
+                    )
+                    for c in comps
+                )
+                sp = []
+                for p in procs:
+                    par = sum(
+                        sweep.component_seconds(p).get(c, 0.0)
+                        for c in comps
+                    )
+                    sp.append(serial_t / par if par > 0 else 0.0)
+                if sp[-1] <= sp[0]:
+                    all_ok = False
+                    worst = f"{group}/{sweep.workload.label}"
+        checks.append(
+            ShapeCheck(
+                "Fig 8",
+                f"{dataset}: every component's speedup grows "
+                f"{procs[0]}->{procs[-1]}",
+                all_ok,
+                worst or "all groups monotone end-to-end",
+            )
+        )
+
+    # ---------------- Figure 9: dynamic load balancing
+    if fig9 is not None:
+        stats = fig9.data["stats"]
+        checks.append(
+            ShapeCheck(
+                "Fig 9",
+                "dynamic LB flattens per-processor indexing times",
+                stats["dynamic"]["imbalance"]
+                < stats["static"]["imbalance"]
+                and stats["dynamic"]["imbalance"] < 1.15,
+                f"imbalance dyn={stats['dynamic']['imbalance']:.3f} "
+                f"vs static={stats['static']['imbalance']:.3f}",
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                "Fig 9",
+                "dynamic LB does not hurt the indexing wall",
+                stats["dynamic"]["wall"]
+                <= stats["static"]["wall"] * 1.02,
+                f"wall dyn={stats['dynamic']['wall']:.3f}s "
+                f"vs static={stats['static']['wall']:.3f}s",
+            )
+        )
+    return checks
+
+
+def render_checks(checks: list[ShapeCheck]) -> str:
+    """Human-readable report of the verification run."""
+    lines = ["Shape verification against the paper's claims", ""]
+    lines.extend(str(c) for c in checks)
+    n_pass = sum(c.passed for c in checks)
+    lines.append("")
+    lines.append(f"{n_pass}/{len(checks)} claims verified")
+    return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   write a synthetic corpus to a ``.jsonl`` source file
+``run``        process a corpus (serial or simulated-parallel engine)
+               and export results + ThemeView
+``analyze``    interactive queries against a saved result
+``figures``    regenerate the paper's evaluation figures
+
+Examples
+--------
+::
+
+    python -m repro generate --dataset pubmed --bytes 300000 --out corpus.jsonl
+    python -m repro run --corpus corpus.jsonl --nprocs 8 --out results/
+    python -m repro analyze --results results/result.npz --query "some terms"
+    python -m repro figures --out figures/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel IN-SPIRE-style text engine "
+            "(IPPS 2007 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic corpus")
+    g.add_argument(
+        "--dataset",
+        choices=("pubmed", "trec", "newswire"),
+        default="pubmed",
+    )
+    g.add_argument("--bytes", type=int, default=250_000)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--themes", type=int, default=None)
+    g.add_argument(
+        "--represented",
+        type=float,
+        default=None,
+        help="real-world byte size this corpus stands for",
+    )
+    g.add_argument("--out", type=Path, required=True)
+
+    r = sub.add_parser("run", help="run the text engine on a corpus")
+    r.add_argument("--corpus", type=Path, required=True)
+    r.add_argument(
+        "--nprocs",
+        type=int,
+        default=0,
+        help="simulated processors (0 = serial engine)",
+    )
+    r.add_argument("--clusters", type=int, default=10)
+    r.add_argument("--major-terms", type=int, default=400)
+    r.add_argument(
+        "--cluster-method",
+        choices=("kmeans", "single", "complete", "average"),
+        default="kmeans",
+    )
+    r.add_argument("--seed", type=int, default=0)
+    r.add_argument("--out", type=Path, required=True)
+
+    a = sub.add_parser("analyze", help="query a saved engine result")
+    a.add_argument("--results", type=Path, required=True)
+    a.add_argument("--query", type=str, default=None, help="query terms")
+    a.add_argument(
+        "--similar", type=int, default=None, help="doc id to match"
+    )
+    a.add_argument(
+        "--cluster", type=int, default=None, help="cluster to summarize"
+    )
+    a.add_argument("--top", type=int, default=10)
+
+    f = sub.add_parser(
+        "figures", help="reproduce the paper's evaluation figures"
+    )
+    f.add_argument("--downscale", type=float, default=10_000.0)
+    f.add_argument("--procs", type=str, default="4,8,16,32")
+    f.add_argument("--seed", type=int, default=7)
+    f.add_argument("--out", type=Path, default=Path("figures"))
+    f.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the shape-verification checks",
+    )
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import generate_pubmed, generate_trec
+    from repro.text import write_corpus
+
+    kwargs = {"seed": args.seed, "represented_bytes": args.represented}
+    if args.themes is not None:
+        kwargs["n_themes"] = args.themes
+    from repro.datasets import generate_newswire
+
+    gens = {
+        "pubmed": generate_pubmed,
+        "trec": generate_trec,
+        "newswire": generate_newswire,
+    }
+    corpus = gens[args.dataset](args.bytes, **kwargs)
+    nbytes = write_corpus(corpus, args.out)
+    print(
+        f"wrote {len(corpus)} documents ({nbytes:,} bytes) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        EngineConfig,
+        ParallelTextEngine,
+        SerialTextEngine,
+        save_result,
+    )
+    from repro.text import read_source
+    from repro.viz import (
+        build_themeview,
+        export_json,
+        labels_from_result,
+        render_ascii,
+        write_pgm,
+        write_svg,
+    )
+
+    corpus = read_source(args.corpus)
+    config = EngineConfig(
+        n_major_terms=args.major_terms,
+        n_clusters=args.clusters,
+        cluster_method=args.cluster_method,
+        seed=args.seed,
+    )
+    if args.nprocs > 0:
+        print(f"running parallel engine on {args.nprocs} simulated procs")
+        result = ParallelTextEngine(args.nprocs, config=config).run(corpus)
+    else:
+        print("running serial engine")
+        result = SerialTextEngine(config).run(corpus)
+    print(result.summary())
+
+    out = args.out
+    out.mkdir(parents=True, exist_ok=True)
+    save_result(result, out / "result.npz")
+    view = build_themeview(
+        result.coords,
+        result.assignments,
+        cluster_labels=labels_from_result(result),
+    )
+    write_pgm(view, out / "themeview.pgm")
+    export_json(view, out / "themeview.json")
+    write_svg(
+        result.coords,
+        out / "themeview.svg",
+        assignments=result.assignments,
+        view=view,
+    )
+    (out / "themeview.txt").write_text(render_ascii(view) + "\n")
+    with (out / "coordinates.csv").open("w") as fh:
+        fh.write("doc_id,x,y,cluster\n")
+        for doc_id, coord, c in zip(
+            result.doc_ids, result.coords, result.assignments
+        ):
+            fh.write(
+                f"{doc_id},{coord[0]:.6f},{coord[1]:.6f},{c}\n"
+            )
+    print(f"results written to {out}/")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import AnalysisSession
+    from repro.engine import load_result
+
+    result = load_result(args.results)
+    session = AnalysisSession(result)
+    did_something = False
+    if args.query:
+        did_something = True
+        hits = session.query(args.query.split(), k=args.top)
+        print(f"query {args.query!r}:")
+        for h in hits:
+            print(
+                f"  doc {h.doc_id:>6}  score={h.score:.4f}  "
+                f"cluster={h.cluster}"
+            )
+        if not hits:
+            print("  (no hits: terms outside the major-term model)")
+    if args.similar is not None:
+        did_something = True
+        hits = session.similar_documents(args.similar, k=args.top)
+        print(f"documents similar to {args.similar}:")
+        for h in hits:
+            print(
+                f"  doc {h.doc_id:>6}  cosine={h.score:.4f}  "
+                f"cluster={h.cluster}"
+            )
+    if args.cluster is not None:
+        did_something = True
+        s = session.cluster_summary(args.cluster)
+        print(
+            f"cluster {s.cluster}: {s.size} docs; "
+            f"terms: {' '.join(s.top_terms)}; "
+            f"representatives: {s.representative_docs}"
+        )
+    if not did_something:
+        print(result.summary())
+        print("topics:", " ".join(result.topic_term_strings[:12]))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        render_checks,
+        run_all_sweeps,
+        verify_shapes,
+    )
+
+    procs = tuple(int(x) for x in args.procs.split(","))
+    args.out.mkdir(parents=True, exist_ok=True)
+    sweeps = run_all_sweeps(
+        downscale=args.downscale,
+        procs=procs,
+        seed=args.seed,
+        progress=lambda msg: print("  " + msg),
+    )
+    fig9 = figure9(seed=args.seed)
+    reports = [
+        figure5(sweeps),
+        figure6(sweeps),
+        figure7(sweeps),
+        figure8(sweeps),
+        fig9,
+    ]
+    for rep in reports:
+        rep.write(args.out)
+        print()
+        print(rep.text)
+    print(f"\nfigure tables written to {args.out}/")
+    if args.verify:
+        checks = verify_shapes(sweeps, fig9)
+        text = render_checks(checks)
+        (args.out / "verification.txt").write_text(text + "\n")
+        print()
+        print(text)
+        if not all(c.passed for c in checks):
+            return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "run": _cmd_run,
+        "analyze": _cmd_analyze,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

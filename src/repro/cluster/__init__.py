@@ -1,0 +1,25 @@
+"""Clustering: distributed k-means plus hierarchical extensions."""
+
+from .hierarchical import Dendrogram, agglomerative
+from .twolevel import HIERARCHICAL_METHODS, merge_micro_clusters
+from .kmeans import (
+    KMeansResult,
+    assign_points,
+    centroids_from_partials,
+    kmeanspp_seeds,
+    lloyd,
+    partial_update,
+)
+
+__all__ = [
+    "Dendrogram",
+    "KMeansResult",
+    "HIERARCHICAL_METHODS",
+    "agglomerative",
+    "assign_points",
+    "centroids_from_partials",
+    "kmeanspp_seeds",
+    "lloyd",
+    "merge_micro_clusters",
+    "partial_update",
+]

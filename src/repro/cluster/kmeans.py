@@ -1,0 +1,137 @@
+"""Distributed k-means clustering (Dhillon & Modha style).
+
+Paper §3.5: "We implemented a distributed k-means clustering algorithm
+in our process [9]" -- reference [9] is Dhillon & Modha's
+message-passing k-means, in which every process holds a slice of the
+points, assignment is local, and the new centroids are obtained by
+all-reducing per-cluster partial sums and counts.
+
+This module contains the *numerics* (seeding, assignment, partial
+updates, a serial Lloyd driver); the parallel loop lives in the engine
+where the allreduce happens.  Both paths share these functions so the
+serial and parallel engines produce matching clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def kmeanspp_seeds(
+    sample: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding on a (replicated) sample of the points.
+
+    Runs identically on every rank given the same sample and RNG seed,
+    so no broadcast of centroids is required beyond the sample itself.
+    """
+    n = sample.shape[0]
+    if n == 0 or k < 1:
+        raise ValueError("need a non-empty sample and k >= 1")
+    k = min(k, n)
+    centroids = np.empty((k, sample.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = sample[first]
+    closest = np.sum((sample - centroids[0]) ** 2, axis=1)
+    for c in range(1, k):
+        total = float(closest.sum())
+        if total <= 0.0:
+            # all remaining points coincide with chosen centroids
+            centroids[c:] = sample[int(rng.integers(n))]
+            break
+        probs = closest / total
+        nxt = int(rng.choice(n, p=probs))
+        centroids[c] = sample[nxt]
+        d = np.sum((sample - centroids[c]) ** 2, axis=1)
+        np.minimum(closest, d, out=closest)
+    return centroids
+
+
+def assign_points(
+    points: np.ndarray, centroids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment.
+
+    Returns ``(labels, sqdist)``.  Uses the expanded form
+    ``|x|^2 - 2 x.c + |c|^2`` so the distance matrix is one GEMM.
+    Ties go to the lowest cluster index (argmin), deterministically.
+    """
+    if points.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    x2 = np.sum(points**2, axis=1)[:, None]
+    c2 = np.sum(centroids**2, axis=1)[None, :]
+    d2 = x2 - 2.0 * (points @ centroids.T) + c2
+    labels = np.argmin(d2, axis=1).astype(np.int64)
+    sq = np.maximum(d2[np.arange(points.shape[0]), labels], 0.0)
+    return labels, sq
+
+
+def partial_update(
+    points: np.ndarray, labels: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cluster coordinate sums and counts for this rank's points."""
+    dim = points.shape[1] if points.ndim == 2 else 0
+    sums = np.zeros((k, dim), dtype=np.float64)
+    counts = np.zeros(k, dtype=np.int64)
+    if points.size:
+        np.add.at(sums, labels, points)
+        counts = np.bincount(labels, minlength=k).astype(np.int64)
+    return sums, counts
+
+
+def centroids_from_partials(
+    sums: np.ndarray,
+    counts: np.ndarray,
+    previous: np.ndarray,
+) -> np.ndarray:
+    """New centroids; clusters that captured no points keep their old
+    position (a deterministic empty-cluster policy)."""
+    out = previous.copy()
+    nonzero = counts > 0
+    out[nonzero] = sums[nonzero] / counts[nonzero, None]
+    return out
+
+
+@dataclass
+class KMeansResult:
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+
+
+def lloyd(
+    points: np.ndarray,
+    init_centroids: np.ndarray,
+    max_iter: int = 50,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Serial Lloyd iterations (the single-process reference path)."""
+    centroids = np.asarray(init_centroids, dtype=np.float64).copy()
+    k = centroids.shape[0]
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        labels, sq = assign_points(points, centroids)
+        sums, counts = partial_update(points, labels, k)
+        new_centroids = centroids_from_partials(sums, counts, centroids)
+        shift = float(np.max(np.abs(new_centroids - centroids), initial=0.0))
+        centroids = new_centroids
+        if shift <= tol:
+            converged = True
+            break
+    labels, sq = assign_points(points, centroids)
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=float(sq.sum()),
+        n_iter=it,
+        converged=converged,
+    )

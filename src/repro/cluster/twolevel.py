@@ -1,0 +1,64 @@
+"""Two-level clustering: k-means micro-clusters + hierarchical merge.
+
+Paper §3.5 notes that "other types of clustering could be applied that
+would enable different means to explore the relationships of the data
+(e.g., hierarchical clustering: single-link, complete, and various
+adaptive cutting approaches)".  Running agglomerative clustering over
+millions of documents is infeasible (O(n^3)), so the standard scalable
+recipe -- and the one that drops into the paper's distributed
+architecture unchanged -- is two-level: distributed k-means produces a
+few dozen *micro-cluster* centroids, and the replicated hierarchical
+merge runs over those.
+
+Because the merge input (centroids + counts) is identical on every
+rank, the parallel engine gets hierarchical clustering for free: no
+additional communication beyond the k-means it already does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hierarchical import agglomerative
+
+#: linkage names accepted by the engine's ``cluster_method``
+HIERARCHICAL_METHODS = ("single", "complete", "average")
+
+
+def merge_micro_clusters(
+    fine_centroids: np.ndarray,
+    fine_counts: np.ndarray,
+    n_clusters: int,
+    linkage: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge k-means micro-clusters into ``n_clusters`` theme groups.
+
+    Returns ``(mapping, coarse_centroids)`` where ``mapping[f]`` is the
+    coarse cluster of fine cluster ``f`` and the coarse centroids are
+    the count-weighted means of their members.  Empty micro-clusters
+    (zero count) do not participate in the dendrogram and map to
+    coarse cluster 0 (they have no documents, so the choice is moot).
+    """
+    fine_centroids = np.asarray(fine_centroids, dtype=np.float64)
+    fine_counts = np.asarray(fine_counts, dtype=np.int64)
+    k_fine = fine_centroids.shape[0]
+    if fine_counts.shape != (k_fine,):
+        raise ValueError("fine_counts must align with fine_centroids")
+    live = np.flatnonzero(fine_counts > 0)
+    if live.size == 0:
+        raise ValueError("no non-empty micro-clusters to merge")
+    n_out = min(n_clusters, live.size)
+    dend = agglomerative(fine_centroids[live], linkage=linkage)
+    live_labels = dend.cut_k(n_out)
+    mapping = np.zeros(k_fine, dtype=np.int64)
+    mapping[live] = live_labels
+    # count-weighted coarse centroids
+    dim = fine_centroids.shape[1]
+    coarse = np.zeros((n_out, dim), dtype=np.float64)
+    weights = np.zeros(n_out, dtype=np.float64)
+    for f in live:
+        c = mapping[f]
+        coarse[c] += fine_counts[f] * fine_centroids[f]
+        weights[c] += fine_counts[f]
+    coarse /= weights[:, None]
+    return mapping, coarse

@@ -1,0 +1,36 @@
+"""Synthetic dataset generators standing in for PubMed and TREC GOV2.
+
+The paper's corpora are multi-gigabyte collections we cannot ship or
+process here; these generators reproduce the statistics that drive the
+engine's behaviour (document-size distributions, Zipf/Heaps vocabulary
+laws, latent theme structure).  See ``DESIGN.md`` §2 for the full
+substitution rationale.
+"""
+
+from .generator import (
+    ThemeModel,
+    ThemeModelConfig,
+    generate_corpus,
+)
+from .newswire import generate_newswire
+from .pubmed import generate_pubmed
+from .trec import generate_trec
+from .vocabulary import (
+    BIOMEDICAL_AFFIXES,
+    GOVWEB_AFFIXES,
+    ZipfSampler,
+    make_vocabulary,
+)
+
+__all__ = [
+    "BIOMEDICAL_AFFIXES",
+    "GOVWEB_AFFIXES",
+    "ThemeModel",
+    "ThemeModelConfig",
+    "ZipfSampler",
+    "generate_corpus",
+    "generate_newswire",
+    "generate_pubmed",
+    "generate_trec",
+    "make_vocabulary",
+]

@@ -1,0 +1,92 @@
+"""Synthetic vocabularies with Zipfian statistics.
+
+The engine's scaling behaviour depends on corpus *statistics* --
+vocabulary size and skew, document-length distribution -- not on the
+actual words.  This module builds deterministic pseudo-word
+vocabularies (pronounceable syllable chains, optionally flavoured with
+domain affixes) and Zipf-distributed samplers over them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ONSETS = [
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gl", "gr",
+    "h", "j", "k", "l", "m", "n", "p", "ph", "pl", "pr", "qu", "r",
+    "s", "sc", "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v",
+    "w", "z",
+]
+_NUCLEI = ["a", "e", "i", "o", "u", "ae", "ea", "ia", "io", "ou"]
+_CODAS = ["", "", "l", "m", "n", "r", "s", "t", "x", "st", "nd", "ct"]
+
+#: affixes that give PubMed-flavoured terms ("...itis", "neo...")
+BIOMEDICAL_AFFIXES = (
+    ["neo", "cardio", "hemo", "cyto", "myo", "osteo", "endo", "micro"],
+    ["itis", "osis", "emia", "ase", "gen", "cyte", "pathy", "oma"],
+)
+#: affixes that give .gov/web-flavoured terms
+GOVWEB_AFFIXES = (
+    ["gov", "fed", "pub", "reg", "admin", "info", "data", "web"],
+    ["tion", "ment", "ance", "ency", "ing", "port", "form", "act"],
+)
+
+
+def _syllable(rng: np.random.Generator) -> str:
+    return (
+        _ONSETS[rng.integers(len(_ONSETS))]
+        + _NUCLEI[rng.integers(len(_NUCLEI))]
+        + _CODAS[rng.integers(len(_CODAS))]
+    )
+
+
+def make_vocabulary(
+    size: int,
+    seed: int,
+    affixes: tuple[list[str], list[str]] | None = None,
+    affix_fraction: float = 0.3,
+) -> list[str]:
+    """Build ``size`` distinct pseudo-words, deterministically."""
+    rng = np.random.default_rng(seed)
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < size:
+        nsyl = int(rng.integers(2, 5))
+        w = "".join(_syllable(rng) for _ in range(nsyl))
+        if affixes is not None and rng.random() < affix_fraction:
+            prefixes, suffixes = affixes
+            if rng.random() < 0.5:
+                w = prefixes[rng.integers(len(prefixes))] + w
+            else:
+                w = w + suffixes[rng.integers(len(suffixes))]
+        if len(w) > 24:
+            w = w[:24]
+        if w in seen:
+            continue
+        seen.add(w)
+        words.append(w)
+    return words
+
+
+class ZipfSampler:
+    """Draws word indices with Zipf–Mandelbrot probabilities.
+
+    ``p(rank) ∝ 1 / (rank + q) ** s`` -- the classic fit for natural
+    language term frequencies.
+    """
+
+    def __init__(self, size: int, s: float = 1.07, q: float = 2.7):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        ranks = np.arange(1, size + 1, dtype=np.float64)
+        weights = 1.0 / (ranks + q) ** s
+        self.probs = weights / weights.sum()
+        self._cdf = np.cumsum(self.probs)
+        self.size = size
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` word indices (0-based ranks)."""
+        u = rng.random(n)
+        return np.searchsorted(self._cdf, u, side="right").clip(
+            0, self.size - 1
+        )

@@ -1,0 +1,30 @@
+"""The IN-SPIRE-style text processing engine (serial and parallel)."""
+
+from .config import EngineConfig
+from .incremental import (
+    ProjectedBatch,
+    project_new_documents,
+    refresh_recommended,
+)
+from .parallel import ParallelTextEngine
+from .persist import load_result, save_result
+from .results import EngineResult
+from .serial import SerialTextEngine, sample_indices, signature_model
+from .timings import COMPONENTS, PAPER_LABELS, StageTimings
+
+__all__ = [
+    "COMPONENTS",
+    "EngineConfig",
+    "EngineResult",
+    "load_result",
+    "save_result",
+    "PAPER_LABELS",
+    "ProjectedBatch",
+    "project_new_documents",
+    "refresh_recommended",
+    "ParallelTextEngine",
+    "SerialTextEngine",
+    "StageTimings",
+    "sample_indices",
+    "signature_model",
+]

@@ -1,0 +1,554 @@
+"""Parallel text processing engine (the paper's contribution).
+
+Implements Figure 4's architecture on the simulated cluster: static
+byte-balanced source distribution, Scan & Map with a distributed
+vocabulary hashmap, FAST-INV inverted-file indexing with GA-atomic
+dynamic load balancing, global term statistics in global arrays,
+parallel topicality with a global merge of per-owner top candidates,
+``MPI_Allreduce``-combined association matrices, per-rank knowledge
+signatures, distributed k-means, and centroid-PCA projection with the
+master collecting the final 2-D coordinates.
+
+Every numerical kernel is shared with
+:class:`~repro.engine.serial.SerialTextEngine`, and integer reductions
+are exact, so the parallel engine produces the same model (same major
+terms, same association matrix, same signatures) for any processor
+count -- floating-point clustering results agree to reduction
+round-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cluster.kmeans import (
+    assign_points,
+    centroids_from_partials,
+    kmeanspp_seeds,
+    partial_update,
+)
+from repro.ga.array import GlobalArray
+from repro.ga.hashmap import GlobalHashMap
+from repro.ga.taskqueue import SharedTaskQueue
+from repro.index.fastinv import (
+    Postings,
+    fields_to_docs,
+    invert_chunk,
+    merge_doc_postings,
+)
+from repro.index.stats import stats_from_doc_postings
+from repro.project.pca import fit_pca
+from repro.runtime.cluster import Cluster
+from repro.runtime.context import RankContext
+from repro.runtime.machine import MachineSpec, Scale
+from repro.runtime.payload import payload_nbytes
+from repro.scan.forward import encode_forward
+from repro.scan.scanner import scan_documents, unique_terms
+from repro.scan.vocabulary import finalize_vocabulary
+from repro.signature.topicality import local_candidates, rank_candidates
+from repro.text.documents import Corpus, Document, partition_documents
+from repro.text.tokenizer import Tokenizer
+
+from repro.cluster.twolevel import merge_micro_clusters
+
+from .config import EngineConfig
+from .results import EngineResult
+from .serial import (
+    _field_weight_arrays as _sig_weight_arrays,
+    cluster_sizes,
+    sample_indices,
+    signature_model,
+)
+from .timings import StageTimings
+
+_FWD_STORE_KEY = "engine:fwd-store"
+
+
+class ParallelTextEngine:
+    """Run the engine on a simulated cluster of ``nprocs`` ranks."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineSpec | None = None,
+        config: EngineConfig | None = None,
+    ):
+        self.nprocs = nprocs
+        self.machine = machine if machine is not None else MachineSpec()
+        self.config = config if config is not None else EngineConfig()
+
+    def run(self, corpus: Corpus) -> EngineResult:
+        """Process ``corpus``; returns the assembled result.
+
+        The machine's ``workload_scale`` is set from the corpus's
+        declared represented size, so virtual times are reported at the
+        scale the corpus stands for.
+        """
+        machine = replace(
+            self.machine, workload_scale=corpus.workload_scale()
+        )
+        parts = partition_documents(corpus.documents, self.nprocs)
+        field_names = corpus.field_names
+        sim = Cluster(self.nprocs, machine).run(
+            _engine_rank_main, parts, field_names, self.config
+        )
+        return self._assemble(sim, corpus.name)
+
+    def run_files(
+        self,
+        paths,
+        corpus_name: str = "sources",
+        represented_bytes: float | None = None,
+    ) -> EngineResult:
+        """Process on-disk source files (``.jsonl``/``.trec``/``.med``).
+
+        Files are statically distributed across ranks by byte size
+        (paper §3.2) and each rank scans its own list -- the
+        parallel-I/O code path.  ``represented_bytes`` declares the
+        real-world scale as for in-memory corpora.
+        """
+        import os
+        from pathlib import Path
+
+        paths = [Path(p) for p in paths]
+        if not paths:
+            raise ValueError("run_files needs at least one source file")
+        sizes = [os.path.getsize(p) for p in paths]
+        total = sum(sizes)
+        scale = 1.0
+        if represented_bytes is not None and total > 0:
+            scale = max(1.0, represented_bytes / total)
+        machine = replace(self.machine, workload_scale=scale)
+        # contiguous byte-balanced assignment of files to ranks
+        parts: list[list] = [[] for _ in range(self.nprocs)]
+        target = total / self.nprocs if total else 0.0
+        rank = 0
+        acc = 0.0
+        for p, sz in zip(paths, sizes):
+            if target and acc >= target * (rank + 1) and rank < self.nprocs - 1:
+                rank += 1
+            parts[rank].append(p)
+            acc += sz
+        sim = Cluster(self.nprocs, machine).run(
+            _files_rank_main, parts, self.config
+        )
+        return self._assemble(sim, corpus_name)
+
+    def _assemble(self, sim, corpus_name: str) -> EngineResult:
+        root = sim.rank_results[0]
+        assert root is not None, "rank 0 must assemble the result"
+        timings = StageTimings.from_tracer(sim.tracer, sim.rank_times)
+        timings.extras["index_invert_per_rank"] = sim.tracer.per_rank_totals(
+            "index:invert"
+        )
+        return EngineResult(
+            corpus_name=corpus_name,
+            nprocs=self.nprocs,
+            timings=timings,
+            **root,
+        )
+
+
+def _engine_rank_main(
+    ctx: RankContext,
+    parts: list[list[Document]],
+    field_names: list[str],
+    cfg: EngineConfig,
+):
+    """SPMD entry for in-memory corpora (pre-partitioned documents)."""
+    return _engine_core(
+        ctx, parts[ctx.rank], field_names, cfg, io_charged=False
+    )
+
+
+def _files_rank_main(
+    ctx: RankContext,
+    file_parts: list[list],
+    cfg: EngineConfig,
+):
+    """SPMD entry for on-disk sources: each process scans its own
+    list of source files (paper §3.2), then global document IDs and
+    the field-name table are established collectively."""
+    import os
+
+    from repro.text.formats import read_source
+
+    with ctx.region("scan"):
+        local_docs: list[Document] = []
+        for path in file_parts[ctx.rank]:
+            nbytes = os.path.getsize(path)
+            ctx.charge_io(nbytes, concurrent_readers=ctx.nprocs)
+            corpus_part = read_source(path)
+            # record/field identification over the raw bytes
+            ctx.charge_cpu(nbytes // 4, Scale.STREAM)
+            local_docs.extend(corpus_part.documents)
+        # contiguous global document IDs via an exclusive scan
+        offset = ctx.comm.exscan(len(local_docs))
+        offset = 0 if offset is None else int(offset)
+        docs = [
+            Document(doc_id=offset + i, fields=d.fields)
+            for i, d in enumerate(local_docs)
+        ]
+        # deterministic global field-name table (rank order, first seen)
+        local_names: list[str] = []
+        seen: set[str] = set()
+        for d in docs:
+            for name in d.fields:
+                if name not in seen:
+                    seen.add(name)
+                    local_names.append(name)
+        gathered = ctx.comm.allgather(local_names)
+        field_names: list[str] = []
+        for part in gathered:
+            for name in part:
+                if name not in field_names:
+                    field_names.append(name)
+    return _engine_core(ctx, docs, field_names, cfg, io_charged=True)
+
+
+def _engine_core(
+    ctx: RankContext,
+    docs: list[Document],
+    field_names: list[str],
+    cfg: EngineConfig,
+    io_charged: bool,
+):
+    machine = ctx.machine
+    local_bytes = sum(d.nbytes for d in docs)
+    # memory-pressure multiplier on compute (Fig. 5 anomaly model)
+    pf = machine.pressure_factor(local_bytes * cfg.mem_expansion)
+    vocab_factor = machine.scaled(1.0, Scale.VOCAB)
+    stream_factor = machine.workload_scale
+    tokenizer = Tokenizer(cfg.tokenizer)
+
+    # ------------------------------------------------------- scan & map
+    with ctx.region("scan"):
+        if not io_charged:
+            ctx.charge_io(local_bytes, concurrent_readers=ctx.nprocs)
+        scanned, sstats = scan_documents(docs, tokenizer)
+        ctx.charge(
+            machine.scan_seconds(sstats.nbytes, sstats.ntokens) * pf
+        )
+        uniq = unique_terms(scanned)
+        hashmap = GlobalHashMap.create(ctx, "vocab")
+        hashmap.get_or_insert_batch(uniq)
+        ctx.charge(machine.unique_terms_seconds(len(uniq)))
+        ctx.barrier()  # forward indexing & hashmap construction done
+        vocab = finalize_vocabulary(ctx, hashmap)
+        field_to_id = {f: i for i, f in enumerate(field_names)}
+        forward = encode_forward(scanned, vocab.term_to_gid, field_to_id)
+        ctx.charge_cpu(sstats.ntokens * 3, Scale.STREAM)
+        ctx.barrier()
+    nfields_global = max(1, len(field_names))
+
+    # ------------------------------------------- inverted file indexing
+    with ctx.region("index"):
+        # publish this rank's forward index in the global address space
+        ctx.sched.wait_turn(ctx.rank)
+        store = ctx.world.registry.setdefault(_FWD_STORE_KEY, {})
+        store[ctx.rank] = forward
+        ctx.barrier()
+        chunk = max(1, cfg.chunk_docs)
+        nloads = (len(forward.docs) + chunk - 1) // chunk
+        load_counts = ctx.comm.allgather(nloads)
+        offsets = np.concatenate([[0], np.cumsum(load_counts)])
+        # dense gid -> owning rank (postings destination)
+        owner_counts = [
+            vocab.dist.local_count(r) for r in range(ctx.nprocs)
+        ]
+        gid_owner = np.repeat(
+            np.arange(ctx.nprocs, dtype=np.int64), owner_counts
+        )
+        bucket_g: list[list[np.ndarray]] = [[] for _ in range(ctx.nprocs)]
+        bucket_d: list[list[np.ndarray]] = [[] for _ in range(ctx.nprocs)]
+        bucket_c: list[list[np.ndarray]] = [[] for _ in range(ctx.nprocs)]
+        processed_loads = 0
+
+        def process_load(task_id: int) -> None:
+            nonlocal processed_loads
+            owner = int(
+                np.searchsorted(offsets, task_id, side="right") - 1
+            )
+            li = int(task_id - offsets[owner])
+            fwd = store[owner]
+            lo = li * chunk
+            hi = min(len(fwd.docs), lo + chunk)
+            if owner != ctx.rank:
+                # fetch the stolen load's forward data (one-sided get)
+                nb = fwd.nbytes_of_chunk(lo, hi)
+                ctx.charge(
+                    machine.onesided_seconds(
+                        machine.scaled(nb, Scale.STREAM),
+                        intra_node=machine.same_node(ctx.rank, owner),
+                    )
+                )
+            g, d, f = fwd.chunk_streams(lo, hi)
+            t2f, _ = invert_chunk(g, d, f)
+            t2d = fields_to_docs(t2f, nfields_global)
+            ctx.charge(machine.invert_seconds(g.size) * pf)
+            dest = gid_owner[t2d.gids]
+            for r in range(ctx.nprocs):
+                mask = dest == r
+                if mask.any():
+                    bucket_g[r].append(t2d.gids[mask])
+                    bucket_d[r].append(t2d.keys[mask])
+                    bucket_c[r].append(t2d.counts[mask])
+            processed_loads += 1
+
+        # the inner region measures each rank's inversion *busy* time
+        # (before the exchange barrier evens the clocks out) -- the
+        # per-processor load distribution Figure 9 plots
+        with ctx.region("index:invert"):
+            if cfg.dynamic_load_balancing:
+                queue = SharedTaskQueue(ctx, "ifi", load_counts, chunk=1)
+                while (got := queue.next_chunk()) is not None:
+                    for t in range(got[0], got[1]):
+                        process_load(t)
+            else:
+                for t in range(
+                    int(offsets[ctx.rank]), int(offsets[ctx.rank + 1])
+                ):
+                    process_load(t)
+
+        def _cat(parts_list: list[np.ndarray]) -> np.ndarray:
+            if not parts_list:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(parts_list)
+
+        per_dest = [
+            (_cat(bucket_g[r]), _cat(bucket_d[r]), _cat(bucket_c[r]))
+            for r in range(ctx.nprocs)
+        ]
+        exchange_nbytes = sum(
+            g.nbytes + d.nbytes + c.nbytes for g, d, c in per_dest
+        )
+        incoming = ctx.comm.alltoallv(
+            per_dest,
+            nbytes_hint=machine.scaled(exchange_nbytes, Scale.STREAM),
+        )
+        my_postings = merge_doc_postings(
+            [Postings(g, d, c) for g, d, c in incoming]
+        )
+        ctx.charge(machine.invert_seconds(len(my_postings)))
+        gid_lo, gid_hi = vocab.dist.local_range(ctx.rank)
+        stats = stats_from_doc_postings(my_postings, gid_lo, gid_hi)
+        # global term statistics live in global arrays (paper §3.3)
+        df_ga = GlobalArray.create(
+            ctx, "stats:df", (vocab.size,), dtype=np.int64, dist=vocab.dist
+        )
+        cf_ga = GlobalArray.create(
+            ctx, "stats:cf", (vocab.size,), dtype=np.int64, dist=vocab.dist
+        )
+        df_ga.local_view()[:] = stats.df
+        cf_ga.local_view()[:] = stats.cf
+        ctx.charge(
+            machine.memcpy_seconds(
+                machine.scaled(stats.df.nbytes * 2, Scale.VOCAB)
+            )
+        )
+        df_ga.sync()
+
+    # ---------------------------------------------------------- topicality
+    with ctx.region("topic"):
+        n_docs = ctx.comm.allreduce(len(docs))
+        local_terms = vocab.gid_to_term[gid_lo:gid_hi]
+        # Bookstein measure + local candidate sort (per owned term)
+        ctx.charge_cpu(len(local_terms) * 1500, Scale.VOCAB)
+        cands_local = local_candidates(
+            local_terms,
+            gid_lo=gid_lo,
+            df=stats.df,
+            cf=stats.cf,
+            n_docs=n_docs,
+            min_df=cfg.min_df,
+            limit=cfg.max_major_terms,
+            max_df_fraction=cfg.max_df_fraction,
+        )
+        # global merge-sort of per-owner tops, broadcast to all (§3.4)
+        cand_nbytes = payload_nbytes(cands_local)
+        all_cands = ctx.comm.allgather(
+            cands_local, nbytes_hint=cand_nbytes * vocab_factor
+        )
+        candidates = rank_candidates(
+            [c for part in all_cands for c in part]
+        )[: cfg.max_major_terms]
+        # global merge-sort of the gathered candidate lists -- this
+        # work is replicated on every rank (it covers the full
+        # vocabulary-sized candidate set), which is why the paper's
+        # topicality component "does not scale well"
+        total_cands = sum(len(part) for part in all_cands)
+        ctx.charge_cpu(total_cands * 400, Scale.VOCAB)
+
+    # ------------------------------- association matrix + signatures
+    doc_gid_arrays = [d.gids for d in forward.docs]
+
+    def reduce_counts(local_counts: np.ndarray) -> np.ndarray:
+        return ctx.comm.allreduce(local_counts)
+
+    def reduce_nulls(n_null: int) -> int:
+        return ctx.comm.allreduce(int(n_null))
+
+    def charge_am(n_major: int, n_topics: int) -> None:
+        # presence scan over the local token stream + matrix updates
+        ctx.charge_cpu(sstats.ntokens * 12, Scale.STREAM)
+        ctx.charge_flops(float(n_major) * n_topics * 4.0)
+
+    def charge_docvec(batch) -> None:
+        m = batch.signatures.shape[1] if batch.signatures.size else 1
+        ctx.charge(
+            machine.flops_seconds(sstats.ntokens * max(1, m) * 3.0, Scale.STREAM)
+            * pf
+        )
+
+    weight_arrays = _sig_weight_arrays(forward, field_names, cfg)
+    majors, topics, assoc, batch, null_fraction, rounds = signature_model(
+        candidates,
+        doc_gid_arrays,
+        n_docs,
+        cfg,
+        doc_weight_arrays=weight_arrays,
+        reduce_counts=reduce_counts,
+        reduce_nulls=reduce_nulls,
+        am_scope=lambda: ctx.region("am"),
+        docvec_scope=lambda: ctx.region("docvec"),
+        charge_am=charge_am,
+        charge_docvec=charge_docvec,
+    )
+
+    # ------------------------------------------ clustering & projection
+    with ctx.region("clusproj"):
+        sigs = batch.signatures
+        my_ids = np.array(
+            [d.doc_id for d in forward.docs], dtype=np.int64
+        )
+        k_goal, k_fine = cluster_sizes(cfg, n_docs)
+        m_dim = sigs.shape[1]
+        # replicated seeding sample at deterministic global indices
+        sidx = sample_indices(n_docs, cfg.kmeans_sample)
+        mine = np.isin(my_ids, sidx)
+        contrib = (my_ids[mine], sigs[mine])
+        pieces = ctx.comm.allgather(contrib)
+        samp_ids = np.concatenate([p[0] for p in pieces])
+        samp_vecs = np.vstack([p[1] for p in pieces])
+        order = np.argsort(samp_ids)
+        sample = samp_vecs[order]
+        rng = np.random.default_rng(cfg.seed)
+        centroids = kmeanspp_seeds(sample, k_fine, rng)
+        k = centroids.shape[0]
+        ctx.charge_flops(float(sample.shape[0]) * k * max(1, m_dim) * 3)
+        # Dhillon-Modha distributed k-means: local assign, allreduce
+        # of per-cluster partial sums and counts
+        n_iter = 0
+        for n_iter in range(1, cfg.kmeans_max_iter + 1):
+            labels, sq = assign_points(sigs, centroids)
+            ctx.charge(
+                machine.flops_seconds(
+                    len(sigs) * k * max(1, m_dim) * 3.0, Scale.STREAM
+                )
+                * pf
+            )
+            sums, counts = partial_update(sigs, labels, k)
+            packed = np.concatenate(
+                [sums.ravel(), counts.astype(np.float64)]
+            )
+            total = ctx.comm.allreduce(packed)
+            tot_sums = total[: k * m_dim].reshape(k, m_dim)
+            tot_counts = total[k * m_dim :]
+            new_centroids = centroids_from_partials(
+                tot_sums, tot_counts, centroids
+            )
+            shift = float(
+                np.max(np.abs(new_centroids - centroids), initial=0.0)
+            )
+            centroids = new_centroids
+            if shift <= cfg.kmeans_tol:
+                break
+        labels, sq = assign_points(sigs, centroids)
+        if cfg.cluster_method != "kmeans":
+            # hierarchical merge of the replicated micro-clusters
+            # (identical on every rank; see repro.cluster.twolevel)
+            _, fine_counts = partial_update(sigs, labels, k)
+            tot_fine = ctx.comm.allreduce(
+                fine_counts.astype(np.float64)
+            )
+            mapping, centroids = merge_micro_clusters(
+                centroids, tot_fine.astype(np.int64), k_goal,
+                cfg.cluster_method,
+            )
+            ctx.charge_flops(float(k) ** 3)
+            labels = mapping[labels]
+            sq = np.sum((sigs - centroids[labels]) ** 2, axis=1)
+            k = centroids.shape[0]
+        inertia = ctx.comm.allreduce(float(sq.sum()))
+        # PCA on the replicated centroids, identical on every rank
+        transform = fit_pca(centroids, dim=cfg.projection_dim)
+        ctx.charge_flops(
+            float(k) * m_dim * m_dim + float(m_dim) ** 3
+        )
+        coords = transform.project(sigs)
+        ctx.charge_flops(
+            len(sigs) * m_dim * cfg.projection_dim, Scale.STREAM
+        )
+        # the master (rank 0) collects all coordinates (paper §3.5)
+        payload = (my_ids, coords, labels)
+        gathered = ctx.comm.gather(
+            payload,
+            root=0,
+            nbytes_hint=machine.scaled(
+                payload_nbytes(payload), Scale.STREAM
+            ),
+        )
+
+    # --------------------------- result assembly (bookkeeping, rank 0)
+    sig_pieces = None
+    if cfg.keep_signatures:
+        sig_pieces = ctx.comm.gather((my_ids, sigs), root=0, nbytes_hint=0.0)
+    stats_pieces = None
+    if cfg.keep_term_stats:
+        stats_pieces = ctx.comm.gather(
+            (local_terms, stats.df, stats.cf), root=0, nbytes_hint=0.0
+        )
+    if ctx.rank != 0:
+        return None
+
+    all_ids = np.concatenate([p[0] for p in gathered])
+    all_coords = np.vstack([p[1] for p in gathered])
+    all_labels = np.concatenate(
+        [np.asarray(p[2], dtype=np.int64) for p in gathered]
+    )
+    order = np.argsort(all_ids)
+    signatures = None
+    if sig_pieces is not None:
+        sig_ids = np.concatenate([p[0] for p in sig_pieces])
+        sig_mat = np.vstack([p[1] for p in sig_pieces])
+        signatures = sig_mat[np.argsort(sig_ids)]
+    term_stats = None
+    if stats_pieces is not None:
+        term_stats = {}
+        for terms_part, df_part, cf_part in stats_pieces:
+            for t, dfv, cfv in zip(terms_part, df_part, cf_part):
+                term_stats[t] = (int(dfv), int(cfv))
+    return dict(
+        n_docs=int(n_docs),
+        vocab_size=vocab.size,
+        major_terms=majors,
+        topic_terms=topics,
+        association=assoc,
+        doc_ids=all_ids[order],
+        coords=all_coords[order],
+        assignments=all_labels[order],
+        centroids=centroids,
+        inertia=float(inertia),
+        kmeans_iters=int(n_iter),
+        null_fraction=float(null_fraction),
+        adapt_rounds=int(rounds),
+        projection=transform,
+        signatures=signatures,
+        term_stats=term_stats,
+        meta={
+            "processed_loads_rank0": processed_loads,
+            "scan_tokens_rank0": sstats.ntokens,
+        },
+    )

@@ -1,0 +1,78 @@
+"""Per-component timing containers.
+
+Component names follow the paper's Figures 6b/7b x-axis: ``scan``,
+``index``, ``topic``, ``am`` (association matrix), ``docvec``
+(knowledge signatures), ``clusproj`` (clustering & projection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.tracing import Tracer
+
+#: canonical component order (the paper's figure x-axis)
+COMPONENTS: tuple[str, ...] = (
+    "scan",
+    "index",
+    "topic",
+    "am",
+    "docvec",
+    "clusproj",
+)
+
+#: component key -> label used in the paper's figures
+PAPER_LABELS: dict[str, str] = {
+    "scan": "scan",
+    "index": "index",
+    "topic": "topic",
+    "am": "AM",
+    "docvec": "DocVec",
+    "clusproj": "ClusProj",
+}
+
+
+@dataclass
+class StageTimings:
+    """Wall/percentage view of one engine run's components."""
+
+    #: component -> wall-clock contribution (max over ranks), seconds
+    component_seconds: dict[str, float]
+    #: total wall time of the run, seconds
+    wall_time: float
+    #: final virtual clock of each rank (None for the serial engine)
+    rank_times: Optional[np.ndarray] = None
+    #: component -> per-rank seconds (None for the serial engine)
+    per_rank: Optional[dict[str, np.ndarray]] = None
+    #: True when times are virtual (simulated cluster) rather than real
+    virtual: bool = True
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def component_percentages(self) -> dict[str, float]:
+        total = sum(self.component_seconds.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.component_seconds}
+        return {
+            k: 100.0 * v / total for k, v in self.component_seconds.items()
+        }
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, rank_times: np.ndarray) -> "StageTimings":
+        seconds: dict[str, float] = {}
+        per_rank: dict[str, np.ndarray] = {}
+        for name in COMPONENTS:
+            totals = tracer.per_rank_totals(name)
+            if totals.max() > 0 or name in tracer.component_names():
+                seconds[name] = float(totals.max())
+                per_rank[name] = totals
+        return cls(
+            component_seconds=seconds,
+            wall_time=float(rank_times.max()),
+            rank_times=rank_times,
+            per_rank=per_rank,
+            virtual=True,
+        )

@@ -1,0 +1,347 @@
+"""Global Arrays: distributed dense arrays with one-sided access.
+
+This is the reproduction's stand-in for the Global Array Toolkit the
+paper builds on.  A :class:`GlobalArray` is created *collectively*,
+block-distributed along its first axis, and then accessed with
+*one-sided* ``get``/``put``/``acc`` operations plus the atomic
+``read_inc`` (fetch-and-increment) that powers the paper's dynamic
+load balancer.  No cooperation from the owner rank is required -- the
+virtual-time scheduler's global operation ordering provides the
+consistency that ARMCI provides on real hardware.
+
+Costs: accesses are split by owner; the locally-owned part is charged
+at memory-copy speed, remote parts as one-sided network transfers, so
+algorithms that exploit locality (as GA encourages) are rewarded by
+the model exactly as on the paper's cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.context import RankContext
+from repro.runtime.errors import RuntimeMisuseError
+
+from .distribution import BlockDistribution
+
+
+class GlobalArray:
+    """A block-distributed dense array in the global address space."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        dist: BlockDistribution,
+        backing: np.ndarray,
+    ):
+        self._ctx = ctx
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+        self.dist = dist
+        self._data = backing
+
+    # ------------------------------------------------------------------
+    # collective lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        ctx: RankContext,
+        name: str,
+        shape: tuple[int, ...] | int,
+        dtype=np.float64,
+        fill: float = 0,
+        dist=None,
+    ) -> "GlobalArray":
+        """Collectively create a named global array (all ranks call).
+
+        ``dist`` defaults to a regular block distribution along axis 0;
+        pass an :class:`~repro.ga.distribution.IrregularBlockDistribution`
+        to align ownership with an external partition (e.g. the term
+        statistics arrays whose rows follow vocabulary ownership).
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise RuntimeMisuseError(f"bad shape {shape}")
+        if dist is not None and dist.nrows != shape[0]:
+            raise RuntimeMisuseError(
+                f"distribution covers {dist.nrows} rows, array has {shape[0]}"
+            )
+        key = f"ga:{name}"
+        # Rendezvous so every rank sees the same backing store.
+        ctx.comm.barrier()
+        ctx.sched.wait_turn(ctx.rank)
+        entry = ctx.world.registry.get(key)
+        if entry is None:
+            data = np.full(shape, fill, dtype=dtype)
+            if dist is None:
+                dist = BlockDistribution(shape[0], ctx.nprocs)
+            entry = (data, dist, shape, np.dtype(dtype))
+            ctx.world.registry[key] = entry
+        else:
+            if entry[2] != shape or entry[3] != np.dtype(dtype):
+                raise RuntimeMisuseError(
+                    f"ranks disagree on global array {name!r}: "
+                    f"{entry[2]}/{entry[3]} vs {shape}/{np.dtype(dtype)}"
+                )
+        data, dist, _, _ = entry
+        return cls(ctx, name, shape, np.dtype(dtype), dist, data)
+
+    def destroy(self) -> None:
+        """Collectively free the array."""
+        self._ctx.comm.barrier()
+        self._ctx.sched.wait_turn(self._ctx.rank)
+        self._ctx.world.registry.pop(f"ga:{self.name}", None)
+
+    # ------------------------------------------------------------------
+    # one-sided access
+    # ------------------------------------------------------------------
+    def get(self, lo: int, hi: Optional[int] = None) -> np.ndarray:
+        """One-sided read of global rows ``[lo, hi)`` (copy)."""
+        lo, hi = self._normalize(lo, hi)
+        self._ctx.sched.wait_turn(self._ctx.rank)
+        out = self._data[lo:hi].copy()
+        self._charge_transfer(lo, hi)
+        return out
+
+    def put(self, lo: int, values: np.ndarray) -> None:
+        """One-sided write starting at global row ``lo``."""
+        values = np.asarray(values, dtype=self.dtype)
+        hi = lo + values.shape[0]
+        lo, hi = self._normalize(lo, hi)
+        self._ctx.sched.wait_turn(self._ctx.rank)
+        self._data[lo:hi] = values
+        self._charge_transfer(lo, hi)
+
+    def acc(self, lo: int, values: np.ndarray, alpha: float = 1.0) -> None:
+        """One-sided atomic accumulate: ``A[lo:hi] += alpha * values``."""
+        values = np.asarray(values, dtype=self.dtype)
+        hi = lo + values.shape[0]
+        lo, hi = self._normalize(lo, hi)
+        self._ctx.sched.wait_turn(self._ctx.rank)
+        if alpha == 1.0:
+            self._data[lo:hi] += values
+        else:
+            self._data[lo:hi] += alpha * values
+        self._charge_transfer(lo, hi)
+
+    def read_inc(self, index: int, inc: int = 1) -> int:
+        """Atomic fetch-and-add on one integer element.
+
+        This is GA's ``NGA_Read_inc`` -- the few-line primitive the
+        paper uses to implement its shared-task-queue dynamic load
+        balancer without a master process.
+        """
+        if not np.issubdtype(self.dtype, np.integer):
+            raise RuntimeMisuseError(
+                f"read_inc requires an integer array, {self.name!r} is "
+                f"{self.dtype}"
+            )
+        if self._data.ndim != 1:
+            raise RuntimeMisuseError("read_inc supports 1-D arrays only")
+        lo, hi = self._normalize(index, index + 1)
+        ctx = self._ctx
+        ctx.sched.wait_turn(ctx.rank)
+        old = int(self._data[index])
+        self._data[index] = old + inc
+        owner = self.dist.owner_of(index)
+        if owner == ctx.rank:
+            ctx.charge(ctx.machine.rpc_handler_cost_s)
+        else:
+            ctx.charge(ctx.machine.rpc_seconds(16.0, 16.0))
+        return old
+
+    # ------------------------------------------------------------------
+    # whole-array convenience operations (GA_Fill / GA_Scale / GA_Copy /
+    # GA_Ddot / NGA_Gather / NGA_Scatter analogues)
+    # ------------------------------------------------------------------
+    def fill(self, value) -> None:
+        """Collective: set every element to ``value`` (GA_Fill)."""
+        self._ctx.comm.barrier()
+        self._ctx.sched.wait_turn(self._ctx.rank)
+        lo, hi = self.local_range()
+        self._data[lo:hi] = value
+        self._ctx.charge(
+            self._ctx.machine.memcpy_seconds((hi - lo) * self._row_nbytes())
+        )
+        self._ctx.comm.barrier()
+
+    def scale(self, alpha: float) -> None:
+        """Collective: multiply every element by ``alpha`` (GA_Scale)."""
+        self._ctx.comm.barrier()
+        self._ctx.sched.wait_turn(self._ctx.rank)
+        lo, hi = self.local_range()
+        self._data[lo:hi] = self._data[lo:hi] * alpha
+        self._ctx.charge(
+            self._ctx.machine.flops_seconds(
+                (hi - lo) * max(1, self._row_nbytes() // 8)
+            )
+        )
+        self._ctx.comm.barrier()
+
+    def copy_from(self, other: "GlobalArray") -> None:
+        """Collective: copy ``other`` into this array (GA_Copy).
+
+        Both arrays must share shape; each rank copies its own block
+        (the distributions may differ, in which case remote gets are
+        charged).
+        """
+        if other.shape != self.shape:
+            raise RuntimeMisuseError(
+                f"copy_from shape mismatch: {other.shape} -> {self.shape}"
+            )
+        self._ctx.comm.barrier()
+        lo, hi = self.local_range()
+        if hi > lo:
+            block = other.get(lo, hi)
+            self._ctx.sched.wait_turn(self._ctx.rank)
+            self._data[lo:hi] = block.astype(self.dtype, copy=False)
+        self._ctx.comm.barrier()
+
+    def dot(self, other: "GlobalArray") -> float:
+        """Collective: global inner product (GA_Ddot).
+
+        Each rank reduces its local block; partials are summed with an
+        allreduce, so every rank receives the same scalar.
+        """
+        if other.shape != self.shape:
+            raise RuntimeMisuseError(
+                f"dot shape mismatch: {self.shape} vs {other.shape}"
+            )
+        ctx = self._ctx
+        ctx.sched.wait_turn(ctx.rank)
+        lo, hi = self.local_range()
+        olo, ohi = other.local_range()
+        if (lo, hi) != (olo, ohi):
+            raise RuntimeMisuseError(
+                "dot requires identically distributed arrays"
+            )
+        local = float(
+            np.sum(
+                np.asarray(self._data[lo:hi], dtype=np.float64)
+                * np.asarray(other._data[lo:hi], dtype=np.float64)
+            )
+        )
+        ctx.charge(
+            ctx.machine.flops_seconds(
+                2.0 * (hi - lo) * max(1, self._row_nbytes() // 8)
+            )
+        )
+        return float(ctx.comm.allreduce(local))
+
+    def gather_elements(self, rows: np.ndarray) -> np.ndarray:
+        """One-sided indexed read of arbitrary global rows (NGA_Gather)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise RuntimeMisuseError("gather_elements row out of bounds")
+        self._ctx.sched.wait_turn(self._ctx.rank)
+        out = self._data[rows].copy()
+        self._charge_elementwise(rows)
+        return out
+
+    def scatter_elements(self, rows: np.ndarray, values: np.ndarray) -> None:
+        """One-sided indexed write of arbitrary global rows (NGA_Scatter).
+
+        Duplicate rows are written in order (last wins), matching GA's
+        unordered-scatter caveat deterministically.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(values, dtype=self.dtype)
+        if rows.shape[0] != values.shape[0]:
+            raise RuntimeMisuseError(
+                "scatter_elements rows/values length mismatch"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise RuntimeMisuseError("scatter_elements row out of bounds")
+        self._ctx.sched.wait_turn(self._ctx.rank)
+        self._data[rows] = values
+        self._charge_elementwise(rows)
+
+    def _charge_elementwise(self, rows: np.ndarray) -> None:
+        """Charge per-owner message costs for an indexed access."""
+        if rows.size == 0:
+            return
+        ctx = self._ctx
+        row_nbytes = self._row_nbytes()
+        owners = np.array([self.dist.owner_of(int(r)) for r in rows])
+        total = 0.0
+        for owner in np.unique(owners):
+            nbytes = int((owners == owner).sum()) * row_nbytes
+            if owner == ctx.rank:
+                total += ctx.machine.memcpy_seconds(nbytes)
+            else:
+                total += ctx.machine.onesided_seconds(
+                    nbytes,
+                    intra_node=ctx.machine.same_node(ctx.rank, owner),
+                )
+        ctx.charge(total)
+
+    # ------------------------------------------------------------------
+    # locality
+    # ------------------------------------------------------------------
+    def local_range(self, rank: Optional[int] = None) -> tuple[int, int]:
+        """Row range owned by ``rank`` (default: the calling rank)."""
+        r = self._ctx.rank if rank is None else rank
+        return self.dist.local_range(r)
+
+    def local_view(self) -> np.ndarray:
+        """Zero-copy view of the calling rank's owned block.
+
+        GA programs use direct local access for the compute-heavy inner
+        loops; no communication cost is charged.
+        """
+        lo, hi = self.local_range()
+        return self._data[lo:hi]
+
+    def owner_of(self, row: int) -> int:
+        return self.dist.owner_of(row)
+
+    def sync(self) -> None:
+        """GA_Sync: barrier + completion of outstanding operations."""
+        self._ctx.comm.barrier()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _normalize(self, lo: int, hi: Optional[int]) -> tuple[int, int]:
+        if hi is None:
+            hi = lo + 1
+        if not (0 <= lo <= hi <= self.shape[0]):
+            raise RuntimeMisuseError(
+                f"rows [{lo}, {hi}) out of bounds for {self.name!r} with "
+                f"shape {self.shape}"
+            )
+        return lo, hi
+
+    def _row_nbytes(self) -> int:
+        itemsize = self.dtype.itemsize
+        per_row = 1
+        for s in self.shape[1:]:
+            per_row *= s
+        return itemsize * per_row
+
+    def _charge_transfer(self, lo: int, hi: int) -> None:
+        """Charge get/put/acc cost, split by owning rank."""
+        if hi <= lo:
+            return
+        ctx = self._ctx
+        row_nbytes = self._row_nbytes()
+        total = 0.0
+        for owner, sub_lo, sub_hi in self.dist.owners_of_range(lo, hi):
+            nbytes = (sub_hi - sub_lo) * row_nbytes
+            if owner == ctx.rank:
+                total += ctx.machine.memcpy_seconds(nbytes)
+            else:
+                total += ctx.machine.onesided_seconds(
+                    nbytes,
+                    intra_node=ctx.machine.same_node(ctx.rank, owner),
+                )
+        ctx.charge(total)

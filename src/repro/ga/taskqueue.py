@@ -1,0 +1,104 @@
+"""Shared task queue with fixed-size chunking (dynamic load balancing).
+
+This reproduces the paper's §3.3 load balancer: the collection of
+inversion *loads* (fixed-size chunks of forward-index entries) lives in
+a global array; an atomic fetch-and-increment (``read_inc``) hands out
+the next available load.  The queue is prioritized so that "each
+process completes its inversion loads first, and then works on loads
+owned by other processes": there is one counter per owner rank, each
+covering that rank's contiguous load range; an idle rank first drains
+its own counter, then scans the other ranks' counters round-robin,
+stealing their remaining loads.
+
+Compared with the master–worker alternative
+(:mod:`repro.baselines.masterworker`), no process ever serves as a
+bottleneck: claiming a task is a single one-sided atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.context import RankContext
+from repro.runtime.errors import RuntimeMisuseError
+
+from .array import GlobalArray
+
+
+class SharedTaskQueue:
+    """Work-stealing task queue over per-owner atomic counters.
+
+    ``counts[r]`` is the number of tasks initially owned by rank ``r``;
+    task IDs are global and contiguous: rank ``r`` owns
+    ``[offset[r], offset[r] + counts[r])``.
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        name: str,
+        counts: Sequence[int],
+        chunk: int = 1,
+    ):
+        if len(counts) != ctx.nprocs:
+            raise RuntimeMisuseError(
+                f"counts must have one entry per rank "
+                f"({ctx.nprocs}), got {len(counts)}"
+            )
+        if chunk < 1:
+            raise RuntimeMisuseError(f"chunk must be >= 1, got {chunk}")
+        self._ctx = ctx
+        self.chunk = int(chunk)
+        self.counts = [int(c) for c in counts]
+        self.offsets = np.concatenate([[0], np.cumsum(self.counts)])
+        self.ntasks = int(self.offsets[-1])
+        # Per-owner "next task" cursors, stored in a global array so a
+        # claim is one atomic read_inc -- exactly the paper's scheme.
+        self._cursors = GlobalArray.create(
+            ctx, f"taskq:{name}", (ctx.nprocs,), dtype=np.int64
+        )
+        self._steal_order = [
+            (ctx.rank + d) % ctx.nprocs for d in range(1, ctx.nprocs)
+        ]
+        # Owners this rank has already observed to be drained; tasks are
+        # never re-added, so we can skip the atomic on later polls.
+        self._drained: set[int] = set()
+
+    def _claim_from(self, owner: int) -> Optional[tuple[int, int]]:
+        """Try to claim up to ``chunk`` tasks from ``owner``'s range."""
+        count = self.counts[owner]
+        if count == 0 or owner in self._drained:
+            return None
+        pos = self._cursors.read_inc(owner, self.chunk)
+        if pos >= count:
+            self._drained.add(owner)
+            return None
+        lo = int(self.offsets[owner]) + pos
+        hi = int(self.offsets[owner]) + min(count, pos + self.chunk)
+        return lo, hi
+
+    def next_chunk(self) -> Optional[tuple[int, int]]:
+        """Claim the next chunk of global task IDs ``[lo, hi)``.
+
+        Own loads are drained first; afterwards other ranks' loads are
+        stolen round-robin.  Returns ``None`` when every load in the
+        queue has been claimed.
+        """
+        got = self._claim_from(self._ctx.rank)
+        if got is not None:
+            return got
+        for owner in self._steal_order:
+            got = self._claim_from(owner)
+            if got is not None:
+                return got
+        return None
+
+    def owner_of_task(self, task_id: int) -> int:
+        """The rank whose data a given global task ID refers to."""
+        if not 0 <= task_id < self.ntasks:
+            raise RuntimeMisuseError(
+                f"task {task_id} out of range [0, {self.ntasks})"
+            )
+        return int(np.searchsorted(self.offsets, task_id, side="right") - 1)

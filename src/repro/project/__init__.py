@@ -1,0 +1,5 @@
+"""Projection of the high-dimensional topic space to view coordinates."""
+
+from .pca import PCATransform, fit_pca
+
+__all__ = ["PCATransform", "fit_pca"]

@@ -1,0 +1,76 @@
+"""PCA projection of the topic space onto 2-D/3-D view coordinates.
+
+Paper §3.5: "Our approach for dimensionality reduction was to use the
+cluster centroids and employ principle component analysis (PCA), where
+we can use the first two principal components to project the M space
+onto those principal components."
+
+Fitting PCA on the k centroids (not the millions of documents) is the
+paper's trick for making projection cheap and parallel: the centroid
+matrix is tiny and replicated, so every process computes the identical
+transformation matrix locally and projects its own documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PCATransform:
+    """Affine projection: ``coords = (x - mean) @ components``."""
+
+    mean: np.ndarray  # (M,)
+    components: np.ndarray  # (M, dim)
+    explained_variance: np.ndarray  # (dim,)
+
+    @property
+    def dim(self) -> int:
+        return int(self.components.shape[1])
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Project (n, M) points to (n, dim) view coordinates."""
+        points = np.atleast_2d(points)
+        return (points - self.mean) @ self.components
+
+
+def fit_pca(anchors: np.ndarray, dim: int = 2) -> PCATransform:
+    """Fit PCA on the anchor points (cluster centroids).
+
+    Deterministic across platforms/processor counts: eigenvectors come
+    from ``numpy.linalg.eigh`` of the covariance and each component's
+    sign is normalized so its largest-magnitude entry is positive.
+    If fewer informative dimensions exist than ``dim``, the remaining
+    components are zero (documents project to 0 on those axes).
+    """
+    anchors = np.asarray(anchors, dtype=np.float64)
+    if anchors.ndim != 2 or anchors.shape[0] < 1:
+        raise ValueError("anchors must be a non-empty 2-D array")
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    n, m = anchors.shape
+    mean = anchors.mean(axis=0)
+    centered = anchors - mean
+    denom = max(1, n - 1)
+    cov = (centered.T @ centered) / denom
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    # eigh returns ascending order; take the top eigenpairs
+    order = np.argsort(eigvals)[::-1]
+    eigvals = eigvals[order]
+    eigvecs = eigvecs[:, order]
+    components = np.zeros((m, dim), dtype=np.float64)
+    variance = np.zeros(dim, dtype=np.float64)
+    take = min(dim, m)
+    components[:, :take] = eigvecs[:, :take]
+    variance[:take] = np.maximum(eigvals[:take], 0.0)
+    # deterministic sign: largest |entry| of each component positive
+    for j in range(take):
+        col = components[:, j]
+        pivot = int(np.argmax(np.abs(col)))
+        if col[pivot] < 0:
+            components[:, j] = -col
+    return PCATransform(
+        mean=mean, components=components, explained_variance=variance
+    )

@@ -1,0 +1,54 @@
+"""Virtual-time SPMD runtime: the simulated cluster substrate.
+
+This package replaces the paper's physical platform (MPI + Global
+Arrays on an Itanium/InfiniBand cluster) with a deterministic
+discrete-event simulation: the SPMD program's *computation* runs for
+real, while *time* is modelled by a calibrated :class:`MachineSpec`.
+See ``DESIGN.md`` §2 for why this substitution preserves the behaviour
+under study.
+"""
+
+from .cluster import Cluster, ClusterResult
+from .clock import VirtualClock
+from .comm import Communicator, Request
+from .context import RankContext
+from .errors import (
+    ClusterAborted,
+    ClusterError,
+    CollectiveMismatchError,
+    DeadlockError,
+    RuntimeMisuseError,
+)
+from .machine import MachineSpec, Scale
+from .mpi import ANY_SOURCE, MAX, MIN, MPIComm, PROD, SUM
+from .payload import payload_nbytes
+from .scheduler import Scheduler
+from .tracing import Span, Tracer
+from .world import World
+
+__all__ = [
+    "Cluster",
+    "ClusterResult",
+    "Communicator",
+    "Request",
+    "ClusterAborted",
+    "ClusterError",
+    "CollectiveMismatchError",
+    "DeadlockError",
+    "ANY_SOURCE",
+    "MAX",
+    "MIN",
+    "MPIComm",
+    "MachineSpec",
+    "PROD",
+    "SUM",
+    "RankContext",
+    "RuntimeMisuseError",
+    "Scale",
+    "Scheduler",
+    "Span",
+    "Tracer",
+    "VirtualClock",
+    "World",
+    "payload_nbytes",
+]

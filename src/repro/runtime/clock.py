@@ -1,0 +1,39 @@
+"""Per-rank virtual clocks.
+
+Every rank in a simulated cluster owns a :class:`VirtualClock`.  All
+costs in the simulation (compute, communication, I/O) advance these
+clocks; no wall-clock time is ever consulted, which is what makes runs
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock, in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds (must be >= 0)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt!r}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to ``t``; never moves it backwards."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.9f})"

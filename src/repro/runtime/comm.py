@@ -1,0 +1,526 @@
+"""MPI-style communication over the virtual-time scheduler.
+
+One :class:`Communicator` per rank.  Point-to-point messages go through
+per-(src, dst, tag) mailboxes with LogGP-modelled timing; collectives
+rendezvous at :class:`~repro.runtime.world.CollectiveGate` objects, and
+the *last* arriving rank computes the result and every rank's
+completion time (``max(arrival) + model cost``), which matches the
+synchronizing collectives (``MPI_Allreduce`` etc.) the paper relies on.
+
+Ranks must issue collectives in the same order; a sequence-number check
+turns the MPI undefined behaviour of mismatched collectives into a
+:class:`~repro.runtime.errors.CollectiveMismatchError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from .errors import CollectiveMismatchError, RuntimeMisuseError
+from .machine import MachineSpec
+from .payload import payload_nbytes
+from .scheduler import Scheduler
+from .world import CollectiveGate, World
+
+
+def _default_sum(a: Any, b: Any) -> Any:
+    """Elementwise/numeric addition used as the default reduce op."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.add(a, b)
+    return a + b
+
+
+class Request:
+    """Handle for a non-blocking point-to-point operation."""
+
+    def __init__(self, comm: "Communicator", peer: int, tag: int, kind: str):
+        self._comm = comm
+        self._peer = peer
+        self._tag = tag
+        self._kind = kind
+        self._done = False
+        self._result: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def test(self) -> bool:
+        """Try to complete without blocking; True when complete.
+
+        For receives this consumes the message only once it has
+        *arrived* in virtual time; poll-loops should charge virtual
+        time between tests or they will spin at a frozen clock.
+        """
+        if self._done:
+            return True
+        comm = self._comm
+        comm.sched.wait_turn(comm._grank)
+        box = comm._box(self._peer, tag=self._tag)
+        now = comm.sched.now(comm._grank)
+        if box and box[0][1] <= now:
+            obj, arrival = box.popleft()
+            comm.sched.clocks[comm._grank].advance_to(
+                max(now, arrival) + comm.machine.recv_overhead_seconds()
+            )
+            self._result = obj
+            self._done = True
+        return self._done
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received payload (or
+        ``None`` for sends)."""
+        if not self._done:
+            self._result = self._comm.recv(self._peer, self._tag)
+            self._done = True
+        return self._result
+
+
+class Communicator:
+    """The per-rank endpoint of the simulated interconnect."""
+
+    def __init__(
+        self,
+        world: World,
+        sched: Scheduler,
+        machine: MachineSpec,
+        rank: int,
+        group: Optional[list[int]] = None,
+        ctx_key: Any = "world",
+    ):
+        """``rank`` is the *global* scheduler rank of this endpoint.
+
+        ``group`` lists the member global ranks of this communicator
+        (default: all of them); ``self.rank`` is then this endpoint's
+        local rank within the group, as in MPI sub-communicators.
+        """
+        self.world = world
+        self.sched = sched
+        self.machine = machine
+        self._grank = rank
+        self._group = list(range(world.nprocs)) if group is None else list(group)
+        if rank not in self._group:
+            raise RuntimeMisuseError(
+                f"global rank {rank} is not a member of group {self._group}"
+            )
+        self.rank = self._group.index(rank)
+        self.nprocs = len(self._group)
+        self._ctx_key = ctx_key
+        self._coll_seq = 0
+        self._split_seq = 0
+
+    # ------------------------------------------------------------------
+    # group helpers
+    # ------------------------------------------------------------------
+    def _g(self, local_rank: int) -> int:
+        """Translate a communicator-local rank to the global rank."""
+        return self._group[local_rank]
+
+    def _box(self, src_local: int, tag: int, dst_local: Optional[int] = None):
+        """This comm's mailbox from ``src_local`` to ``dst_local``
+        (default: me).  Contexts are separated per communicator, as in
+        MPI."""
+        dst_g = self._grank if dst_local is None else self._g(dst_local)
+        key = (self._ctx_key, self._g(src_local), dst_g, tag)
+        return self.world.mailboxes.setdefault(key, deque())
+
+    def _waiter_key(self, src_local: int, tag: int):
+        return (self._ctx_key, self._g(src_local), self._grank, tag)
+
+    def split(
+        self, color: Optional[int], key: Optional[int] = None
+    ) -> "Optional[Communicator]":
+        """Collectively partition this communicator by ``color``.
+
+        Members with equal ``color`` form a new communicator, ordered
+        by ``(key, old local rank)``; members passing ``color=None``
+        receive ``None`` (MPI_UNDEFINED).  Must be called by every
+        member in the same program order.
+        """
+        sort_key = self.rank if key is None else key
+        infos = self.allgather((color, sort_key))
+        split_id = self._split_seq
+        self._split_seq += 1
+        if color is None:
+            return None
+        members_local = sorted(
+            (lr for lr, (c, _k) in enumerate(infos) if c == color),
+            key=lambda lr: (infos[lr][1], lr),
+        )
+        group = [self._g(lr) for lr in members_local]
+        child_key = (self._ctx_key, "split", split_id, color)
+        return Communicator(
+            self.world,
+            self.sched,
+            self.machine,
+            self._grank,
+            group=group,
+            ctx_key=child_key,
+        )
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def send(self, dest: int, obj: Any, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest`` (eager, buffered)."""
+        self._check_peer(dest)
+        self.sched.wait_turn(self._grank)
+        nbytes = payload_nbytes(obj)
+        sender_dt, transit_dt = self.machine.p2p_seconds(
+            nbytes,
+            intra_node=self.machine.same_node(self._grank, self._g(dest)),
+        )
+        now = self.sched.now(self._grank)
+        arrival = now + transit_dt
+        box = self._box(self.rank, tag, dst_local=dest)
+        box.append((obj, arrival))
+        self.sched.advance(self._grank, sender_dt)
+        wkey = (self._ctx_key, self._grank, self._g(dest), tag)
+        waiter = self.world.recv_waiters.pop(wkey, None)
+        if waiter is not None and self.sched.is_blocked(waiter):
+            # (a recv_any waiter may already have been woken through a
+            # different channel; popping its registration is enough)
+            self.sched.wake(
+                waiter, arrival + self.machine.recv_overhead_seconds()
+            )
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive the next message from ``source``; blocks if none."""
+        self._check_peer(source)
+        self.sched.wait_turn(self._grank)
+        key = self._waiter_key(source, tag)
+        box = self._box(source, tag)
+        if not box:
+            if key in self.world.recv_waiters:
+                raise RuntimeMisuseError(
+                    f"two receivers on mailbox {key} (ranks "
+                    f"{self.world.recv_waiters[key]} and {self._grank})"
+                )
+            self.world.recv_waiters[key] = self._grank
+            self.sched.block(
+                self._grank, reason=f"recv(src={source}, tag={tag})"
+            )
+            # the sender advanced our clock to the completed-receive time
+            obj, _arrival = box.popleft()
+            return obj
+        obj, arrival = box.popleft()
+        now = self.sched.now(self._grank)
+        done = max(now, arrival) + self.machine.recv_overhead_seconds()
+        self.sched.clocks[self._grank].advance_to(done)
+        return obj
+
+    def isend(self, dest: int, obj: Any, tag: int = 0) -> "Request":
+        """Non-blocking send.
+
+        Sends are eager and buffered in this runtime, so the request
+        completes immediately; it exists for MPI-style symmetry.
+        """
+        self.send(dest, obj, tag)
+        req = Request(self, dest, tag, kind="send")
+        req._result = None
+        req._done = True
+        return req
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Non-blocking receive: returns a :class:`Request`.
+
+        ``req.test()`` polls without blocking (the message must have
+        *arrived* in virtual time); ``req.wait()`` blocks like
+        :meth:`recv`.
+        """
+        self._check_peer(source)
+        return Request(self, source, tag, kind="recv")
+
+    def probe(self, source: int, tag: int = 0) -> bool:
+        """True when a message from ``source`` has arrived (in virtual
+        time) and could be received without blocking."""
+        self._check_peer(source)
+        self.sched.wait_turn(self._grank)
+        box = self._box(source, tag)
+        now = self.sched.now(self._grank)
+        return bool(box) and box[0][1] <= now
+
+    def recv_any(
+        self, sources: Optional[Sequence[int]] = None, tag: int = 0
+    ) -> tuple[int, Any]:
+        """Receive the next message from any of ``sources``.
+
+        Returns ``(source, payload)``; blocks until some listed source
+        has a deliverable message.  This is the wildcard receive a
+        master-worker scheduler needs.
+        """
+        srcs = list(range(self.nprocs)) if sources is None else list(sources)
+        for s in srcs:
+            self._check_peer(s)
+        self.sched.wait_turn(self._grank)
+        found = self._pop_earliest(srcs, tag)
+        if found is not None:
+            return found
+        # register interest on every channel, then block
+        keys = []
+        for s in srcs:
+            key = self._waiter_key(s, tag)
+            if key in self.world.recv_waiters:
+                raise RuntimeMisuseError(
+                    f"two receivers on mailbox {key}"
+                )
+            self.world.recv_waiters[key] = self._grank
+            keys.append(key)
+        self.sched.block(
+            self._grank, reason=f"recv_any(sources={srcs}, tag={tag})"
+        )
+        for key in keys:
+            if self.world.recv_waiters.get(key) == self._grank:
+                del self.world.recv_waiters[key]
+        found = self._pop_earliest(srcs, tag, ignore_arrival=True)
+        assert found is not None, "woken without a deliverable message"
+        return found
+
+    def _pop_earliest(
+        self,
+        srcs: Sequence[int],
+        tag: int,
+        ignore_arrival: bool = False,
+    ) -> Optional[tuple[int, Any]]:
+        """Pop the earliest-arrival deliverable message among sources."""
+        now = self.sched.now(self._grank)
+        best_src: Optional[int] = None
+        best_arrival = 0.0
+        for s in srcs:
+            box = self._box(s, tag)
+            if not box:
+                continue
+            arrival = box[0][1]
+            if best_src is None or arrival < best_arrival:
+                best_src, best_arrival = s, arrival
+        if best_src is None:
+            return None
+        if not ignore_arrival and best_arrival > now:
+            # a message is in flight but has not arrived yet: wait for
+            # it rather than block indefinitely
+            pass
+        obj, arrival = self._box(best_src, tag).popleft()
+        done = max(now, arrival) + self.machine.recv_overhead_seconds()
+        self.sched.clocks[self._grank].advance_to(done)
+        return best_src, obj
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.nprocs:
+            raise RuntimeMisuseError(
+                f"peer rank {peer} out of range [0, {self.nprocs})"
+            )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all ranks; everyone leaves at the same time."""
+        self._collective("barrier", None, nbytes=0.0)
+
+    def bcast(self, obj: Any = None, root: int = 0, nbytes_hint: Optional[float] = None) -> Any:
+        """Broadcast ``obj`` from ``root``; returns the root's object."""
+        self._check_peer(root)
+
+        def finish(payloads: list[Any]) -> list[Any]:
+            return [payloads[root]] * self.nprocs
+
+        nbytes = payload_nbytes(obj) if self.rank == root else None
+        return self._collective(
+            "bcast", obj, nbytes=nbytes, finisher=finish, nbytes_hint=nbytes_hint
+        )
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = _default_sum,
+        root: int = 0,
+        nbytes_hint: Optional[float] = None,
+    ) -> Any:
+        """Reduce values to ``root`` (others get ``None``)."""
+        self._check_peer(root)
+
+        def finish(payloads: list[Any]) -> list[Any]:
+            acc = payloads[0]
+            for v in payloads[1:]:
+                acc = op(acc, v)
+            out: list[Any] = [None] * self.nprocs
+            out[root] = acc
+            return out
+
+        return self._collective(
+            "reduce", value, finisher=finish, nbytes_hint=nbytes_hint
+        )
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = _default_sum,
+        nbytes_hint: Optional[float] = None,
+    ) -> Any:
+        """Reduce values and distribute the result to every rank."""
+
+        def finish(payloads: list[Any]) -> list[Any]:
+            acc = payloads[0]
+            for v in payloads[1:]:
+                acc = op(acc, v)
+            if isinstance(acc, np.ndarray):
+                return [acc.copy() for _ in range(self.nprocs)]
+            return [acc] * self.nprocs
+
+        return self._collective(
+            "allreduce", value, finisher=finish, nbytes_hint=nbytes_hint
+        )
+
+    def gather(
+        self,
+        value: Any,
+        root: int = 0,
+        nbytes_hint: Optional[float] = None,
+    ) -> Optional[list[Any]]:
+        """Gather one value per rank into a list at ``root``."""
+        self._check_peer(root)
+
+        def finish(payloads: list[Any]) -> list[Any]:
+            out: list[Any] = [None] * self.nprocs
+            out[root] = list(payloads)
+            return out
+
+        return self._collective(
+            "gather", value, finisher=finish, nbytes_hint=nbytes_hint
+        )
+
+    def allgather(
+        self, value: Any, nbytes_hint: Optional[float] = None
+    ) -> list[Any]:
+        """Gather one value per rank into a list at every rank."""
+
+        def finish(payloads: list[Any]) -> list[Any]:
+            return [list(payloads) for _ in range(self.nprocs)]
+
+        return self._collective(
+            "allgather", value, finisher=finish, nbytes_hint=nbytes_hint
+        )
+
+    def scatter(
+        self, values: Optional[Sequence[Any]] = None, root: int = 0
+    ) -> Any:
+        """Scatter ``values`` (length nprocs, at root) across ranks."""
+        self._check_peer(root)
+        if self.rank == root:
+            if values is None or len(values) != self.nprocs:
+                raise RuntimeMisuseError(
+                    "scatter root must supply one value per rank"
+                )
+
+        def finish(payloads: list[Any]) -> list[Any]:
+            return list(payloads[root])
+
+        return self._collective("scatter", values, finisher=finish)
+
+    def alltoallv(
+        self, per_dest: Sequence[Any], nbytes_hint: Optional[float] = None
+    ) -> list[Any]:
+        """Personalized all-to-all: ``per_dest[d]`` goes to rank ``d``.
+
+        Returns the list ``[from rank 0, from rank 1, ...]`` addressed
+        to this rank.  This is the postings-exchange primitive of the
+        parallel indexing stage.
+        """
+        if len(per_dest) != self.nprocs:
+            raise RuntimeMisuseError(
+                f"alltoallv needs {self.nprocs} buckets, got {len(per_dest)}"
+            )
+
+        def finish(payloads: list[Any]) -> list[Any]:
+            return [
+                [payloads[src][dst] for src in range(self.nprocs)]
+                for dst in range(self.nprocs)
+            ]
+
+        return self._collective(
+            "alltoallv", list(per_dest), finisher=finish, nbytes_hint=nbytes_hint
+        )
+
+    def exscan(
+        self, value: Any, op: Callable[[Any, Any], Any] = _default_sum
+    ) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``None``."""
+
+        def finish(payloads: list[Any]) -> list[Any]:
+            out: list[Any] = [None] * self.nprocs
+            if self.nprocs > 1:
+                running = payloads[0]
+                out[1] = running
+                for r in range(2, self.nprocs):
+                    running = op(running, payloads[r - 1])
+                    out[r] = running
+            return out
+
+        return self._collective("scan", value, finisher=finish)
+
+    # ------------------------------------------------------------------
+    # engine of all collectives
+    # ------------------------------------------------------------------
+    def _collective(
+        self,
+        kind: str,
+        payload: Any,
+        nbytes: Optional[float] = None,
+        finisher: Optional[Callable[[list[Any]], list[Any]]] = None,
+        nbytes_hint: Optional[float] = None,
+    ) -> Any:
+        """Execute one collective; see module docstring for semantics.
+
+        ``nbytes_hint`` lets callers override the modelled message size
+        (used by the engine to account for represented-scale payloads).
+        """
+        self.sched.wait_turn(self._grank)
+        seq = self._coll_seq
+        self._coll_seq += 1
+        gate_key = (self._ctx_key, seq)
+        gate = self.world.gates.get(gate_key)
+        if gate is None:
+            gate = CollectiveGate(kind, self.nprocs)
+            self.world.gates[gate_key] = gate
+        elif gate.kind != kind:
+            raise CollectiveMismatchError(
+                f"rank {self.rank} called {kind!r} as collective #{seq} "
+                f"but another rank called {gate.kind!r}"
+            )
+        now = self.sched.now(self._grank)
+        gate.arrivals[self.rank] = (now, payload)
+        if len(gate.arrivals) < self.nprocs:
+            self.sched.block(
+                self._grank, reason=f"{kind} (collective #{seq})"
+            )
+        else:
+            # Last arriver: compute results and completion times.
+            payloads = [gate.arrivals[r][1] for r in range(self.nprocs)]
+            if finisher is None:
+                gate.results = [None] * self.nprocs
+            else:
+                gate.results = finisher(payloads)
+            size = nbytes_hint
+            if size is None:
+                size = nbytes
+            if size is None:
+                size = float(
+                    max(payload_nbytes(p) for p in payloads)
+                )
+            t0 = max(t for t, _ in gate.arrivals.values())
+            done = t0 + self.machine.collective_seconds(
+                kind, self.nprocs, float(size)
+            )
+            for r in range(self.nprocs):
+                if r != self.rank:
+                    self.sched.wake(self._g(r), done)
+            self.sched.clocks[self._grank].advance_to(done)
+        assert gate.results is not None
+        result = gate.results[self.rank]
+        gate.reads += 1
+        if gate.reads == self.nprocs:
+            del self.world.gates[gate_key]
+        return result

@@ -1,0 +1,111 @@
+"""Per-rank execution context handed to SPMD program functions.
+
+A simulated SPMD program is a plain Python function ``fn(ctx, ...)``;
+the :class:`RankContext` is its window onto the cluster: identity,
+virtual clock charging, communication, RPC, tracing, and the machine
+cost model.  Global Arrays structures (:mod:`repro.ga`) are built on
+top of this context.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from .comm import Communicator
+from .machine import MachineSpec, Scale
+from .payload import payload_nbytes
+from .scheduler import Scheduler
+from .tracing import Tracer
+from .world import World
+
+
+class RankContext:
+    """Everything one rank needs to participate in a simulated run."""
+
+    def __init__(
+        self,
+        rank: int,
+        world: World,
+        sched: Scheduler,
+        machine: MachineSpec,
+        tracer: Tracer,
+    ):
+        self.rank = rank
+        self.nprocs = world.nprocs
+        self.world = world
+        self.sched = sched
+        self.machine = machine
+        self.tracer = tracer
+        self.comm = Communicator(world, sched, machine, rank)
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """This rank's current virtual time in seconds."""
+        return self.sched.now(self.rank)
+
+    def charge(self, seconds: float) -> None:
+        """Charge raw virtual seconds of local work to this rank."""
+        self.sched.advance(self.rank, seconds)
+
+    def charge_cpu(self, nops: float, scale: Scale = Scale.FIXED) -> None:
+        self.charge(self.machine.cpu_seconds(nops, scale))
+
+    def charge_flops(self, nflops: float, scale: Scale = Scale.FIXED) -> None:
+        self.charge(self.machine.flops_seconds(nflops, scale))
+
+    def charge_io(
+        self,
+        nbytes: float,
+        concurrent_readers: Optional[int] = None,
+        scale: Scale = Scale.STREAM,
+    ) -> None:
+        readers = self.nprocs if concurrent_readers is None else concurrent_readers
+        self.charge(self.machine.io_seconds(nbytes, readers, scale))
+
+    # ------------------------------------------------------------------
+    # one-sided / RPC
+    # ------------------------------------------------------------------
+    def rpc(
+        self,
+        target: int,
+        handler: Callable[..., Any],
+        *args: Any,
+        nbytes_out: Optional[float] = None,
+        nbytes_in: float = 64.0,
+    ) -> Any:
+        """Execute ``handler(*args)`` against rank ``target``'s state.
+
+        Models an ARMCI-style active message: the caller pays the
+        round-trip; the handler runs atomically at the target (the
+        scheduler's global ordering makes this trivially consistent).
+        Calls to one's own rank cost only the handler time.
+        """
+        self.sched.wait_turn(self.rank)
+        result = handler(*args)
+        if target == self.rank:
+            self.charge(self.machine.rpc_handler_cost_s)
+        else:
+            out = payload_nbytes(args) if nbytes_out is None else nbytes_out
+            self.charge(self.machine.rpc_seconds(out, nbytes_in))
+        return result
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def region(self, name: str) -> Iterator[None]:
+        """Context manager recording a named virtual-time region."""
+        return self.tracer.region(
+            self.rank, name, self.sched.clocks[self.rank]
+        )
+
+    # ------------------------------------------------------------------
+    # convenience passthroughs
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        self.comm.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankContext(rank={self.rank}, nprocs={self.nprocs})"

@@ -1,0 +1,40 @@
+"""Exception types for the virtual-time SPMD runtime."""
+
+from __future__ import annotations
+
+
+class ClusterError(Exception):
+    """Base class for all runtime errors."""
+
+
+class DeadlockError(ClusterError):
+    """Raised when every live rank is blocked and no wake-up can occur.
+
+    Carries the set of blocked ranks and, when available, a short
+    description of what each rank was blocked on.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
+        super().__init__(f"deadlock: all live ranks blocked ({detail})")
+
+
+class ClusterAborted(ClusterError):
+    """Raised inside victim ranks when another rank failed.
+
+    The original failure is re-raised in the driving thread; ranks that
+    were merely waiting unwind with this exception.
+    """
+
+
+class CollectiveMismatchError(ClusterError):
+    """Ranks disagreed about which collective operation comes next.
+
+    This mirrors the undefined behaviour an MPI program hits when ranks
+    call collectives in different orders; we detect it instead.
+    """
+
+
+class RuntimeMisuseError(ClusterError):
+    """An API was used outside the contract (e.g. bad rank, bad shape)."""

@@ -1,0 +1,160 @@
+"""mpi4py-style facade over the simulated communicator.
+
+Code written against ``mpi4py.MPI.COMM_WORLD``'s lowercase
+pickle-based API (``send``/``recv``/``bcast``/``scatter``/``gather``/
+``allreduce``...) can run on the virtual-time simulator by swapping
+the communicator object::
+
+    def main(comm):                     # written for mpi4py
+        rank = comm.Get_rank()
+        data = comm.bcast({"k": 1} if rank == 0 else None, root=0)
+        total = comm.allreduce(rank, op=MPI.SUM)
+        ...
+
+    # real cluster:      main(MPI.COMM_WORLD)
+    # simulated cluster: Cluster(8).run(lambda ctx: main(MPIComm(ctx)))
+
+Only the generic-object subset is provided (the engine's own code uses
+the native :class:`~repro.runtime.comm.Communicator` directly); named
+reduction ops ``SUM``/``MAX``/``MIN``/``PROD`` mirror ``mpi4py.MPI``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from .comm import Communicator
+from .context import RankContext
+
+
+def _sum(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.add(a, b)
+    return a + b
+
+
+def _prod(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.multiply(a, b)
+    return a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+#: named reduction operations, as in ``mpi4py.MPI``
+SUM: Callable[[Any, Any], Any] = _sum
+PROD: Callable[[Any, Any], Any] = _prod
+MAX: Callable[[Any, Any], Any] = _max
+MIN: Callable[[Any, Any], Any] = _min
+
+#: wildcard source for ``recv`` (any rank)
+ANY_SOURCE: int = -1
+
+
+class MPIComm:
+    """mpi4py-flavoured view of a simulated communicator."""
+
+    def __init__(self, ctx_or_comm):
+        if isinstance(ctx_or_comm, RankContext):
+            self._comm: Communicator = ctx_or_comm.comm
+        elif isinstance(ctx_or_comm, Communicator):
+            self._comm = ctx_or_comm
+        else:
+            raise TypeError(
+                "MPIComm wraps a RankContext or Communicator, got "
+                f"{type(ctx_or_comm).__name__}"
+            )
+
+    # ------------------------------------------------------------- meta
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py naming
+        return self._comm.rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py naming
+        return self._comm.nprocs
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.nprocs
+
+    # ------------------------------------------------------ point to point
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._comm.send(dest, obj, tag=tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        if source == ANY_SOURCE:
+            _, obj = self._comm.recv_any(tag=tag)
+            return obj
+        return self._comm.recv(source, tag=tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0):
+        return self._comm.isend(dest, obj, tag=tag)
+
+    def irecv(self, source: int, tag: int = 0):
+        return self._comm.irecv(source, tag=tag)
+
+    def iprobe(self, source: int, tag: int = 0) -> bool:
+        return self._comm.probe(source, tag=tag)
+
+    # ---------------------------------------------------------- collectives
+    def Barrier(self) -> None:  # noqa: N802 - mpi4py naming
+        self._comm.barrier()
+
+    barrier = Barrier
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        return self._comm.bcast(obj, root=root)
+
+    def scatter(
+        self, sendobj: Optional[Sequence[Any]] = None, root: int = 0
+    ) -> Any:
+        return self._comm.scatter(sendobj, root=root)
+
+    def gather(self, sendobj: Any, root: int = 0) -> Optional[list]:
+        return self._comm.gather(sendobj, root=root)
+
+    def allgather(self, sendobj: Any) -> list:
+        return self._comm.allgather(sendobj)
+
+    def reduce(
+        self,
+        sendobj: Any,
+        op: Callable[[Any, Any], Any] = SUM,
+        root: int = 0,
+    ) -> Any:
+        return self._comm.reduce(sendobj, op=op, root=root)
+
+    def allreduce(
+        self, sendobj: Any, op: Callable[[Any, Any], Any] = SUM
+    ) -> Any:
+        return self._comm.allreduce(sendobj, op=op)
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> list:
+        return self._comm.alltoallv(sendobjs)
+
+    def exscan(
+        self, sendobj: Any, op: Callable[[Any, Any], Any] = SUM
+    ) -> Any:
+        return self._comm.exscan(sendobj, op=op)
+
+    # -------------------------------------------------------------- groups
+    def Split(  # noqa: N802 - mpi4py naming
+        self, color: Optional[int] = 0, key: Optional[int] = None
+    ) -> "Optional[MPIComm]":
+        sub = self._comm.split(color, key=key)
+        return None if sub is None else MPIComm(sub)

@@ -1,0 +1,244 @@
+"""Deterministic virtual-time scheduler for SPMD rank threads.
+
+The simulator runs each rank of an SPMD program on its own OS thread,
+but only **one rank executes at a time**: whenever a rank reaches a
+*synchronization point* (any runtime API call -- message, collective,
+one-sided operation, RPC), it yields, and the scheduler hands the turn
+to the runnable rank with the smallest virtual clock (ties broken by
+rank id).  Because every globally-visible operation therefore executes
+in virtual-time order, the simulation is a conservative discrete-event
+simulation and is bit-reproducible: dynamic load-balancing decisions,
+hashmap insertion orders, and message matchings come out identical on
+every run.
+
+Pure local compute between synchronization points runs at full speed
+and is accounted for by explicit cost charges against the rank's
+virtual clock (see :class:`repro.runtime.machine.MachineSpec`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from .clock import VirtualClock
+from .errors import ClusterAborted, DeadlockError
+
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class Scheduler:
+    """Coordinates ``nprocs`` cooperative rank threads in virtual time."""
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.clocks = [VirtualClock() for _ in range(nprocs)]
+        self._cv = threading.Condition()
+        self._state = [_READY] * nprocs
+        self._block_reason: list[str] = [""] * nprocs
+        self._current: Optional[int] = None
+        self._done_count = 0
+        self._error: Optional[BaseException] = None
+        self._error_rank: Optional[int] = None
+        #: total virtual seconds each rank spent blocked (waiting on
+        #: messages, collectives, or wakes) -- the waiting/imbalance
+        #: side of the utilization picture
+        self.blocked_time = [0.0] * nprocs
+        self._block_entry = [0.0] * nprocs
+
+    # ------------------------------------------------------------------
+    # rank-side API (called from rank threads)
+    # ------------------------------------------------------------------
+    def now(self, rank: int) -> float:
+        """Virtual time of ``rank`` (only its own thread may call this)."""
+        return self.clocks[rank].now
+
+    def advance(self, rank: int, dt: float) -> float:
+        """Charge ``dt`` virtual seconds to ``rank``'s clock."""
+        return self.clocks[rank].advance(dt)
+
+    def wait_turn(self, rank: int) -> None:
+        """Yield until ``rank`` is the minimum-clock runnable rank.
+
+        Every globally-visible runtime operation calls this first; on
+        return the rank *holds the turn* and may mutate shared
+        simulation state without further locking (no other rank runs).
+        """
+        with self._cv:
+            self._check_error_locked()
+            self._state[rank] = _READY
+            if self._current == rank:
+                self._current = None
+            self._schedule_locked()
+            while self._current != rank:
+                self._cv.wait()
+                self._check_error_locked()
+
+    def block(self, rank: int, reason: str = "") -> None:
+        """Block ``rank`` until another rank calls :meth:`wake` for it.
+
+        Must be called while holding the turn.  On return the rank has
+        been woken *and* holds the turn again.
+        """
+        with self._cv:
+            self._check_error_locked()
+            self._state[rank] = _BLOCKED
+            self._block_reason[rank] = reason
+            self._block_entry[rank] = self.clocks[rank].now
+            if self._current == rank:
+                self._current = None
+            self._schedule_locked()
+            while self._current != rank:
+                self._cv.wait()
+                self._check_error_locked()
+            # the waker advanced our clock to the wake time
+            self.blocked_time[rank] += (
+                self.clocks[rank].now - self._block_entry[rank]
+            )
+
+    def is_blocked(self, rank: int) -> bool:
+        """True while ``rank`` sits in :meth:`block` awaiting a wake."""
+        with self._cv:
+            return self._state[rank] == _BLOCKED
+
+    def wake(self, rank: int, at_time: float) -> None:
+        """Make a blocked rank runnable again at virtual time ``at_time``.
+
+        Must be called by a rank holding the turn; the woken rank will
+        actually run once it becomes the minimum-clock runnable rank.
+        ``at_time`` may not precede the woken rank's blocking time.
+        """
+        with self._cv:
+            if self._state[rank] != _BLOCKED:
+                raise RuntimeError(
+                    f"wake({rank}) but rank is {self._state[rank]!r}"
+                )
+            self.clocks[rank].advance_to(at_time)
+            self._state[rank] = _READY
+            self._block_reason[rank] = ""
+            # No reschedule here: the waker still holds the turn and
+            # will yield at its next synchronization point.
+
+    def finish(self, rank: int) -> None:
+        """Mark ``rank``'s program as complete and release the turn."""
+        with self._cv:
+            self._state[rank] = _DONE
+            self._done_count += 1
+            if self._current == rank:
+                self._current = None
+            self._schedule_locked()
+            self._cv.notify_all()
+
+    def fail(self, rank: int, exc: BaseException) -> None:
+        """Record a rank failure and abort every other rank."""
+        with self._cv:
+            if self._error is None:
+                self._error = exc
+                self._error_rank = rank
+            self._state[rank] = _DONE
+            self._done_count += 1
+            if self._current == rank:
+                self._current = None
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # driver-side API
+    # ------------------------------------------------------------------
+    def wait_all(self) -> None:
+        """Block the driving thread until all ranks finish or one fails."""
+        with self._cv:
+            while self._done_count < self.nprocs and self._error is None:
+                self._cv.wait()
+            if self._error is not None:
+                exc, rank = self._error, self._error_rank
+                if isinstance(exc, DeadlockError):
+                    raise exc
+                raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+
+    @property
+    def failed(self) -> bool:
+        with self._cv:
+            return self._error is not None
+
+    # ------------------------------------------------------------------
+    # internals (call with self._cv held)
+    # ------------------------------------------------------------------
+    def _check_error_locked(self) -> None:
+        if self._error is not None:
+            raise ClusterAborted(
+                f"aborted: rank {self._error_rank} failed with "
+                f"{self._error!r}"
+            )
+
+    def _schedule_locked(self) -> None:
+        if self._current is not None:
+            return
+        best: Optional[int] = None
+        best_t = 0.0
+        for r in range(self.nprocs):
+            if self._state[r] != _READY:
+                continue
+            t = self.clocks[r].now
+            if best is None or t < best_t:
+                best, best_t = r, t
+        if best is not None:
+            self._current = best
+            self._state[best] = _RUNNING
+            self._cv.notify_all()
+            return
+        if self._done_count >= self.nprocs:
+            self._cv.notify_all()
+            return
+        blocked = {
+            r: self._block_reason[r] or "unknown"
+            for r in range(self.nprocs)
+            if self._state[r] == _BLOCKED
+        }
+        if blocked and self._error is None:
+            self._error = DeadlockError(blocked)
+            self._error_rank = -1
+            self._cv.notify_all()
+
+
+def spawn_ranks(
+    sched: Scheduler,
+    target: Callable[[int], object],
+) -> tuple[list[threading.Thread], list[object]]:
+    """Start one daemon thread per rank running ``target(rank)``.
+
+    Returns the thread list and a results list that the threads fill
+    in; the caller should then invoke :meth:`Scheduler.wait_all`.
+    """
+    results: list[object] = [None] * sched.nprocs
+
+    def _main(rank: int) -> None:
+        try:
+            sched.wait_turn(rank)
+            results[rank] = target(rank)
+        except ClusterAborted:
+            with sched._cv:
+                sched._done_count += 1
+                if sched._current == rank:
+                    sched._current = None
+                sched._state[rank] = _DONE
+                sched._cv.notify_all()
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to driver
+            sched.fail(rank, exc)
+            return
+        sched.finish(rank)
+
+    threads = [
+        threading.Thread(
+            target=_main, args=(r,), name=f"repro-rank-{r}", daemon=True
+        )
+        for r in range(sched.nprocs)
+    ]
+    for t in threads:
+        t.start()
+    return threads, results

@@ -1,0 +1,126 @@
+"""Virtual-time tracing of named program regions.
+
+The engine wraps each pipeline component (scan, index, topic, AM,
+DocVec, ClusProj) in ``ctx.region(name)``; the recorded spans are the
+raw material for the paper's component-percentage and per-component
+speedup figures (Figs. 6b, 7b, 8).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced region on one rank, in virtual seconds."""
+
+    rank: int
+    name: str
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Tracer:
+    """Collects spans from all ranks of one run."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.spans: list[Span] = []
+
+    def record(self, rank: int, name: str, t_start: float, t_end: float) -> None:
+        if t_end < t_start:
+            raise ValueError(
+                f"span {name!r} on rank {rank} ends before it starts"
+            )
+        self.spans.append(Span(rank, name, t_start, t_end))
+
+    @contextmanager
+    def region(self, rank: int, name: str, clock) -> Iterator[None]:
+        """Record the virtual-time extent of the enclosed block."""
+        t0 = clock.now
+        try:
+            yield
+        finally:
+            self.record(rank, name, t0, clock.now)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def component_names(self) -> list[str]:
+        """Region names in first-recorded order."""
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.name, None)
+        return list(seen)
+
+    def per_rank_totals(self, name: str) -> np.ndarray:
+        """Total virtual seconds spent in region ``name`` by each rank."""
+        totals = np.zeros(self.nprocs)
+        for s in self.spans:
+            if s.name == name:
+                totals[s.rank] += s.duration
+        return totals
+
+    def component_times(self) -> dict[str, float]:
+        """Wall contribution of each component.
+
+        Components in the engine are separated by barriers, so the wall
+        time a component contributes is the maximum over ranks of the
+        time spent inside it.
+        """
+        return {
+            name: float(self.per_rank_totals(name).max())
+            for name in self.component_names()
+        }
+
+    def component_percentages(self) -> dict[str, float]:
+        """Each component's share of the summed component wall time."""
+        times = self.component_times()
+        total = sum(times.values())
+        if total <= 0:
+            return {k: 0.0 for k in times}
+        return {k: 100.0 * v / total for k, v in times.items()}
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> list[dict]:
+        """Spans as Chrome ``chrome://tracing`` / Perfetto events.
+
+        Each rank appears as a thread; virtual seconds become
+        microseconds.  Load the JSON dump of this list in a trace
+        viewer to inspect a run's timeline.
+        """
+        events: list[dict] = []
+        for s in self.spans:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": "virtual",
+                    "ph": "X",
+                    "ts": s.t_start * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": 0,
+                    "tid": s.rank,
+                    "args": {"rank": s.rank},
+                }
+            )
+        return events
+
+    def write_chrome_trace(self, path) -> None:
+        """Write :meth:`to_chrome_trace` output as a JSON file."""
+        import json
+        from pathlib import Path
+
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps(self.to_chrome_trace()))

@@ -1,0 +1,47 @@
+"""Shared simulation state for one cluster run.
+
+A :class:`World` owns every structure that is conceptually *distributed*
+across ranks -- mailboxes, collective gates, global arrays, hashmaps,
+task queues.  Because the scheduler guarantees that only one rank runs
+at a time (the turn-holder), ranks mutate the world without locking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+
+class CollectiveGate:
+    """Rendezvous point for one collective call instance."""
+
+    __slots__ = ("kind", "arrivals", "results", "reads", "nprocs")
+
+    def __init__(self, kind: str, nprocs: int):
+        self.kind = kind
+        self.nprocs = nprocs
+        #: rank -> (arrival virtual time, payload)
+        self.arrivals: dict[int, tuple[float, Any]] = {}
+        #: rank -> result, filled by the last arriver
+        self.results: Optional[list[Any]] = None
+        self.reads = 0
+
+
+class World:
+    """All cross-rank state of a single simulated run."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        #: (ctx, src, dst, tag) -> deque of (payload, arrival time);
+        #: ``ctx`` separates communicator contexts, as in MPI
+        self.mailboxes: dict[tuple, deque] = {}
+        #: (ctx, src, dst, tag) -> blocked receiver global rank
+        self.recv_waiters: dict[tuple, int] = {}
+        #: (ctx, collective sequence number) -> gate
+        self.gates: dict[tuple, CollectiveGate] = {}
+        #: name -> backing store for global arrays / hashmaps / queues
+        self.registry: dict[str, Any] = {}
+
+    def mailbox(self, src: int, dst: int, tag: int, ctx="world") -> deque:
+        """World-communicator mailbox accessor (testing convenience)."""
+        return self.mailboxes.setdefault((ctx, src, dst, tag), deque())

@@ -1,0 +1,22 @@
+"""Scan & Map stage: tokenization, forward indexing, vocabulary."""
+
+from .forward import EncodedDocument, ForwardIndex, encode_forward
+from .scanner import ScanStats, ScannedDocument, scan_documents, unique_terms
+from .vocabulary import (
+    VocabMap,
+    finalize_vocabulary,
+    finalize_vocabulary_serial,
+)
+
+__all__ = [
+    "EncodedDocument",
+    "ForwardIndex",
+    "ScanStats",
+    "ScannedDocument",
+    "VocabMap",
+    "encode_forward",
+    "finalize_vocabulary",
+    "finalize_vocabulary_serial",
+    "scan_documents",
+    "unique_terms",
+]

@@ -1,0 +1,29 @@
+"""Knowledge signature generation: topicality, association, DocVecs."""
+
+from .association import (
+    association_matrix,
+    cooccurrence_counts,
+    doc_presence_indices,
+)
+from .docvec import SignatureBatch, compute_signatures, major_lookup_arrays
+from .topicality import (
+    RankedTerm,
+    condensation_scores,
+    local_candidates,
+    rank_candidates,
+    select_major_terms,
+)
+
+__all__ = [
+    "RankedTerm",
+    "SignatureBatch",
+    "association_matrix",
+    "compute_signatures",
+    "condensation_scores",
+    "cooccurrence_counts",
+    "doc_presence_indices",
+    "local_candidates",
+    "major_lookup_arrays",
+    "rank_candidates",
+    "select_major_terms",
+]

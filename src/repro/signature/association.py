@@ -1,0 +1,83 @@
+"""Association matrix: relating topic terms to major terms.
+
+Paper §3.4 (steps 5-6): an N x M matrix relates the N major terms to
+the M topic dimensions, with entries being "the conditional
+probabilities of occupance, modified by the independent probability of
+occurrence".  We implement the positive excess association
+
+    A[i, j] = max(0,  P(topic_j | major_i) - P(topic_j))
+
+where ``P(topic_j | major_i) = |docs with both| / df(major_i)`` and
+``P(topic_j) = df(topic_j) / D``.  The subtraction of the independent
+probability zeroes out coincidental co-occurrence, and clipping keeps
+signature components non-negative so the L1 normalization of document
+vectors is well defined.  A topic term's own row carries the strongest
+self-association (``P = 1``), anchoring that dimension.
+
+Each process accumulates co-occurrence counts over its local documents
+only; the integer partial matrices are summed with ``MPI_Allreduce``,
+making the final matrix bit-identical for every processor count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def doc_presence_indices(
+    doc_gids: np.ndarray,
+    major_gids_sorted: np.ndarray,
+    major_positions: np.ndarray,
+) -> np.ndarray:
+    """Indices (into the canonical major ranking) present in a document.
+
+    ``major_gids_sorted`` is the ascending array of major-term dense
+    gids; ``major_positions[k]`` maps the k-th sorted gid back to its
+    rank in the canonical (score-ordered) major list.
+    """
+    if doc_gids.size == 0 or major_gids_sorted.size == 0:
+        return np.empty(0, dtype=np.int64)
+    pos = np.searchsorted(major_gids_sorted, doc_gids)
+    pos = np.clip(pos, 0, major_gids_sorted.size - 1)
+    hit = major_gids_sorted[pos] == doc_gids
+    return np.unique(major_positions[pos[hit]])
+
+
+def cooccurrence_counts(
+    docs_major_indices: Iterable[np.ndarray],
+    n_major: int,
+    n_topics: int,
+) -> np.ndarray:
+    """Count documents containing (major_i, topic_j) pairs.
+
+    Topics are the first ``n_topics`` entries of the major ranking, so
+    a document's topic indices are its major indices below that cut.
+    Returns an int64 ``(n_major, n_topics)`` matrix.
+    """
+    counts = np.zeros((n_major, n_topics), dtype=np.int64)
+    for mi in docs_major_indices:
+        if mi.size == 0:
+            continue
+        ti = mi[mi < n_topics]
+        if ti.size == 0:
+            continue
+        counts[np.ix_(mi, ti)] += 1
+    return counts
+
+
+def association_matrix(
+    counts: np.ndarray,
+    df_major: np.ndarray,
+    df_topic: np.ndarray,
+    n_docs: int,
+) -> np.ndarray:
+    """Positive excess association from global co-occurrence counts."""
+    n_major, n_topics = counts.shape
+    if df_major.shape != (n_major,) or df_topic.shape != (n_topics,):
+        raise ValueError("df vectors must match the counts shape")
+    df_major = np.asarray(df_major, dtype=np.float64)
+    cond = counts / np.maximum(df_major[:, None], 1.0)
+    indep = np.asarray(df_topic, dtype=np.float64) / max(1, n_docs)
+    return np.clip(cond - indep[None, :], 0.0, None)

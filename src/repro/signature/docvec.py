@@ -1,0 +1,104 @@
+"""Knowledge signatures (DocVecs).
+
+Paper §3.4: "Knowledge signatures are numerical vectors based on the
+dimensions of the top M topics.  ... For each term that exists in that
+record, we obtain the row within the association matrix.  These rows
+represent a term vector that when linearly combined with other term
+vectors and then normalized we form a signature of that record.
+During the linear combination, each term vector is multiplied by the
+frequency of that term within that record. ... Each signature is
+normalized based on a L1 Norm."
+
+A record with no major terms (or whose combined vector is zero) has a
+*null signature* -- the phenomenon whose prevalence triggers the
+paper's adaptive-dimensionality remedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class SignatureBatch:
+    """Signatures for a batch of documents, plus null accounting."""
+
+    #: (ndocs, M) L1-normalized signatures; null rows are all-zero
+    signatures: np.ndarray
+    #: boolean mask of null signatures
+    null_mask: np.ndarray
+
+    @property
+    def n_null(self) -> int:
+        return int(self.null_mask.sum())
+
+
+def compute_signatures(
+    doc_gid_arrays: list[np.ndarray],
+    major_gids_sorted: np.ndarray,
+    major_positions: np.ndarray,
+    association: np.ndarray,
+    doc_weight_arrays: Optional[list[np.ndarray]] = None,
+) -> SignatureBatch:
+    """L1-normalized frequency-weighted signature per document.
+
+    Parameters mirror :func:`repro.signature.association.doc_presence_indices`;
+    ``association`` is the global (n_major, n_topics) matrix.
+
+    ``doc_weight_arrays`` (optional, aligned token-for-token with
+    ``doc_gid_arrays``) lets the engine weight occurrences by their
+    field -- e.g. counting title terms several times, the standard
+    IN-SPIRE-style emphasis of high-signal fields.  Omitted, every
+    occurrence counts once.
+    """
+    n_major, n_topics = association.shape
+    ndocs = len(doc_gid_arrays)
+    out = np.zeros((ndocs, n_topics), dtype=np.float64)
+    null_mask = np.zeros(ndocs, dtype=bool)
+    for i, gids in enumerate(doc_gid_arrays):
+        if gids.size and major_gids_sorted.size:
+            pos = np.searchsorted(major_gids_sorted, gids)
+            pos = np.clip(pos, 0, major_gids_sorted.size - 1)
+            hit = major_gids_sorted[pos] == gids
+            rows = major_positions[pos[hit]]
+            if rows.size:
+                if doc_weight_arrays is not None:
+                    weights = np.asarray(
+                        doc_weight_arrays[i], dtype=np.float64
+                    )
+                    if weights.shape != gids.shape:
+                        raise ValueError(
+                            "doc weights must align with doc gids"
+                        )
+                    tf = np.bincount(
+                        rows, weights=weights[hit], minlength=n_major
+                    )
+                else:
+                    tf = np.bincount(rows, minlength=n_major).astype(
+                        np.float64
+                    )
+                sig = tf @ association
+                norm = sig.sum()
+                if norm > 0.0:
+                    out[i] = sig / norm
+                    continue
+        null_mask[i] = True
+    return SignatureBatch(signatures=out, null_mask=null_mask)
+
+
+def major_lookup_arrays(
+    major_gids: list[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted-gid lookup arrays for the canonical major ranking.
+
+    Returns ``(major_gids_sorted, major_positions)`` such that
+    ``major_positions[k]`` is the canonical rank of the k-th smallest
+    gid.
+    """
+    gids = np.asarray(major_gids, dtype=np.int64)
+    order = np.argsort(gids)
+    # sorted[k] == gids[order[k]], whose canonical rank is order[k]
+    return gids[order], order.astype(np.int64)

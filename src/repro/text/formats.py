@@ -1,0 +1,219 @@
+"""Byte-level source formats: TREC SGML and MEDLINE.
+
+The paper's corpora arrive in specific on-disk formats -- GOV2 ships
+TREC-SGML (``<DOC>``/``<DOCNO>`` framed records) and PubMed exports
+MEDLINE tagged fields (``PMID-``, ``TI  -``, ``AB  -``).  The Scan &
+Map stage "tokenizes by scanning the sequence of bytes; and identifies
+records, fields, and terms" -- these parsers are that record/field
+identification step, so the engine can consume realistic source files
+rather than only pre-structured JSON.
+
+Both formats round-trip: ``write_*`` then ``parse_*`` reproduces the
+documents (whitespace-normalized).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+from .documents import Corpus, Document
+
+PathLike = Union[str, Path]
+
+# ----------------------------------------------------------------------
+# TREC SGML (GOV2-style)
+# ----------------------------------------------------------------------
+_DOC_RE = re.compile(rb"<DOC>(.*?)</DOC>", re.DOTALL)
+_TAG_RE = re.compile(rb"<(DOCNO|DOCHDR|TITLE|TEXT)>(.*?)</\1>", re.DOTALL)
+
+
+def write_trec_sgml(corpus: Corpus, path: PathLike) -> int:
+    """Write a corpus as TREC-SGML; returns bytes written.
+
+    Field mapping: ``url`` -> ``DOCHDR``, ``title`` -> ``TITLE``, the
+    remaining fields are concatenated into ``TEXT``.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    chunks: list[str] = []
+    for doc in corpus:
+        fields = dict(doc.fields)
+        url = fields.pop("url", "")
+        title = fields.pop("title", "")
+        text = "\n".join(fields.values())
+        chunks.append(
+            "<DOC>\n"
+            f"<DOCNO>{corpus.name}-{doc.doc_id:08d}</DOCNO>\n"
+            + (f"<DOCHDR>{url}</DOCHDR>\n" if url else "")
+            + (f"<TITLE>{title}</TITLE>\n" if title else "")
+            + f"<TEXT>\n{text}\n</TEXT>\n"
+            "</DOC>\n"
+        )
+    data = "".join(chunks).encode("utf-8")
+    p.write_bytes(data)
+    return len(data)
+
+
+def parse_trec_sgml(data: bytes, name: str = "trec") -> Corpus:
+    """Parse TREC-SGML bytes into a corpus.
+
+    Records are framed by ``<DOC>...</DOC>``; recognized inner tags
+    become fields (``DOCHDR`` -> ``url``, ``TITLE`` -> ``title``,
+    ``TEXT`` -> ``body``).  Unframed bytes are ignored, as TREC readers
+    do.
+    """
+    documents: list[Document] = []
+    for m in _DOC_RE.finditer(data):
+        body = m.group(1)
+        fields: dict[str, str] = {}
+        for tag, content in _TAG_RE.findall(body):
+            text = content.decode("utf-8", errors="replace").strip()
+            key = {
+                b"DOCNO": "docno",
+                b"DOCHDR": "url",
+                b"TITLE": "title",
+                b"TEXT": "body",
+            }[tag]
+            if key == "docno":
+                continue  # identity, not content
+            fields[key] = text
+        documents.append(Document(doc_id=len(documents), fields=fields))
+    return Corpus(name=name, documents=documents)
+
+
+def read_trec_sgml(path: PathLike) -> Corpus:
+    p = Path(path)
+    return parse_trec_sgml(p.read_bytes(), name=p.stem)
+
+
+# ----------------------------------------------------------------------
+# MEDLINE (PubMed-style)
+# ----------------------------------------------------------------------
+_MEDLINE_FIELDS = {
+    "TI": "title",
+    "AB": "abstract",
+    "JT": "journal",
+}
+_MEDLINE_KEYS = {v: k for k, v in _MEDLINE_FIELDS.items()}
+
+
+def write_medline(corpus: Corpus, path: PathLike) -> int:
+    """Write a corpus in MEDLINE tagged format; returns bytes written.
+
+    Known fields map to their MEDLINE tags (title -> TI, abstract ->
+    AB, journal -> JT); other fields use a generic ``XX`` tag with the
+    field name embedded.  Long values are wrapped with continuation
+    lines (six leading spaces), as in real MEDLINE exports.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    lines: list[str] = []
+    for doc in corpus:
+        lines.append(f"PMID- {doc.doc_id}")
+        for field_name, value in doc.fields.items():
+            tag = _MEDLINE_KEYS.get(field_name)
+            if tag is None:
+                lines.append(f"XX  - [{field_name}] {value}")
+                continue
+            wrapped = _wrap(value, width=72)
+            lines.append(f"{tag:<4}- {wrapped[0]}")
+            for cont in wrapped[1:]:
+                lines.append("      " + cont)
+        lines.append("")  # blank record separator
+    data = ("\n".join(lines) + "\n").encode("utf-8")
+    p.write_bytes(data)
+    return len(data)
+
+
+def _wrap(text: str, width: int) -> list[str]:
+    words = text.split()
+    if not words:
+        return [""]
+    out: list[str] = []
+    line = words[0]
+    for w in words[1:]:
+        if len(line) + 1 + len(w) <= width:
+            line += " " + w
+        else:
+            out.append(line)
+            line = w
+    out.append(line)
+    return out
+
+
+def parse_medline(data: bytes, name: str = "medline") -> Corpus:
+    """Parse MEDLINE tagged bytes into a corpus."""
+    documents: list[Document] = []
+    fields: dict[str, str] = {}
+    current_key: str | None = None
+    saw_record = False
+
+    def flush() -> None:
+        nonlocal fields, saw_record, current_key
+        if saw_record:
+            documents.append(
+                Document(doc_id=len(documents), fields=dict(fields))
+            )
+        fields = {}
+        current_key = None
+        saw_record = False
+
+    for raw in data.decode("utf-8", errors="replace").splitlines():
+        if not raw.strip():
+            flush()
+            continue
+        if raw.startswith("      ") and current_key is not None:
+            fields[current_key] += " " + raw.strip()
+            continue
+        m = re.match(r"^([A-Z]{2,4})\s*- (.*)$", raw)
+        if not m:
+            continue
+        tag, value = m.group(1), m.group(2)
+        if tag == "PMID":
+            flush()
+            saw_record = True
+            current_key = None
+            continue
+        if tag == "XX":
+            xm = re.match(r"^\[([^\]]+)\] (.*)$", value)
+            if xm:
+                current_key = xm.group(1)
+                fields[current_key] = xm.group(2)
+            continue
+        key = _MEDLINE_FIELDS.get(tag)
+        if key is None:
+            current_key = None
+            continue
+        fields[key] = value
+        current_key = key
+    flush()
+    return Corpus(name=name, documents=documents)
+
+
+def read_medline(path: PathLike) -> Corpus:
+    p = Path(path)
+    return parse_medline(p.read_bytes(), name=p.stem)
+
+
+# ----------------------------------------------------------------------
+# extension-based dispatch
+# ----------------------------------------------------------------------
+def read_source(path: PathLike) -> Corpus:
+    """Read a source file, picking the parser from its extension.
+
+    ``.jsonl`` -> JSON lines, ``.sgml``/``.trec`` -> TREC SGML,
+    ``.med``/``.medline`` -> MEDLINE.
+    """
+    from .io import read_corpus
+
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix == ".jsonl":
+        return read_corpus(p)
+    if suffix in (".sgml", ".trec"):
+        return read_trec_sgml(p)
+    if suffix in (".med", ".medline"):
+        return read_medline(p)
+    raise ValueError(f"unknown source format {suffix!r} for {p}")

@@ -1,0 +1,27 @@
+"""Default English stopword list.
+
+A compact list of high-frequency function words; the engine's
+topicality measure would rank these poorly anyway, but dropping them at
+scan time shrinks the vocabulary and the forward index, as production
+text engines do.
+"""
+
+DEFAULT_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are as at
+    be because been before being below between both but by
+    can cannot could did do does doing down during
+    each few for from further had has have having he her here hers
+    herself him himself his how
+    i if in into is it its itself just
+    me more most my myself
+    no nor not now of off on once only or other our ours ourselves
+    out over own
+    same she should so some such
+    than that the their theirs them themselves then there these they
+    this those through to too
+    under until up very
+    was we were what when where which while who whom why will with
+    would you your yours yourself yourselves
+    """.split()
+)

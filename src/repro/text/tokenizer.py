@@ -1,0 +1,85 @@
+"""Tokenization: bytes -> terms.
+
+Terms are separated by whitespace "or any delimiters specified during
+configuration" (paper §3.2).  The tokenizer normalizes case, drops
+terms outside a length band, and filters stopwords; an optional light
+suffix-stripping stemmer folds trivial morphological variants.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .stopwords import DEFAULT_STOPWORDS
+
+
+def _light_stem(term: str) -> str:
+    """Cheap suffix stripping (not a full Porter stemmer).
+
+    Keeps the reproduction dependency-free while folding the plural /
+    gerund variants that would otherwise fragment term statistics.
+    """
+    for suffix in ("ingly", "edly", "ing", "ied", "ies", "ed", "es", "s"):
+        if term.endswith(suffix) and len(term) - len(suffix) >= 3:
+            stripped = term[: -len(suffix)]
+            if suffix in ("ied", "ies"):
+                stripped += "y"
+            return stripped
+    return term
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """Tokenizer behaviour knobs."""
+
+    #: characters (beyond whitespace) treated as term delimiters
+    delimiters: str = ".,;:!?\"'()[]{}<>/\\|`~@#$%^&*+=–—"
+    lowercase: bool = True
+    min_len: int = 2
+    max_len: int = 32
+    drop_numeric: bool = True
+    stem: bool = False
+    stopwords: frozenset[str] = field(
+        default_factory=lambda: frozenset(DEFAULT_STOPWORDS)
+    )
+
+
+class Tokenizer:
+    """Splits field text into normalized terms."""
+
+    def __init__(self, config: TokenizerConfig | None = None):
+        self.config = config if config is not None else TokenizerConfig()
+        escaped = re.escape(self.config.delimiters)
+        self._split_re = re.compile(rf"[\s{escaped}]+")
+        self._numeric_re = re.compile(r"^[\d\-]+$")
+
+    def tokens(self, text: str) -> list[str]:
+        """All terms of ``text`` in order (duplicates preserved)."""
+        cfg = self.config
+        if cfg.lowercase:
+            text = text.lower()
+        out: list[str] = []
+        for raw in self._split_re.split(text):
+            if not raw:
+                continue
+            if not cfg.min_len <= len(raw) <= cfg.max_len:
+                continue
+            if cfg.drop_numeric and self._numeric_re.match(raw):
+                continue
+            if raw in cfg.stopwords:
+                continue
+            if cfg.stem:
+                raw = _light_stem(raw)
+                if len(raw) < cfg.min_len:
+                    continue
+            out.append(raw)
+        return out
+
+    def unique_terms(self, texts: Iterable[str]) -> set[str]:
+        """Set of distinct terms across ``texts``."""
+        seen: set[str] = set()
+        for t in texts:
+            seen.update(self.tokens(t))
+        return seen

@@ -1,0 +1,20 @@
+"""ThemeView visualization: terrain construction, labels, rendering."""
+
+from .labels import cluster_top_terms, labels_from_result
+from .render import export_json, render_ascii, write_pgm
+from .svg import PALETTE, render_svg, write_svg
+from .themeview import Peak, ThemeView, build_themeview
+
+__all__ = [
+    "PALETTE",
+    "Peak",
+    "ThemeView",
+    "build_themeview",
+    "cluster_top_terms",
+    "export_json",
+    "labels_from_result",
+    "render_ascii",
+    "render_svg",
+    "write_pgm",
+    "write_svg",
+]

@@ -1,0 +1,39 @@
+"""Cluster labeling: descriptive terms for each thematic grouping.
+
+A cluster's label terms are the topic dimensions where its centroid is
+strongest -- the same information the ThemeView's mountain labels (see
+the paper's Figure 2 screenshot) convey.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.results import EngineResult
+
+
+def cluster_top_terms(
+    centroids: np.ndarray,
+    topic_terms: list[str],
+    n_terms: int = 4,
+) -> dict[int, list[str]]:
+    """Top topic terms per cluster from centroid weights."""
+    if centroids.ndim != 2 or centroids.shape[1] != len(topic_terms):
+        raise ValueError(
+            "centroid dimensionality must match the topic list"
+        )
+    out: dict[int, list[str]] = {}
+    for c, row in enumerate(centroids):
+        take = min(n_terms, row.shape[0])
+        top = np.argsort(-row)[:take]
+        out[c] = [topic_terms[j] for j in top if row[j] > 0]
+    return out
+
+
+def labels_from_result(
+    result: EngineResult, n_terms: int = 4
+) -> dict[int, list[str]]:
+    """Convenience: cluster labels straight from an engine result."""
+    return cluster_top_terms(
+        result.centroids, result.topic_term_strings, n_terms=n_terms
+    )

@@ -1,0 +1,95 @@
+"""ThemeView rendering: ASCII terrain, PGM images, JSON export."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .themeview import ThemeView
+
+PathLike = Union[str, Path]
+
+#: height ramp from valley to mountain top
+_RAMP = " .:-=+*#%@"
+
+
+def render_ascii(view: ThemeView, label_peaks: bool = True) -> str:
+    """Terminal rendering of the terrain (row 0 printed last so the
+    y axis points up), with peak markers and a label legend."""
+    h = view.heights
+    top = h.max() or 1.0
+    levels = np.clip(
+        (h / top * (len(_RAMP) - 1)).astype(int), 0, len(_RAMP) - 1
+    )
+    chars = np.array(list(_RAMP))[levels]
+    # mark peaks with digits (index into the legend)
+    marks: dict[tuple[int, int], str] = {}
+    for i, p in enumerate(view.peaks[:10]):
+        gx = int(
+            np.clip(
+                np.searchsorted(view.x_edges, p.x, side="right") - 1,
+                0,
+                view.grid - 1,
+            )
+        )
+        gy = int(
+            np.clip(
+                np.searchsorted(view.y_edges, p.y, side="right") - 1,
+                0,
+                view.grid - 1,
+            )
+        )
+        marks[(gy, gx)] = str(i)
+    rows = []
+    for gy in range(view.grid - 1, -1, -1):
+        row = [
+            marks.get((gy, gx), chars[gy, gx]) for gx in range(view.grid)
+        ]
+        rows.append("".join(row))
+    out = "\n".join(rows)
+    if label_peaks and view.peaks:
+        legend = [
+            f"  [{i}] cluster {p.cluster}: {' '.join(p.labels) or '(unlabelled)'}"
+            for i, p in enumerate(view.peaks[:10])
+        ]
+        out += "\npeaks:\n" + "\n".join(legend)
+    return out
+
+
+def write_pgm(view: ThemeView, path: PathLike) -> None:
+    """Write the terrain as a binary PGM grayscale image (stdlib-only)."""
+    h = view.heights
+    top = h.max() or 1.0
+    img = np.clip(h / top * 255.0, 0, 255).astype(np.uint8)
+    img = img[::-1]  # y axis up
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("wb") as f:
+        f.write(f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        f.write(img.tobytes())
+
+
+def export_json(view: ThemeView, path: PathLike) -> None:
+    """Dump terrain and peaks for downstream visualization tools."""
+    obj = {
+        "grid": view.grid,
+        "x_edges": view.x_edges.tolist(),
+        "y_edges": view.y_edges.tolist(),
+        "heights": view.heights.tolist(),
+        "peaks": [
+            {
+                "x": p.x,
+                "y": p.y,
+                "height": p.height,
+                "cluster": p.cluster,
+                "labels": p.labels,
+            }
+            for p in view.peaks
+        ],
+    }
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(obj))

@@ -1,0 +1,126 @@
+"""SVG export: a publication-quality scatter of the document landscape.
+
+Renders the engine's 2-D coordinates as an SVG: documents as circles
+colored by cluster, optional terrain contour shading from a
+:class:`~repro.viz.themeview.ThemeView`, and peak labels.  Pure
+stdlib -- the output opens in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from .themeview import ThemeView
+
+PathLike = Union[str, Path]
+
+#: categorical palette (colorblind-safe Okabe-Ito plus extensions)
+PALETTE = [
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#CC79A7",
+    "#56B4E9",
+    "#D55E00",
+    "#F0E442",
+    "#999999",
+    "#882255",
+    "#44AA99",
+    "#332288",
+    "#117733",
+]
+
+
+def render_svg(
+    coords: np.ndarray,
+    assignments: Optional[np.ndarray] = None,
+    view: Optional[ThemeView] = None,
+    width: int = 640,
+    height: int = 640,
+    point_radius: float = 3.0,
+) -> str:
+    """Build the SVG document as a string."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] < 2 or coords.shape[0] == 0:
+        raise ValueError("coords must be a non-empty (n, >=2) array")
+    x, y = coords[:, 0], coords[:, 1]
+    pad = 0.06
+    x_lo, x_hi = x.min(), x.max()
+    y_lo, y_hi = y.min(), y.max()
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(v: float) -> float:
+        return (pad + (1 - 2 * pad) * (v - x_lo) / x_span) * width
+
+    def sy(v: float) -> float:
+        # SVG y grows downward
+        return (1 - pad - (1 - 2 * pad) * (v - y_lo) / y_span) * height
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+    ]
+    # terrain shading: one translucent rect per occupied grid cell
+    if view is not None:
+        top = view.heights.max() or 1.0
+        grid = view.grid
+        cell_w = width / grid
+        cell_h = height / grid
+        for gy in range(grid):
+            for gx in range(grid):
+                h = view.heights[gy, gx]
+                if h <= top * 0.05:
+                    continue
+                opacity = 0.25 * h / top
+                # grid row 0 is min-y; flip for SVG
+                py = (grid - 1 - gy) * cell_h
+                parts.append(
+                    f'<rect x="{gx * cell_w:.1f}" y="{py:.1f}" '
+                    f'width="{cell_w + 0.5:.1f}" height="{cell_h + 0.5:.1f}" '
+                    f'fill="#7f8c9b" opacity="{opacity:.3f}"/>'
+                )
+    # documents
+    for i in range(coords.shape[0]):
+        color = (
+            PALETTE[int(assignments[i]) % len(PALETTE)]
+            if assignments is not None
+            else PALETTE[0]
+        )
+        parts.append(
+            f'<circle cx="{sx(x[i]):.2f}" cy="{sy(y[i]):.2f}" '
+            f'r="{point_radius}" fill="{color}" fill-opacity="0.75"/>'
+        )
+    # peak labels
+    if view is not None:
+        for p in view.peaks[:10]:
+            if not p.labels:
+                continue
+            label = escape(" ".join(p.labels[:2]))
+            parts.append(
+                f'<text x="{sx(p.x):.1f}" y="{sy(p.y):.1f}" '
+                f'font-family="sans-serif" font-size="11" '
+                f'text-anchor="middle" fill="#222222" '
+                f'stroke="#ffffff" stroke-width="3" '
+                f'paint-order="stroke">{label}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    coords: np.ndarray,
+    path: PathLike,
+    assignments: Optional[np.ndarray] = None,
+    view: Optional[ThemeView] = None,
+    **kwargs,
+) -> None:
+    """Render and write the SVG to ``path``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(render_svg(coords, assignments, view, **kwargs))

@@ -1,0 +1,175 @@
+"""ThemeView: a terrain of themes from projected document coordinates.
+
+Paper §2.1: "A ThemeView visualization is a scale-independent landscape
+of themes based on the contributions of the projected documents into
+2-space.  The terrain has various mountains depicting where themes are
+dominant and valleys where weak themes lie."
+
+We build the terrain by accumulating an isotropic Gaussian kernel per
+document onto a regular grid, then locate peaks (local maxima) and
+label them with the dominant cluster's strongest topic terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Peak:
+    """One mountain of the terrain."""
+
+    x: float
+    y: float
+    height: float
+    #: cluster most represented near the peak
+    cluster: int
+    #: descriptive terms of that cluster
+    labels: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ThemeView:
+    """The terrain grid plus its peaks."""
+
+    heights: np.ndarray  # (grid, grid), row 0 = min y
+    x_edges: np.ndarray
+    y_edges: np.ndarray
+    peaks: list[Peak]
+
+    @property
+    def grid(self) -> int:
+        return self.heights.shape[0]
+
+
+def _grid_coords(
+    coords: np.ndarray, grid: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    x, y = coords[:, 0], coords[:, 1]
+    pad_x = (x.max() - x.min()) * 0.05 + 1e-9
+    pad_y = (y.max() - y.min()) * 0.05 + 1e-9
+    x_edges = np.linspace(x.min() - pad_x, x.max() + pad_x, grid + 1)
+    y_edges = np.linspace(y.min() - pad_y, y.max() + pad_y, grid + 1)
+    xi = np.clip(np.searchsorted(x_edges, x, side="right") - 1, 0, grid - 1)
+    yi = np.clip(np.searchsorted(y_edges, y, side="right") - 1, 0, grid - 1)
+    return x_edges, y_edges, xi, yi
+
+
+def build_themeview(
+    coords: np.ndarray,
+    assignments: Optional[np.ndarray] = None,
+    cluster_labels: Optional[dict[int, list[str]]] = None,
+    grid: int = 48,
+    sigma_cells: float = 1.8,
+    max_peaks: int = 12,
+) -> ThemeView:
+    """Build the terrain for projected documents.
+
+    ``assignments``/``cluster_labels`` (both optional) attach cluster
+    identities and top-term labels to the detected peaks.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] < 2:
+        raise ValueError("coords must be (n, >=2)")
+    if coords.shape[0] == 0:
+        raise ValueError("need at least one document")
+    x_edges, y_edges, xi, yi = _grid_coords(coords[:, :2], grid)
+    counts = np.zeros((grid, grid))
+    np.add.at(counts, (yi, xi), 1.0)
+    heights = _gaussian_blur(counts, sigma_cells)
+    peaks = _find_peaks(
+        heights, x_edges, y_edges, xi, yi, assignments, max_peaks
+    )
+    if cluster_labels:
+        for p in peaks:
+            p.labels = list(cluster_labels.get(p.cluster, []))[:4]
+    return ThemeView(
+        heights=heights, x_edges=x_edges, y_edges=y_edges, peaks=peaks
+    )
+
+
+def _gaussian_kernel_1d(sigma: float) -> np.ndarray:
+    radius = max(1, int(round(3 * sigma)))
+    x = np.arange(-radius, radius + 1, dtype=np.float64)
+    k = np.exp(-0.5 * (x / sigma) ** 2)
+    return k / k.sum()
+
+
+def _gaussian_blur(img: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur with edge clamping (no SciPy needed at
+    runtime; kept dependency-light and deterministic)."""
+    k = _gaussian_kernel_1d(sigma)
+    pad = len(k) // 2
+    tmp = np.apply_along_axis(
+        lambda row: np.convolve(
+            np.pad(row, pad, mode="edge"), k, mode="valid"
+        ),
+        1,
+        img,
+    )
+    out = np.apply_along_axis(
+        lambda col: np.convolve(
+            np.pad(col, pad, mode="edge"), k, mode="valid"
+        ),
+        0,
+        tmp,
+    )
+    return out
+
+
+def _find_peaks(
+    heights: np.ndarray,
+    x_edges: np.ndarray,
+    y_edges: np.ndarray,
+    xi: np.ndarray,
+    yi: np.ndarray,
+    assignments: Optional[np.ndarray],
+    max_peaks: int,
+) -> list[Peak]:
+    grid = heights.shape[0]
+    padded = np.pad(heights, 1, mode="constant", constant_values=-np.inf)
+    center = padded[1:-1, 1:-1]
+    is_peak = np.ones((grid, grid), dtype=bool)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            if dy == 0 and dx == 0:
+                continue
+            neigh = padded[1 + dy : 1 + dy + grid, 1 + dx : 1 + dx + grid]
+            is_peak &= center >= neigh
+    is_peak &= center > center.max() * 0.05
+    ys, xs = np.nonzero(is_peak)
+    order = np.argsort(-heights[ys, xs])
+    peaks: list[Peak] = []
+    # non-max suppression: one peak per mountain (suppression radius
+    # scales with the grid so plateau ridges don't spawn duplicates)
+    suppress = max(2, grid // 8)
+    kept: list[tuple[int, int]] = []
+    for i in order:
+        gy, gx = int(ys[i]), int(xs[i])
+        if any(
+            abs(gy - ky) <= suppress and abs(gx - kx) <= suppress
+            for ky, kx in kept
+        ):
+            continue
+        kept.append((gy, gx))
+        if len(kept) >= max_peaks:
+            break
+    for gy, gx in kept:
+        cluster = -1
+        if assignments is not None:
+            near = (np.abs(xi - gx) <= 2) & (np.abs(yi - gy) <= 2)
+            if near.any():
+                vals = np.asarray(assignments)[near]
+                cluster = int(np.bincount(vals).argmax())
+        peaks.append(
+            Peak(
+                x=float((x_edges[gx] + x_edges[gx + 1]) / 2),
+                y=float((y_edges[gy] + y_edges[gy + 1]) / 2),
+                height=float(heights[gy, gx]),
+                cluster=cluster,
+            )
+        )
+    return peaks

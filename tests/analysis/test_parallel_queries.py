@@ -1,0 +1,106 @@
+"""Parallel interactive query tests (the paper's future-work frontier)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisSession, Query, run_query_batch
+from repro.datasets import generate_pubmed
+from repro.engine import EngineConfig, SerialTextEngine
+
+
+@pytest.fixture(scope="module")
+def result():
+    corpus = generate_pubmed(120_000, seed=37, n_themes=4)
+    cfg = EngineConfig(n_major_terms=150, n_clusters=4, kmeans_sample=48)
+    return SerialTextEngine(cfg).run(corpus)
+
+
+@pytest.fixture(scope="module")
+def serial_session(result):
+    return AnalysisSession(result)
+
+
+def _hit_ids(hits):
+    return [h.doc_id for h in hits]
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_similar_matches_serial(result, serial_session, nprocs):
+    target = int(result.doc_ids[5])
+    answers = run_query_batch(
+        result, [Query("similar", (target,), k=6)], nprocs
+    )
+    serial_hits = serial_session.similar_documents(target, k=6)
+    assert _hit_ids(answers[0].hits) == _hit_ids(serial_hits)
+    for a, b in zip(answers[0].hits, serial_hits):
+        assert a.score == pytest.approx(b.score)
+
+
+@pytest.mark.parametrize("nprocs", [1, 3])
+def test_terms_query_matches_serial(result, serial_session, nprocs):
+    terms = result.topic_term_strings[:2]
+    answers = run_query_batch(result, [Query("terms", tuple(terms), k=5)], nprocs)
+    serial_hits = serial_session.query(list(terms), k=5)
+    assert _hit_ids(answers[0].hits) == _hit_ids(serial_hits)
+
+
+def test_nearest_matches_serial(result, serial_session):
+    x, y = map(float, result.coords[7][:2])
+    answers = run_query_batch(result, [Query("nearest", (x, y), k=4)], 4)
+    serial_hits = serial_session.nearest_documents(x, y, k=4)
+    assert _hit_ids(answers[0].hits) == _hit_ids(serial_hits)
+
+
+def test_batch_of_mixed_queries(result):
+    queries = [
+        Query("similar", (0,), k=3),
+        Query("nearest", (0.0, 0.0), k=3),
+        Query("terms", (result.topic_term_strings[0],), k=3),
+    ]
+    answers = run_query_batch(result, queries, 3)
+    assert len(answers) == 3
+    for a in answers:
+        assert len(a.hits) == 3
+        assert a.latency_s > 0
+
+
+def test_latency_improves_with_procs():
+    """Interaction latency must shrink with processors at represented
+    scale -- the feasibility claim of the paper's conclusion."""
+    import dataclasses
+
+    corpus = generate_pubmed(150_000, seed=11, n_themes=4)
+    cfg = EngineConfig(n_major_terms=150, n_clusters=4, kmeans_sample=48)
+    res = SerialTextEngine(cfg).run(corpus)
+    # declare a multi-GB represented size so per-query compute matters
+    big = dataclasses.replace(res)
+    big.meta["represented"] = True
+    queries = [Query("similar", (0,), k=5)]
+
+    from repro.runtime import MachineSpec
+
+    machine = MachineSpec(workload_scale=10_000.0)
+    t1 = run_query_batch(big, queries, 1, machine=machine)[0].latency_s
+    t8 = run_query_batch(big, queries, 8, machine=machine)[0].latency_s
+    assert t8 < t1 / 3
+
+
+def test_unknown_query_kind_rejected(result):
+    with pytest.raises(ValueError, match="unknown query kind"):
+        run_query_batch(result, [Query("fuzzy", (1,), k=3)], 2)
+
+
+def test_requires_signatures(result):
+    import dataclasses
+
+    bare = dataclasses.replace(result, signatures=None)
+    with pytest.raises(ValueError, match="signatures"):
+        run_query_batch(bare, [Query("similar", (0,), k=3)], 2)
+
+
+def test_deterministic(result):
+    queries = [Query("similar", (3,), k=5)]
+    a1 = run_query_batch(result, queries, 4)
+    a2 = run_query_batch(result, queries, 4)
+    assert _hit_ids(a1[0].hits) == _hit_ids(a2[0].hits)
+    assert a1[0].latency_s == a2[0].latency_s

@@ -1,0 +1,85 @@
+"""Load-balancing strategy comparison tests (§3.3 claims)."""
+
+import numpy as np
+
+from repro.baselines import run_ga_queue, run_master_worker, run_static
+from repro.runtime import Cluster
+
+
+def _skewed_costs(nprocs, per_rank=40, seed=0):
+    """Task costs where one rank owns much heavier tasks."""
+    rng = np.random.default_rng(seed)
+    costs = []
+    for r in range(nprocs):
+        scale = 4.0 if r == nprocs - 1 else 1.0
+        costs.append(list(rng.uniform(0.5, 1.5, size=per_rank) * 1e-3 * scale))
+    return costs
+
+
+def _run(strategy, nprocs, costs, **kw):
+    def program(ctx):
+        executed = strategy(ctx, costs, **kw)
+        return executed
+
+    res = Cluster(nprocs).run(program)
+    all_tasks = sorted(t for ex in res.rank_results for t, _ in ex)
+    total = sum(len(c) for c in costs)
+    assert all_tasks == list(range(total)), "each task exactly once"
+    return res
+
+
+def test_static_executes_own_tasks_only():
+    costs = _skewed_costs(4)
+    res = _run(run_static, 4, costs)
+    for rank, executed in enumerate(res.rank_results):
+        assert all(r == rank for _, r in executed)
+
+
+def test_ga_queue_beats_static_on_skew():
+    costs = _skewed_costs(4)
+    t_static = _run(run_static, 4, costs).wall_time
+    t_dyn = _run(run_ga_queue, 4, costs).wall_time
+    assert t_dyn < t_static * 0.75
+
+
+def test_ga_queue_chunking_still_exact():
+    costs = _skewed_costs(3, per_rank=17)
+    res = _run(run_ga_queue, 3, costs, chunk=5)
+    assert res.wall_time > 0
+
+
+def test_master_worker_executes_all():
+    costs = _skewed_costs(4, per_rank=20)
+    res = _run(run_master_worker, 4, costs)
+    assert res.wall_time > 0
+
+
+def test_master_worker_also_balances():
+    costs = _skewed_costs(4)
+    t_static = _run(run_static, 4, costs).wall_time
+    t_mw = _run(run_master_worker, 4, costs).wall_time
+    assert t_mw < t_static
+
+
+def test_ga_queue_scales_better_than_master_worker():
+    """The §3.3 argument: the master serializes dispatch, so with many
+    processors and fine-grained tasks the GA-atomic queue wins."""
+    nprocs = 16
+    costs = [[50e-6] * 60 for _ in range(nprocs)]  # fine-grained tasks
+    t_ga = _run(run_ga_queue, nprocs, costs).wall_time
+    t_mw = _run(
+        run_master_worker, nprocs, costs, handle_cost=20e-6
+    ).wall_time
+    assert t_ga < t_mw
+
+
+def test_master_worker_bottleneck_grows_with_procs():
+    """Master-worker efficiency degrades as P grows (fixed work/rank)."""
+
+    def efficiency(nprocs):
+        costs = [[50e-6] * 40 for _ in range(nprocs)]
+        ideal = sum(sum(c) for c in costs) / nprocs
+        t = _run(run_master_worker, nprocs, costs).wall_time
+        return ideal / t
+
+    assert efficiency(16) < efficiency(2)

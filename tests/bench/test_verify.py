@@ -1,0 +1,61 @@
+"""Shape-verification module tests."""
+
+import pytest
+
+from repro.bench import (
+    figure9,
+    render_checks,
+    run_all_sweeps,
+    verify_shapes,
+)
+from repro.engine import EngineConfig
+
+_FAST_CFG = EngineConfig(
+    n_major_terms=150, n_clusters=6, kmeans_sample=48, chunk_docs=4
+)
+
+
+@pytest.fixture(scope="module")
+def checks():
+    sweeps = run_all_sweeps(
+        downscale=40_000.0, procs=(2, 8), config=_FAST_CFG, seed=5
+    )
+    fig9 = figure9(nprocs=4, gen_bytes=800_000, config=_FAST_CFG)
+    return verify_shapes(sweeps, fig9)
+
+
+def test_all_paper_claims_verified(checks):
+    failing = [str(c) for c in checks if not c.passed]
+    assert not failing, "\n".join(failing)
+
+
+def test_covers_every_figure(checks):
+    figures = {c.figure for c in checks}
+    assert any("5" in f for f in figures)
+    assert any("6" in f for f in figures)
+    assert any("8" in f for f in figures)
+    assert any("9" in f for f in figures)
+    # one check per workload scaling claim + component claims + fig9
+    assert len(checks) >= 12
+
+
+def test_render_checks(checks):
+    text = render_checks(checks)
+    assert "PASS" in text
+    assert f"{len(checks)}/{len(checks)} claims verified" in text
+
+
+def test_fig9_optional():
+    sweeps = run_all_sweeps(
+        downscale=40_000.0, procs=(2, 8), config=_FAST_CFG, seed=5
+    )
+    checks = verify_shapes(sweeps, None)
+    assert all("Fig 9" not in c.figure for c in checks)
+
+
+def test_failing_check_renders_fail():
+    from repro.bench import ShapeCheck
+
+    c = ShapeCheck("Fig X", "some claim", False, "detail")
+    assert "FAIL" in str(c)
+    assert "0/1 claims verified" in render_checks([c])

@@ -1,0 +1,143 @@
+"""Distributed k-means numerics tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    assign_points,
+    centroids_from_partials,
+    kmeanspp_seeds,
+    lloyd,
+    partial_update,
+)
+
+
+def _blobs(n_per=30, centers=((0, 0), (10, 10), (-10, 5)), seed=0):
+    rng = np.random.default_rng(seed)
+    pts = np.vstack(
+        [rng.normal(c, 0.5, size=(n_per, 2)) for c in centers]
+    )
+    return pts
+
+
+def test_assign_points_nearest():
+    pts = np.array([[0.0, 0.0], [9.0, 9.0]])
+    cents = np.array([[0.0, 0.0], [10.0, 10.0]])
+    labels, sq = assign_points(pts, cents)
+    np.testing.assert_array_equal(labels, [0, 1])
+    assert sq[0] == 0.0
+    assert sq[1] == pytest.approx(2.0)
+
+
+def test_assign_ties_to_lowest_index():
+    pts = np.array([[0.5, 0.0]])
+    cents = np.array([[0.0, 0.0], [1.0, 0.0]])
+    labels, _ = assign_points(pts, cents)
+    assert labels[0] == 0
+
+
+def test_assign_empty():
+    labels, sq = assign_points(
+        np.empty((0, 2)), np.array([[0.0, 0.0]])
+    )
+    assert labels.size == 0 and sq.size == 0
+
+
+def test_partial_update_sums_counts():
+    pts = np.array([[1.0, 0.0], [3.0, 0.0], [0.0, 5.0]])
+    labels = np.array([0, 0, 2])
+    sums, counts = partial_update(pts, labels, 3)
+    np.testing.assert_array_equal(counts, [2, 0, 1])
+    np.testing.assert_allclose(sums[0], [4.0, 0.0])
+    np.testing.assert_allclose(sums[2], [0.0, 5.0])
+
+
+def test_centroids_from_partials_keeps_empty():
+    prev = np.array([[1.0, 1.0], [5.0, 5.0]])
+    sums = np.array([[4.0, 0.0], [0.0, 0.0]])
+    counts = np.array([2, 0])
+    out = centroids_from_partials(sums, counts, prev)
+    np.testing.assert_allclose(out[0], [2.0, 0.0])
+    np.testing.assert_allclose(out[1], [5.0, 5.0])  # unchanged
+
+
+def test_kmeanspp_deterministic_given_rng():
+    pts = _blobs()
+    s1 = kmeanspp_seeds(pts, 3, np.random.default_rng(4))
+    s2 = kmeanspp_seeds(pts, 3, np.random.default_rng(4))
+    np.testing.assert_array_equal(s1, s2)
+
+
+def test_kmeanspp_k_clamped_to_sample():
+    pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+    seeds = kmeanspp_seeds(pts, 5, np.random.default_rng(0))
+    assert seeds.shape == (2, 2)
+
+
+def test_kmeanspp_identical_points():
+    pts = np.zeros((5, 2))
+    seeds = kmeanspp_seeds(pts, 3, np.random.default_rng(0))
+    assert np.all(seeds == 0)
+
+
+def test_kmeanspp_rejects_empty():
+    with pytest.raises(ValueError):
+        kmeanspp_seeds(np.empty((0, 2)), 2, np.random.default_rng(0))
+
+
+def test_lloyd_recovers_blobs():
+    pts = _blobs()
+    seeds = kmeanspp_seeds(pts, 3, np.random.default_rng(1))
+    res = lloyd(pts, seeds, max_iter=50, tol=1e-8)
+    assert res.converged
+    # each blob maps to exactly one cluster
+    labels = res.labels.reshape(3, 30)
+    for row in labels:
+        assert len(set(row.tolist())) == 1
+    assert len({row[0] for row in labels}) == 3
+    assert res.inertia < 100.0
+
+
+def test_lloyd_objective_nonincreasing_between_runs():
+    """More iterations never hurt the objective."""
+    pts = _blobs(seed=3)
+    seeds = kmeanspp_seeds(pts, 3, np.random.default_rng(2))
+    r1 = lloyd(pts, seeds, max_iter=1)
+    r5 = lloyd(pts, seeds, max_iter=5)
+    assert r5.inertia <= r1.inertia + 1e-9
+
+
+def test_lloyd_assignment_is_nearest_centroid():
+    pts = _blobs(seed=5)
+    seeds = kmeanspp_seeds(pts, 3, np.random.default_rng(0))
+    res = lloyd(pts, seeds)
+    labels, _ = assign_points(pts, res.centroids)
+    np.testing.assert_array_equal(labels, res.labels)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    k=st.integers(min_value=1, max_value=6),
+    dim=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_lloyd_invariants(n, k, dim, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, dim))
+    seeds = kmeanspp_seeds(pts, k, np.random.default_rng(seed + 1))
+    res = lloyd(pts, seeds, max_iter=20)
+    k_eff = seeds.shape[0]
+    assert res.centroids.shape == (k_eff, dim)
+    assert res.labels.shape == (n,)
+    assert res.labels.min() >= 0 and res.labels.max() < k_eff
+    assert res.inertia >= 0
+    # every centroid with members is the mean of its members
+    for c in range(k_eff):
+        members = pts[res.labels == c]
+        if len(members):
+            # final centroids come from the last update; the final
+            # assignment may move points, so only check boundedness
+            assert np.isfinite(res.centroids[c]).all()

@@ -1,0 +1,44 @@
+"""EngineResult.topic_summary tests."""
+
+import pytest
+
+from repro.datasets import generate_pubmed
+from repro.engine import EngineConfig, SerialTextEngine
+
+
+@pytest.fixture(scope="module")
+def result():
+    corpus = generate_pubmed(90_000, seed=71, n_themes=4)
+    cfg = EngineConfig(n_major_terms=120, n_clusters=4, kmeans_sample=48)
+    return SerialTextEngine(cfg).run(corpus)
+
+
+def test_one_entry_per_topic(result):
+    summary = result.topic_summary()
+    assert len(summary) == result.n_topics
+    assert [s["term"] for s in summary] == result.topic_term_strings
+
+
+def test_related_terms_are_majors_and_exclude_self(result):
+    majors = set(result.major_term_strings)
+    for s in result.topic_summary(n_related=4):
+        assert len(s["related"]) <= 4
+        assert s["term"] not in s["related"]
+        for t in s["related"]:
+            assert t in majors
+
+
+def test_related_ordered_by_association(result):
+    summary = result.topic_summary(n_related=6)
+    term_row = {t.term: i for i, t in enumerate(result.major_terms)}
+    for j, s in enumerate(summary):
+        col = result.association[:, j]
+        strengths = [col[term_row[t]] for t in s["related"]]
+        assert strengths == sorted(strengths, reverse=True)
+        assert all(v > 0 for v in strengths)
+
+
+def test_scores_and_df_carried(result):
+    for s, t in zip(result.topic_summary(), result.topic_terms):
+        assert s["score"] == t.score
+        assert s["df"] == t.df

@@ -1,0 +1,93 @@
+"""PCA projection tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.project import fit_pca
+
+
+def test_recovers_dominant_direction():
+    rng = np.random.default_rng(0)
+    t = rng.normal(size=200)
+    pts = np.outer(t, [3.0, 4.0, 0.0]) + rng.normal(scale=0.01, size=(200, 3))
+    tr = fit_pca(pts, dim=2)
+    # first component aligned with (3,4,0)/5
+    c0 = tr.components[:, 0]
+    assert abs(abs(c0 @ np.array([0.6, 0.8, 0.0])) - 1.0) < 1e-3
+    assert tr.explained_variance[0] > 10 * tr.explained_variance[1]
+
+
+def test_components_orthonormal():
+    rng = np.random.default_rng(1)
+    pts = rng.random((20, 6))
+    tr = fit_pca(pts, dim=3)
+    gram = tr.components.T @ tr.components
+    np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+
+def test_sign_deterministic():
+    rng = np.random.default_rng(2)
+    pts = rng.random((15, 4))
+    t1 = fit_pca(pts, dim=2)
+    t2 = fit_pca(pts.copy(), dim=2)
+    np.testing.assert_array_equal(t1.components, t2.components)
+    # largest-|entry| of each component is positive
+    for j in range(2):
+        col = t1.components[:, j]
+        assert col[np.argmax(np.abs(col))] > 0
+
+
+def test_projection_centers_data():
+    rng = np.random.default_rng(3)
+    pts = rng.random((50, 5)) + 10.0
+    tr = fit_pca(pts, dim=2)
+    coords = tr.project(pts)
+    np.testing.assert_allclose(coords.mean(axis=0), 0.0, atol=1e-9)
+
+
+def test_dim_exceeding_rank_pads_zero():
+    pts = np.array([[0.0], [1.0], [2.0]])  # 1-D data
+    tr = fit_pca(pts, dim=2)
+    coords = tr.project(pts)
+    assert coords.shape == (3, 2)
+    np.testing.assert_allclose(coords[:, 1], 0.0)
+    assert tr.explained_variance[1] == 0.0
+
+
+def test_single_anchor():
+    tr = fit_pca(np.array([[1.0, 2.0, 3.0]]), dim=2)
+    coords = tr.project(np.array([[1.0, 2.0, 3.0]]))
+    np.testing.assert_allclose(coords, 0.0)
+
+
+def test_project_single_point_shape():
+    rng = np.random.default_rng(4)
+    tr = fit_pca(rng.random((5, 3)), dim=2)
+    assert tr.project(np.ones(3)).shape == (1, 2)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        fit_pca(np.empty((0, 3)), dim=2)
+    with pytest.raises(ValueError):
+        fit_pca(np.ones((3, 3)), dim=0)
+
+
+@settings(max_examples=60)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    m=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_projection_preserves_total_variance_bound(n, m, seed):
+    """Variance captured by the projection never exceeds the total."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, m))
+    dim = min(2, m)
+    tr = fit_pca(pts, dim=dim)
+    coords = tr.project(pts)
+    total_var = np.var(pts, axis=0, ddof=1).sum()
+    proj_var = np.var(coords, axis=0, ddof=1).sum()
+    assert proj_var <= total_var + 1e-9

@@ -1,0 +1,150 @@
+"""mpi4py-compatible facade tests: idiomatic mpi4py programs run
+unchanged on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ANY_SOURCE,
+    MAX,
+    MIN,
+    MPIComm,
+    PROD,
+    SUM,
+    Cluster,
+)
+
+
+def _run(program, nprocs=4):
+    return Cluster(nprocs).run(lambda ctx: program(MPIComm(ctx)))
+
+
+def test_get_rank_size():
+    def program(comm):
+        return (comm.Get_rank(), comm.Get_size(), comm.rank, comm.size)
+
+    res = _run(program, 3)
+    assert res.rank_results == [(r, 3, r, 3) for r in range(3)]
+
+
+def test_mpi4py_tutorial_bcast():
+    """The mpi4py tutorial's broadcast example, verbatim shape."""
+
+    def program(comm):
+        if comm.Get_rank() == 0:
+            data = {"key1": [7, 2.72, 2 + 3j], "key2": ("abc", "xyz")}
+        else:
+            data = None
+        data = comm.bcast(data, root=0)
+        return data["key2"]
+
+    res = _run(program)
+    assert all(r == ("abc", "xyz") for r in res.rank_results)
+
+
+def test_mpi4py_tutorial_scatter_gather():
+    def program(comm):
+        size = comm.Get_size()
+        rank = comm.Get_rank()
+        if rank == 0:
+            data = [(i + 1) ** 2 for i in range(size)]
+        else:
+            data = None
+        data = comm.scatter(data, root=0)
+        assert data == (rank + 1) ** 2
+        gathered = comm.gather(data, root=0)
+        return gathered
+
+    res = _run(program)
+    assert res.rank_results[0] == [1, 4, 9, 16]
+    assert res.rank_results[1] is None
+
+
+def test_mpi4py_tutorial_send_recv():
+    def program(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return None
+        if rank == 1:
+            return comm.recv(source=0, tag=11)
+        return None
+
+    res = _run(program, 2)
+    assert res.rank_results[1] == {"a": 7, "b": 3.14}
+
+
+def test_named_reduction_ops():
+    def program(comm):
+        r = comm.Get_rank() + 1
+        return (
+            comm.allreduce(r, op=SUM),
+            comm.allreduce(r, op=PROD),
+            comm.allreduce(r, op=MAX),
+            comm.allreduce(r, op=MIN),
+        )
+
+    res = _run(program, 4)
+    assert res.rank_results[0] == (10, 24, 4, 1)
+
+
+def test_numpy_allreduce():
+    def program(comm):
+        return comm.allreduce(np.full(3, comm.Get_rank()), op=MAX)
+
+    res = _run(program, 3)
+    np.testing.assert_array_equal(res.rank_results[0], [2, 2, 2])
+
+
+def test_any_source_recv():
+    def program(comm):
+        if comm.Get_rank() == 0:
+            out = [comm.recv(source=ANY_SOURCE) for _ in range(3)]
+            return sorted(out)
+        comm.send(f"m{comm.Get_rank()}", dest=0)
+        return None
+
+    res = _run(program, 4)
+    assert res.rank_results[0] == ["m1", "m2", "m3"]
+
+
+def test_nonblocking_and_probe():
+    def program(comm):
+        if comm.Get_rank() == 0:
+            req = comm.isend("x", dest=1)
+            req.wait()
+            comm.Barrier()
+            return None
+        comm.Barrier()
+        assert comm.iprobe(source=0)
+        return comm.irecv(source=0).wait()
+
+    res = _run(program, 2)
+    assert res.rank_results[1] == "x"
+
+
+def test_split_facade():
+    def program(comm):
+        sub = comm.Split(color=comm.Get_rank() % 2)
+        return sub.allreduce(comm.Get_rank())
+
+    res = _run(program, 4)
+    assert res.rank_results == [2, 4, 2, 4]
+
+
+def test_exscan_and_alltoall():
+    def program(comm):
+        ex = comm.exscan(1)
+        a2a = comm.alltoall(
+            [f"{comm.Get_rank()}->{d}" for d in range(comm.Get_size())]
+        )
+        return (ex, a2a[0])
+
+    res = _run(program, 3)
+    assert [r[0] for r in res.rank_results] == [None, 1, 2]
+    assert res.rank_results[2][1] == "0->2"
+
+
+def test_wrap_type_checked():
+    with pytest.raises(TypeError):
+        MPIComm(object())

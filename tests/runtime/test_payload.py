@@ -1,0 +1,80 @@
+"""Wire-size estimator tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import payload_nbytes
+
+
+def test_numpy_arrays_exact():
+    a = np.zeros(100, dtype=np.float64)
+    assert payload_nbytes(a) == 16 + 800
+    b = np.zeros((10, 10), dtype=np.int32)
+    assert payload_nbytes(b) == 16 + 400
+
+
+def test_strings_and_bytes():
+    assert payload_nbytes("hello") == 16 + 5
+    assert payload_nbytes(b"abc") == 16 + 3
+    assert payload_nbytes("héllo") == 16 + 6  # utf-8
+
+
+def test_scalars():
+    assert payload_nbytes(None) == 17
+    assert payload_nbytes(True) == 17
+    assert payload_nbytes(7) == 24
+    assert payload_nbytes(3.14) == 24
+    assert payload_nbytes(np.float32(1.0)) == 20
+
+
+def test_containers_scale_with_contents():
+    small = payload_nbytes([1, 2])
+    big = payload_nbytes(list(range(100)))
+    assert big > small
+    assert payload_nbytes({"k": [1, 2, 3]}) > payload_nbytes({"k": []})
+
+
+def test_dataclass_payload():
+    from repro.signature import RankedTerm
+
+    t = RankedTerm("abcdef", 3, 1.5, 2, 4)
+    n = payload_nbytes(t)
+    assert 16 + 6 <= n <= 200
+    # a list of many terms scales roughly linearly
+    many = payload_nbytes([t] * 100)
+    assert many > 50 * n / 2
+
+
+def test_unknown_objects_fall_back_to_pickle():
+    class Odd:
+        def __init__(self):
+            self.data = list(range(50))
+
+    assert payload_nbytes(Odd()) > 50
+
+
+@settings(max_examples=100)
+@given(
+    st.recursive(
+        st.one_of(
+            st.integers(),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=20),
+            st.booleans(),
+            st.none(),
+        ),
+        lambda children: st.lists(children, max_size=5),
+        max_leaves=20,
+    )
+)
+def test_property_always_positive_int(obj):
+    n = payload_nbytes(obj)
+    assert isinstance(n, int)
+    assert n >= 16
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(), max_size=30))
+def test_property_superset_never_smaller(xs):
+    assert payload_nbytes(xs + [0]) >= payload_nbytes(xs)

@@ -1,0 +1,126 @@
+"""Sub-communicator (Communicator.split) tests."""
+
+import pytest
+
+from repro.runtime import Cluster
+
+
+def test_split_even_odd_group_collectives():
+    def program(ctx):
+        sub = ctx.comm.split(color=ctx.rank % 2)
+        total = sub.allreduce(ctx.rank)
+        return (sub.rank, sub.nprocs, total)
+
+    res = Cluster(6).run(program)
+    # evens: global {0,2,4}; odds: {1,3,5}
+    assert res.rank_results[0] == (0, 3, 0 + 2 + 4)
+    assert res.rank_results[2] == (1, 3, 0 + 2 + 4)
+    assert res.rank_results[1] == (0, 3, 1 + 3 + 5)
+    assert res.rank_results[5] == (2, 3, 1 + 3 + 5)
+
+
+def test_split_local_ranks_ordered_by_key():
+    def program(ctx):
+        # reverse ordering within the single group
+        sub = ctx.comm.split(color=0, key=-ctx.rank)
+        return sub.rank
+
+    res = Cluster(4).run(program)
+    assert res.rank_results == [3, 2, 1, 0]
+
+
+def test_split_color_none_excluded():
+    def program(ctx):
+        color = 0 if ctx.rank < 2 else None
+        sub = ctx.comm.split(color)
+        if sub is None:
+            return None
+        return sub.allreduce(1)
+
+    res = Cluster(4).run(program)
+    assert res.rank_results == [2, 2, None, None]
+
+
+def test_subcomm_p2p_uses_local_ranks():
+    def program(ctx):
+        sub = ctx.comm.split(color=ctx.rank % 2)
+        # within each sub-comm, local 0 sends to local 1
+        if sub.rank == 0:
+            sub.send(1, f"hello-from-{ctx.rank}")
+            return None
+        if sub.rank == 1:
+            return sub.recv(0)
+        return None
+
+    res = Cluster(4).run(program)
+    assert res.rank_results[2] == "hello-from-0"
+    assert res.rank_results[3] == "hello-from-1"
+
+
+def test_contexts_isolated_between_parent_and_child():
+    """Messages on the parent must not leak into the child comm."""
+
+    def program(ctx):
+        sub = ctx.comm.split(color=0)
+        if ctx.rank == 0:
+            ctx.comm.send(1, "parent")  # world context
+            sub.send(1, "child")  # sub-comm context
+            return None
+        if ctx.rank == 1:
+            child_msg = sub.recv(0)
+            parent_msg = ctx.comm.recv(0)
+            return (child_msg, parent_msg)
+        return None
+
+    res = Cluster(3).run(program)
+    assert res.rank_results[1] == ("child", "parent")
+
+
+def test_concurrent_collectives_in_sibling_comms():
+    """Sibling sub-comms run independent collective sequences."""
+
+    def program(ctx):
+        sub = ctx.comm.split(color=ctx.rank % 2)
+        out = []
+        for i in range(3):
+            out.append(sub.allreduce(ctx.rank + i))
+        ctx.comm.barrier()  # parent still usable afterwards
+        return out
+
+    res = Cluster(4).run(program)
+    # evens {0, 2}: sums of (rank+i) are 2, 4, 6; odds {1, 3}: 4, 6, 8
+    assert res.rank_results[0] == [2, 4, 6]
+    assert res.rank_results[1] == [4, 6, 8]
+
+
+def test_nested_split():
+    def program(ctx):
+        half = ctx.comm.split(color=ctx.rank // 4)  # two groups of 4
+        quarter = half.split(color=half.rank // 2)  # pairs
+        return (half.nprocs, quarter.nprocs, quarter.allreduce(ctx.rank))
+
+    res = Cluster(8).run(program)
+    assert res.rank_results[0] == (4, 2, 0 + 1)
+    assert res.rank_results[6] == (4, 2, 6 + 7)
+
+
+def test_singleton_subcomm():
+    def program(ctx):
+        sub = ctx.comm.split(color=ctx.rank)  # every rank alone
+        assert sub.nprocs == 1
+        assert sub.rank == 0
+        return sub.allreduce(42)
+
+    res = Cluster(3).run(program)
+    assert res.rank_results == [42, 42, 42]
+
+
+def test_split_deterministic():
+    def program(ctx):
+        sub = ctx.comm.split(color=ctx.rank % 2)
+        sub.allreduce(ctx.rank)
+        return ctx.now
+
+    r1 = Cluster(6).run(program)
+    r2 = Cluster(6).run(program)
+    assert list(r1.rank_times) == list(r2.rank_times)

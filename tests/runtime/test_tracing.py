@@ -1,0 +1,92 @@
+"""Tracing and StageTimings tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.timings import COMPONENTS, StageTimings
+from repro.runtime import Cluster, Tracer
+
+
+def test_region_records_virtual_extent():
+    def program(ctx):
+        with ctx.region("work"):
+            ctx.charge(2.5)
+        with ctx.region("more"):
+            ctx.charge(0.5)
+        return None
+
+    res = Cluster(2).run(program)
+    tr = res.tracer
+    np.testing.assert_allclose(tr.per_rank_totals("work"), [2.5, 2.5])
+    np.testing.assert_allclose(tr.per_rank_totals("more"), [0.5, 0.5])
+    assert tr.component_names() == ["work", "more"]
+
+
+def test_region_accumulates_across_reentry():
+    def program(ctx):
+        for _ in range(3):
+            with ctx.region("loop"):
+                ctx.charge(1.0)
+        return None
+
+    res = Cluster(1).run(program)
+    assert res.tracer.per_rank_totals("loop")[0] == pytest.approx(3.0)
+
+
+def test_region_includes_communication_wait():
+    def program(ctx):
+        with ctx.region("sync"):
+            if ctx.rank == 0:
+                ctx.charge(4.0)
+            ctx.comm.barrier()
+        return None
+
+    res = Cluster(2).run(program)
+    totals = res.tracer.per_rank_totals("sync")
+    # the fast rank's region includes its barrier wait
+    assert totals[1] >= 4.0
+
+
+def test_component_times_take_max_over_ranks():
+    tr = Tracer(3)
+    tr.record(0, "x", 0.0, 1.0)
+    tr.record(1, "x", 0.0, 5.0)
+    tr.record(2, "x", 0.0, 2.0)
+    assert tr.component_times() == {"x": 5.0}
+
+
+def test_component_percentages_sum_100():
+    tr = Tracer(1)
+    tr.record(0, "a", 0.0, 3.0)
+    tr.record(0, "b", 3.0, 4.0)
+    pct = tr.component_percentages()
+    assert pct["a"] == pytest.approx(75.0)
+    assert pct["b"] == pytest.approx(25.0)
+
+
+def test_invalid_span_rejected():
+    tr = Tracer(1)
+    with pytest.raises(ValueError):
+        tr.record(0, "x", 2.0, 1.0)
+
+
+def test_stage_timings_from_tracer_filters_components():
+    tr = Tracer(2)
+    tr.record(0, "scan", 0.0, 2.0)
+    tr.record(1, "scan", 0.0, 3.0)
+    tr.record(0, "index", 2.0, 4.0)
+    tr.record(1, "index", 3.0, 4.0)
+    tr.record(0, "index:invert", 2.0, 3.5)  # sub-region: excluded
+    timings = StageTimings.from_tracer(tr, np.array([4.0, 4.0]))
+    assert set(timings.component_seconds) <= set(COMPONENTS)
+    assert timings.component_seconds["scan"] == 3.0
+    assert timings.component_seconds["index"] == 2.0
+    assert timings.wall_time == 4.0
+    np.testing.assert_array_equal(timings.per_rank["scan"], [2.0, 3.0])
+
+
+def test_stage_timings_percentages_empty():
+    t = StageTimings(component_seconds={}, wall_time=0.0)
+    assert t.component_percentages == {}
+    t2 = StageTimings(component_seconds={"a": 0.0}, wall_time=0.0)
+    assert t2.component_percentages == {"a": 0.0}

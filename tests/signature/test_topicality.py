@@ -1,0 +1,124 @@
+"""Bookstein condensation topicality tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signature import (
+    RankedTerm,
+    condensation_scores,
+    local_candidates,
+    rank_candidates,
+    select_major_terms,
+)
+
+
+def test_clumped_term_scores_above_scattered():
+    # both terms occur 20 times in 100 docs; one clumps into 2 docs,
+    # the other spreads over 20 docs
+    df = np.array([2, 20])
+    cf = np.array([20, 20])
+    s = condensation_scores(df, cf, n_docs=100)
+    assert s[0] > s[1]
+    assert s[0] > 0
+
+
+def test_random_scatter_scores_near_zero():
+    # df == expected df under random scatter -> z ~ 0
+    d = 1000
+    cf = 50
+    expected_df = d * (1 - (1 - 1 / d) ** cf)
+    s = condensation_scores(
+        np.array([round(expected_df)]), np.array([cf]), n_docs=d
+    )
+    assert abs(s[0]) < 0.5
+
+
+def test_zero_df_is_neg_inf():
+    s = condensation_scores(np.array([0]), np.array([0]), n_docs=10)
+    assert s[0] == -np.inf
+
+
+def test_no_docs():
+    s = condensation_scores(np.array([1]), np.array([1]), n_docs=0)
+    assert s[0] == -np.inf
+
+
+def test_rank_candidates_ties_break_on_term():
+    a = RankedTerm("zeta", 0, 1.0, 2, 2)
+    b = RankedTerm("alpha", 1, 1.0, 2, 2)
+    c = RankedTerm("mid", 2, 5.0, 2, 2)
+    assert rank_candidates([a, b, c]) == [c, b, a]
+
+
+def test_local_candidates_filters_min_df():
+    terms = ["a", "b", "c"]
+    df = np.array([1, 3, 5])
+    cf = np.array([1, 30, 5])
+    out = local_candidates(terms, 0, df, cf, n_docs=50, min_df=2, limit=10)
+    assert {t.term for t in out} == {"b", "c"}
+
+
+def test_local_candidates_limit():
+    n = 50
+    terms = [f"t{i:02d}" for i in range(n)]
+    df = np.full(n, 2)
+    cf = np.arange(10, 10 + n)
+    out = local_candidates(terms, 100, df, cf, n_docs=500, min_df=2, limit=7)
+    assert len(out) == 7
+    # gids offset by gid_lo
+    assert all(100 <= t.gid < 150 for t in out)
+    # returned in canonical rank order
+    assert out == rank_candidates(out)
+
+
+def test_local_candidates_empty_when_nothing_eligible():
+    out = local_candidates(
+        ["a"], 0, np.array([1]), np.array([1]), 10, min_df=2, limit=5
+    )
+    assert out == []
+
+
+def test_select_major_terms_topic_fraction():
+    cands = [
+        RankedTerm(f"t{i:03d}", i, 100.0 - i, 5, 10) for i in range(60)
+    ]
+    majors, topics = select_major_terms(cands, 40, 0.10)
+    assert len(majors) == 40
+    assert len(topics) == 4
+    assert topics == majors[:4]  # topics are the top of the majors
+
+
+def test_select_major_terms_min_two_topics():
+    cands = [RankedTerm(f"t{i}", i, 10.0 - i, 5, 10) for i in range(10)]
+    majors, topics = select_major_terms(cands, 5, 0.10)
+    assert len(topics) == 2  # max(2, round(5*0.1))
+
+
+def test_select_major_terms_fewer_candidates_than_n():
+    cands = [RankedTerm("a", 0, 1.0, 5, 10)]
+    majors, topics = select_major_terms(cands, 100, 0.10)
+    assert len(majors) == 1
+    assert len(topics) == 1  # clamped to available
+
+
+@settings(max_examples=100)
+@given(
+    df=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=50),
+    extra=st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=50),
+    n_docs=st.integers(min_value=40, max_value=2000),
+)
+def test_property_scores_finite_and_monotone_in_clumping(df, extra, n_docs):
+    """For fixed cf, smaller df (more clumping) never lowers the score."""
+    n = min(len(df), len(extra))
+    df_arr = np.array(df[:n])
+    cf_arr = df_arr + np.array(extra[:n])
+    s = condensation_scores(df_arr, cf_arr, n_docs)
+    assert np.all(np.isfinite(s))
+    # monotonicity check: same cf, df and df+1
+    cf0 = int(cf_arr[0]) + 1
+    s_low_df = condensation_scores(np.array([1]), np.array([cf0]), n_docs)
+    s_high_df = condensation_scores(
+        np.array([min(cf0, n_docs)]), np.array([cf0]), n_docs
+    )
+    assert s_low_df[0] >= s_high_df[0]

@@ -1,0 +1,223 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    rc = main(
+        [
+            "generate",
+            "--dataset",
+            "pubmed",
+            "--bytes",
+            "80000",
+            "--seed",
+            "4",
+            "--themes",
+            "4",
+            "--out",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def results_dir(corpus_file, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-results")
+    rc = main(
+        [
+            "run",
+            "--corpus",
+            str(corpus_file),
+            "--nprocs",
+            "4",
+            "--clusters",
+            "4",
+            "--major-terms",
+            "120",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+def test_generate_writes_jsonl(corpus_file):
+    from repro.text import read_corpus
+
+    corpus = read_corpus(corpus_file)
+    assert len(corpus) > 10
+    assert corpus.field_names == ["title", "abstract", "journal"]
+
+
+def test_generate_trec(tmp_path):
+    path = tmp_path / "t.jsonl"
+    rc = main(
+        [
+            "generate",
+            "--dataset",
+            "trec",
+            "--bytes",
+            "50000",
+            "--out",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    assert path.exists()
+
+
+def test_run_exports_everything(results_dir):
+    for name in (
+        "result.npz",
+        "themeview.pgm",
+        "themeview.json",
+        "themeview.txt",
+        "coordinates.csv",
+    ):
+        assert (results_dir / name).exists(), name
+    csv = (results_dir / "coordinates.csv").read_text().splitlines()
+    assert csv[0] == "doc_id,x,y,cluster"
+    assert len(csv) > 10
+
+
+def test_run_serial_engine(corpus_file, tmp_path):
+    out = tmp_path / "serial"
+    rc = main(
+        [
+            "run",
+            "--corpus",
+            str(corpus_file),
+            "--nprocs",
+            "0",
+            "--clusters",
+            "3",
+            "--major-terms",
+            "100",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    assert (out / "result.npz").exists()
+
+
+def test_analyze_summary(results_dir, capsys):
+    rc = main(["analyze", "--results", str(results_dir / "result.npz")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "topics:" in out
+
+
+def test_analyze_similar(results_dir, capsys):
+    rc = main(
+        [
+            "analyze",
+            "--results",
+            str(results_dir / "result.npz"),
+            "--similar",
+            "0",
+            "--top",
+            "3",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "documents similar to 0" in out
+
+
+def test_analyze_cluster(results_dir, capsys):
+    rc = main(
+        [
+            "analyze",
+            "--results",
+            str(results_dir / "result.npz"),
+            "--cluster",
+            "0",
+        ]
+    )
+    assert rc == 0
+    assert "cluster 0" in capsys.readouterr().out
+
+
+def test_analyze_query(results_dir, capsys):
+    from repro.engine import load_result
+
+    result = load_result(results_dir / "result.npz")
+    term = result.topic_term_strings[0]
+    rc = main(
+        [
+            "analyze",
+            "--results",
+            str(results_dir / "result.npz"),
+            "--query",
+            term,
+        ]
+    )
+    assert rc == 0
+    assert "doc" in capsys.readouterr().out
+
+
+def test_generate_newswire(tmp_path):
+    path = tmp_path / "wire.jsonl"
+    rc = main(
+        [
+            "generate",
+            "--dataset",
+            "newswire",
+            "--bytes",
+            "40000",
+            "--out",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    from repro.text import read_corpus
+
+    assert read_corpus(path).field_names == [
+        "headline",
+        "dateline",
+        "body",
+    ]
+
+
+def test_figures_command_small(tmp_path, capsys):
+    rc = main(
+        [
+            "figures",
+            "--downscale",
+            "60000",
+            # the memory-pressure claims hold on the paper's processor
+            # range (>= 4): at P=2 even mid-size problems thrash
+            "--procs",
+            "4,8",
+            "--out",
+            str(tmp_path / "figs"),
+            "--verify",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out[-2000:]
+    for name in (
+        "figure5.txt",
+        "figure6.txt",
+        "figure7.txt",
+        "figure8.txt",
+        "figure9.txt",
+        "figure5.json",
+        "verification.txt",
+    ):
+        assert (tmp_path / "figs" / name).exists(), name
+    assert "claims verified" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

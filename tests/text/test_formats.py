@@ -1,0 +1,192 @@
+"""TREC-SGML and MEDLINE byte-format tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    Corpus,
+    Document,
+    parse_medline,
+    parse_trec_sgml,
+    read_source,
+    write_corpus,
+    write_medline,
+    write_trec_sgml,
+)
+
+
+def _trec_corpus():
+    return Corpus(
+        "gov",
+        [
+            Document(
+                0,
+                {
+                    "url": "http://a.gov/x.html",
+                    "title": "first page",
+                    "body": "hello gov world",
+                },
+            ),
+            Document(
+                1,
+                {"title": "no url here", "body": "second record body"},
+            ),
+        ],
+    )
+
+
+def _med_corpus():
+    return Corpus(
+        "med",
+        [
+            Document(
+                0,
+                {
+                    "title": "a study of things",
+                    "abstract": "words " * 40,  # forces line wrapping
+                    "journal": "journal of tests",
+                },
+            ),
+            Document(
+                1,
+                {
+                    "title": "second record",
+                    "abstract": "short abstract",
+                    "journal": "other journal",
+                },
+            ),
+        ],
+    )
+
+
+def test_trec_roundtrip(tmp_path):
+    c = _trec_corpus()
+    path = tmp_path / "gov.trec"
+    nbytes = write_trec_sgml(c, path)
+    assert nbytes == path.stat().st_size
+    back = read_source(path)
+    assert len(back) == 2
+    assert back[0].fields["url"] == "http://a.gov/x.html"
+    assert back[0].fields["title"] == "first page"
+    assert back[0].fields["body"] == "hello gov world"
+    assert "url" not in back[1].fields
+    assert back[1].fields["body"] == "second record body"
+
+
+def test_trec_parse_ignores_unframed_bytes():
+    data = (
+        b"garbage before\n<DOC>\n<DOCNO>X-1</DOCNO>\n"
+        b"<TEXT>\ncontent here\n</TEXT>\n</DOC>\ntrailing junk"
+    )
+    c = parse_trec_sgml(data)
+    assert len(c) == 1
+    assert c[0].fields["body"] == "content here"
+
+
+def test_trec_parse_empty():
+    assert len(parse_trec_sgml(b"")) == 0
+
+
+def test_medline_roundtrip(tmp_path):
+    c = _med_corpus()
+    path = tmp_path / "pub.med"
+    nbytes = write_medline(c, path)
+    assert nbytes == path.stat().st_size
+    back = read_source(path)
+    assert len(back) == 2
+    for orig, got in zip(c, back):
+        for key, val in orig.fields.items():
+            assert " ".join(got.fields[key].split()) == " ".join(
+                val.split()
+            ), key
+
+
+def test_medline_line_wrapping(tmp_path):
+    c = _med_corpus()
+    path = tmp_path / "pub.med"
+    write_medline(c, path)
+    text = path.read_text()
+    # the long abstract wrapped onto continuation lines
+    assert any(line.startswith("      ") for line in text.splitlines())
+
+
+def test_medline_unknown_field_roundtrips(tmp_path):
+    c = Corpus(
+        "m",
+        [Document(0, {"title": "t", "custom": "custom value here"})],
+    )
+    path = tmp_path / "x.medline"
+    write_medline(c, path)
+    back = read_source(path)
+    assert back[0].fields["custom"] == "custom value here"
+
+
+def test_medline_parse_skips_unknown_tags():
+    data = b"PMID- 1\nTI  - hello\nZZ  - ignored tag\nAB  - abs\n\n"
+    c = parse_medline(data)
+    assert len(c) == 1
+    assert c[0].fields == {"title": "hello", "abstract": "abs"}
+
+
+def test_read_source_jsonl(tmp_path):
+    c = _trec_corpus()
+    path = tmp_path / "c.jsonl"
+    write_corpus(c, path)
+    back = read_source(path)
+    assert len(back) == 2
+
+
+def test_read_source_unknown_extension(tmp_path):
+    path = tmp_path / "c.xml"
+    path.write_text("x")
+    with pytest.raises(ValueError, match="unknown source format"):
+        read_source(path)
+
+
+def test_generated_corpora_roundtrip_through_formats(tmp_path):
+    from repro.datasets import generate_pubmed, generate_trec
+
+    med = generate_pubmed(40_000, seed=1)
+    write_medline(med, tmp_path / "p.med")
+    back = read_source(tmp_path / "p.med")
+    assert len(back) == len(med)
+    assert back[0].fields["title"] == med[0].fields["title"]
+
+    gov = generate_trec(40_000, seed=1)
+    write_trec_sgml(gov, tmp_path / "g.trec")
+    back = read_source(tmp_path / "g.trec")
+    assert len(back) == len(gov)
+    assert back[0].fields["url"] == gov[0].fields["url"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    texts=st.lists(
+        st.text(
+            alphabet=st.characters(
+                min_codepoint=32, max_codepoint=126, exclude_characters="<>"
+            ),
+            max_size=60,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_trec_roundtrip_any_ascii_body(texts):
+    docs = [
+        Document(i, {"title": f"t{i}", "body": t})
+        for i, t in enumerate(texts)
+    ]
+    c = Corpus("p", docs)
+    import io as _io
+    from pathlib import Path
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "x.trec"
+        write_trec_sgml(c, path)
+        back = read_source(path)
+    assert len(back) == len(docs)
+    for orig, got in zip(docs, back):
+        assert got.fields.get("body", "") == orig.fields["body"].strip()

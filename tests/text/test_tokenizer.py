@@ -1,0 +1,110 @@
+"""Tokenizer tests, including property-based invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import Tokenizer, TokenizerConfig
+
+
+def tok(**kw):
+    return Tokenizer(TokenizerConfig(**kw))
+
+
+def test_basic_split_and_lowercase():
+    t = tok()
+    assert t.tokens("Hello World hello") == ["hello", "world", "hello"]
+
+
+def test_delimiters_split_terms():
+    t = tok()
+    assert t.tokens("alpha,beta;gamma(delta)") == [
+        "alpha",
+        "beta",
+        "gamma",
+        "delta",
+    ]
+
+
+def test_stopwords_removed():
+    t = tok()
+    assert t.tokens("the cat and the hat") == ["cat", "hat"]
+
+
+def test_length_band():
+    t = tok(min_len=3, max_len=5)
+    assert t.tokens("a ab abc abcd abcde abcdef") == ["abc", "abcd", "abcde"]
+
+
+def test_numeric_dropped_by_default():
+    t = tok()
+    assert t.tokens("call 911 now-ish 24-7") == ["call", "now-ish"]
+
+
+def test_numeric_kept_when_configured():
+    t = tok(drop_numeric=False, min_len=1)
+    assert "911" in t.tokens("call 911")
+
+
+def test_no_lowercase():
+    t = tok(lowercase=False, stopwords=frozenset())
+    assert t.tokens("Hello World") == ["Hello", "World"]
+
+
+def test_stemming_folds_variants():
+    t = tok(stem=True)
+    out = t.tokens("running runs walked walks")
+    assert out == ["runn", "run", "walk", "walk"]
+
+
+def test_empty_and_whitespace_only():
+    t = tok()
+    assert t.tokens("") == []
+    assert t.tokens("   \t\n  ") == []
+    assert t.tokens("... !!! ???") == []
+
+
+def test_unique_terms():
+    t = tok()
+    assert t.unique_terms(["cat dog", "dog fish"]) == {"cat", "dog", "fish"}
+
+
+@settings(max_examples=200)
+@given(st.text(max_size=400))
+def test_tokens_always_within_config(text):
+    cfg = TokenizerConfig(min_len=2, max_len=10)
+    t = Tokenizer(cfg)
+    for term in t.tokens(text):
+        assert 2 <= len(term) <= 10
+        assert term == term.lower()
+        assert term not in cfg.stopwords
+        # no delimiter or whitespace survives inside a term
+        for ch in cfg.delimiters:
+            assert ch not in term
+        assert not any(c.isspace() for c in term)
+
+
+@settings(max_examples=100)
+@given(st.text(max_size=200))
+def test_tokenization_deterministic(text):
+    t = tok()
+    assert t.tokens(text) == t.tokens(text)
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=2,
+            max_size=8,
+        ),
+        min_size=0,
+        max_size=30,
+    )
+)
+def test_joining_plain_words_roundtrips(words):
+    """Whitespace-joined plain lowercase words tokenize back to
+    themselves (minus stopwords)."""
+    t = tok()
+    expected = [w for w in words if w not in t.config.stopwords]
+    assert t.tokens(" ".join(words)) == expected

@@ -1,0 +1,13 @@
+"""Fixtures for visualization tests."""
+
+import pytest
+
+from repro.datasets import generate_pubmed
+from repro.engine import EngineConfig, SerialTextEngine
+
+
+@pytest.fixture(scope="session")
+def pubmed_result():
+    corpus = generate_pubmed(80_000, seed=13)
+    cfg = EngineConfig(n_major_terms=100, n_clusters=4, kmeans_sample=32)
+    return SerialTextEngine(cfg).run(corpus)

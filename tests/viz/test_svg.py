@@ -1,0 +1,94 @@
+"""SVG export tests."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz import PALETTE, build_themeview, render_svg, write_svg
+
+_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _coords(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = np.vstack(
+        [
+            rng.normal((-3, 0), 0.3, size=(n, 2)),
+            rng.normal((3, 0), 0.3, size=(n, 2)),
+        ]
+    )
+    assignments = np.array([0] * n + [1] * n)
+    return coords, assignments
+
+
+def test_svg_is_valid_xml_with_one_circle_per_doc():
+    coords, assignments = _coords()
+    svg = render_svg(coords, assignments)
+    root = ET.fromstring(svg)
+    circles = root.findall(f"{_NS}circle")
+    assert len(circles) == len(coords)
+
+
+def test_svg_colors_by_cluster():
+    coords, assignments = _coords()
+    svg = render_svg(coords, assignments)
+    assert PALETTE[0] in svg
+    assert PALETTE[1] in svg
+
+
+def test_svg_without_assignments_single_color():
+    coords, _ = _coords()
+    svg = render_svg(coords)
+    assert PALETTE[1] not in svg
+
+
+def test_svg_with_terrain_and_labels():
+    coords, assignments = _coords()
+    view = build_themeview(
+        coords,
+        assignments,
+        cluster_labels={0: ["alpha"], 1: ["beta"]},
+        grid=24,
+    )
+    svg = render_svg(coords, assignments, view=view)
+    root = ET.fromstring(svg)
+    rects = root.findall(f"{_NS}rect")
+    assert len(rects) > 1  # background + terrain cells
+    texts = [t.text for t in root.findall(f"{_NS}text")]
+    assert any("alpha" in (t or "") for t in texts)
+
+
+def test_svg_labels_escaped():
+    coords, assignments = _coords(n=5)
+    view = build_themeview(
+        coords,
+        assignments,
+        cluster_labels={0: ["a<b&c"], 1: ["x"]},
+        grid=16,
+    )
+    svg = render_svg(coords, assignments, view=view)
+    ET.fromstring(svg)  # escaping keeps it well-formed
+    assert "a<b&c" not in svg
+
+
+def test_svg_degenerate_coords():
+    # all coincident points still render
+    coords = np.zeros((5, 2))
+    svg = render_svg(coords)
+    assert ET.fromstring(svg) is not None
+
+
+def test_svg_invalid_inputs():
+    with pytest.raises(ValueError):
+        render_svg(np.empty((0, 2)))
+    with pytest.raises(ValueError):
+        render_svg(np.ones((3, 1)))
+
+
+def test_write_svg(tmp_path):
+    coords, assignments = _coords(n=10)
+    path = tmp_path / "out" / "view.svg"
+    write_svg(coords, path, assignments)
+    assert path.exists()
+    ET.parse(path)

@@ -1,0 +1,149 @@
+"""ThemeView terrain tests."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    build_themeview,
+    cluster_top_terms,
+    export_json,
+    render_ascii,
+    write_pgm,
+)
+
+
+def _two_blobs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal((-5, 0), 0.4, size=(n, 2))
+    b = rng.normal((5, 0), 0.4, size=(n, 2))
+    coords = np.vstack([a, b])
+    assignments = np.array([0] * n + [1] * n)
+    return coords, assignments
+
+
+def test_terrain_has_mountains_at_blobs():
+    coords, assignments = _two_blobs()
+    view = build_themeview(coords, assignments, grid=40)
+    assert view.heights.shape == (40, 40)
+    assert len(view.peaks) >= 2
+    xs = sorted(p.x for p in view.peaks[:2])
+    assert xs[0] < 0 < xs[1]  # one peak per blob
+
+
+def test_peaks_non_max_suppressed():
+    """One peak per mountain: no two peaks within the suppression
+    radius of each other."""
+    coords, assignments = _two_blobs(n=120, seed=3)
+    view = build_themeview(coords, assignments, grid=48)
+    suppress = max(2, 48 // 8)
+    cell_w = view.x_edges[1] - view.x_edges[0]
+    cell_h = view.y_edges[1] - view.y_edges[0]
+    for i, p in enumerate(view.peaks):
+        for q in view.peaks[i + 1 :]:
+            dx_cells = abs(p.x - q.x) / cell_w
+            dy_cells = abs(p.y - q.y) / cell_h
+            assert max(dx_cells, dy_cells) > suppress
+
+
+def test_peaks_carry_cluster_identity():
+    coords, assignments = _two_blobs()
+    view = build_themeview(coords, assignments, grid=40)
+    top2 = {p.cluster for p in view.peaks[:2]}
+    assert top2 == {0, 1}
+
+
+def test_peak_labels_attached():
+    coords, assignments = _two_blobs()
+    view = build_themeview(
+        coords,
+        assignments,
+        cluster_labels={0: ["alpha", "beta"], 1: ["gamma"]},
+        grid=32,
+    )
+    labelled = {p.cluster: p.labels for p in view.peaks[:2]}
+    assert labelled[0] == ["alpha", "beta"]
+    assert labelled[1] == ["gamma"]
+
+
+def test_heights_nonnegative_and_mass_near_docs():
+    coords, _ = _two_blobs()
+    view = build_themeview(coords, grid=32)
+    assert np.all(view.heights >= 0)
+    # the valley between the blobs is lower than the blob centers
+    mid = view.heights[:, 14:18].max()
+    assert mid < view.heights.max() * 0.5
+
+
+def test_single_document():
+    view = build_themeview(np.array([[1.0, 2.0]]), grid=16)
+    assert len(view.peaks) >= 1
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        build_themeview(np.empty((0, 2)))
+    with pytest.raises(ValueError):
+        build_themeview(np.ones((3,)))
+
+
+def test_render_ascii_shape_and_legend():
+    coords, assignments = _two_blobs()
+    view = build_themeview(
+        coords, assignments, cluster_labels={0: ["x"], 1: ["y"]}, grid=24
+    )
+    text = render_ascii(view)
+    lines = text.split("\n")
+    assert len(lines[0]) == 24
+    assert "peaks:" in text
+    assert "[0]" in text
+
+
+def test_write_pgm(tmp_path):
+    coords, _ = _two_blobs()
+    view = build_themeview(coords, grid=16)
+    path = tmp_path / "t.pgm"
+    write_pgm(view, path)
+    data = path.read_bytes()
+    assert data.startswith(b"P5\n16 16\n255\n")
+    assert len(data) == len(b"P5\n16 16\n255\n") + 16 * 16
+
+
+def test_export_json(tmp_path):
+    import json
+
+    coords, assignments = _two_blobs()
+    view = build_themeview(coords, assignments, grid=16)
+    path = tmp_path / "t.json"
+    export_json(view, path)
+    obj = json.loads(path.read_text())
+    assert obj["grid"] == 16
+    assert len(obj["heights"]) == 16
+    assert obj["peaks"]
+
+
+def test_cluster_top_terms():
+    centroids = np.array([[0.1, 0.9, 0.0], [0.5, 0.0, 0.2]])
+    labels = cluster_top_terms(centroids, ["a", "b", "c"], n_terms=2)
+    assert labels[0] == ["b", "a"]
+    assert labels[1] == ["a", "c"]
+
+
+def test_cluster_top_terms_skips_zero_weight():
+    centroids = np.array([[0.0, 0.0]])
+    labels = cluster_top_terms(centroids, ["a", "b"], n_terms=2)
+    assert labels[0] == []
+
+
+def test_cluster_top_terms_shape_check():
+    with pytest.raises(ValueError):
+        cluster_top_terms(np.ones((2, 3)), ["a", "b"])
+
+
+def test_labels_from_result(pubmed_result):
+    from repro.viz import labels_from_result
+
+    labels = labels_from_result(pubmed_result)
+    assert set(labels) == set(range(pubmed_result.centroids.shape[0]))
+    for terms in labels.values():
+        for t in terms:
+            assert t in pubmed_result.topic_term_strings
