@@ -69,6 +69,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default="kmeans",
     )
     r.add_argument("--seed", type=int, default=0)
+    r.add_argument(
+        "--fault-plan",
+        type=Path,
+        default=None,
+        help="JSON fault plan to replay (parallel runs only)",
+    )
+    r.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="directory for stage checkpoints during faulty runs",
+    )
     r.add_argument("--out", type=Path, required=True)
 
     a = sub.add_parser("analyze", help="query a saved engine result")
@@ -138,11 +150,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
 
     corpus = read_source(args.corpus)
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.runtime import FaultPlan
+
+        fault_plan = FaultPlan.from_json(args.fault_plan.read_text())
+        print(f"replaying fault plan from {args.fault_plan}")
     config = EngineConfig(
         n_major_terms=args.major_terms,
         n_clusters=args.clusters,
         cluster_method=args.cluster_method,
         seed=args.seed,
+        fault_plan=fault_plan,
+        checkpoint_dir=(
+            str(args.checkpoint_dir)
+            if args.checkpoint_dir is not None
+            else None
+        ),
     )
     if args.nprocs > 0:
         print(f"running parallel engine on {args.nprocs} simulated procs")

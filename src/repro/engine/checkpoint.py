@@ -1,0 +1,113 @@
+"""Stage-level checkpointing for fault-tolerant engine runs.
+
+The parallel engine's pipeline has natural barriers between stages
+(scan -> inverted-file indexing -> topicality -> signature model ->
+cluster/project).  When fault injection is active, rank 0 persists a
+compact, **processor-count-independent** snapshot at the end of each
+stage; after a fail-stop crash the driver restarts the run on the
+surviving ranks, which fast-forward through every completed stage by
+reloading its snapshot instead of recomputing.
+
+Processor-independence is the load-bearing property: snapshots are
+keyed by *term strings* and *document IDs*, never by dense global term
+IDs (gids), because the gid assignment depends on the rank count and a
+restarted run typically has one rank fewer.  Each restart re-derives
+gids from its own vocabulary finalization.
+
+Stage snapshot contents:
+
+``scan``
+    the full vocabulary as one sorted term array;
+``index``
+    per-term document/collection frequencies, sorted by term;
+``topic``
+    the ranked topicality candidates (term, score, df, cf);
+``sig``
+    the complete signature matrix sorted by document ID, the
+    association matrix, the major/topic terms, and the null-fraction
+    statistics.
+
+Files are ``.npz`` archives written atomically (temp file +
+``os.replace``) so a crash mid-write never leaves a torn snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+#: pipeline stages with snapshots, in execution order
+STAGES = ("scan", "index", "topic", "sig")
+
+PathLike = Union[str, Path]
+
+
+class StageCheckpointer:
+    """Reads and writes per-stage snapshots under one directory."""
+
+    def __init__(self, directory: PathLike):
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def path(self, stage: str) -> Path:
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r} (not in {STAGES})")
+        return self.dir / f"{stage}.npz"
+
+    def has(self, stage: str) -> bool:
+        return self.path(stage).exists()
+
+    def completed(self) -> tuple[str, ...]:
+        """The completed stage *prefix* (stops at the first gap).
+
+        Later snapshots depend on earlier ones (e.g. restoring term
+        statistics requires the restored vocabulary), so an out-of-
+        order remnant after a gap is unusable and ignored.
+        """
+        done = []
+        for stage in STAGES:
+            if not self.has(stage):
+                break
+            done.append(stage)
+        return tuple(done)
+
+    def reset(self) -> None:
+        """Delete every stage snapshot (start-of-run cleanup)."""
+        for stage in STAGES:
+            try:
+                self.path(stage).unlink()
+            except FileNotFoundError:
+                pass
+
+    def save(
+        self,
+        stage: str,
+        arrays: dict[str, np.ndarray],
+        meta: Optional[dict] = None,
+    ) -> int:
+        """Atomically persist ``arrays`` (+ JSON ``meta``); returns the
+        snapshot size in bytes for virtual I/O accounting."""
+        target = self.path(stage)
+        tmp = target.with_name(target.name + ".tmp.npz")
+        payload = dict(arrays)
+        payload["_meta_json"] = np.array(
+            json.dumps(meta or {}), dtype=object
+        )
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, target)
+        return target.stat().st_size
+
+    def load(self, stage: str) -> tuple[dict[str, np.ndarray], dict]:
+        """Read a snapshot back as ``(arrays, meta)``."""
+        with np.load(self.path(stage), allow_pickle=True) as z:
+            arrays = {k: z[k] for k in z.files if k != "_meta_json"}
+            meta = json.loads(str(z["_meta_json"][()]))
+        return arrays, meta
+
+    def nbytes(self, stage: str) -> int:
+        return self.path(stage).stat().st_size

@@ -64,6 +64,16 @@ class EngineConfig:
     keep_signatures: bool = True
     keep_term_stats: bool = True
 
+    # --- fault tolerance -----------------------------------------------------
+    #: fault scenario replayed against the run (None = fault-free);
+    #: see :class:`repro.runtime.faults.FaultPlan`
+    fault_plan: "object | None" = None
+    #: directory for stage checkpoints; None = a temporary directory,
+    #: auto-created when the plan injects crashes
+    checkpoint_dir: "str | None" = None
+    #: give up after this many checkpoint-restart attempts
+    max_restarts: int = 8
+
     # --- tokenization & memory model ----------------------------------------
     tokenizer: TokenizerConfig = field(default_factory=TokenizerConfig)
     #: in-memory working set per byte of raw input (indexes, tables)
@@ -100,6 +110,8 @@ class EngineConfig:
             raise ValueError("micro_cluster_factor must be >= 1")
         if self.mem_expansion <= 0:
             raise ValueError("mem_expansion must be > 0")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
         if self.field_weights is not None and any(
             w < 0 for w in self.field_weights.values()
         ):

@@ -27,7 +27,9 @@ PathLike = Union[str, Path]
 _FORMAT_VERSION = 1
 
 
-def _terms_to_arrays(terms: list[RankedTerm]) -> dict[str, np.ndarray]:
+def terms_to_arrays(terms: list[RankedTerm]) -> dict[str, np.ndarray]:
+    """Columnar encoding of ranked-term lists (shared with the
+    stage checkpointer)."""
     return {
         "term": np.array([t.term for t in terms], dtype=object),
         "gid": np.array([t.gid for t in terms], dtype=np.int64),
@@ -37,7 +39,8 @@ def _terms_to_arrays(terms: list[RankedTerm]) -> dict[str, np.ndarray]:
     }
 
 
-def _terms_from_arrays(d: dict) -> list[RankedTerm]:
+def terms_from_arrays(d: dict) -> list[RankedTerm]:
+    """Inverse of :func:`terms_to_arrays`."""
     return [
         RankedTerm(
             term=str(t),
@@ -83,7 +86,7 @@ def save_result(result: EngineResult, path: PathLike) -> None:
         "centroids": result.centroids,
         "association": result.association,
     }
-    for k, v in _terms_to_arrays(result.major_terms).items():
+    for k, v in terms_to_arrays(result.major_terms).items():
         arrays[f"major_{k}"] = v
     if result.signatures is not None:
         arrays["signatures"] = result.signatures
@@ -113,7 +116,7 @@ def load_result(path: PathLike) -> EngineResult:
             raise ValueError(
                 f"unsupported result format {meta.get('format_version')!r}"
             )
-        majors = _terms_from_arrays(
+        majors = terms_from_arrays(
             {
                 k: z[f"major_{k}"]
                 for k in ("term", "gid", "score", "df", "cf")

@@ -17,14 +17,21 @@ term ID.  We reproduce exactly that structure:
 from __future__ import annotations
 
 import zlib
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.runtime.context import RankContext
+from repro.runtime.errors import TransientRpcError
 
 
 def term_owner(term: str, nprocs: int) -> int:
     """Deterministic owner rank of a term."""
     return zlib.crc32(term.encode("utf-8")) % nprocs
+
+
+#: retry policy for transiently-failing insert RPCs: attempts and the
+#: initial virtual-seconds backoff (doubles per retry)
+RPC_RETRIES = 4
+RPC_BACKOFF_S = 2e-4
 
 
 class _OwnerState:
@@ -64,6 +71,32 @@ class GlobalHashMap:
     def owner_of(self, term: str) -> int:
         return term_owner(term, self.nprocs)
 
+    def _rpc_with_retry(
+        self,
+        owner: int,
+        handler: Callable[..., Any],
+        nbytes_out: float,
+        nbytes_in: float,
+    ) -> Any:
+        """Issue an RPC, retrying transient flakes with backoff.
+
+        Hashmap inserts are idempotent (get-or-insert), so re-issuing
+        a flaked call is safe.  Each retry waits an exponentially
+        growing virtual-time backoff before re-sending; the transient
+        error propagates only once the budget is exhausted.
+        """
+        backoff = RPC_BACKOFF_S
+        for attempt in range(RPC_RETRIES + 1):
+            try:
+                return self._ctx.rpc(
+                    owner, handler, nbytes_out=nbytes_out, nbytes_in=nbytes_in
+                )
+            except TransientRpcError:
+                if attempt == RPC_RETRIES:
+                    raise
+                self._ctx.charge(backoff)
+                backoff *= 2.0
+
     def get_or_insert(self, term: str) -> int:
         """Insert ``term`` if absent; return its global ID either way."""
         owner = self.owner_of(term)
@@ -78,7 +111,7 @@ class GlobalHashMap:
             return gid
 
         nbytes = 16.0 + len(term)
-        return self._ctx.rpc(
+        return self._rpc_with_retry(
             owner, handler, nbytes_out=nbytes, nbytes_in=16.0
         )
 
@@ -110,7 +143,7 @@ class GlobalHashMap:
                 return gids
 
             nbytes = sum(len(t) for t in batch) + 16.0 * len(batch)
-            gids = self._ctx.rpc(
+            gids = self._rpc_with_retry(
                 owner, handler, nbytes_out=nbytes, nbytes_in=8.0 * len(batch)
             )
             # aggregate op still pays per-element handler work
@@ -125,12 +158,32 @@ class GlobalHashMap:
         owner = self.owner_of(term)
         shard = self._shards[owner]
         nbytes = 16.0 + len(term)
-        return self._ctx.rpc(
+        return self._rpc_with_retry(
             owner,
             lambda: shard.table.get(term),
             nbytes_out=nbytes,
             nbytes_in=16.0,
         )
+
+    def restore_terms(self, terms) -> int:
+        """Re-register checkpointed vocabulary terms owned by this rank.
+
+        Checkpoint restore path: every rank filters the saved global
+        term list down to its own shard and re-inserts locally (no
+        RPCs).  Insertion in sorted order keeps provisional IDs
+        deterministic; the dense IDs are re-derived later by
+        vocabulary finalization, so they stay consistent even when the
+        restart runs with fewer ranks than the checkpointing run.
+        Returns the number of terms restored, for cost charging.
+        """
+        rank = self._ctx.rank
+        shard = self._shards[rank]
+        mine = sorted(t for t in terms if self.owner_of(t) == rank)
+        for term in mine:
+            if term not in shard.table:
+                shard.table[term] = shard.next_local * self.nprocs + rank
+                shard.next_local += 1
+        return len(mine)
 
     def local_items(self) -> list[tuple[str, int]]:
         """(term, gid) pairs owned by the calling rank (no comm cost)."""

@@ -13,6 +13,14 @@ stealing their remaining loads.
 Compared with the master–worker alternative
 (:mod:`repro.baselines.masterworker`), no process ever serves as a
 bottleneck: claiming a task is a single one-sided atomic.
+
+Fault tolerance: under fault injection each claimed chunk carries a
+*lease* naming the claimant.  A chunk whose holder fail-stop crashed
+before calling :meth:`SharedTaskQueue.complete` is reclaimed by the
+first survivor that runs out of unclaimed work, so no task is lost --
+at-least-once hand-out, which is safe because inversion loads are
+idempotent.  Without an injector the lease bookkeeping is skipped
+entirely (zero overhead), preserving exactly-once hand-out.
 """
 
 from __future__ import annotations
@@ -65,6 +73,15 @@ class SharedTaskQueue:
         # Owners this rank has already observed to be drained; tasks are
         # never re-added, so we can skip the atomic on later polls.
         self._drained: set[int] = set()
+        # Lease table (chunk -> holder rank), shared across ranks via
+        # the world registry.  Only maintained under fault injection;
+        # the dict operations are free in virtual time (the read_inc
+        # that accompanies every claim already paid for the RMA).
+        self._track_leases = ctx.sched.injector is not None
+        if self._track_leases:
+            self._leases: dict[tuple[int, int], int] = (
+                ctx.world.registry.setdefault(f"taskq:{name}:leases", {})
+            )
 
     def _claim_from(self, owner: int) -> Optional[tuple[int, int]]:
         """Try to claim up to ``chunk`` tasks from ``owner``'s range."""
@@ -77,6 +94,8 @@ class SharedTaskQueue:
             return None
         lo = int(self.offsets[owner]) + pos
         hi = int(self.offsets[owner]) + min(count, pos + self.chunk)
+        if self._track_leases:
+            self._leases[(lo, hi)] = self._ctx.rank
         return lo, hi
 
     def next_chunk(self) -> Optional[tuple[int, int]]:
@@ -84,7 +103,8 @@ class SharedTaskQueue:
 
         Own loads are drained first; afterwards other ranks' loads are
         stolen round-robin.  Returns ``None`` when every load in the
-        queue has been claimed.
+        queue has been claimed (and, under fault injection, every chunk
+        leased to a crashed rank has been reclaimed).
         """
         got = self._claim_from(self._ctx.rank)
         if got is not None:
@@ -93,6 +113,36 @@ class SharedTaskQueue:
             got = self._claim_from(owner)
             if got is not None:
                 return got
+        if self._track_leases:
+            return self._reclaim_dead()
+        return None
+
+    def complete(self, lo: int, hi: int) -> None:
+        """Mark chunk ``[lo, hi)`` as processed, releasing its lease.
+
+        Results produced from the chunk must be globally visible before
+        the call (in this runtime every store is immediate, so calling
+        right after processing is correct).  A no-op without fault
+        injection.
+        """
+        if self._track_leases:
+            self._leases.pop((lo, hi), None)
+
+    def _reclaim_dead(self) -> Optional[tuple[int, int]]:
+        """Re-issue one chunk whose lease holder has crashed.
+
+        Deterministic: chunks are scanned in task-ID order, and only
+        deaths already visible to this rank's failure detector count.
+        The reclaimed lease transfers to this rank, so each orphaned
+        chunk is re-issued once (unless the reclaimer dies too).
+        """
+        dead = set(self._ctx.failed_ranks())
+        if not dead:
+            return None
+        for (lo, hi) in sorted(self._leases):
+            if self._leases[(lo, hi)] in dead:
+                self._leases[(lo, hi)] = self._ctx.rank
+                return lo, hi
         return None
 
     def owner_of_task(self, task_id: int) -> int:

@@ -16,8 +16,22 @@ from .errors import (
     ClusterAborted,
     ClusterError,
     CollectiveMismatchError,
+    CommTimeoutError,
     DeadlockError,
+    RankCrashedError,
+    RankFailedError,
     RuntimeMisuseError,
+    TransientRpcError,
+)
+from .faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    FsStallFault,
+    MessageDelayFault,
+    MessageDropFault,
+    RpcFlakeFault,
+    StragglerFault,
 )
 from .machine import MachineSpec, Scale
 from .mpi import ANY_SOURCE, MAX, MIN, MPIComm, PROD, SUM
@@ -34,7 +48,19 @@ __all__ = [
     "ClusterAborted",
     "ClusterError",
     "CollectiveMismatchError",
+    "CommTimeoutError",
+    "CrashFault",
     "DeadlockError",
+    "FaultInjector",
+    "FaultPlan",
+    "FsStallFault",
+    "MessageDelayFault",
+    "MessageDropFault",
+    "RankCrashedError",
+    "RankFailedError",
+    "RpcFlakeFault",
+    "StragglerFault",
+    "TransientRpcError",
     "ANY_SOURCE",
     "MAX",
     "MIN",

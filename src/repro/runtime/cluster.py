@@ -8,6 +8,8 @@ from typing import Any, Callable
 import numpy as np
 
 from .context import RankContext
+from .errors import RankFailedError
+from .faults import FaultInjector, FaultPlan
 from .machine import MachineSpec
 from .scheduler import Scheduler, spawn_ranks
 from .tracing import Tracer
@@ -26,6 +28,8 @@ class ClusterResult:
     #: per-rank virtual seconds spent blocked (waiting on peers)
     blocked_times: np.ndarray = field(default=None)  # type: ignore[assignment]
     tracer: Tracer = field(repr=False, default=None)  # type: ignore[assignment]
+    #: ranks that fail-stop crashed during the run (fault injection)
+    failed_ranks: list[int] = field(default_factory=list)
 
     @property
     def wall_time(self) -> float:
@@ -47,6 +51,10 @@ class ClusterResult:
 class Cluster:
     """A simulated cluster of ``nprocs`` ranks with a cost model.
 
+    ``faults`` optionally attaches a :class:`FaultPlan` (or a live
+    :class:`FaultInjector`, when a restart loop wants crash faults to
+    stay consumed across attempts) to the run.
+
     Example
     -------
     >>> from repro.runtime import Cluster
@@ -57,26 +65,43 @@ class Cluster:
     [10, 10, 10, 10]
     """
 
-    def __init__(self, nprocs: int, machine: MachineSpec | None = None):
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineSpec | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
+    ):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.machine = machine if machine is not None else MachineSpec()
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.injector = faults
 
     def run(
         self,
         fn: Callable[..., Any],
         *args: Any,
+        raise_on_failure: bool = True,
         **kwargs: Any,
     ) -> ClusterResult:
         """Execute ``fn(ctx, *args, **kwargs)`` on every rank.
 
         Blocks until all ranks complete; raises the first rank failure
-        (or :class:`~repro.runtime.errors.DeadlockError`).
+        (or :class:`~repro.runtime.errors.DeadlockError`).  Under fault
+        injection, a run some ranks of which crashed raises
+        :class:`~repro.runtime.errors.RankFailedError` unless
+        ``raise_on_failure=False`` (then ``failed_ranks`` on the result
+        reports the victims and their entries in ``rank_results`` stay
+        ``None``).
         """
-        sched = Scheduler(self.nprocs)
+        sched = Scheduler(self.nprocs, injector=self.injector)
         world = World(self.nprocs)
         tracer = Tracer(self.nprocs)
+        if self.injector is not None:
+            self.injector.start_run(self.nprocs, tracer)
+            world.comm_timeout = self.injector.comm_timeout_s
         contexts = [
             RankContext(r, world, sched, self.machine, tracer)
             for r in range(self.nprocs)
@@ -88,14 +113,30 @@ class Cluster:
         threads, results = spawn_ranks(sched, target)
         try:
             sched.wait_all()
+        except RankFailedError as exc:
+            if exc.rank_times is None:
+                exc.rank_times = np.array(
+                    [sched.clocks[r].now for r in range(self.nprocs)]
+                )
+            raise
         finally:
             for t in threads:
                 t.join(timeout=30.0)
         times = np.array([sched.clocks[r].now for r in range(self.nprocs)])
+        failed = sorted(sched.failed_at)
+        if failed and raise_on_failure:
+            # Every survivor finished without needing the dead ranks
+            # (e.g. the crash hit after the last synchronization), but
+            # the cluster still lost members: report it the same way a
+            # mid-run detection would.
+            exc = RankFailedError(failed, "run completion")
+            exc.rank_times = times
+            raise exc
         return ClusterResult(
             nprocs=self.nprocs,
             rank_results=list(results),
             rank_times=times,
             blocked_times=np.array(sched.blocked_time),
             tracer=tracer,
+            failed_ranks=failed,
         )

@@ -19,7 +19,12 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from .errors import CollectiveMismatchError, RuntimeMisuseError
+from .errors import (
+    CollectiveMismatchError,
+    CommTimeoutError,
+    RankFailedError,
+    RuntimeMisuseError,
+)
 from .machine import MachineSpec
 from .payload import payload_nbytes
 from .scheduler import Scheduler
@@ -130,6 +135,25 @@ class Communicator:
     def _waiter_key(self, src_local: int, tag: int):
         return (self._ctx_key, self._g(src_local), self._grank, tag)
 
+    def _effective_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        """Per-call timeout, falling back to the world default (which a
+        fault plan sets; ``None`` = wait forever, the fault-free case)."""
+        return self.world.comm_timeout if timeout is None else timeout
+
+    def _raise_timeout(
+        self, detail: str, involved: Sequence[int], timeout: float
+    ) -> None:
+        """A blocking operation's virtual-time deadline fired.
+
+        If any involved global rank has crashed this is a detected peer
+        death (:class:`RankFailedError`); otherwise the peers are alive
+        but silent (:class:`CommTimeoutError`).
+        """
+        dead = sorted(set(involved) & set(self.sched.failed_at))
+        if dead:
+            raise RankFailedError(dead, detail)
+        raise CommTimeoutError(self._grank, detail, timeout)
+
     def split(
         self, color: Optional[int], key: Optional[int] = None
     ) -> "Optional[Communicator]":
@@ -174,6 +198,10 @@ class Communicator:
             intra_node=self.machine.same_node(self._grank, self._g(dest)),
         )
         now = self.sched.now(self._grank)
+        if self.sched.injector is not None:
+            transit_dt = self.sched.injector.adjust_transit(
+                self._grank, self._g(dest), now, transit_dt
+            )
         arrival = now + transit_dt
         box = self._box(self.rank, tag, dst_local=dest)
         box.append((obj, arrival))
@@ -187,8 +215,16 @@ class Communicator:
                 waiter, arrival + self.machine.recv_overhead_seconds()
             )
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        """Receive the next message from ``source``; blocks if none."""
+    def recv(
+        self, source: int, tag: int = 0, timeout: Optional[float] = None
+    ) -> Any:
+        """Receive the next message from ``source``; blocks if none.
+
+        With a ``timeout`` (or a world default set by an active fault
+        plan), a receive that stays unmatched for that many virtual
+        seconds raises :class:`RankFailedError` (the sender crashed) or
+        :class:`CommTimeoutError` (sender alive but silent).
+        """
         self._check_peer(source)
         self.sched.wait_turn(self._grank)
         key = self._waiter_key(source, tag)
@@ -200,9 +236,16 @@ class Communicator:
                     f"{self.world.recv_waiters[key]} and {self._grank})"
                 )
             self.world.recv_waiters[key] = self._grank
-            self.sched.block(
-                self._grank, reason=f"recv(src={source}, tag={tag})"
+            detail = f"recv(src={source}, tag={tag})"
+            eff = self._effective_timeout(timeout)
+            timed_out = self.sched.block(
+                self._grank, reason=detail, timeout=eff
             )
+            if timed_out:
+                # No sender ran before the deadline (a send would have
+                # woken us and cleared it), so the box is still empty.
+                self.world.recv_waiters.pop(key, None)
+                self._raise_timeout(detail, [self._g(source)], eff)
             # the sender advanced our clock to the completed-receive time
             obj, _arrival = box.popleft()
             return obj
@@ -244,7 +287,10 @@ class Communicator:
         return bool(box) and box[0][1] <= now
 
     def recv_any(
-        self, sources: Optional[Sequence[int]] = None, tag: int = 0
+        self,
+        sources: Optional[Sequence[int]] = None,
+        tag: int = 0,
+        timeout: Optional[float] = None,
     ) -> tuple[int, Any]:
         """Receive the next message from any of ``sources``.
 
@@ -269,12 +315,14 @@ class Communicator:
                 )
             self.world.recv_waiters[key] = self._grank
             keys.append(key)
-        self.sched.block(
-            self._grank, reason=f"recv_any(sources={srcs}, tag={tag})"
-        )
+        detail = f"recv_any(sources={srcs}, tag={tag})"
+        eff = self._effective_timeout(timeout)
+        timed_out = self.sched.block(self._grank, reason=detail, timeout=eff)
         for key in keys:
             if self.world.recv_waiters.get(key) == self._grank:
                 del self.world.recv_waiters[key]
+        if timed_out:
+            self._raise_timeout(detail, [self._g(s) for s in srcs], eff)
         found = self._pop_earliest(srcs, tag, ignore_arrival=True)
         assert found is not None, "woken without a deliverable message"
         return found
@@ -493,9 +541,14 @@ class Communicator:
         now = self.sched.now(self._grank)
         gate.arrivals[self.rank] = (now, payload)
         if len(gate.arrivals) < self.nprocs:
-            self.sched.block(
-                self._grank, reason=f"{kind} (collective #{seq})"
+            detail = f"{kind} (collective #{seq})"
+            eff = self._effective_timeout(None)
+            timed_out = self.sched.block(
+                self._grank, reason=detail, timeout=eff
             )
+            if timed_out:
+                involved = [self._g(r) for r in range(self.nprocs)]
+                self._raise_timeout(detail, involved, eff)
         else:
             # Last arriver: compute results and completion times.
             payloads = [gate.arrivals[r][1] for r in range(self.nprocs)]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, Optional
 
 from .comm import Communicator
+from .errors import RankFailedError, TransientRpcError
 from .machine import MachineSpec, Scale
 from .payload import payload_nbytes
 from .scheduler import Scheduler
@@ -63,7 +64,10 @@ class RankContext:
         scale: Scale = Scale.STREAM,
     ) -> None:
         readers = self.nprocs if concurrent_readers is None else concurrent_readers
-        self.charge(self.machine.io_seconds(nbytes, readers, scale))
+        dt = self.machine.io_seconds(nbytes, readers, scale)
+        if self.sched.injector is not None:
+            dt = self.sched.injector.adjust_io(self.rank, self.now, dt)
+        self.charge(dt)
 
     # ------------------------------------------------------------------
     # one-sided / RPC
@@ -82,8 +86,24 @@ class RankContext:
         round-trip; the handler runs atomically at the target (the
         scheduler's global ordering makes this trivially consistent).
         Calls to one's own rank cost only the handler time.
+
+        Under fault injection an RPC to a crashed target raises
+        :class:`RankFailedError` (after paying the round trip spent
+        discovering the death), and designated calls flake with
+        :class:`TransientRpcError` for idempotent callers to retry.
         """
         self.sched.wait_turn(self.rank)
+        inj = self.sched.injector
+        if inj is not None and target != self.rank:
+            if target in self.sched.failed_at:
+                self.charge(self.machine.rpc_seconds(64.0, 64.0))
+                raise RankFailedError([target], f"rpc to rank {target}")
+            if inj.rpc_fails(self.rank, target, self.now):
+                out = payload_nbytes(args) if nbytes_out is None else nbytes_out
+                self.charge(self.machine.rpc_seconds(out, nbytes_in))
+                raise TransientRpcError(
+                    f"rank {self.rank}: rpc to rank {target} flaked"
+                )
         result = handler(*args)
         if target == self.rank:
             self.charge(self.machine.rpc_handler_cost_s)
@@ -91,6 +111,23 @@ class RankContext:
             out = payload_nbytes(args) if nbytes_out is None else nbytes_out
             self.charge(self.machine.rpc_seconds(out, nbytes_in))
         return result
+
+    # ------------------------------------------------------------------
+    # failure detection
+    # ------------------------------------------------------------------
+    def failed_ranks(self) -> list[int]:
+        """Crashed ranks whose death this rank can observe by now.
+
+        A heartbeat-style detector: a crash becomes visible one
+        detection latency after it happened (in virtual time).  Without
+        fault injection this is always empty.
+        """
+        self.sched.wait_turn(self.rank)
+        return self.sched.failures_observed_by(self.rank)
+
+    def is_alive(self, rank: int) -> bool:
+        """Whether ``rank`` is believed alive by the failure detector."""
+        return rank not in self.failed_ranks()
 
     # ------------------------------------------------------------------
     # tracing

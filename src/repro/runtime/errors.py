@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterable, Optional
+
 
 class ClusterError(Exception):
     """Base class for all runtime errors."""
@@ -11,13 +13,33 @@ class DeadlockError(ClusterError):
     """Raised when every live rank is blocked and no wake-up can occur.
 
     Carries the set of blocked ranks and, when available, a short
-    description of what each rank was blocked on.
+    description of what each rank was blocked on, its virtual clock at
+    detection time, and the virtual seconds it had already spent
+    blocked over the whole run -- enough to diagnose which rank stalled
+    first and why.
     """
 
-    def __init__(self, blocked: dict[int, str]):
+    def __init__(
+        self,
+        blocked: dict[int, str],
+        clocks: Optional[dict[int, float]] = None,
+        blocked_time: Optional[dict[int, float]] = None,
+    ):
         self.blocked = dict(blocked)
-        detail = ", ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
-        super().__init__(f"deadlock: all live ranks blocked ({detail})")
+        self.clocks = dict(clocks) if clocks else {}
+        self.blocked_time = dict(blocked_time) if blocked_time else {}
+        parts = []
+        for r, w in sorted(self.blocked.items()):
+            detail = f"rank {r}: {w}"
+            if r in self.clocks:
+                detail += f" [t={self.clocks[r]:.6f}s"
+                if r in self.blocked_time:
+                    detail += f", blocked {self.blocked_time[r]:.6f}s total"
+                detail += "]"
+            parts.append(detail)
+        super().__init__(
+            f"deadlock: all live ranks blocked ({', '.join(parts)})"
+        )
 
 
 class ClusterAborted(ClusterError):
@@ -38,3 +60,74 @@ class CollectiveMismatchError(ClusterError):
 
 class RuntimeMisuseError(ClusterError):
     """An API was used outside the contract (e.g. bad rank, bad shape)."""
+
+
+class RankCrashedError(ClusterError):
+    """Control-flow exception unwinding a fail-stop-crashed rank.
+
+    Raised *inside* the crashing rank's thread by the fault injector;
+    the rank transitions to the scheduler's FAILED state instead of
+    aborting the whole cluster.  User programs never see this type --
+    survivors observe the death through :class:`RankFailedError` or the
+    failure-detector API.
+    """
+
+    def __init__(self, rank: int, at_time: float):
+        self.rank = rank
+        self.at_time = at_time
+        super().__init__(
+            f"rank {rank} fail-stop crash at t={at_time:.6f}s"
+        )
+
+
+class RankFailedError(ClusterError):
+    """A blocking operation involved a rank that has crashed.
+
+    Raised in surviving ranks whose timed-out receive, collective, or
+    RPC depended on a dead peer, and re-raised by the driver so callers
+    (e.g. the engine's checkpoint-restart loop) can recover.  ``failed``
+    lists the dead ranks involved.
+    """
+
+    def __init__(self, failed: Iterable[int], detail: str = ""):
+        self.failed = sorted(set(int(r) for r in failed))
+        #: final per-rank virtual clocks of the aborted run, attached by
+        #: the driver when available (None inside rank threads)
+        self.rank_times = None
+        msg = f"rank(s) {self.failed} failed"
+        if detail:
+            msg += f" during {detail}"
+        super().__init__(msg)
+
+    @property
+    def wall_time(self) -> Optional[float]:
+        """Virtual wall clock of the aborted run, when attached."""
+        if self.rank_times is None:
+            return None
+        return float(max(self.rank_times))
+
+
+class CommTimeoutError(ClusterError):
+    """A blocking receive or collective exceeded its virtual-time
+    timeout without any involved rank having failed.
+
+    Distinguishing this from :class:`RankFailedError` lets programs
+    separate "peer is dead" (recover via restart) from "peer is merely
+    very slow or the program hung" (likely a bug or a straggler)."""
+
+    def __init__(self, rank: int, detail: str, timeout: float):
+        self.rank = rank
+        self.timeout = timeout
+        super().__init__(
+            f"rank {rank}: {detail} timed out after {timeout:.6f} "
+            f"virtual seconds"
+        )
+
+
+class TransientRpcError(ClusterError):
+    """An ARMCI-style RPC failed transiently (injected network flake).
+
+    Callers with idempotent handlers retry with backoff (see
+    :meth:`repro.ga.hashmap.GlobalHashMap`); the fault injector decides
+    deterministically which calls flake.
+    """

@@ -1,0 +1,405 @@
+"""Deterministic fault injection for the virtual-time runtime.
+
+The paper's production context (IN-SPIRE on a 48-CPU cluster over a
+shared filesystem and InfiniBand) implies node failures, stragglers,
+and transient network glitches.  This module models them as *data*: a
+:class:`FaultPlan` is a declarative, serializable list of fault events,
+and a :class:`FaultInjector` replays the plan against the discrete-
+event scheduler.  Because every trigger condition is expressed in
+virtual time or per-rank operation counts -- never wall-clock time --
+the same seed and plan reproduce the exact same failure scenario
+bit-identically on every run.
+
+Fault taxonomy
+--------------
+* :class:`CrashFault` -- fail-stop death of one rank, at a virtual
+  time or at its Nth runtime call.  Survivors observe the death via
+  timeouts (:class:`~repro.runtime.errors.RankFailedError`) and the
+  failure-detector API on
+  :class:`~repro.runtime.context.RankContext`.
+* :class:`StragglerFault` -- per-rank CPU and network rate
+  multipliers over a virtual-time window (slow node / flaky NIC).
+* :class:`MessageDelayFault` -- extra transit latency for messages
+  matching a (src, dst) pattern inside a window.
+* :class:`MessageDropFault` -- the Nth message on a (src, dst)
+  channel is "dropped" and redelivered after a retransmit delay,
+  modelling a transient loss under a reliable transport.
+* :class:`RpcFlakeFault` -- designated RPC calls from a rank raise
+  :class:`~repro.runtime.errors.TransientRpcError`; idempotent callers
+  retry with backoff.
+* :class:`FsStallFault` -- shared-filesystem I/O slowdown over a
+  window (e.g. a metadata-server hiccup), applied to ``charge_io``.
+
+A plan with no faults is guaranteed zero-overhead: the injector then
+returns neutral factors everywhere and never alters virtual times.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence
+
+from .errors import RankCrashedError
+
+_INF = math.inf
+
+
+def _window_contains(t_start: float, t_end: float, now: float) -> bool:
+    return t_start <= now < t_end
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Fail-stop crash of ``rank``.
+
+    Fires at the first runtime call (synchronization point) where the
+    rank's virtual clock has reached ``at_time``, or at its
+    ``at_call``-th runtime call -- whichever is specified.  Each crash
+    fault fires at most once per plan, even across checkpoint-restart
+    attempts.
+    """
+
+    kind = "crash"
+    rank: int
+    at_time: Optional[float] = None
+    at_call: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_time is None and self.at_call is None:
+            raise ValueError("CrashFault needs at_time or at_call")
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Rank ``rank`` runs slow by ``factor`` inside the window.
+
+    ``factor`` multiplies every local virtual-time charge (CPU, I/O,
+    send overhead); ``net_factor`` (default: ``factor``) multiplies the
+    transit time of messages the rank sends.
+    """
+
+    kind = "straggler"
+    rank: int
+    factor: float
+    net_factor: Optional[float] = None
+    t_start: float = 0.0
+    t_end: float = _INF
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("straggler factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class MessageDelayFault:
+    """Extra transit seconds for matching messages in a window."""
+
+    kind = "delay"
+    extra_s: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    t_start: float = 0.0
+    t_end: float = _INF
+
+
+@dataclass(frozen=True)
+class MessageDropFault:
+    """The ``nth`` message (1-based) from ``src`` to ``dst`` is lost
+    and retransmitted ``retransmit_s`` later."""
+
+    kind = "drop"
+    src: int
+    dst: int
+    nth: int
+    retransmit_s: float = 1e-3
+
+
+@dataclass(frozen=True)
+class RpcFlakeFault:
+    """RPC calls ``nth_calls`` (1-based, per caller) from ``rank``
+    fail with :class:`~repro.runtime.errors.TransientRpcError`."""
+
+    kind = "rpc"
+    rank: int
+    nth_calls: tuple[int, ...] = (1,)
+
+
+@dataclass(frozen=True)
+class FsStallFault:
+    """Shared-FS I/O inside the window is ``factor`` times slower
+    plus ``extra_s`` fixed stall, for ``ranks`` (None = every rank)."""
+
+    kind = "fsstall"
+    t_start: float
+    t_end: float
+    factor: float = 1.0
+    extra_s: float = 0.0
+    ranks: Optional[tuple[int, ...]] = None
+
+
+_FAULT_TYPES = {
+    cls.kind: cls
+    for cls in (
+        CrashFault,
+        StragglerFault,
+        MessageDelayFault,
+        MessageDropFault,
+        RpcFlakeFault,
+        FsStallFault,
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, replayable fault scenario.
+
+    ``comm_timeout_s`` is the default virtual-time timeout applied to
+    blocking receives and collectives while the plan is active -- the
+    mechanism by which survivors detect a dead peer instead of
+    deadlocking.  ``detection_latency_s`` is how long after a crash the
+    failure-detector API reports the death (a heartbeat period).
+    """
+
+    faults: tuple = ()
+    seed: int = 0
+    comm_timeout_s: float = 60.0
+    detection_latency_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.comm_timeout_s <= 0:
+            raise ValueError("comm_timeout_s must be > 0")
+        if self.detection_latency_s < 0:
+            raise ValueError("detection_latency_s must be >= 0")
+
+    @property
+    def crash_faults(self) -> tuple[CrashFault, ...]:
+        return tuple(f for f in self.faults if isinstance(f, CrashFault))
+
+    # ------------------------------------------------------------------
+    # serialization (the CLI's --fault-plan file format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        faults = []
+        for f in self.faults:
+            d = {"kind": f.kind}
+            for k, v in asdict(f).items():
+                if v == _INF:
+                    v = None
+                if isinstance(v, tuple):
+                    v = list(v)
+                d[k] = v
+            faults.append(d)
+        return {
+            "seed": self.seed,
+            "comm_timeout_s": self.comm_timeout_s,
+            "detection_latency_s": self.detection_latency_s,
+            "faults": faults,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        faults = []
+        for fd in d.get("faults", ()):
+            fd = dict(fd)
+            kind = fd.pop("kind")
+            try:
+                ftype = _FAULT_TYPES[kind]
+            except KeyError:
+                raise ValueError(f"unknown fault kind {kind!r}") from None
+            if "t_end" in fd and fd["t_end"] is None:
+                fd["t_end"] = _INF
+            for key in ("nth_calls", "ranks"):
+                if isinstance(fd.get(key), list):
+                    fd[key] = tuple(fd[key])
+            faults.append(ftype(**fd))
+        return cls(
+            faults=tuple(faults),
+            seed=int(d.get("seed", 0)),
+            comm_timeout_s=float(d.get("comm_timeout_s", 60.0)),
+            detection_latency_s=float(d.get("detection_latency_s", 1e-3)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        nprocs: int,
+        seed: int = 0,
+        n_crashes: int = 1,
+        crash_window: tuple[float, float] = (0.0, 1.0),
+        n_stragglers: int = 0,
+        straggler_factor: float = 4.0,
+        comm_timeout_s: float = 60.0,
+    ) -> "FaultPlan":
+        """Deterministically sample a scenario from ``seed``.
+
+        Crash victims are distinct non-zero... any ranks; crash times
+        are uniform in ``crash_window`` (virtual seconds).
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        faults: list = []
+        victims = rng.permutation(nprocs)
+        for i in range(min(n_crashes, nprocs - 1)):
+            t = float(rng.uniform(*crash_window))
+            faults.append(CrashFault(rank=int(victims[i]), at_time=t))
+        for i in range(n_stragglers):
+            r = int(victims[(n_crashes + i) % nprocs])
+            faults.append(
+                StragglerFault(rank=r, factor=float(straggler_factor))
+            )
+        return cls(
+            faults=tuple(faults), seed=seed, comm_timeout_s=comm_timeout_s
+        )
+
+
+class FaultInjector:
+    """Replays a :class:`FaultPlan` against one or more simulated runs.
+
+    One injector may span several scheduler runs (the engine's
+    checkpoint-restart attempts): crash faults already fired stay
+    consumed, so a restarted attempt does not immediately re-kill the
+    replacement topology.  Per-run counters (operation counts, message
+    sequence numbers) reset at :meth:`start_run`.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._pending_crashes: list[CrashFault] = list(plan.crash_faults)
+        self._stragglers = [
+            f for f in plan.faults if isinstance(f, StragglerFault)
+        ]
+        self._delays = [
+            f for f in plan.faults if isinstance(f, MessageDelayFault)
+        ]
+        self._drops = [
+            f for f in plan.faults if isinstance(f, MessageDropFault)
+        ]
+        self._rpc_flakes = [
+            f for f in plan.faults if isinstance(f, RpcFlakeFault)
+        ]
+        self._fs_stalls = [
+            f for f in plan.faults if isinstance(f, FsStallFault)
+        ]
+        self._tracer = None
+        self._ncalls: list[int] = []
+        self._nrpc: list[int] = []
+        self._msg_seq: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def has_crash_faults(self) -> bool:
+        """Whether any (consumed or pending) crash faults exist."""
+        return bool(self.plan.crash_faults)
+
+    @property
+    def comm_timeout_s(self) -> float:
+        return self.plan.comm_timeout_s
+
+    @property
+    def detection_latency_s(self) -> float:
+        return self.plan.detection_latency_s
+
+    def start_run(self, nprocs: int, tracer=None) -> None:
+        """Reset per-run state; called by the cluster driver."""
+        self._tracer = tracer
+        self._ncalls = [0] * nprocs
+        self._nrpc = [0] * nprocs
+        self._msg_seq = {}
+
+    def _note(self, rank: int, name: str, t: float, args=None) -> None:
+        if self._tracer is not None:
+            self._tracer.instant(rank, name, t, args)
+
+    # ------------------------------------------------------------------
+    # scheduler hooks
+    # ------------------------------------------------------------------
+    def on_turn(self, rank: int, now: float) -> None:
+        """Called once per runtime call of ``rank``; may crash it."""
+        self._ncalls[rank] += 1
+        ncalls = self._ncalls[rank]
+        for f in self._pending_crashes:
+            if f.rank != rank:
+                continue
+            due = (f.at_time is not None and now >= f.at_time) or (
+                f.at_call is not None and ncalls >= f.at_call
+            )
+            if due:
+                self._pending_crashes.remove(f)
+                self._note(rank, "fault:crash", now)
+                raise RankCrashedError(rank, now)
+
+    def scale_compute(self, rank: int, now: float, dt: float) -> float:
+        """Straggler multiplier applied to local virtual-time charges."""
+        for f in self._stragglers:
+            if f.rank == rank and _window_contains(f.t_start, f.t_end, now):
+                dt *= f.factor
+        return dt
+
+    # ------------------------------------------------------------------
+    # communication hooks
+    # ------------------------------------------------------------------
+    def adjust_transit(
+        self, src: int, dst: int, now: float, transit: float
+    ) -> float:
+        """Transit time after stragglers, delay and drop faults."""
+        for f in self._stragglers:
+            if f.rank == src and _window_contains(f.t_start, f.t_end, now):
+                nf = f.factor if f.net_factor is None else f.net_factor
+                transit *= nf
+        for f in self._delays:
+            if f.src is not None and f.src != src:
+                continue
+            if f.dst is not None and f.dst != dst:
+                continue
+            if _window_contains(f.t_start, f.t_end, now):
+                transit += f.extra_s
+                self._note(src, "fault:msg-delay", now, {"dst": dst})
+        if self._drops:
+            seq = self._msg_seq.get((src, dst), 0) + 1
+            self._msg_seq[(src, dst)] = seq
+            for f in self._drops:
+                if f.src == src and f.dst == dst and f.nth == seq:
+                    transit += f.retransmit_s
+                    self._note(
+                        src, "fault:msg-drop", now, {"dst": dst, "nth": seq}
+                    )
+        return transit
+
+    def rpc_fails(self, rank: int, target: int, now: float) -> bool:
+        """Whether this rank's next RPC flakes (deterministic count)."""
+        if not self._rpc_flakes:
+            return False
+        self._nrpc[rank] += 1
+        n = self._nrpc[rank]
+        for f in self._rpc_flakes:
+            if f.rank == rank and n in f.nth_calls:
+                self._note(rank, "fault:rpc-flake", now, {"target": target})
+                return True
+        return False
+
+    def adjust_io(self, rank: int, now: float, dt: float) -> float:
+        """Shared-FS stall multiplier/latency for one I/O charge."""
+        for f in self._fs_stalls:
+            if f.ranks is not None and rank not in f.ranks:
+                continue
+            if _window_contains(f.t_start, f.t_end, now):
+                dt = dt * f.factor + f.extra_s
+                self._note(rank, "fault:fs-stall", now)
+        return dt

@@ -14,6 +14,17 @@ every run.
 Pure local compute between synchronization points runs at full speed
 and is accounted for by explicit cost charges against the rank's
 virtual clock (see :class:`repro.runtime.machine.MachineSpec`).
+
+Fault tolerance
+---------------
+A rank may *fail-stop crash* (injected via
+:class:`~repro.runtime.faults.FaultInjector`): it transitions to a
+terminal ``FAILED`` state without aborting the world.  Blocked ranks
+may carry a virtual-time *deadline*; a rank whose deadline is the
+minimum pending virtual time resumes with ``timed_out=True`` instead of
+waiting forever on a dead peer.  Deadline firing is deterministic: a
+deadline is only taken when no READY rank could still run at an earlier
+(or equal) virtual time, so a would-be waker always gets to run first.
 """
 
 from __future__ import annotations
@@ -22,18 +33,30 @@ import threading
 from typing import Callable, Optional
 
 from .clock import VirtualClock
-from .errors import ClusterAborted, DeadlockError
+from .errors import (
+    ClusterAborted,
+    CommTimeoutError,
+    DeadlockError,
+    RankCrashedError,
+    RankFailedError,
+)
+
+# Error types the driver re-raises verbatim rather than wrapping in the
+# generic "rank N failed" RuntimeError: they are self-describing and
+# callers (tests, the engine's restart loop) match on them directly.
+_PASSTHROUGH_ERRORS = (DeadlockError, RankFailedError, CommTimeoutError)
 
 _READY = "ready"
 _RUNNING = "running"
 _BLOCKED = "blocked"
 _DONE = "done"
+_FAILED = "failed"
 
 
 class Scheduler:
     """Coordinates ``nprocs`` cooperative rank threads in virtual time."""
 
-    def __init__(self, nprocs: int):
+    def __init__(self, nprocs: int, injector=None):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
@@ -50,6 +73,13 @@ class Scheduler:
         #: side of the utilization picture
         self.blocked_time = [0.0] * nprocs
         self._block_entry = [0.0] * nprocs
+        #: optional fault injector consulted at every synchronization
+        #: point and compute charge (None = fault-free, zero overhead)
+        self.injector = injector
+        #: virtual time each crashed rank died at (empty if none did)
+        self.failed_at: dict[int, float] = {}
+        self._deadline: list[Optional[float]] = [None] * nprocs
+        self._timed_out = [False] * nprocs
 
     # ------------------------------------------------------------------
     # rank-side API (called from rank threads)
@@ -59,7 +89,15 @@ class Scheduler:
         return self.clocks[rank].now
 
     def advance(self, rank: int, dt: float) -> float:
-        """Charge ``dt`` virtual seconds to ``rank``'s clock."""
+        """Charge ``dt`` virtual seconds to ``rank``'s clock.
+
+        Straggler faults scale the charge (a slow node takes longer to
+        do the same work).
+        """
+        if self.injector is not None:
+            dt = self.injector.scale_compute(
+                rank, self.clocks[rank].now, dt
+            )
         return self.clocks[rank].advance(dt)
 
     def wait_turn(self, rank: int) -> None:
@@ -68,6 +106,11 @@ class Scheduler:
         Every globally-visible runtime operation calls this first; on
         return the rank *holds the turn* and may mutate shared
         simulation state without further locking (no other rank runs).
+
+        If a crash fault is due for this rank, it fires here (raising
+        :class:`~repro.runtime.errors.RankCrashedError`) -- i.e. ranks
+        die at synchronization points, with the turn held, so the
+        simulation state stays consistent.
         """
         with self._cv:
             self._check_error_locked()
@@ -78,28 +121,42 @@ class Scheduler:
             while self._current != rank:
                 self._cv.wait()
                 self._check_error_locked()
+        if self.injector is not None:
+            # Turn held; may raise RankCrashedError to unwind this rank.
+            self.injector.on_turn(rank, self.clocks[rank].now)
 
-    def block(self, rank: int, reason: str = "") -> None:
-        """Block ``rank`` until another rank calls :meth:`wake` for it.
+    def block(
+        self, rank: int, reason: str = "", timeout: Optional[float] = None
+    ) -> bool:
+        """Block ``rank`` until woken, or until ``timeout`` virtual seconds.
 
-        Must be called while holding the turn.  On return the rank has
-        been woken *and* holds the turn again.
+        Must be called while holding the turn.  On return the rank
+        holds the turn again; the return value is ``True`` when the
+        deadline fired before any :meth:`wake` arrived (the clock is
+        then advanced to the deadline).
         """
         with self._cv:
             self._check_error_locked()
             self._state[rank] = _BLOCKED
             self._block_reason[rank] = reason
             self._block_entry[rank] = self.clocks[rank].now
+            if timeout is not None:
+                self._deadline[rank] = self.clocks[rank].now + timeout
+            self._timed_out[rank] = False
             if self._current == rank:
                 self._current = None
             self._schedule_locked()
             while self._current != rank:
                 self._cv.wait()
                 self._check_error_locked()
-            # the waker advanced our clock to the wake time
+            self._deadline[rank] = None
+            timed_out = self._timed_out[rank]
+            self._timed_out[rank] = False
+            # the waker (or the deadline) advanced our clock
             self.blocked_time[rank] += (
                 self.clocks[rank].now - self._block_entry[rank]
             )
+            return timed_out
 
     def is_blocked(self, rank: int) -> bool:
         """True while ``rank`` sits in :meth:`block` awaiting a wake."""
@@ -112,8 +169,14 @@ class Scheduler:
         Must be called by a rank holding the turn; the woken rank will
         actually run once it becomes the minimum-clock runnable rank.
         ``at_time`` may not precede the woken rank's blocking time.
+
+        Waking a FAILED rank is a silent no-op: collective completers
+        and eager senders may legitimately address a peer that crashed
+        after joining the rendezvous.
         """
         with self._cv:
+            if self._state[rank] == _FAILED:
+                return
             if self._state[rank] != _BLOCKED:
                 raise RuntimeError(
                     f"wake({rank}) but rank is {self._state[rank]!r}"
@@ -121,6 +184,7 @@ class Scheduler:
             self.clocks[rank].advance_to(at_time)
             self._state[rank] = _READY
             self._block_reason[rank] = ""
+            self._deadline[rank] = None
             # No reschedule here: the waker still holds the turn and
             # will yield at its next synchronization point.
 
@@ -146,6 +210,61 @@ class Scheduler:
                 self._current = None
             self._cv.notify_all()
 
+    def crash(self, rank: int) -> None:
+        """Transition ``rank`` to the terminal FAILED state.
+
+        Unlike :meth:`fail` this does *not* abort the world: surviving
+        ranks keep running and learn of the death via timeouts or the
+        failure-detector API.  Called by the rank's own thread while it
+        unwinds from an injected
+        :class:`~repro.runtime.errors.RankCrashedError`.
+        """
+        with self._cv:
+            self._state[rank] = _FAILED
+            self.failed_at[rank] = self.clocks[rank].now
+            self._block_reason[rank] = ""
+            self._deadline[rank] = None
+            self._done_count += 1
+            if self._current == rank:
+                self._current = None
+            self._schedule_locked()
+            self._cv.notify_all()
+
+    def abort_ack(self, rank: int) -> None:
+        """Acknowledge a cluster abort from a victim rank's thread.
+
+        When one rank fails hard, the others unwind with
+        :class:`~repro.runtime.errors.ClusterAborted`; each calls this
+        to account itself as done so the driver's :meth:`wait_all` can
+        return.  No rescheduling happens -- the cluster is going down.
+        """
+        with self._cv:
+            self._done_count += 1
+            if self._current == rank:
+                self._current = None
+            self._state[rank] = _DONE
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # failure detection (rank-side, call with the turn held)
+    # ------------------------------------------------------------------
+    def failures_observed_by(self, rank: int) -> list[int]:
+        """Crashed ranks whose death ``rank`` can already observe.
+
+        Models a heartbeat-style detector: a crash at ``t_f`` becomes
+        visible ``detection_latency_s`` later, so a rank whose clock
+        has not yet reached ``t_f + latency`` does not see it.
+        """
+        lat = (
+            self.injector.detection_latency_s
+            if self.injector is not None
+            else 0.0
+        )
+        now = self.clocks[rank].now
+        return sorted(
+            r for r, t in self.failed_at.items() if t + lat <= now
+        )
+
     # ------------------------------------------------------------------
     # driver-side API
     # ------------------------------------------------------------------
@@ -156,7 +275,7 @@ class Scheduler:
                 self._cv.wait()
             if self._error is not None:
                 exc, rank = self._error, self._error_rank
-                if isinstance(exc, DeadlockError):
+                if isinstance(exc, _PASSTHROUGH_ERRORS):
                     raise exc
                 raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
 
@@ -178,15 +297,29 @@ class Scheduler:
     def _schedule_locked(self) -> None:
         if self._current is not None:
             return
+        # Candidates: READY ranks at their clock, and BLOCKED ranks with
+        # a deadline at max(clock, deadline).  Taking the minimum over
+        # both (READY wins ties) keeps timeouts deterministic: a
+        # deadline only fires when no rank that could still wake the
+        # blocked one can run at an earlier-or-equal virtual time.
         best: Optional[int] = None
         best_t = 0.0
+        best_kind = 0
         for r in range(self.nprocs):
-            if self._state[r] != _READY:
+            if self._state[r] == _READY:
+                t, kind = self.clocks[r].now, 0
+            elif self._state[r] == _BLOCKED and self._deadline[r] is not None:
+                t = max(self.clocks[r].now, self._deadline[r])
+                kind = 1
+            else:
                 continue
-            t = self.clocks[r].now
-            if best is None or t < best_t:
-                best, best_t = r, t
+            if best is None or (t, kind) < (best_t, best_kind):
+                best, best_t, best_kind = r, t, kind
         if best is not None:
+            if best_kind == 1:
+                self.clocks[best].advance_to(best_t)
+                self._timed_out[best] = True
+                self._block_reason[best] = ""
             self._current = best
             self._state[best] = _RUNNING
             self._cv.notify_all()
@@ -200,7 +333,11 @@ class Scheduler:
             if self._state[r] == _BLOCKED
         }
         if blocked and self._error is None:
-            self._error = DeadlockError(blocked)
+            clocks = {r: self.clocks[r].now for r in blocked}
+            already = {r: self.blocked_time[r] for r in blocked}
+            self._error = DeadlockError(
+                blocked, clocks=clocks, blocked_time=already
+            )
             self._error_rank = -1
             self._cv.notify_all()
 
@@ -220,13 +357,11 @@ def spawn_ranks(
         try:
             sched.wait_turn(rank)
             results[rank] = target(rank)
+        except RankCrashedError:
+            sched.crash(rank)
+            return
         except ClusterAborted:
-            with sched._cv:
-                sched._done_count += 1
-                if sched._current == rank:
-                    sched._current = None
-                sched._state[rank] = _DONE
-                sched._cv.notify_all()
+            sched.abort_ack(rank)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate to driver
             sched.fail(rank, exc)

@@ -29,12 +29,23 @@ class Span:
         return self.t_end - self.t_start
 
 
+@dataclass(frozen=True)
+class Instant:
+    """A point event on one rank (fault injections, checkpoints)."""
+
+    rank: int
+    name: str
+    t: float
+    args: tuple = ()
+
+
 class Tracer:
     """Collects spans from all ranks of one run."""
 
     def __init__(self, nprocs: int):
         self.nprocs = nprocs
         self.spans: list[Span] = []
+        self.instants: list[Instant] = []
 
     def record(self, rank: int, name: str, t_start: float, t_end: float) -> None:
         if t_end < t_start:
@@ -42,6 +53,11 @@ class Tracer:
                 f"span {name!r} on rank {rank} ends before it starts"
             )
         self.spans.append(Span(rank, name, t_start, t_end))
+
+    def instant(self, rank: int, name: str, t: float, args=None) -> None:
+        """Record a point event (e.g. an injected fault firing)."""
+        packed = tuple(sorted(args.items())) if args else ()
+        self.instants.append(Instant(rank, name, t, packed))
 
     @contextmanager
     def region(self, rank: int, name: str, clock) -> Iterator[None]:
@@ -112,6 +128,19 @@ class Tracer:
                     "pid": 0,
                     "tid": s.rank,
                     "args": {"rank": s.rank},
+                }
+            )
+        for i in self.instants:
+            events.append(
+                {
+                    "name": i.name,
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": i.t * 1e6,
+                    "pid": 0,
+                    "tid": i.rank,
+                    "args": dict(i.args, rank=i.rank),
                 }
             )
         return events

@@ -41,6 +41,10 @@ class World:
         self.gates: dict[tuple, CollectiveGate] = {}
         #: name -> backing store for global arrays / hashmaps / queues
         self.registry: dict[str, Any] = {}
+        #: default virtual-time timeout for blocking receives and
+        #: collectives (None = wait forever); set by an active fault
+        #: plan so survivors detect dead peers instead of deadlocking
+        self.comm_timeout: Optional[float] = None
 
     def mailbox(self, src: int, dst: int, tag: int, ctx="world") -> deque:
         """World-communicator mailbox accessor (testing convenience)."""
