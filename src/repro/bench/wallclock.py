@@ -1,0 +1,308 @@
+"""Wall-clock benchmark harness: the repo's performance trajectory.
+
+The simulator's *virtual* timings reproduce the paper's figures; this
+module tracks what the simulator itself costs in *real* seconds, so
+every PR can prove a speedup or catch a regression.  ``python -m
+repro.cli bench-wallclock`` runs the generated-PubMed pipeline at
+several processor counts, times each pipeline stage (scan, IFI
+indexing, topicality, association matrix, signatures, cluster +
+projection) and the end-to-end run, and writes ``BENCH_runtime.json``
+at the repo root:
+
+* ``results[P].wall_seconds`` -- best-of-N end-to-end real seconds;
+* ``results[P].stages_wall_seconds`` -- per-stage real windows (first
+  rank in to last rank out, captured via ``REPRO_TRACE_WALL``);
+* ``results[P].virtual_seconds`` -- the simulated wall time, which
+  must stay **bit-identical** run to run (determinism guard);
+* ``baseline`` -- the committed reference measurements; new runs are
+  compared against it and the run **fails on >15 % regression** of
+  any end-to-end time (and on any virtual-time drift).
+
+The committed ``BENCH_runtime.json`` doubles as the baseline: rerun
+with ``--update-baseline`` after an intentional performance change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.harness import default_figure_config, make_workload
+from repro.engine.parallel import ParallelTextEngine
+from repro.runtime import MachineSpec
+from repro.runtime.tracing import WALL_ENV
+
+SCHEMA = "repro-bench-runtime/1"
+DEFAULT_PROCS = (1, 4, 8, 16)
+DEFAULT_REPEATS = 5
+DEFAULT_THRESHOLD = 0.15
+DEFAULT_OUT = "BENCH_runtime.json"
+
+
+@dataclass
+class BenchPoint:
+    """Measurements for one processor count."""
+
+    nprocs: int
+    wall_seconds: float  # best of `repeats` end-to-end runs
+    wall_seconds_all: list[float]
+    virtual_seconds: float
+    stages_wall_seconds: dict[str, float]
+    stages_virtual_seconds: dict[str, float]
+
+
+@dataclass
+class Regression:
+    """One baseline-comparison failure."""
+
+    nprocs: int
+    kind: str  # "wall" or "virtual"
+    baseline: float
+    measured: float
+    detail: str = ""
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except OSError:  # pragma: no cover - git missing
+        return "unknown"
+
+
+def measure(
+    procs: tuple[int, ...] = DEFAULT_PROCS,
+    repeats: int = DEFAULT_REPEATS,
+    dataset: str = "pubmed",
+    represented_bytes: float = 2.75e9,
+    downscale: float = 10_000.0,
+    seed: int = 7,
+    progress=None,
+) -> dict[int, BenchPoint]:
+    """Run the benchmark matrix and return per-P measurements.
+
+    End-to-end times are best-of-``repeats`` (the minimum is the
+    standard estimator for the noise-free cost of a deterministic
+    workload); the stage breakdown is taken from the fastest run.
+    """
+    workload = make_workload(
+        dataset, dataset, represented_bytes, downscale=downscale, seed=seed
+    )
+    config = default_figure_config()
+    machine = MachineSpec()
+    points: dict[int, BenchPoint] = {}
+    prev_wall = os.environ.get(WALL_ENV)
+    os.environ[WALL_ENV] = "1"
+    try:
+        for p in procs:
+            times: list[float] = []
+            best: Optional[tuple[float, object, object]] = None
+            for _ in range(max(1, repeats)):
+                engine = ParallelTextEngine(
+                    p, machine=machine, config=config
+                )
+                t0 = time.perf_counter()
+                result = engine.run(workload.corpus)
+                dt = time.perf_counter() - t0
+                times.append(dt)
+                if best is None or dt < best[0]:
+                    best = (dt, result, engine.last_tracer)
+            assert best is not None
+            _, result, tracer = best
+            points[p] = BenchPoint(
+                nprocs=p,
+                wall_seconds=min(times),
+                wall_seconds_all=times,
+                virtual_seconds=float(result.timings.wall_time),
+                stages_wall_seconds={
+                    k: round(v, 6)
+                    for k, v in tracer.wall_component_times().items()
+                },
+                stages_virtual_seconds={
+                    k: float(v)
+                    for k, v in result.timings.component_seconds.items()
+                },
+            )
+            if progress:
+                progress(
+                    f"P={p}: best {min(times):.3f}s real, "
+                    f"{points[p].virtual_seconds:.2f}s virtual"
+                )
+    finally:
+        if prev_wall is None:
+            del os.environ[WALL_ENV]
+        else:
+            os.environ[WALL_ENV] = prev_wall
+    return points
+
+
+def compare(
+    points: dict[int, BenchPoint],
+    baseline: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[dict[str, float], list[Regression]]:
+    """Speedups vs. a baseline report and any regressions found.
+
+    A wall regression is an end-to-end slowdown beyond ``threshold``;
+    a virtual regression is *any* change of the simulated time, which
+    a correct performance PR must never cause.
+    """
+    speedups: dict[str, float] = {}
+    regressions: list[Regression] = []
+    base_results = baseline.get("results", {})
+    for p, point in points.items():
+        base = base_results.get(str(p))
+        if base is None:
+            continue
+        base_wall = float(base["wall_seconds"])
+        if point.wall_seconds > 0:
+            speedups[str(p)] = round(base_wall / point.wall_seconds, 3)
+        if point.wall_seconds > base_wall * (1.0 + threshold):
+            regressions.append(
+                Regression(
+                    nprocs=p,
+                    kind="wall",
+                    baseline=base_wall,
+                    measured=point.wall_seconds,
+                    detail=(
+                        f"end-to-end {point.wall_seconds:.3f}s vs "
+                        f"baseline {base_wall:.3f}s "
+                        f"(>{threshold:.0%} slower)"
+                    ),
+                )
+            )
+        base_virtual = base.get("virtual_seconds")
+        if (
+            base_virtual is not None
+            and float(base_virtual) != point.virtual_seconds
+        ):
+            regressions.append(
+                Regression(
+                    nprocs=p,
+                    kind="virtual",
+                    baseline=float(base_virtual),
+                    measured=point.virtual_seconds,
+                    detail=(
+                        "virtual time drifted: determinism or cost-"
+                        "model change (update the baseline if this "
+                        "was intentional)"
+                    ),
+                )
+            )
+    return speedups, regressions
+
+
+def build_report(
+    points: dict[int, BenchPoint],
+    config_meta: dict,
+    baseline: Optional[dict] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[dict, list[Regression]]:
+    """Assemble the BENCH_runtime.json document."""
+    report = {
+        "schema": SCHEMA,
+        "commit": _git_commit(),
+        "config": config_meta,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {
+            str(p): asdict(pt) for p, pt in sorted(points.items())
+        },
+    }
+    regressions: list[Regression] = []
+    if baseline is not None:
+        speedups, regressions = compare(points, baseline, threshold)
+        report["baseline"] = {
+            "commit": baseline.get("commit", "unknown"),
+            "wall_seconds": {
+                p: b["wall_seconds"]
+                for p, b in baseline.get("results", {}).items()
+            },
+            "speedup_vs_baseline": speedups,
+            "threshold": threshold,
+            "regressions": [asdict(r) for r in regressions],
+        }
+    return report, regressions
+
+
+def run_bench(
+    out_path: str | Path = DEFAULT_OUT,
+    baseline_path: Optional[str | Path] = None,
+    procs: tuple[int, ...] = DEFAULT_PROCS,
+    repeats: int = DEFAULT_REPEATS,
+    dataset: str = "pubmed",
+    downscale: float = 10_000.0,
+    seed: int = 7,
+    threshold: float = DEFAULT_THRESHOLD,
+    update_baseline: bool = False,
+    progress=print,
+) -> int:
+    """Full CLI flow; returns a process exit code.
+
+    The file at ``out_path`` (default ``BENCH_runtime.json``) is both
+    the report and, on the next run, the committed baseline.  With
+    ``update_baseline`` the comparison is skipped and the file is
+    rewritten -- for intentional performance or cost-model changes.
+    """
+    out_path = Path(out_path)
+    baseline_path = Path(baseline_path or out_path)
+    baseline: Optional[dict] = None
+    if not update_baseline and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        if baseline.get("schema") != SCHEMA:
+            progress(
+                f"ignoring {baseline_path}: unknown schema "
+                f"{baseline.get('schema')!r}"
+            )
+            baseline = None
+    points = measure(
+        procs=procs,
+        repeats=repeats,
+        dataset=dataset,
+        downscale=downscale,
+        seed=seed,
+        progress=progress,
+    )
+    config_meta = {
+        "dataset": dataset,
+        "downscale": downscale,
+        "seed": seed,
+        "repeats": repeats,
+        "procs": list(procs),
+    }
+    report, regressions = build_report(
+        points, config_meta, baseline, threshold
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    progress(f"wrote {out_path}")
+    if baseline is not None:
+        for p, s in sorted(
+            report["baseline"]["speedup_vs_baseline"].items(),
+            key=lambda kv: int(kv[0]),
+        ):
+            progress(
+                f"P={p}: {s}x vs baseline "
+                f"{report['baseline']['commit'][:12]}"
+            )
+    for r in regressions:
+        progress(f"REGRESSION at P={r.nprocs} [{r.kind}]: {r.detail}")
+    return 1 if regressions else 0

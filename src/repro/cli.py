@@ -7,6 +7,8 @@ Commands
                and export results + ThemeView
 ``analyze``    interactive queries against a saved result
 ``figures``    regenerate the paper's evaluation figures
+``bench-wallclock``  measure the simulator's real runtime cost,
+               write ``BENCH_runtime.json``, fail on regression
 
 Examples
 --------
@@ -105,6 +107,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="also run the shape-verification checks",
+    )
+
+    b = sub.add_parser(
+        "bench-wallclock",
+        help="measure real runtime cost and check for regressions",
+    )
+    b.add_argument(
+        "--procs",
+        type=str,
+        default="1,4,8,16",
+        help="comma-separated processor counts",
+    )
+    b.add_argument("--repeats", type=int, default=5)
+    b.add_argument(
+        "--dataset", choices=("pubmed", "trec"), default="pubmed"
+    )
+    b.add_argument("--downscale", type=float, default=10_000.0)
+    b.add_argument("--seed", type=int, default=7)
+    b.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_runtime.json"),
+        help="report path (doubles as the committed baseline)",
+    )
+    b.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline report to compare against (default: --out)",
+    )
+    b.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="fail when end-to-end time regresses beyond this fraction",
+    )
+    b.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="skip the comparison and rewrite the baseline file",
     )
 
     return parser
@@ -290,6 +332,25 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_wallclock(args: argparse.Namespace) -> int:
+    from repro.bench.wallclock import run_bench
+
+    procs = tuple(
+        int(tok) for tok in args.procs.split(",") if tok.strip()
+    )
+    return run_bench(
+        out_path=args.out,
+        baseline_path=args.baseline,
+        procs=procs,
+        repeats=args.repeats,
+        dataset=args.dataset,
+        downscale=args.downscale,
+        seed=args.seed,
+        threshold=args.threshold,
+        update_baseline=args.update_baseline,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -297,6 +358,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "analyze": _cmd_analyze,
         "figures": _cmd_figures,
+        "bench-wallclock": _cmd_bench_wallclock,
     }
     return handlers[args.command](args)
 

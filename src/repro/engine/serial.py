@@ -114,6 +114,7 @@ def signature_model(
     charge_am=None,
     charge_docvec=None,
     doc_weight_arrays=None,
+    once=None,
 ):
     """Association-matrix + signature construction with the paper's
     adaptive-dimensionality loop (§4.2): while too many documents have
@@ -125,7 +126,11 @@ def signature_model(
     ``reduce_*`` allreduce closures (making the integer co-occurrence
     counts -- and hence the matrix -- bit-identical across processor
     counts), ``am_scope``/``docvec_scope`` region factories for
-    component timing, and ``charge_*`` cost hooks.
+    component timing, ``charge_*`` cost hooks, and ``once`` (a
+    compute-once cache, ``RankContext.replicated``) so work that is
+    replicated with identical inputs on every rank -- the major-term
+    selection and the association matrix built from the allreduced
+    counts -- is computed once per run instead of once per rank.
 
     Returns ``(majors, topics, A, sig_batch, null_fraction, rounds)``
     where ``sig_batch`` covers only the *local* documents when
@@ -135,6 +140,8 @@ def signature_model(
         reduce_counts = lambda c: c  # noqa: E731 - serial identity
     if reduce_nulls is None:
         reduce_nulls = lambda n: n  # noqa: E731 - serial identity
+    if once is None:
+        once = lambda key, fn: fn()  # noqa: E731 - serial identity
     if am_scope is None:
         am_scope = nullcontext
     if docvec_scope is None:
@@ -143,16 +150,20 @@ def signature_model(
     rounds = 0
     while True:
         with am_scope():
-            majors, topics = select_major_terms(
-                candidates, n_major, config.topic_fraction
+            majors, topics = once(
+                ("am.select", n_major),
+                lambda: select_major_terms(
+                    candidates, n_major, config.topic_fraction
+                ),
             )
             if not majors:
                 raise ValueError(
                     "no candidate major terms: corpus too small or "
                     "min_df too high"
                 )
-            sorted_gids, positions = major_lookup_arrays(
-                [t.gid for t in majors]
+            sorted_gids, positions = once(
+                ("am.lookup", n_major),
+                lambda: major_lookup_arrays([t.gid for t in majors]),
             )
             presence = [
                 doc_presence_indices(g, sorted_gids, positions)
@@ -164,9 +175,17 @@ def signature_model(
             if charge_am is not None:
                 charge_am(len(majors), len(topics))
             counts = reduce_counts(local_counts)
-            df_major = np.array([t.df for t in majors], dtype=np.int64)
-            df_topic = np.array([t.df for t in topics], dtype=np.int64)
-            assoc = association_matrix(counts, df_major, df_topic, n_docs)
+            # the reduced counts are bit-identical on every rank, so
+            # the normalized matrix is replicated work too
+            assoc = once(
+                ("am.assoc", n_major),
+                lambda: association_matrix(
+                    counts,
+                    np.array([t.df for t in majors], dtype=np.int64),
+                    np.array([t.df for t in topics], dtype=np.int64),
+                    n_docs,
+                ),
+            )
         with docvec_scope():
             batch = compute_signatures(
                 doc_gid_arrays,

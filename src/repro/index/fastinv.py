@@ -49,6 +49,19 @@ class Postings:
         )
 
 
+#: Largest chunk (token count) for which ``invert_chunk`` prefers the
+#: explicit FAST-INV loop over ``np.argsort(kind="stable")``.  Measured
+#: empirically (see ``benchmarks/test_kernels.py::test_fastinv_order_*``
+#: and the crossover sweep in its module docstring): the loop *never*
+#: wins -- at n=4 it is already ~6x slower (9.3us vs 1.5us) because its
+#: ``bincount``/``cumsum`` setup pays the same NumPy fixed costs as the
+#: argsort and then adds a Python-level scatter, and the gap only grows
+#: with n (~27x at n=1024).  The threshold is therefore 0: the loop is
+#: executable documentation and a test oracle, never the production
+#: path.  Re-run the sweep on new hardware before raising this.
+FASTINV_LOOP_MAX = 0
+
+
 def _fastinv_order(gids: np.ndarray, nterms_hint: int | None = None) -> np.ndarray:
     """Permutation grouping postings by term, FAST-INV style.
 
@@ -116,11 +129,13 @@ def invert_chunk(
         raise ValueError("parallel posting arrays must share a shape")
     if gids.size == 0:
         return Postings.empty(), Postings.empty()
-    order = (
-        _fastinv_order(gids)
-        if use_reference_loop
-        else _fastinv_order_vectorized(gids)
-    )
+    # selection is empirical: see FASTINV_LOOP_MAX (currently 0, i.e.
+    # the vectorized path always wins); use_reference_loop forces the
+    # explicit loop for tests and documentation runs
+    if use_reference_loop or gids.size <= FASTINV_LOOP_MAX:
+        order = _fastinv_order(gids)
+    else:
+        order = _fastinv_order_vectorized(gids)
     g = gids[order]
     d = doc_ids[order]
     f = field_ids[order]

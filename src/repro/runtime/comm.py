@@ -38,6 +38,22 @@ def _default_sum(a: Any, b: Any) -> Any:
     return a + b
 
 
+class Message:
+    """One in-flight point-to-point message.
+
+    Carries the payload, its virtual arrival time, and the wire size
+    computed **exactly once** at send time -- re-inspected or retried
+    deliveries never re-measure (and never re-pickle) the payload.
+    """
+
+    __slots__ = ("obj", "arrival", "nbytes")
+
+    def __init__(self, obj: Any, arrival: float, nbytes: float):
+        self.obj = obj
+        self.arrival = arrival
+        self.nbytes = nbytes
+
+
 class Request:
     """Handle for a non-blocking point-to-point operation."""
 
@@ -66,12 +82,12 @@ class Request:
         comm.sched.wait_turn(comm._grank)
         box = comm._box(self._peer, tag=self._tag)
         now = comm.sched.now(comm._grank)
-        if box and box[0][1] <= now:
-            obj, arrival = box.popleft()
+        if box and box[0].arrival <= now:
+            msg = box.popleft()
             comm.sched.clocks[comm._grank].advance_to(
-                max(now, arrival) + comm.machine.recv_overhead_seconds()
+                max(now, msg.arrival) + comm.machine.recv_overhead_seconds()
             )
-            self._result = obj
+            self._result = msg.obj
             self._done = True
         return self._done
 
@@ -189,24 +205,40 @@ class Communicator:
     # point to point
     # ------------------------------------------------------------------
     def send(self, dest: int, obj: Any, tag: int = 0) -> None:
-        """Send ``obj`` to rank ``dest`` (eager, buffered)."""
+        """Send ``obj`` to rank ``dest`` (eager, buffered).
+
+        The payload is sized exactly once, here; the resulting
+        :class:`Message` carries the cached size for the rest of its
+        life.  A send to one's own rank takes a zero-copy fast path:
+        the payload is handed over by reference and the (impossible)
+        blocked-receiver wakeup is skipped.
+        """
         self._check_peer(dest)
         self.sched.wait_turn(self._grank)
+        dest_g = self._g(dest)
+        to_self = dest_g == self._grank
         nbytes = payload_nbytes(obj)
         sender_dt, transit_dt = self.machine.p2p_seconds(
             nbytes,
-            intra_node=self.machine.same_node(self._grank, self._g(dest)),
+            intra_node=(
+                True if to_self
+                else self.machine.same_node(self._grank, dest_g)
+            ),
         )
         now = self.sched.now(self._grank)
         if self.sched.injector is not None:
             transit_dt = self.sched.injector.adjust_transit(
-                self._grank, self._g(dest), now, transit_dt
+                self._grank, dest_g, now, transit_dt
             )
         arrival = now + transit_dt
         box = self._box(self.rank, tag, dst_local=dest)
-        box.append((obj, arrival))
+        box.append(Message(obj, arrival, nbytes))
         self.sched.advance(self._grank, sender_dt)
-        wkey = (self._ctx_key, self._grank, self._g(dest), tag)
+        if to_self:
+            # a rank cannot be blocked receiving from itself while it
+            # is running, so there is no waiter to look up or wake
+            return
+        wkey = (self._ctx_key, self._grank, dest_g, tag)
         waiter = self.world.recv_waiters.pop(wkey, None)
         if waiter is not None and self.sched.is_blocked(waiter):
             # (a recv_any waiter may already have been woken through a
@@ -247,13 +279,12 @@ class Communicator:
                 self.world.recv_waiters.pop(key, None)
                 self._raise_timeout(detail, [self._g(source)], eff)
             # the sender advanced our clock to the completed-receive time
-            obj, _arrival = box.popleft()
-            return obj
-        obj, arrival = box.popleft()
+            return box.popleft().obj
+        msg = box.popleft()
         now = self.sched.now(self._grank)
-        done = max(now, arrival) + self.machine.recv_overhead_seconds()
+        done = max(now, msg.arrival) + self.machine.recv_overhead_seconds()
         self.sched.clocks[self._grank].advance_to(done)
-        return obj
+        return msg.obj
 
     def isend(self, dest: int, obj: Any, tag: int = 0) -> "Request":
         """Non-blocking send.
@@ -284,7 +315,7 @@ class Communicator:
         self.sched.wait_turn(self._grank)
         box = self._box(source, tag)
         now = self.sched.now(self._grank)
-        return bool(box) and box[0][1] <= now
+        return bool(box) and box[0].arrival <= now
 
     def recv_any(
         self,
@@ -341,7 +372,7 @@ class Communicator:
             box = self._box(s, tag)
             if not box:
                 continue
-            arrival = box[0][1]
+            arrival = box[0].arrival
             if best_src is None or arrival < best_arrival:
                 best_src, best_arrival = s, arrival
         if best_src is None:
@@ -350,10 +381,10 @@ class Communicator:
             # a message is in flight but has not arrived yet: wait for
             # it rather than block indefinitely
             pass
-        obj, arrival = self._box(best_src, tag).popleft()
-        done = max(now, arrival) + self.machine.recv_overhead_seconds()
+        msg = self._box(best_src, tag).popleft()
+        done = max(now, msg.arrival) + self.machine.recv_overhead_seconds()
         self.sched.clocks[self._grank].advance_to(done)
-        return best_src, obj
+        return best_src, msg.obj
 
     def _check_peer(self, peer: int) -> None:
         if not 0 <= peer < self.nprocs:
@@ -524,6 +555,11 @@ class Communicator:
 
         ``nbytes_hint`` lets callers override the modelled message size
         (used by the engine to account for represented-scale payloads).
+
+        Each rank sizes its own payload **exactly once**, on arrival at
+        the gate (and not at all when a hint is supplied); the last
+        arriver takes the maximum of the cached sizes instead of
+        re-measuring every fan-out leg.
         """
         self.sched.wait_turn(self._grank)
         seq = self._coll_seq
@@ -539,7 +575,10 @@ class Communicator:
                 f"but another rank called {gate.kind!r}"
             )
         now = self.sched.now(self._grank)
-        gate.arrivals[self.rank] = (now, payload)
+        my_size: Optional[float] = nbytes
+        if my_size is None and nbytes_hint is None:
+            my_size = float(payload_nbytes(payload))
+        gate.arrivals[self.rank] = (now, payload, my_size)
         if len(gate.arrivals) < self.nprocs:
             detail = f"{kind} (collective #{seq})"
             eff = self._effective_timeout(None)
@@ -558,12 +597,11 @@ class Communicator:
                 gate.results = finisher(payloads)
             size = nbytes_hint
             if size is None:
-                size = nbytes
-            if size is None:
-                size = float(
-                    max(payload_nbytes(p) for p in payloads)
+                size = max(
+                    s for _t, _p, s in gate.arrivals.values()
+                    if s is not None
                 )
-            t0 = max(t for t, _ in gate.arrivals.values())
+            t0 = max(t for t, _p, _s in gate.arrivals.values())
             done = t0 + self.machine.collective_seconds(
                 kind, self.nprocs, float(size)
             )

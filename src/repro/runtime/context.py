@@ -69,6 +69,43 @@ class RankContext:
             dt = self.sched.injector.adjust_io(self.rank, self.now, dt)
         self.charge(dt)
 
+    def replicated(self, key, fn):
+        """Compute-once cache for deterministically replicated work.
+
+        SPMD stages often have every rank compute the *same* pure
+        function of the *same* globally-reduced inputs (a merged
+        candidate sort, an association matrix from allreduced counts,
+        a PCA fit of replicated centroids).  In a real cluster that
+        work runs concurrently on P nodes; under the simulator the P
+        copies serialize on the GIL and multiply real wall-clock cost
+        by P for zero information.  This helper lets the first rank to
+        reach the site compute ``fn()`` and every later rank reuse the
+        shared result.
+
+        Correctness contract (caller's obligation):
+
+        - ``fn`` must be a pure, deterministic function of data that
+          is bit-identical on every rank at this point (e.g. outputs
+          of ``allreduce``/``allgather``), so the value cannot depend
+          on which rank happens to run it.
+        - ``key`` must uniquely name the site and stage instance
+          (include loop indices for per-iteration sites).
+        - The returned object is *shared* across ranks: treat it as
+          read-only.
+
+        Virtual-time charges are unaffected -- callers charge the
+        modelled cost of the replicated work on every rank exactly as
+        before, so simulated timings are bit-identical whether or not
+        the real computation was reused.
+        """
+        memo = self.world.replicated
+        try:
+            return memo[key]
+        except KeyError:
+            value = fn()
+            memo[key] = value
+            return value
+
     # ------------------------------------------------------------------
     # one-sided / RPC
     # ------------------------------------------------------------------

@@ -15,6 +15,28 @@ Pure local compute between synchronization points runs at full speed
 and is accounted for by explicit cost charges against the rank's
 virtual clock (see :class:`repro.runtime.machine.MachineSpec`).
 
+Wall-clock fast paths
+---------------------
+The scheduling *policy* is fixed (minimum ``(clock, rank)`` wins), but
+the *mechanism* has two interchangeable implementations:
+
+* the default fast path keeps runnable candidates in a heap keyed on
+  ``(virtual time, kind, rank)`` and wakes only the next turn-holder
+  through a per-rank :class:`threading.Event`.  A rank that yields but
+  is still the minimum-clock runnable rank *retains the turn* without
+  any context switch or wakeup at all -- the dominant case in
+  compute-heavy stages;
+* setting ``REPRO_SCHED_SLOWPATH=1`` selects the original reference
+  mechanism -- a shared :class:`threading.Condition`, a broadcast
+  ``notify_all`` per turn handoff, and a linear min-clock scan.
+
+Both mechanisms implement the identical policy, so virtual-time
+results, traces, and every downstream number are bit-identical either
+way (``tests/runtime/test_sched_fastpath.py`` enforces this).  The
+fast path exists purely to cut real wall-clock time: ``notify_all``
+wakes every waiting rank thread only for all but one to go back to
+sleep, which dominated runs at P >= 8.
+
 Fault tolerance
 ---------------
 A rank may *fail-stop crash* (injected via
@@ -29,6 +51,8 @@ deadline is only taken when no READY rank could still run at an earlier
 
 from __future__ import annotations
 
+import heapq
+import os
 import threading
 from typing import Callable, Optional
 
@@ -52,6 +76,18 @@ _BLOCKED = "blocked"
 _DONE = "done"
 _FAILED = "failed"
 
+#: candidate kinds in the dispatch key -- READY beats an equal-time
+#: deadline, matching the determinism rule in the module docstring
+_KIND_READY = 0
+_KIND_DEADLINE = 1
+
+#: environment variable selecting the reference (slow-path) mechanism
+SLOWPATH_ENV = "REPRO_SCHED_SLOWPATH"
+
+
+def _slowpath_enabled() -> bool:
+    return os.environ.get(SLOWPATH_ENV, "") not in ("", "0")
+
 
 class Scheduler:
     """Coordinates ``nprocs`` cooperative rank threads in virtual time."""
@@ -61,7 +97,24 @@ class Scheduler:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.clocks = [VirtualClock() for _ in range(nprocs)]
-        self._cv = threading.Condition()
+        self._lock = threading.Lock()
+        #: reference mechanism: rank threads wait here, woken broadcast
+        self._cv = threading.Condition(self._lock)
+        #: the driver's wait_all parks here in both mechanisms
+        self._driver_cv = threading.Condition(self._lock)
+        #: fast path: one wakeup primitive per rank, set only for the
+        #: rank actually granted the turn
+        self._turn_evt = [threading.Event() for _ in range(nprocs)]
+        #: fast path: dispatch candidates as (t, kind, rank, gen); a
+        #: rank's entries are lazily invalidated by bumping its _gen.
+        #: Seeded with every rank at t=0 (all start READY) so the very
+        #: first arrivals see the full candidate set and the turn order
+        #: is independent of OS thread startup interleaving.
+        self._heap: list[tuple[float, int, int, int]] = [
+            (0.0, _KIND_READY, r, 0) for r in range(nprocs)
+        ]
+        self._gen = [0] * nprocs
+        self.slowpath = _slowpath_enabled()
         self._state = [_READY] * nprocs
         self._block_reason: list[str] = [""] * nprocs
         self._current: Optional[int] = None
@@ -107,23 +160,59 @@ class Scheduler:
         return the rank *holds the turn* and may mutate shared
         simulation state without further locking (no other rank runs).
 
+        Fast path: when the yielding rank is still the minimum-clock
+        runnable rank it retains the turn immediately -- no wakeup is
+        issued and no other thread runs.
+
         If a crash fault is due for this rank, it fires here (raising
         :class:`~repro.runtime.errors.RankCrashedError`) -- i.e. ranks
         die at synchronization points, with the turn held, so the
         simulation state stays consistent.
         """
+        if self.slowpath:
+            self._wait_turn_slow(rank)
+        else:
+            granted = False
+            with self._lock:
+                self._check_error_locked()
+                self._state[rank] = _READY
+                if self._current == rank:
+                    self._current = None
+                if self._current is None:
+                    # turn-retention fast path: if this rank's key is
+                    # <= the best other candidate, it wins back the
+                    # turn without touching the heap or any event
+                    top = self._prune_top_locked()
+                    key = (self.clocks[rank].now, _KIND_READY, rank)
+                    if top is None or key <= top[:3]:
+                        self._current = rank
+                        self._state[rank] = _RUNNING
+                        granted = True
+                    else:
+                        self._push_locked(rank, key[0], _KIND_READY)
+                        self._dispatch_locked(caller=rank)
+                        granted = self._current == rank
+                else:
+                    self._push_locked(
+                        rank, self.clocks[rank].now, _KIND_READY
+                    )
+            if not granted:
+                self._await_turn(rank)
+        if self.injector is not None:
+            # Turn held; may raise RankCrashedError to unwind this rank.
+            self.injector.on_turn(rank, self.clocks[rank].now)
+
+    def _wait_turn_slow(self, rank: int) -> None:
+        """Reference mechanism for :meth:`wait_turn` (broadcast wakeups)."""
         with self._cv:
             self._check_error_locked()
             self._state[rank] = _READY
             if self._current == rank:
                 self._current = None
-            self._schedule_locked()
+            self._schedule_slow_locked()
             while self._current != rank:
                 self._cv.wait()
                 self._check_error_locked()
-        if self.injector is not None:
-            # Turn held; may raise RankCrashedError to unwind this rank.
-            self.injector.on_turn(rank, self.clocks[rank].now)
 
     def block(
         self, rank: int, reason: str = "", timeout: Optional[float] = None
@@ -135,7 +224,7 @@ class Scheduler:
         deadline fired before any :meth:`wake` arrived (the clock is
         then advanced to the deadline).
         """
-        with self._cv:
+        with self._lock:
             self._check_error_locked()
             self._state[rank] = _BLOCKED
             self._block_reason[rank] = reason
@@ -145,22 +234,42 @@ class Scheduler:
             self._timed_out[rank] = False
             if self._current == rank:
                 self._current = None
-            self._schedule_locked()
-            while self._current != rank:
-                self._cv.wait()
-                self._check_error_locked()
-            self._deadline[rank] = None
-            timed_out = self._timed_out[rank]
-            self._timed_out[rank] = False
-            # the waker (or the deadline) advanced our clock
-            self.blocked_time[rank] += (
-                self.clocks[rank].now - self._block_entry[rank]
-            )
-            return timed_out
+            if self.slowpath:
+                self._schedule_slow_locked()
+                while self._current != rank:
+                    self._cv.wait()
+                    self._check_error_locked()
+                return self._finish_block_locked(rank)
+            if timeout is not None:
+                self._push_locked(
+                    rank,
+                    max(self.clocks[rank].now, self._deadline[rank]),
+                    _KIND_DEADLINE,
+                )
+            else:
+                # invalidate any stale candidate entry for this rank
+                self._gen[rank] += 1
+            self._dispatch_locked(caller=rank)
+            if self._current == rank:
+                return self._finish_block_locked(rank)
+        self._await_turn(rank)
+        with self._lock:
+            return self._finish_block_locked(rank)
+
+    def _finish_block_locked(self, rank: int) -> bool:
+        """Account a completed :meth:`block`; returns the timeout flag."""
+        self._deadline[rank] = None
+        timed_out = self._timed_out[rank]
+        self._timed_out[rank] = False
+        # the waker (or the deadline) advanced our clock
+        self.blocked_time[rank] += (
+            self.clocks[rank].now - self._block_entry[rank]
+        )
+        return timed_out
 
     def is_blocked(self, rank: int) -> bool:
         """True while ``rank`` sits in :meth:`block` awaiting a wake."""
-        with self._cv:
+        with self._lock:
             return self._state[rank] == _BLOCKED
 
     def wake(self, rank: int, at_time: float) -> None:
@@ -174,7 +283,7 @@ class Scheduler:
         and eager senders may legitimately address a peer that crashed
         after joining the rendezvous.
         """
-        with self._cv:
+        with self._lock:
             if self._state[rank] == _FAILED:
                 return
             if self._state[rank] != _BLOCKED:
@@ -185,22 +294,31 @@ class Scheduler:
             self._state[rank] = _READY
             self._block_reason[rank] = ""
             self._deadline[rank] = None
+            if not self.slowpath:
+                self._push_locked(
+                    rank, self.clocks[rank].now, _KIND_READY
+                )
             # No reschedule here: the waker still holds the turn and
             # will yield at its next synchronization point.
 
     def finish(self, rank: int) -> None:
         """Mark ``rank``'s program as complete and release the turn."""
-        with self._cv:
+        with self._lock:
             self._state[rank] = _DONE
             self._done_count += 1
             if self._current == rank:
                 self._current = None
-            self._schedule_locked()
-            self._cv.notify_all()
+            if self.slowpath:
+                self._schedule_slow_locked()
+                self._cv.notify_all()
+            else:
+                self._gen[rank] += 1
+                self._dispatch_locked()
+            self._notify_driver_locked()
 
     def fail(self, rank: int, exc: BaseException) -> None:
         """Record a rank failure and abort every other rank."""
-        with self._cv:
+        with self._lock:
             if self._error is None:
                 self._error = exc
                 self._error_rank = rank
@@ -208,7 +326,8 @@ class Scheduler:
             self._done_count += 1
             if self._current == rank:
                 self._current = None
-            self._cv.notify_all()
+            self._abort_wake_all_locked()
+            self._notify_driver_locked()
 
     def crash(self, rank: int) -> None:
         """Transition ``rank`` to the terminal FAILED state.
@@ -219,7 +338,7 @@ class Scheduler:
         unwinds from an injected
         :class:`~repro.runtime.errors.RankCrashedError`.
         """
-        with self._cv:
+        with self._lock:
             self._state[rank] = _FAILED
             self.failed_at[rank] = self.clocks[rank].now
             self._block_reason[rank] = ""
@@ -227,8 +346,13 @@ class Scheduler:
             self._done_count += 1
             if self._current == rank:
                 self._current = None
-            self._schedule_locked()
-            self._cv.notify_all()
+            if self.slowpath:
+                self._schedule_slow_locked()
+                self._cv.notify_all()
+            else:
+                self._gen[rank] += 1
+                self._dispatch_locked()
+            self._notify_driver_locked()
 
     def abort_ack(self, rank: int) -> None:
         """Acknowledge a cluster abort from a victim rank's thread.
@@ -238,12 +362,14 @@ class Scheduler:
         to account itself as done so the driver's :meth:`wait_all` can
         return.  No rescheduling happens -- the cluster is going down.
         """
-        with self._cv:
+        with self._lock:
             self._done_count += 1
             if self._current == rank:
                 self._current = None
             self._state[rank] = _DONE
-            self._cv.notify_all()
+            if self.slowpath:
+                self._cv.notify_all()
+            self._notify_driver_locked()
 
     # ------------------------------------------------------------------
     # failure detection (rank-side, call with the turn held)
@@ -270,9 +396,9 @@ class Scheduler:
     # ------------------------------------------------------------------
     def wait_all(self) -> None:
         """Block the driving thread until all ranks finish or one fails."""
-        with self._cv:
+        with self._lock:
             while self._done_count < self.nprocs and self._error is None:
-                self._cv.wait()
+                self._driver_cv.wait()
             if self._error is not None:
                 exc, rank = self._error, self._error_rank
                 if isinstance(exc, _PASSTHROUGH_ERRORS):
@@ -281,52 +407,93 @@ class Scheduler:
 
     @property
     def failed(self) -> bool:
-        with self._cv:
+        with self._lock:
             return self._error is not None
 
     # ------------------------------------------------------------------
-    # internals (call with self._cv held)
+    # fast-path internals (call with self._lock held)
     # ------------------------------------------------------------------
-    def _check_error_locked(self) -> None:
-        if self._error is not None:
-            raise ClusterAborted(
-                f"aborted: rank {self._error_rank} failed with "
-                f"{self._error!r}"
-            )
+    def _push_locked(self, rank: int, t: float, kind: int) -> None:
+        """Register ``rank`` as a dispatch candidate at time ``t``.
 
-    def _schedule_locked(self) -> None:
+        Bumping the generation first lazily invalidates any earlier
+        entry the heap may still hold for this rank.
+        """
+        self._gen[rank] += 1
+        heapq.heappush(self._heap, (t, kind, rank, self._gen[rank]))
+
+    def _entry_valid_locked(self, entry: tuple) -> bool:
+        t, kind, rank, gen = entry
+        if gen != self._gen[rank]:
+            return False
+        if kind == _KIND_READY:
+            return self._state[rank] == _READY
+        return (
+            self._state[rank] == _BLOCKED
+            and self._deadline[rank] is not None
+        )
+
+    def _prune_top_locked(self) -> Optional[tuple]:
+        """Drop stale heap entries; return the best live candidate."""
+        heap = self._heap
+        while heap:
+            if self._entry_valid_locked(heap[0]):
+                return heap[0]
+            heapq.heappop(heap)
+        return None
+
+    def _await_turn(self, rank: int) -> None:
+        """Park until this rank's wakeup primitive grants it the turn."""
+        evt = self._turn_evt[rank]
+        while True:
+            evt.wait()
+            with self._lock:
+                evt.clear()
+                self._check_error_locked()
+                if self._current == rank:
+                    return
+
+    def _abort_wake_all_locked(self) -> None:
+        """Wake every parked rank thread so it can observe the abort."""
+        if self.slowpath:
+            self._cv.notify_all()
+        else:
+            for evt in self._turn_evt:
+                evt.set()
+
+    def _notify_driver_locked(self) -> None:
+        if self._done_count >= self.nprocs or self._error is not None:
+            self._driver_cv.notify_all()
+
+    def _dispatch_locked(self, caller: Optional[int] = None) -> None:
+        """Grant the turn to the best candidate (fast-path mechanism).
+
+        Pops the winning heap entry and wakes exactly that rank's event
+        -- unless the winner is ``caller`` itself, which observes
+        ``_current`` inline without any wakeup.  Fires deadline
+        bookkeeping for timed-out blocks and declares a deadlock when
+        nobody can run.
+        """
         if self._current is not None:
             return
-        # Candidates: READY ranks at their clock, and BLOCKED ranks with
-        # a deadline at max(clock, deadline).  Taking the minimum over
-        # both (READY wins ties) keeps timeouts deterministic: a
-        # deadline only fires when no rank that could still wake the
-        # blocked one can run at an earlier-or-equal virtual time.
-        best: Optional[int] = None
-        best_t = 0.0
-        best_kind = 0
-        for r in range(self.nprocs):
-            if self._state[r] == _READY:
-                t, kind = self.clocks[r].now, 0
-            elif self._state[r] == _BLOCKED and self._deadline[r] is not None:
-                t = max(self.clocks[r].now, self._deadline[r])
-                kind = 1
-            else:
-                continue
-            if best is None or (t, kind) < (best_t, best_kind):
-                best, best_t, best_kind = r, t, kind
-        if best is not None:
-            if best_kind == 1:
-                self.clocks[best].advance_to(best_t)
-                self._timed_out[best] = True
-                self._block_reason[best] = ""
-            self._current = best
-            self._state[best] = _RUNNING
-            self._cv.notify_all()
+        top = self._prune_top_locked()
+        if top is not None:
+            t, kind, rank, _gen = heapq.heappop(self._heap)
+            self._gen[rank] += 1
+            if kind == _KIND_DEADLINE:
+                self.clocks[rank].advance_to(t)
+                self._timed_out[rank] = True
+                self._block_reason[rank] = ""
+            self._current = rank
+            self._state[rank] = _RUNNING
+            if rank != caller:
+                self._turn_evt[rank].set()
             return
         if self._done_count >= self.nprocs:
-            self._cv.notify_all()
             return
+        self._declare_deadlock_locked()
+
+    def _declare_deadlock_locked(self) -> None:
         blocked = {
             r: self._block_reason[r] or "unknown"
             for r in range(self.nprocs)
@@ -339,7 +506,54 @@ class Scheduler:
                 blocked, clocks=clocks, blocked_time=already
             )
             self._error_rank = -1
+            self._abort_wake_all_locked()
+            self._notify_driver_locked()
+
+    # ------------------------------------------------------------------
+    # reference (slow-path) internals (call with self._lock held)
+    # ------------------------------------------------------------------
+    def _check_error_locked(self) -> None:
+        if self._error is not None:
+            raise ClusterAborted(
+                f"aborted: rank {self._error_rank} failed with "
+                f"{self._error!r}"
+            )
+
+    def _schedule_slow_locked(self) -> None:
+        """Reference dispatch: linear scan + broadcast wakeup."""
+        if self._current is not None:
+            return
+        # Candidates: READY ranks at their clock, and BLOCKED ranks with
+        # a deadline at max(clock, deadline).  Taking the minimum over
+        # both (READY wins ties) keeps timeouts deterministic: a
+        # deadline only fires when no rank that could still wake the
+        # blocked one can run at an earlier-or-equal virtual time.
+        best: Optional[int] = None
+        best_t = 0.0
+        best_kind = 0
+        for r in range(self.nprocs):
+            if self._state[r] == _READY:
+                t, kind = self.clocks[r].now, _KIND_READY
+            elif self._state[r] == _BLOCKED and self._deadline[r] is not None:
+                t = max(self.clocks[r].now, self._deadline[r])
+                kind = _KIND_DEADLINE
+            else:
+                continue
+            if best is None or (t, kind) < (best_t, best_kind):
+                best, best_t, best_kind = r, t, kind
+        if best is not None:
+            if best_kind == _KIND_DEADLINE:
+                self.clocks[best].advance_to(best_t)
+                self._timed_out[best] = True
+                self._block_reason[best] = ""
+            self._current = best
+            self._state[best] = _RUNNING
             self._cv.notify_all()
+            return
+        if self._done_count >= self.nprocs:
+            self._cv.notify_all()
+            return
+        self._declare_deadlock_locked()
 
 
 def spawn_ranks(

@@ -8,11 +8,18 @@ speedup figures (Figs. 6b, 7b, 8).
 
 from __future__ import annotations
 
+import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
+
+#: set to a non-empty value (other than "0") to make every traced
+#: region also record its *real* (perf_counter) extent; used by the
+#: wall-clock benchmark harness (``repro.bench.wallclock``)
+WALL_ENV = "REPRO_TRACE_WALL"
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,12 @@ class Tracer:
         self.nprocs = nprocs
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
+        #: real-time spans (perf_counter seconds), only filled when
+        #: the WALL_ENV environment variable enables capture; never
+        #: part of the Chrome trace export, so the golden-trace
+        #: determinism guarantee is unaffected
+        self.wall_spans: list[Span] = []
+        self._wall = os.environ.get(WALL_ENV, "") not in ("", "0")
 
     def record(self, rank: int, name: str, t_start: float, t_end: float) -> None:
         if t_end < t_start:
@@ -63,10 +76,15 @@ class Tracer:
     def region(self, rank: int, name: str, clock) -> Iterator[None]:
         """Record the virtual-time extent of the enclosed block."""
         t0 = clock.now
+        w0 = time.perf_counter() if self._wall else 0.0
         try:
             yield
         finally:
             self.record(rank, name, t0, clock.now)
+            if self._wall:
+                self.wall_spans.append(
+                    Span(rank, name, w0, time.perf_counter())
+                )
 
     # ------------------------------------------------------------------
     # aggregation
@@ -105,6 +123,19 @@ class Tracer:
         if total <= 0:
             return {k: 0.0 for k in times}
         return {k: 100.0 * v / total for k, v in times.items()}
+
+    def wall_component_times(self) -> dict[str, float]:
+        """Real elapsed window of each captured component, in seconds.
+
+        Components are barrier-separated, so the wall-clock cost of a
+        component is the window from the first rank entering it to the
+        last rank leaving it.  Empty unless WALL_ENV capture was on.
+        """
+        windows: dict[str, tuple[float, float]] = {}
+        for s in self.wall_spans:
+            lo, hi = windows.get(s.name, (s.t_start, s.t_end))
+            windows[s.name] = (min(lo, s.t_start), max(hi, s.t_end))
+        return {k: hi - lo for k, (lo, hi) in windows.items()}
 
     # ------------------------------------------------------------------
     # export

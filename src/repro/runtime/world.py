@@ -20,8 +20,10 @@ class CollectiveGate:
     def __init__(self, kind: str, nprocs: int):
         self.kind = kind
         self.nprocs = nprocs
-        #: rank -> (arrival virtual time, payload)
-        self.arrivals: dict[int, tuple[float, Any]] = {}
+        #: rank -> (arrival virtual time, payload, cached wire size);
+        #: the size is measured once by the arriving rank itself and is
+        #: ``None`` when a caller-supplied hint makes it unnecessary
+        self.arrivals: dict[int, tuple[float, Any, Optional[float]]] = {}
         #: rank -> result, filled by the last arriver
         self.results: Optional[list[Any]] = None
         self.reads = 0
@@ -32,8 +34,10 @@ class World:
 
     def __init__(self, nprocs: int):
         self.nprocs = nprocs
-        #: (ctx, src, dst, tag) -> deque of (payload, arrival time);
-        #: ``ctx`` separates communicator contexts, as in MPI
+        #: (ctx, src, dst, tag) -> deque of in-flight
+        #: :class:`~repro.runtime.comm.Message` objects (payload,
+        #: arrival time, cached wire size); ``ctx`` separates
+        #: communicator contexts, as in MPI
         self.mailboxes: dict[tuple, deque] = {}
         #: (ctx, src, dst, tag) -> blocked receiver global rank
         self.recv_waiters: dict[tuple, int] = {}
@@ -41,6 +45,10 @@ class World:
         self.gates: dict[tuple, CollectiveGate] = {}
         #: name -> backing store for global arrays / hashmaps / queues
         self.registry: dict[str, Any] = {}
+        #: compute-once cache for deterministically replicated work
+        #: (see :meth:`repro.runtime.context.RankContext.replicated`);
+        #: key -> result computed by the first rank to reach the site
+        self.replicated: dict[Any, Any] = {}
         #: default virtual-time timeout for blocking receives and
         #: collectives (None = wait forever); set by an active fault
         #: plan so survivors detect dead peers instead of deadlocking

@@ -69,7 +69,14 @@ class RankedTerm:
 
 def rank_candidates(candidates: list[RankedTerm]) -> list[RankedTerm]:
     """Sort candidates by the canonical (score desc, term asc) order."""
-    return sorted(candidates, key=RankedTerm.sort_key)
+    # decorate-sort-undecorate: plain tuple comparison avoids one
+    # Python-level sort_key call per element; the input index keeps
+    # the sort stable, matching sorted(key=RankedTerm.sort_key)
+    decorated = [
+        (-c.score, c.term, i) for i, c in enumerate(candidates)
+    ]
+    decorated.sort()
+    return [candidates[i] for _, _, i in decorated]
 
 
 def local_candidates(

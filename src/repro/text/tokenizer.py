@@ -46,35 +46,67 @@ class TokenizerConfig:
     )
 
 
+#: per-tokenizer bound on memoized raw tokens; a corpus vocabulary is
+#: far smaller, so the cap only guards pathological unbounded streams
+NORM_CACHE_MAX = 1 << 20
+
+
 class Tokenizer:
-    """Splits field text into normalized terms."""
+    """Splits field text into normalized terms.
+
+    Term normalization (length band, numeric filter, stopwords,
+    stemming) is memoized per raw token: corpus token streams are
+    highly redundant (Zipf), so nearly every token after the first few
+    thousand documents is a cache hit that skips the regex match, the
+    stopword probe, and the stemmer entirely.
+    """
 
     def __init__(self, config: TokenizerConfig | None = None):
         self.config = config if config is not None else TokenizerConfig()
         escaped = re.escape(self.config.delimiters)
         self._split_re = re.compile(rf"[\s{escaped}]+")
         self._numeric_re = re.compile(r"^[\d\-]+$")
+        #: raw (post-split, post-lowercase) token -> normalized term,
+        #: or None when the token is dropped
+        self._norm_cache: dict[str, str | None] = {}
+
+    def _normalize_uncached(self, raw: str) -> str | None:
+        """Reference normalization of one raw token (no memoization).
+
+        Returns the normalized term, or ``None`` when the token is
+        filtered out.  The memoized path in :meth:`tokens` must agree
+        with this for every input (property-tested).
+        """
+        cfg = self.config
+        if not cfg.min_len <= len(raw) <= cfg.max_len:
+            return None
+        if cfg.drop_numeric and self._numeric_re.match(raw):
+            return None
+        if raw in cfg.stopwords:
+            return None
+        if cfg.stem:
+            raw = _light_stem(raw)
+            if len(raw) < cfg.min_len:
+                return None
+        return raw
 
     def tokens(self, text: str) -> list[str]:
         """All terms of ``text`` in order (duplicates preserved)."""
-        cfg = self.config
-        if cfg.lowercase:
+        if self.config.lowercase:
             text = text.lower()
+        cache = self._norm_cache
         out: list[str] = []
         for raw in self._split_re.split(text):
             if not raw:
                 continue
-            if not cfg.min_len <= len(raw) <= cfg.max_len:
-                continue
-            if cfg.drop_numeric and self._numeric_re.match(raw):
-                continue
-            if raw in cfg.stopwords:
-                continue
-            if cfg.stem:
-                raw = _light_stem(raw)
-                if len(raw) < cfg.min_len:
-                    continue
-            out.append(raw)
+            try:
+                term = cache[raw]
+            except KeyError:
+                term = self._normalize_uncached(raw)
+                if len(cache) < NORM_CACHE_MAX:
+                    cache[raw] = term
+            if term is not None:
+                out.append(term)
         return out
 
     def unique_terms(self, texts: Iterable[str]) -> set[str]:

@@ -1,0 +1,110 @@
+"""Wall-clock benchmark harness tests (small downscale)."""
+
+import json
+
+from repro.bench.wallclock import (
+    SCHEMA,
+    BenchPoint,
+    build_report,
+    compare,
+    measure,
+    run_bench,
+)
+
+
+def test_measure_produces_stage_breakdown():
+    points = measure(
+        procs=(1, 2), repeats=1, downscale=50_000.0, progress=None
+    )
+    assert set(points) == {1, 2}
+    for p, pt in points.items():
+        assert pt.wall_seconds > 0
+        assert pt.virtual_seconds > 0
+        # stage windows captured via REPRO_TRACE_WALL
+        assert "scan" in pt.stages_wall_seconds
+        assert "clusproj" in pt.stages_wall_seconds
+        assert all(v >= 0 for v in pt.stages_wall_seconds.values())
+    # parallelism reduces virtual time
+    assert points[2].virtual_seconds < points[1].virtual_seconds
+
+
+def _point(p, wall, virtual):
+    return BenchPoint(
+        nprocs=p,
+        wall_seconds=wall,
+        wall_seconds_all=[wall],
+        virtual_seconds=virtual,
+        stages_wall_seconds={},
+        stages_virtual_seconds={},
+    )
+
+
+def _baseline(wall, virtual):
+    return {
+        "schema": SCHEMA,
+        "commit": "feedc0de",
+        "results": {
+            "2": {"wall_seconds": wall, "virtual_seconds": virtual}
+        },
+    }
+
+
+def test_compare_flags_wall_regression():
+    points = {2: _point(2, wall=2.0, virtual=10.0)}
+    speedups, regs = compare(points, _baseline(1.0, 10.0), threshold=0.15)
+    assert speedups == {"2": 0.5}
+    assert [r.kind for r in regs] == ["wall"]
+
+
+def test_compare_accepts_within_threshold():
+    points = {2: _point(2, wall=1.1, virtual=10.0)}
+    _, regs = compare(points, _baseline(1.0, 10.0), threshold=0.15)
+    assert regs == []
+
+
+def test_compare_flags_virtual_drift():
+    points = {2: _point(2, wall=1.0, virtual=10.000001)}
+    _, regs = compare(points, _baseline(1.0, 10.0), threshold=0.15)
+    assert [r.kind for r in regs] == ["virtual"]
+
+
+def test_run_bench_roundtrip(tmp_path, capsys):
+    out = tmp_path / "BENCH_runtime.json"
+    # first run: no baseline yet, just writes the report
+    rc = run_bench(
+        out_path=out,
+        procs=(2,),
+        repeats=1,
+        downscale=50_000.0,
+        progress=lambda *_: None,
+    )
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == SCHEMA
+    assert "2" in report["results"]
+    assert "baseline" not in report
+
+    # second run compares against the first and must not regress
+    # (same machine, same workload, generous threshold)
+    rc = run_bench(
+        out_path=out,
+        procs=(2,),
+        repeats=1,
+        downscale=50_000.0,
+        threshold=5.0,
+        progress=lambda *_: None,
+    )
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["baseline"]["regressions"] == []
+    assert "2" in report["baseline"]["speedup_vs_baseline"]
+
+
+def test_build_report_schema_fields():
+    points = {4: _point(4, wall=0.5, virtual=20.0)}
+    report, regs = build_report(points, {"dataset": "pubmed"})
+    assert regs == []
+    assert report["schema"] == SCHEMA
+    assert report["config"] == {"dataset": "pubmed"}
+    assert set(report["env"]) == {"python", "numpy", "machine"}
+    assert report["results"]["4"]["wall_seconds"] == 0.5

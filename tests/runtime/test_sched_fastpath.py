@@ -1,0 +1,65 @@
+"""Golden-trace determinism of the scheduler fast paths.
+
+The optimized scheduler (turn retention, per-rank wakeups, candidate
+heap) must be *invisible* to the simulation: a P=8 pipeline run with
+fast paths enabled and one with ``REPRO_SCHED_SLOWPATH=1`` (the
+reference shared-Condition implementation) must produce byte-identical
+Chrome trace events and equal ``EngineResult`` contents.
+"""
+
+import json
+
+import numpy as np
+
+from repro.bench.harness import default_figure_config
+from repro.datasets import generate_pubmed
+from repro.engine.parallel import ParallelTextEngine
+from repro.runtime.machine import MachineSpec
+from repro.runtime.scheduler import SLOWPATH_ENV
+
+
+def _run_pipeline(monkeypatch, slowpath: bool):
+    if slowpath:
+        monkeypatch.setenv(SLOWPATH_ENV, "1")
+    else:
+        monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+    corpus = generate_pubmed(
+        60_000, seed=11, represented_bytes=60_000_000.0
+    )
+    cfg = default_figure_config()
+    eng = ParallelTextEngine(8, machine=MachineSpec(), config=cfg)
+    result = eng.run(corpus)
+    trace = json.dumps(eng.last_tracer.to_chrome_trace(), sort_keys=True)
+    return result, trace
+
+
+def test_fast_and_slow_paths_bit_identical(monkeypatch):
+    fast, fast_trace = _run_pipeline(monkeypatch, slowpath=False)
+    slow, slow_trace = _run_pipeline(monkeypatch, slowpath=True)
+
+    # the full virtual-time event log is byte-identical
+    assert fast_trace.encode() == slow_trace.encode()
+
+    # ... and so is everything the engine reports
+    assert fast.timings.wall_time == slow.timings.wall_time
+    assert fast.timings.component_seconds == slow.timings.component_seconds
+    assert np.array_equal(fast.timings.rank_times, slow.timings.rank_times)
+    assert fast.major_terms == slow.major_terms
+    assert fast.topic_terms == slow.topic_terms
+    assert fast.association.tobytes() == slow.association.tobytes()
+    assert np.array_equal(fast.doc_ids, slow.doc_ids)
+    assert fast.coords.tobytes() == slow.coords.tobytes()
+    assert np.array_equal(fast.assignments, slow.assignments)
+    assert fast.inertia == slow.inertia
+    assert fast.kmeans_iters == slow.kmeans_iters
+
+
+def test_slowpath_env_selects_reference_scheduler(monkeypatch):
+    from repro.runtime.scheduler import Scheduler
+
+    monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+    assert Scheduler(2).slowpath is False
+    monkeypatch.setenv(SLOWPATH_ENV, "1")
+    assert Scheduler(2).slowpath is True
+    monkeypatch.setenv(SLOWPATH_ENV, "0")
+    assert Scheduler(2).slowpath is False

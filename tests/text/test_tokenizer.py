@@ -108,3 +108,59 @@ def test_joining_plain_words_roundtrips(words):
     t = tok()
     expected = [w for w in words if w not in t.config.stopwords]
     assert t.tokens(" ".join(words)) == expected
+
+
+# ---------------------------------------------------------------- memoization
+
+_word_st = st.one_of(
+    # arbitrary unicode tokens (may hit the length band / numeric filter)
+    st.text(max_size=12),
+    # plain words likely to reach the stemmer
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=2,
+        max_size=10,
+    ),
+    # suffixed words exercising every _light_stem branch
+    st.tuples(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=3,
+            max_size=6,
+        ),
+        st.sampled_from(
+            ["ingly", "edly", "ing", "ied", "ies", "ed", "es", "s"]
+        ),
+    ).map("".join),
+    # stopwords take the early-drop path
+    st.sampled_from(sorted(TokenizerConfig().stopwords)),
+    # digit/dash runs take the numeric-drop path
+    st.text(alphabet="0123456789-", min_size=1, max_size=8),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    words=st.lists(_word_st, min_size=0, max_size=40),
+    stem=st.booleans(),
+)
+def test_memoized_normalization_matches_uncached(words, stem):
+    """The per-token cache must be invisible: tokens() (memoized, and
+    warmed by repetition) agrees with the _normalize_uncached reference
+    for every raw token, including stemming and stopword paths."""
+    t = tok(stem=stem)
+    # duplicate the stream so the second half is all cache hits
+    text = " ".join(words + words)
+    out = t.tokens(text)
+
+    ref = tok(stem=stem)
+    expected = []
+    for raw in ref._split_re.split(text.lower()):
+        if not raw:
+            continue
+        term = ref._normalize_uncached(raw)
+        if term is not None:
+            expected.append(term)
+    assert out == expected
+    # a second pass (fully cached) is identical too
+    assert t.tokens(text) == expected
