@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.bench.harness import default_figure_config, make_workload
 from repro.engine.parallel import ParallelTextEngine
-from repro.runtime import MachineSpec
+from repro.runtime import MachineSpec, counter_totals
 from repro.runtime.tracing import WALL_ENV
 
 SCHEMA = "repro-bench-runtime/1"
@@ -57,6 +57,10 @@ class BenchPoint:
     virtual_seconds: float
     stages_wall_seconds: dict[str, float]
     stages_virtual_seconds: dict[str, float]
+    #: per-family runtime counter totals (messages, bytes, RPCs ...)
+    #: from the fastest run -- deterministic, so they double as a
+    #: behavioural fingerprint next to the wall times
+    counters: dict[str, float] = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -138,6 +142,7 @@ def measure(
                     k: float(v)
                     for k, v in result.timings.component_seconds.items()
                 },
+                counters=counter_totals(result.metrics),
             )
             if progress:
                 progress(

@@ -9,6 +9,9 @@ Commands
 ``figures``    regenerate the paper's evaluation figures
 ``bench-wallclock``  measure the simulator's real runtime cost,
                write ``BENCH_runtime.json``, fail on regression
+``metrics-report``  print the P x P communication matrix, per-stage
+               load-imbalance factors, and hashmap RPC locality from
+               a saved result (or a fresh downscaled run)
 
 Examples
 --------
@@ -147,6 +150,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="skip the comparison and rewrite the baseline file",
+    )
+
+    m = sub.add_parser(
+        "metrics-report",
+        help="report runtime metrics (comm matrix, imbalance, locality)",
+    )
+    m.add_argument(
+        "--results",
+        type=Path,
+        default=None,
+        help=(
+            "saved result.npz to report on (default: run the engine "
+            "on a freshly generated downscaled corpus)"
+        ),
+    )
+    m.add_argument(
+        "--nprocs",
+        type=int,
+        default=8,
+        help="simulated processors for the default run",
+    )
+    m.add_argument(
+        "--dataset", choices=("pubmed", "trec"), default="pubmed"
+    )
+    m.add_argument("--downscale", type=float, default=10_000.0)
+    m.add_argument("--seed", type=int, default=7)
+    m.add_argument(
+        "--format",
+        choices=("text", "prometheus"),
+        default="text",
+        help="text report or Prometheus exposition format",
+    )
+    m.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the raw snapshot as canonical JSON",
     )
 
     return parser
@@ -351,6 +391,67 @@ def _cmd_bench_wallclock(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_metrics_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.metrics import (
+        render_report,
+        to_prometheus,
+        validate_snapshot,
+    )
+
+    if args.results is not None:
+        from repro.engine import load_result
+
+        result = load_result(args.results)
+        snap = result.metrics
+        if snap is None:
+            print(
+                f"{args.results} predates the metrics layer "
+                "(no metrics block saved)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        from repro.bench.harness import (
+            default_figure_config,
+            make_workload,
+        )
+        from repro.engine import ParallelTextEngine
+        from repro.runtime import MachineSpec
+
+        workload = make_workload(
+            args.dataset,
+            args.dataset,
+            2.75e9,
+            downscale=args.downscale,
+            seed=args.seed,
+        )
+        print(
+            f"running {args.dataset} ({len(workload.corpus)} docs, "
+            f"downscale {args.downscale:g}) on {args.nprocs} "
+            "simulated procs",
+            file=sys.stderr,
+        )
+        engine = ParallelTextEngine(
+            args.nprocs,
+            machine=MachineSpec(),
+            config=default_figure_config(),
+        )
+        snap = engine.run(workload.corpus).metrics
+    validate_snapshot(snap)
+    if args.format == "prometheus":
+        print(to_prometheus(snap), end="")
+    else:
+        print(render_report(snap))
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(snap, sort_keys=True, indent=2) + "\n"
+        )
+        print(f"snapshot written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -359,6 +460,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "figures": _cmd_figures,
         "bench-wallclock": _cmd_bench_wallclock,
+        "metrics-report": _cmd_metrics_report,
     }
     return handlers[args.command](args)
 

@@ -237,6 +237,9 @@ class ParallelTextEngine:
             corpus_name=corpus_name,
             nprocs=self.nprocs,
             timings=timings,
+            # like last_tracer, this reports the final attempt of a
+            # restarted run (each attempt gets a fresh World/registry)
+            metrics=sim.metrics.snapshot(),
             **root,
         )
 
@@ -599,6 +602,11 @@ def _index_stage(
                     machine.scaled(nb, Scale.STREAM),
                     intra_node=machine.same_node(ctx.rank, owner),
                 )
+            )
+            ctx.metrics.counter("comm.onesided.bytes", ("peer", "dir")).inc(
+                ctx.rank,
+                float(machine.scaled(nb, Scale.STREAM)),
+                key=(owner, "get"),
             )
         g, d, f = fwd.chunk_streams(lo, hi)
         t2f, _ = invert_chunk(g, d, f)

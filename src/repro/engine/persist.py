@@ -103,6 +103,12 @@ def save_result(result: EngineResult, path: PathLike) -> None:
         arrays["stats_cf"] = np.array(
             [result.term_stats[t][1] for t in terms], dtype=np.int64
         )
+    if result.metrics is not None:
+        # stored as its own entry (not in _meta_json): the snapshot is
+        # large and carries its own schema version ("repro-metrics/1")
+        arrays["_metrics_json"] = np.array(
+            json.dumps(result.metrics, sort_keys=True), dtype=object
+        )
     meta["n_topics"] = result.n_topics
     arrays["_meta_json"] = np.array(json.dumps(meta), dtype=object)
     np.savez_compressed(p, **arrays)
@@ -141,6 +147,9 @@ def load_result(path: PathLike) -> EngineResult:
                     z["stats_terms"], z["stats_df"], z["stats_cf"]
                 )
             }
+        metrics = None
+        if "_metrics_json" in z:
+            metrics = json.loads(str(z["_metrics_json"][()]))
         timings = None
         if "timings" in meta:
             timings = StageTimings(
@@ -170,5 +179,6 @@ def load_result(path: PathLike) -> EngineResult:
             signatures=signatures,
             term_stats=term_stats,
             timings=timings,
+            metrics=metrics,
             meta=dict(meta.get("meta", {})),
         )

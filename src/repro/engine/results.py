@@ -59,6 +59,10 @@ class EngineResult:
     term_stats: Optional[dict[str, tuple[int, int]]] = None
 
     timings: Optional[StageTimings] = None
+    #: runtime metrics snapshot (schema "repro-metrics/1"; see
+    #: :mod:`repro.runtime.metrics`) -- counters, comm matrix inputs,
+    #: per-stage busy/blocked seconds (None in legacy results)
+    metrics: Optional[dict] = None
     meta: dict = field(default_factory=dict)
 
     @property

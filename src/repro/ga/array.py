@@ -45,6 +45,9 @@ class GlobalArray:
         self.dtype = dtype
         self.dist = dist
         self._data = backing
+        self._m_onesided = ctx.metrics.counter(
+            "comm.onesided.bytes", ("peer", "dir")
+        )
 
     # ------------------------------------------------------------------
     # collective lifecycle
@@ -109,7 +112,7 @@ class GlobalArray:
         lo, hi = self._normalize(lo, hi)
         self._ctx.sched.wait_turn(self._ctx.rank)
         out = self._data[lo:hi].copy()
-        self._charge_transfer(lo, hi)
+        self._charge_transfer(lo, hi, "get")
         return out
 
     def put(self, lo: int, values: np.ndarray) -> None:
@@ -119,7 +122,7 @@ class GlobalArray:
         lo, hi = self._normalize(lo, hi)
         self._ctx.sched.wait_turn(self._ctx.rank)
         self._data[lo:hi] = values
-        self._charge_transfer(lo, hi)
+        self._charge_transfer(lo, hi, "put")
 
     def acc(self, lo: int, values: np.ndarray, alpha: float = 1.0) -> None:
         """One-sided atomic accumulate: ``A[lo:hi] += alpha * values``."""
@@ -131,7 +134,7 @@ class GlobalArray:
             self._data[lo:hi] += values
         else:
             self._data[lo:hi] += alpha * values
-        self._charge_transfer(lo, hi)
+        self._charge_transfer(lo, hi, "put")
 
     def read_inc(self, index: int, inc: int = 1) -> int:
         """Atomic fetch-and-add on one integer element.
@@ -244,7 +247,7 @@ class GlobalArray:
             raise RuntimeMisuseError("gather_elements row out of bounds")
         self._ctx.sched.wait_turn(self._ctx.rank)
         out = self._data[rows].copy()
-        self._charge_elementwise(rows)
+        self._charge_elementwise(rows, "get")
         return out
 
     def scatter_elements(self, rows: np.ndarray, values: np.ndarray) -> None:
@@ -263,9 +266,9 @@ class GlobalArray:
             raise RuntimeMisuseError("scatter_elements row out of bounds")
         self._ctx.sched.wait_turn(self._ctx.rank)
         self._data[rows] = values
-        self._charge_elementwise(rows)
+        self._charge_elementwise(rows, "put")
 
-    def _charge_elementwise(self, rows: np.ndarray) -> None:
+    def _charge_elementwise(self, rows: np.ndarray, direction: str) -> None:
         """Charge per-owner message costs for an indexed access."""
         if rows.size == 0:
             return
@@ -282,6 +285,9 @@ class GlobalArray:
                     nbytes,
                     intra_node=ctx.machine.same_node(ctx.rank, owner),
                 )
+            self._m_onesided.inc(
+                ctx.rank, float(nbytes), key=(int(owner), direction)
+            )
         ctx.charge(total)
 
     # ------------------------------------------------------------------
@@ -328,8 +334,12 @@ class GlobalArray:
             per_row *= s
         return itemsize * per_row
 
-    def _charge_transfer(self, lo: int, hi: int) -> None:
-        """Charge get/put/acc cost, split by owning rank."""
+    def _charge_transfer(self, lo: int, hi: int, direction: str) -> None:
+        """Charge get/put/acc cost, split by owning rank.
+
+        ``direction`` ("get"/"put") only labels the byte counters; the
+        diagonal (owner == caller) entries record rank-local volume.
+        """
         if hi <= lo:
             return
         ctx = self._ctx
@@ -344,4 +354,7 @@ class GlobalArray:
                     nbytes,
                     intra_node=ctx.machine.same_node(ctx.rank, owner),
                 )
+            self._m_onesided.inc(
+                ctx.rank, float(nbytes), key=(int(owner), direction)
+            )
         ctx.charge(total)

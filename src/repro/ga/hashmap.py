@@ -52,6 +52,13 @@ class GlobalHashMap:
         self.name = name
         self.nprocs = ctx.nprocs
         self._shards = shards
+        self._m_ops = ctx.metrics.counter("hashmap.ops", ("map", "locality"))
+        self._m_retries = ctx.metrics.counter("hashmap.rpc_retries", ("map",))
+
+    def _record_op(self, owner: int) -> None:
+        """Count one map operation as local or remote to its owner."""
+        locality = "local" if owner == self._ctx.rank else "remote"
+        self._m_ops.inc(self._ctx.rank, key=(self.name, locality))
 
     @classmethod
     def create(cls, ctx: RankContext, name: str) -> "GlobalHashMap":
@@ -92,6 +99,7 @@ class GlobalHashMap:
                     owner, handler, nbytes_out=nbytes_out, nbytes_in=nbytes_in
                 )
             except TransientRpcError:
+                self._m_retries.inc(self._ctx.rank, key=(self.name,))
                 if attempt == RPC_RETRIES:
                     raise
                 self._ctx.charge(backoff)
@@ -111,6 +119,7 @@ class GlobalHashMap:
             return gid
 
         nbytes = 16.0 + len(term)
+        self._record_op(owner)
         return self._rpc_with_retry(
             owner, handler, nbytes_out=nbytes, nbytes_in=16.0
         )
@@ -143,6 +152,7 @@ class GlobalHashMap:
                 return gids
 
             nbytes = sum(len(t) for t in batch) + 16.0 * len(batch)
+            self._record_op(owner)
             gids = self._rpc_with_retry(
                 owner, handler, nbytes_out=nbytes, nbytes_in=8.0 * len(batch)
             )
@@ -158,6 +168,7 @@ class GlobalHashMap:
         owner = self.owner_of(term)
         shard = self._shards[owner]
         nbytes = 16.0 + len(term)
+        self._record_op(owner)
         return self._rpc_with_retry(
             owner,
             lambda: shard.table.get(term),

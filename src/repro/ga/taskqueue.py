@@ -58,8 +58,12 @@ class SharedTaskQueue:
         if chunk < 1:
             raise RuntimeMisuseError(f"chunk must be >= 1, got {chunk}")
         self._ctx = ctx
+        self.name = name
         self.chunk = int(chunk)
         self.counts = [int(c) for c in counts]
+        self._m_chunks = ctx.metrics.counter("taskq.chunks", ("queue", "kind"))
+        self._m_tasks = ctx.metrics.counter("taskq.tasks", ("queue", "kind"))
+        self._m_reclaims = ctx.metrics.counter("taskq.lease_reclaims", ("queue",))
         self.offsets = np.concatenate([[0], np.cumsum(self.counts)])
         self.ntasks = int(self.offsets[-1])
         # Per-owner "next task" cursors, stored in a global array so a
@@ -96,6 +100,9 @@ class SharedTaskQueue:
         hi = int(self.offsets[owner]) + min(count, pos + self.chunk)
         if self._track_leases:
             self._leases[(lo, hi)] = self._ctx.rank
+        kind = "own" if owner == self._ctx.rank else "stolen"
+        self._m_chunks.inc(self._ctx.rank, key=(self.name, kind))
+        self._m_tasks.inc(self._ctx.rank, float(hi - lo), key=(self.name, kind))
         return lo, hi
 
     def next_chunk(self) -> Optional[tuple[int, int]]:
@@ -142,6 +149,7 @@ class SharedTaskQueue:
         for (lo, hi) in sorted(self._leases):
             if self._leases[(lo, hi)] in dead:
                 self._leases[(lo, hi)] = self._ctx.rank
+                self._m_reclaims.inc(self._ctx.rank, key=(self.name,))
                 return lo, hi
         return None
 

@@ -34,6 +34,18 @@ from .faults import (
     StragglerFault,
 )
 from .machine import MachineSpec, Scale
+from .metrics import (
+    MetricsRegistry,
+    MetricsSchemaError,
+    comm_matrix,
+    counter_totals,
+    hashmap_locality,
+    merge_snapshots,
+    render_report,
+    stage_imbalance,
+    to_prometheus,
+    validate_snapshot,
+)
 from .mpi import ANY_SOURCE, MAX, MIN, MPIComm, PROD, SUM
 from .payload import payload_nbytes
 from .scheduler import Scheduler
@@ -66,8 +78,18 @@ __all__ = [
     "MIN",
     "MPIComm",
     "MachineSpec",
+    "MetricsRegistry",
+    "MetricsSchemaError",
     "PROD",
     "SUM",
+    "comm_matrix",
+    "counter_totals",
+    "hashmap_locality",
+    "merge_snapshots",
+    "render_report",
+    "stage_imbalance",
+    "to_prometheus",
+    "validate_snapshot",
     "RankContext",
     "RuntimeMisuseError",
     "Scale",

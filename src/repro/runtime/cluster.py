@@ -11,6 +11,7 @@ from .context import RankContext
 from .errors import RankFailedError
 from .faults import FaultInjector, FaultPlan
 from .machine import MachineSpec
+from .metrics import MetricsRegistry
 from .scheduler import Scheduler, spawn_ranks
 from .tracing import Tracer
 from .world import World
@@ -30,6 +31,9 @@ class ClusterResult:
     tracer: Tracer = field(repr=False, default=None)  # type: ignore[assignment]
     #: ranks that fail-stop crashed during the run (fault injection)
     failed_ranks: list[int] = field(default_factory=list)
+    #: deterministic runtime metrics recorded during the run (see
+    #: :mod:`repro.runtime.metrics`); call ``.snapshot()`` for JSON
+    metrics: MetricsRegistry = field(repr=False, default=None)  # type: ignore[assignment]
 
     @property
     def wall_time(self) -> float:
@@ -96,8 +100,10 @@ class Cluster:
         reports the victims and their entries in ``rank_results`` stay
         ``None``).
         """
-        sched = Scheduler(self.nprocs, injector=self.injector)
         world = World(self.nprocs)
+        sched = Scheduler(
+            self.nprocs, injector=self.injector, metrics=world.metrics
+        )
         tracer = Tracer(self.nprocs)
         if self.injector is not None:
             self.injector.start_run(self.nprocs, tracer)
@@ -139,4 +145,5 @@ class Cluster:
             blocked_times=np.array(sched.blocked_time),
             tracer=tracer,
             failed_ranks=failed,
+            metrics=world.metrics,
         )

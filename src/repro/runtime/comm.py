@@ -87,6 +87,7 @@ class Request:
             comm.sched.clocks[comm._grank].advance_to(
                 max(now, msg.arrival) + comm.machine.recv_overhead_seconds()
             )
+            comm._account_recv(comm._g(self._peer), msg.nbytes)
             self._result = msg.obj
             self._done = True
         return self._done
@@ -132,6 +133,12 @@ class Communicator:
         self._ctx_key = ctx_key
         self._coll_seq = 0
         self._split_seq = 0
+        # cached metric family handles (pure dict ops, no virtual time)
+        m = world.metrics
+        self._m_p2p_msgs = m.counter("comm.p2p.messages", ("peer", "dir"))
+        self._m_p2p_bytes = m.counter("comm.p2p.bytes", ("peer", "dir"))
+        self._m_coll_calls = m.counter("comm.coll.calls", ("kind",))
+        self._m_coll_bytes = m.counter("comm.coll.bytes", ("kind",))
 
     # ------------------------------------------------------------------
     # group helpers
@@ -233,6 +240,8 @@ class Communicator:
         arrival = now + transit_dt
         box = self._box(self.rank, tag, dst_local=dest)
         box.append(Message(obj, arrival, nbytes))
+        self._m_p2p_msgs.inc(self._grank, key=(dest_g, "sent"))
+        self._m_p2p_bytes.inc(self._grank, nbytes, key=(dest_g, "sent"))
         self.sched.advance(self._grank, sender_dt)
         if to_self:
             # a rank cannot be blocked receiving from itself while it
@@ -279,11 +288,14 @@ class Communicator:
                 self.world.recv_waiters.pop(key, None)
                 self._raise_timeout(detail, [self._g(source)], eff)
             # the sender advanced our clock to the completed-receive time
-            return box.popleft().obj
+            msg = box.popleft()
+            self._account_recv(self._g(source), msg.nbytes)
+            return msg.obj
         msg = box.popleft()
         now = self.sched.now(self._grank)
         done = max(now, msg.arrival) + self.machine.recv_overhead_seconds()
         self.sched.clocks[self._grank].advance_to(done)
+        self._account_recv(self._g(source), msg.nbytes)
         return msg.obj
 
     def isend(self, dest: int, obj: Any, tag: int = 0) -> "Request":
@@ -384,7 +396,13 @@ class Communicator:
         msg = self._box(best_src, tag).popleft()
         done = max(now, msg.arrival) + self.machine.recv_overhead_seconds()
         self.sched.clocks[self._grank].advance_to(done)
+        self._account_recv(self._g(best_src), msg.nbytes)
         return best_src, msg.obj
+
+    def _account_recv(self, src_g: int, nbytes: float) -> None:
+        """Record one delivered message from global rank ``src_g``."""
+        self._m_p2p_msgs.inc(self._grank, key=(src_g, "recv"))
+        self._m_p2p_bytes.inc(self._grank, nbytes, key=(src_g, "recv"))
 
     def _check_peer(self, peer: int) -> None:
         if not 0 <= peer < self.nprocs:
@@ -578,6 +596,12 @@ class Communicator:
         my_size: Optional[float] = nbytes
         if my_size is None and nbytes_hint is None:
             my_size = float(payload_nbytes(payload))
+        self._m_coll_calls.inc(self._grank, key=(kind,))
+        self._m_coll_bytes.inc(
+            self._grank,
+            my_size if my_size is not None else float(nbytes_hint or 0.0),
+            key=(kind,),
+        )
         gate.arrivals[self.rank] = (now, payload, my_size)
         if len(gate.arrivals) < self.nprocs:
             detail = f"{kind} (collective #{seq})"

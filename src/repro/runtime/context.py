@@ -9,6 +9,7 @@ top of this context.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional
 
 from .comm import Communicator
@@ -37,6 +38,7 @@ class RankContext:
         self.sched = sched
         self.machine = machine
         self.tracer = tracer
+        self.metrics = world.metrics
         self.comm = Communicator(world, sched, machine, rank)
 
     # ------------------------------------------------------------------
@@ -138,16 +140,29 @@ class RankContext:
             if inj.rpc_fails(self.rank, target, self.now):
                 out = payload_nbytes(args) if nbytes_out is None else nbytes_out
                 self.charge(self.machine.rpc_seconds(out, nbytes_in))
+                self._record_rpc(target, out, nbytes_in)
                 raise TransientRpcError(
                     f"rank {self.rank}: rpc to rank {target} flaked"
                 )
         result = handler(*args)
         if target == self.rank:
             self.charge(self.machine.rpc_handler_cost_s)
+            self.metrics.counter("comm.rpc.calls", ("peer",)).inc(
+                self.rank, key=(target,)
+            )
         else:
             out = payload_nbytes(args) if nbytes_out is None else nbytes_out
             self.charge(self.machine.rpc_seconds(out, nbytes_in))
+            self._record_rpc(target, out, nbytes_in)
         return result
+
+    def _record_rpc(self, target: int, out: float, inbytes: float) -> None:
+        """Count one RPC attempt (including flaked ones) to ``target``."""
+        m = self.metrics
+        m.counter("comm.rpc.calls", ("peer",)).inc(self.rank, key=(target,))
+        fam = m.counter("comm.rpc.bytes", ("peer", "dir"))
+        fam.inc(self.rank, float(out), key=(target, "out"))
+        fam.inc(self.rank, float(inbytes), key=(target, "in"))
 
     # ------------------------------------------------------------------
     # failure detection
@@ -169,11 +184,32 @@ class RankContext:
     # ------------------------------------------------------------------
     # tracing
     # ------------------------------------------------------------------
+    @contextmanager
     def region(self, name: str) -> Iterator[None]:
-        """Context manager recording a named virtual-time region."""
-        return self.tracer.region(
-            self.rank, name, self.sched.clocks[self.rank]
-        )
+        """Context manager recording a named virtual-time region.
+
+        Besides the trace span, the region captures this rank's metric
+        movement -- elapsed and blocked virtual seconds plus every
+        counter delta -- into the per-stage section of the metrics
+        snapshot.  Capture happens in a ``finally`` so a stage that
+        dies mid-flight (fault injection) still reports the partial
+        work deterministically.
+        """
+        clock = self.sched.clocks[self.rank]
+        t0 = clock.now
+        blocked0 = self.sched.blocked_time[self.rank]
+        before = self.metrics.rank_totals(self.rank)
+        try:
+            with self.tracer.region(self.rank, name, clock):
+                yield
+        finally:
+            self.metrics.record_stage(
+                name,
+                self.rank,
+                clock.now - t0,
+                self.sched.blocked_time[self.rank] - blocked0,
+                self.metrics.rank_deltas(self.rank, before),
+            )
 
     # ------------------------------------------------------------------
     # convenience passthroughs

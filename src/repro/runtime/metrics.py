@@ -1,0 +1,732 @@
+"""Deterministic per-rank runtime metrics (counters, gauges, histograms).
+
+The paper's contribution is *measured* scaling behaviour: per-component
+times, the communication cost of the distributed hashmap and task
+queue, and the load balance across processors (IPPS 2007 §4.2).  This
+module is the first-class measurement substrate behind those numbers: a
+:class:`MetricsRegistry` is created per simulated run (one per
+:class:`~repro.runtime.world.World`) and threaded through the runtime
+and the Global Arrays layer, which record
+
+* per-(src, dst) point-to-point messages and bytes (``comm.p2p.*``),
+* per-collective-operation call and byte totals (``comm.coll.*``),
+* ARMCI-style RPC and one-sided transfer volumes (``comm.rpc.*``,
+  ``comm.onesided.*``),
+* hashmap RPC locality and retries (``hashmap.*``),
+* task-queue chunks claimed and lease reclamations (``taskq.*``),
+* per-rank blocked time (``sched.*``), and
+* per-stage counter deltas plus busy/blocked seconds (captured by
+  :meth:`repro.runtime.context.RankContext.region`).
+
+Determinism contract
+--------------------
+Recording a metric **never charges virtual time** and never consults
+wall-clock time or random state: every recorded value is a pure
+function of the deterministic simulation (virtual clocks, payload
+sizes, operation counts).  Because every recording site runs while its
+rank holds the scheduler turn (or touches only rank-private state), the
+registry's contents -- and the canonical JSON produced by
+:meth:`MetricsRegistry.snapshot` -- are bit-identical across repeated
+runs at a fixed seed and across the fast-path and
+``REPRO_SCHED_SLOWPATH=1`` scheduler mechanisms.  That makes the
+snapshot a cheap determinism oracle: CI diffs two JSON documents
+instead of parsing full Chrome traces.
+
+Snapshot schema
+---------------
+:meth:`MetricsRegistry.snapshot` returns a JSON-native dict versioned
+by ``schema`` (currently ``"repro-metrics/1"``); see
+:func:`validate_snapshot`.  :func:`merge_snapshots` combines snapshots
+(counters/histograms add, gauges take the max) and is associative and
+order-independent, so partial snapshots may be aggregated in any
+order.  :func:`to_prometheus` renders the Prometheus text exposition
+format for scraping.
+"""
+
+from __future__ import annotations
+
+import operator
+from bisect import bisect_left
+from typing import Any, Optional, Sequence
+
+#: snapshot schema identifier; bump when the layout changes shape
+SCHEMA = "repro-metrics/1"
+
+#: virtual-seconds bucket upper bounds for blocked-time histograms
+#: (log-spaced; the implicit final bucket is +Inf)
+BLOCK_SECONDS_BOUNDS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricsSchemaError(ValueError):
+    """A metrics snapshot has an unknown or incompatible schema."""
+
+
+def _norm_label(v: Any):
+    """Normalize a label value to a JSON-native str/int/float."""
+    if isinstance(v, str):
+        return v
+    try:
+        return operator.index(v)  # ints incl. numpy integers
+    except TypeError:
+        return float(v)
+
+
+class MetricFamily:
+    """One named metric with fixed label names and per-rank values.
+
+    Values are keyed by the tuple of label values; label tuples within
+    a family must be homogeneous in type so the snapshot ordering is
+    well-defined.  Counter and gauge values are floats; histogram
+    values are ``[bucket_counts, sum, count]`` records.
+    """
+
+    __slots__ = ("name", "kind", "label_names", "bounds", "per_rank")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        nprocs: int,
+        label_names: tuple[str, ...] = (),
+        bounds: Optional[tuple[float, ...]] = None,
+    ):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self.bounds = tuple(bounds) if bounds is not None else None
+        self.per_rank: list[dict] = [{} for _ in range(nprocs)]
+
+    def inc(self, rank: int, value: float = 1.0, key: tuple = ()) -> None:
+        """Add ``value`` to the counter at ``key`` on ``rank``."""
+        d = self.per_rank[rank]
+        d[key] = d.get(key, 0.0) + value
+
+    def set(self, rank: int, value: float, key: tuple = ()) -> None:
+        """Set the gauge at ``key`` on ``rank``."""
+        self.per_rank[rank][key] = float(value)
+
+    def observe(self, rank: int, value: float, key: tuple = ()) -> None:
+        """Record one sample into the histogram at ``key`` on ``rank``."""
+        d = self.per_rank[rank]
+        rec = d.get(key)
+        if rec is None:
+            rec = d[key] = [[0] * (len(self.bounds) + 1), 0.0, 0]
+        rec[0][bisect_left(self.bounds, value)] += 1
+        rec[1] += value
+        rec[2] += 1
+
+
+class MetricsRegistry:
+    """All metric families of one simulated run, plus stage captures."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self._families: dict[str, MetricFamily] = {}
+        #: stage name -> {"seconds": [per rank], "blocked_seconds":
+        #: [per rank], "counters": {name: {(rank, key): delta}}}
+        self._stages: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # family registration (idempotent; shape-checked)
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        label_names: Sequence[str],
+        bounds: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = MetricFamily(
+                name, kind, self.nprocs, tuple(label_names),
+                tuple(bounds) if bounds is not None else None,
+            )
+            self._families[name] = fam
+            return fam
+        if fam.kind != kind or fam.label_names != tuple(label_names):
+            raise ValueError(
+                f"metric {name!r} re-registered as {kind}{tuple(label_names)} "
+                f"but exists as {fam.kind}{fam.label_names}"
+            )
+        return fam
+
+    def counter(self, name: str, label_names: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, "counter", label_names)
+
+    def gauge(self, name: str, label_names: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, "gauge", label_names)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = BLOCK_SECONDS_BOUNDS,
+        label_names: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._family(name, "histogram", label_names, bounds)
+
+    # ------------------------------------------------------------------
+    # per-stage capture (used by RankContext.region)
+    # ------------------------------------------------------------------
+    def rank_totals(self, rank: int) -> dict[tuple, float]:
+        """Flat ``(family, key) -> value`` view of one rank's counters."""
+        out: dict[tuple, float] = {}
+        for name, fam in self._families.items():
+            if fam.kind != "counter":
+                continue
+            for key, value in fam.per_rank[rank].items():
+                out[(name, key)] = value
+        return out
+
+    def rank_deltas(
+        self, rank: int, before: dict[tuple, float]
+    ) -> dict[tuple, float]:
+        """Counter movement on ``rank`` since a :meth:`rank_totals` call."""
+        out: dict[tuple, float] = {}
+        for k, v in self.rank_totals(rank).items():
+            d = v - before.get(k, 0.0)
+            if d != 0.0:
+                out[k] = d
+        return out
+
+    def record_stage(
+        self,
+        stage: str,
+        rank: int,
+        seconds: float,
+        blocked_seconds: float,
+        deltas: dict[tuple, float],
+    ) -> None:
+        """Accumulate one rank's traversal of a named stage region."""
+        st = self._stages.get(stage)
+        if st is None:
+            st = self._stages[stage] = {
+                "seconds": [0.0] * self.nprocs,
+                "blocked_seconds": [0.0] * self.nprocs,
+                "counters": {},
+            }
+        st["seconds"][rank] += seconds
+        st["blocked_seconds"][rank] += blocked_seconds
+        counters = st["counters"]
+        for (name, key), v in deltas.items():
+            d = counters.setdefault(name, {})
+            rk = (rank, key)
+            d[rk] = d.get(rk, 0.0) + v
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The run's metrics as a canonical, JSON-native document.
+
+        Deterministic: values appear sorted by ``(rank, label key)``
+        and families by name, so ``json.dumps(snapshot, sort_keys=True)``
+        is a byte-stable digest of the run's measured behaviour.
+        """
+        counters: dict[str, dict] = {}
+        gauges: dict[str, dict] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._families):
+            fam = self._families[name]
+            values = []
+            for rank, d in enumerate(fam.per_rank):
+                for key, value in d.items():
+                    entry = {
+                        "rank": rank,
+                        "key": [_norm_label(v) for v in key],
+                    }
+                    if fam.kind == "histogram":
+                        entry["counts"] = list(value[0])
+                        entry["sum"] = float(value[1])
+                        entry["count"] = int(value[2])
+                    else:
+                        entry["value"] = float(value)
+                    values.append(entry)
+            values.sort(key=lambda e: (e["rank"], e["key"]))
+            doc = {"labels": list(fam.label_names), "values": values}
+            if fam.kind == "counter":
+                counters[name] = doc
+            elif fam.kind == "gauge":
+                gauges[name] = doc
+            else:
+                doc["bounds"] = list(fam.bounds)
+                histograms[name] = doc
+        stages: dict[str, dict] = {}
+        for stage in sorted(self._stages):
+            st = self._stages[stage]
+            stage_counters: dict[str, dict] = {}
+            for name in sorted(st["counters"]):
+                values = [
+                    {
+                        "rank": rank,
+                        "key": [_norm_label(v) for v in key],
+                        "value": float(v),
+                    }
+                    for (rank, key), v in st["counters"][name].items()
+                ]
+                values.sort(key=lambda e: (e["rank"], e["key"]))
+                stage_counters[name] = {"values": values}
+            stages[stage] = {
+                "seconds": [float(s) for s in st["seconds"]],
+                "blocked_seconds": [
+                    float(s) for s in st["blocked_seconds"]
+                ],
+                "counters": stage_counters,
+            }
+        return {
+            "schema": SCHEMA,
+            "nprocs": self.nprocs,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "stages": stages,
+        }
+
+
+# ----------------------------------------------------------------------
+# snapshot-level operations
+# ----------------------------------------------------------------------
+def validate_snapshot(snap: dict) -> dict:
+    """Check a snapshot's schema; returns it unchanged.
+
+    Raises :class:`MetricsSchemaError` on an unknown schema version or
+    a structurally foreign document, so readers fail loudly instead of
+    silently misinterpreting a future layout.
+    """
+    if not isinstance(snap, dict):
+        raise MetricsSchemaError(
+            f"metrics snapshot must be a dict, got {type(snap).__name__}"
+        )
+    schema = snap.get("schema")
+    if schema != SCHEMA:
+        raise MetricsSchemaError(
+            f"unsupported metrics schema {schema!r} (expected {SCHEMA!r})"
+        )
+    for section in ("nprocs", "counters", "gauges", "histograms", "stages"):
+        if section not in snap:
+            raise MetricsSchemaError(f"snapshot missing {section!r}")
+    return snap
+
+
+def _merge_values(a_doc: dict, b_doc: dict, kind: str) -> dict:
+    """Merge two family documents of the same name."""
+    if a_doc.get("labels") != b_doc.get("labels"):
+        raise MetricsSchemaError(
+            f"label mismatch: {a_doc.get('labels')} vs {b_doc.get('labels')}"
+        )
+    if kind == "histogram" and a_doc.get("bounds") != b_doc.get("bounds"):
+        raise MetricsSchemaError(
+            f"histogram bounds mismatch: {a_doc.get('bounds')} vs "
+            f"{b_doc.get('bounds')}"
+        )
+    merged: dict[tuple, dict] = {}
+    for entry in list(a_doc["values"]) + list(b_doc["values"]):
+        k = (entry["rank"], tuple(entry["key"]))
+        cur = merged.get(k)
+        if cur is None:
+            merged[k] = {
+                key: (list(v) if isinstance(v, list) else v)
+                for key, v in entry.items()
+            }
+        elif kind == "histogram":
+            cur["counts"] = [
+                x + y for x, y in zip(cur["counts"], entry["counts"])
+            ]
+            cur["sum"] += entry["sum"]
+            cur["count"] += entry["count"]
+        elif kind == "gauge":
+            cur["value"] = max(cur["value"], entry["value"])
+        else:
+            cur["value"] += entry["value"]
+    out = dict(a_doc)
+    out["values"] = sorted(
+        merged.values(), key=lambda e: (e["rank"], e["key"])
+    )
+    return out
+
+
+def merge_snapshots(a: dict, b: dict) -> dict:
+    """Combine two snapshots of the same world shape.
+
+    Counters and histograms add, gauges take the elementwise maximum,
+    and stage seconds/deltas add -- all associative, commutative
+    operations, so merging any number of partial snapshots yields the
+    same result in any order (property-tested).
+    """
+    validate_snapshot(a)
+    validate_snapshot(b)
+    if a["nprocs"] != b["nprocs"]:
+        raise MetricsSchemaError(
+            f"cannot merge snapshots with nprocs {a['nprocs']} and "
+            f"{b['nprocs']}"
+        )
+    out = {"schema": SCHEMA, "nprocs": a["nprocs"]}
+    for section, kind in (
+        ("counters", "counter"),
+        ("gauges", "gauge"),
+        ("histograms", "histogram"),
+    ):
+        merged: dict[str, dict] = {}
+        for name in sorted(set(a[section]) | set(b[section])):
+            in_a, in_b = name in a[section], name in b[section]
+            if in_a and in_b:
+                merged[name] = _merge_values(
+                    a[section][name], b[section][name], kind
+                )
+            else:
+                src = a[section][name] if in_a else b[section][name]
+                merged[name] = {
+                    **src,
+                    "values": sorted(
+                        src["values"], key=lambda e: (e["rank"], e["key"])
+                    ),
+                }
+        out[section] = merged
+    stages: dict[str, dict] = {}
+    for stage in sorted(set(a["stages"]) | set(b["stages"])):
+        sa = a["stages"].get(stage)
+        sb = b["stages"].get(stage)
+        if sa is None or sb is None:
+            src = sa if sa is not None else sb
+            stages[stage] = {
+                "seconds": list(src["seconds"]),
+                "blocked_seconds": list(src["blocked_seconds"]),
+                "counters": {
+                    name: {
+                        "values": sorted(
+                            doc["values"],
+                            key=lambda e: (e["rank"], e["key"]),
+                        )
+                    }
+                    for name, doc in src["counters"].items()
+                },
+            }
+            continue
+        counters: dict[str, dict] = {}
+        for name in sorted(set(sa["counters"]) | set(sb["counters"])):
+            da = sa["counters"].get(name, {"values": []})
+            db = sb["counters"].get(name, {"values": []})
+            counters[name] = {
+                "values": _merge_values(
+                    {"labels": None, "values": da["values"]},
+                    {"labels": None, "values": db["values"]},
+                    "counter",
+                )["values"]
+            }
+        stages[stage] = {
+            "seconds": [
+                x + y for x, y in zip(sa["seconds"], sb["seconds"])
+            ],
+            "blocked_seconds": [
+                x + y
+                for x, y in zip(
+                    sa["blocked_seconds"], sb["blocked_seconds"]
+                )
+            ],
+            "counters": counters,
+        }
+    out["stages"] = stages
+    return out
+
+
+def counter_totals(snap: dict) -> dict[str, float]:
+    """Each counter family's total over all ranks and label keys."""
+    return {
+        name: float(sum(e["value"] for e in doc["values"]))
+        for name, doc in snap["counters"].items()
+    }
+
+
+# ----------------------------------------------------------------------
+# derived reports
+# ----------------------------------------------------------------------
+def comm_matrix(snap: dict, metric: str = "bytes"):
+    """The P x P communication matrix ``M[src, dst]``.
+
+    ``metric="bytes"`` aggregates point-to-point payload bytes, RPC
+    request/response bytes, and one-sided transfer bytes; the diagonal
+    is rank-local volume (self-sends, local one-sided windows).
+    ``metric="messages"`` counts p2p messages and RPC calls.  Each
+    transfer is attributed once, in its direction of data flow.
+    """
+    import numpy as np
+
+    p = int(snap["nprocs"])
+    m = np.zeros((p, p))
+    counters = snap["counters"]
+
+    def entries(name):
+        doc = counters.get(name)
+        return doc["values"] if doc else ()
+
+    if metric == "bytes":
+        for e in entries("comm.p2p.bytes"):
+            peer, direction = e["key"]
+            if direction == "sent":
+                m[e["rank"], int(peer)] += e["value"]
+        for e in entries("comm.rpc.bytes"):
+            peer, direction = e["key"]
+            if direction == "out":
+                m[e["rank"], int(peer)] += e["value"]
+            else:  # response bytes flow peer -> caller
+                m[int(peer), e["rank"]] += e["value"]
+        for e in entries("comm.onesided.bytes"):
+            peer, direction = e["key"]
+            if direction == "get":  # data flows owner -> caller
+                m[int(peer), e["rank"]] += e["value"]
+            else:
+                m[e["rank"], int(peer)] += e["value"]
+    elif metric == "messages":
+        for e in entries("comm.p2p.messages"):
+            peer, direction = e["key"]
+            if direction == "sent":
+                m[e["rank"], int(peer)] += e["value"]
+        for e in entries("comm.rpc.calls"):
+            m[e["rank"], int(e["key"][0])] += e["value"]
+    else:
+        raise ValueError(f"unknown comm matrix metric {metric!r}")
+    return m
+
+
+def collective_totals(snap: dict) -> dict[str, dict[str, float]]:
+    """Per-collective-kind call and contributed-byte totals."""
+    out: dict[str, dict[str, float]] = {}
+    for name, field in (("comm.coll.calls", "calls"),
+                        ("comm.coll.bytes", "bytes")):
+        doc = snap["counters"].get(name)
+        if not doc:
+            continue
+        for e in doc["values"]:
+            kind = str(e["key"][0])
+            out.setdefault(kind, {"calls": 0.0, "bytes": 0.0})
+            out[kind][field] += e["value"]
+    return out
+
+
+def stage_imbalance(snap: dict) -> dict[str, dict[str, float]]:
+    """Per-stage busy-time statistics and load-imbalance factor.
+
+    Busy time is the virtual time a rank spent inside the stage region
+    minus the time it sat blocked (waiting on messages, collectives, or
+    wakes) there.  The imbalance factor ``max(busy) / mean(busy)`` is
+    1.0 for a perfectly balanced stage -- the quantity behind the
+    paper's dynamic-load-balancing claim (Fig. 9).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for stage, st in snap["stages"].items():
+        busy = [
+            s - b
+            for s, b in zip(st["seconds"], st["blocked_seconds"])
+        ]
+        mean = sum(busy) / len(busy) if busy else 0.0
+        peak = max(busy) if busy else 0.0
+        out[stage] = {
+            "max_busy": peak,
+            "mean_busy": mean,
+            "imbalance": (peak / mean) if mean > 0 else 1.0,
+        }
+    return out
+
+
+def hashmap_locality(snap: dict) -> dict[str, dict[str, float]]:
+    """Local/remote RPC split and retry counts per distributed hashmap."""
+    out: dict[str, dict[str, float]] = {}
+    doc = snap["counters"].get("hashmap.ops")
+    if doc:
+        for e in doc["values"]:
+            name, locality = str(e["key"][0]), str(e["key"][1])
+            rec = out.setdefault(
+                name, {"local": 0.0, "remote": 0.0, "retries": 0.0}
+            )
+            rec[locality] += e["value"]
+    doc = snap["counters"].get("hashmap.rpc_retries")
+    if doc:
+        for e in doc["values"]:
+            name = str(e["key"][0])
+            rec = out.setdefault(
+                name, {"local": 0.0, "remote": 0.0, "retries": 0.0}
+            )
+            rec["retries"] += e["value"]
+    for rec in out.values():
+        total = rec["local"] + rec["remote"]
+        rec["local_fraction"] = rec["local"] / total if total else 0.0
+    return out
+
+
+def taskqueue_summary(snap: dict) -> dict[str, dict[str, float]]:
+    """Chunks claimed (own vs stolen) and lease reclaims per queue."""
+    out: dict[str, dict[str, float]] = {}
+
+    def rec(name):
+        return out.setdefault(
+            name,
+            {"own": 0.0, "stolen": 0.0, "tasks": 0.0, "reclaims": 0.0},
+        )
+
+    doc = snap["counters"].get("taskq.chunks")
+    if doc:
+        for e in doc["values"]:
+            rec(str(e["key"][0]))[str(e["key"][1])] += e["value"]
+    doc = snap["counters"].get("taskq.tasks")
+    if doc:
+        for e in doc["values"]:
+            rec(str(e["key"][0]))["tasks"] += e["value"]
+    doc = snap["counters"].get("taskq.lease_reclaims")
+    if doc:
+        for e in doc["values"]:
+            rec(str(e["key"][0]))["reclaims"] += e["value"]
+    return out
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024.0 or unit == "TB":
+            return (
+                f"{n:.0f}{unit}" if unit == "B" else f"{n:.2f}{unit}"
+            )
+        n /= 1024.0
+    return f"{n:.2f}TB"  # pragma: no cover - unreachable
+
+
+def render_report(snap: dict) -> str:
+    """Human-readable metrics report (the ``metrics-report`` command).
+
+    Prints the P x P communication matrix, per-collective totals, the
+    per-stage load-imbalance factors, hashmap RPC locality, and
+    task-queue stealing statistics.
+    """
+    validate_snapshot(snap)
+    p = int(snap["nprocs"])
+    lines: list[str] = [f"metrics report (schema {snap['schema']}, P={p})"]
+
+    m = comm_matrix(snap, "bytes")
+    lines.append("")
+    lines.append(
+        "communication matrix (bytes moved src -> dst; "
+        "p2p + RPC + one-sided; diagonal = rank-local):"
+    )
+    width = max(
+        9, max((len(_fmt_bytes(v)) for row in m for v in row), default=9)
+    )
+    header = "  src\\dst " + "".join(f"{d:>{width + 1}}" for d in range(p))
+    lines.append(header)
+    for src in range(p):
+        row = "".join(f" {_fmt_bytes(v):>{width}}" for v in m[src])
+        lines.append(f"  {src:>7} {row}")
+    total = float(m.sum())
+    off_diag = total - float(m.trace())
+    lines.append(
+        f"  total {_fmt_bytes(total)} "
+        f"({_fmt_bytes(off_diag)} cross-rank)"
+    )
+
+    colls = collective_totals(snap)
+    if colls:
+        lines.append("")
+        lines.append("collective operations:")
+        lines.append(f"  {'kind':<12} {'calls':>8} {'bytes':>12}")
+        for kind in sorted(colls):
+            c = colls[kind]
+            lines.append(
+                f"  {kind:<12} {c['calls']:>8.0f} "
+                f"{_fmt_bytes(c['bytes']):>12}"
+            )
+
+    stages = stage_imbalance(snap)
+    if stages:
+        lines.append("")
+        lines.append(
+            "per-stage load balance "
+            "(busy = region - blocked virtual seconds):"
+        )
+        lines.append(
+            f"  {'stage':<14} {'max busy':>10} {'mean busy':>10} "
+            f"{'imbalance':>10}"
+        )
+        for stage in sorted(stages):
+            s = stages[stage]
+            lines.append(
+                f"  {stage:<14} {s['max_busy']:>10.4f} "
+                f"{s['mean_busy']:>10.4f} {s['imbalance']:>9.3f}x"
+            )
+
+    hmaps = hashmap_locality(snap)
+    if hmaps:
+        lines.append("")
+        lines.append("distributed hashmap RPC locality:")
+        for name in sorted(hmaps):
+            h = hmaps[name]
+            lines.append(
+                f"  {name}: {h['local']:.0f} local / "
+                f"{h['remote']:.0f} remote "
+                f"({h['local_fraction']:.1%} local), "
+                f"{h['retries']:.0f} retries"
+            )
+
+    queues = taskqueue_summary(snap)
+    if queues:
+        lines.append("")
+        lines.append("task queues (dynamic load balancing):")
+        for name in sorted(queues):
+            q = queues[name]
+            lines.append(
+                f"  {name}: {q['own']:.0f} own + {q['stolen']:.0f} "
+                f"stolen chunks ({q['tasks']:.0f} tasks), "
+                f"{q['reclaims']:.0f} lease reclaims"
+            )
+    return "\n".join(lines)
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    )
+
+
+def _prom_labels(rank: int, label_names, key, extra=()) -> str:
+    parts = [f'rank="{rank}"']
+    parts += [f'{n}="{v}"' for n, v in zip(label_names, key)]
+    parts += [f'{n}="{v}"' for n, v in extra]
+    return "{" + ",".join(parts) + "}"
+
+
+def to_prometheus(snap: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Optional scrape-side integration: pipe this to a file served by
+    ``node_exporter``'s textfile collector (or any HTTP endpoint) to
+    chart simulated runs with standard dashboards.
+    """
+    validate_snapshot(snap)
+    lines: list[str] = []
+    for section, prom_type in (
+        ("counters", "counter"), ("gauges", "gauge")
+    ):
+        for name, doc in snap[section].items():
+            pname = _prom_name(name)
+            lines.append(f"# TYPE {pname} {prom_type}")
+            for e in doc["values"]:
+                labels = _prom_labels(e["rank"], doc["labels"], e["key"])
+                lines.append(f"{pname}{labels} {e['value']}")
+    for name, doc in snap["histograms"].items():
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        bounds = list(doc["bounds"]) + ["+Inf"]
+        for e in doc["values"]:
+            cum = 0
+            for le, count in zip(bounds, e["counts"]):
+                cum += count
+                labels = _prom_labels(
+                    e["rank"], doc["labels"], e["key"], (("le", le),)
+                )
+                lines.append(f"{pname}_bucket{labels} {cum}")
+            labels = _prom_labels(e["rank"], doc["labels"], e["key"])
+            lines.append(f"{pname}_sum{labels} {e['sum']}")
+            lines.append(f"{pname}_count{labels} {e['count']}")
+    return "\n".join(lines) + "\n"

@@ -92,7 +92,7 @@ def _slowpath_enabled() -> bool:
 class Scheduler:
     """Coordinates ``nprocs`` cooperative rank threads in virtual time."""
 
-    def __init__(self, nprocs: int, injector=None):
+    def __init__(self, nprocs: int, injector=None, metrics=None):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
@@ -133,6 +133,9 @@ class Scheduler:
         self.failed_at: dict[int, float] = {}
         self._deadline: list[Optional[float]] = [None] * nprocs
         self._timed_out = [False] * nprocs
+        #: optional MetricsRegistry recording blocked-time counters and
+        #: histograms (None for standalone schedulers, e.g. unit tests)
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # rank-side API (called from rank threads)
@@ -262,9 +265,13 @@ class Scheduler:
         timed_out = self._timed_out[rank]
         self._timed_out[rank] = False
         # the waker (or the deadline) advanced our clock
-        self.blocked_time[rank] += (
-            self.clocks[rank].now - self._block_entry[rank]
-        )
+        dt = self.clocks[rank].now - self._block_entry[rank]
+        self.blocked_time[rank] += dt
+        if self.metrics is not None:
+            # single accounting point shared by every dispatch
+            # mechanism, so both scheduler paths record identically
+            self.metrics.counter("sched.blocked_seconds").inc(rank, dt)
+            self.metrics.histogram("sched.block_seconds").observe(rank, dt)
         return timed_out
 
     def is_blocked(self, rank: int) -> bool:

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Optional
 
+from .metrics import MetricsRegistry
+
 
 class CollectiveGate:
     """Rendezvous point for one collective call instance."""
@@ -49,6 +51,9 @@ class World:
         #: (see :meth:`repro.runtime.context.RankContext.replicated`);
         #: key -> result computed by the first rank to reach the site
         self.replicated: dict[Any, Any] = {}
+        #: deterministic per-rank counters/gauges/histograms recorded
+        #: by the runtime and GA layers; charges no virtual time
+        self.metrics = MetricsRegistry(nprocs)
         #: default virtual-time timeout for blocking receives and
         #: collectives (None = wait forever); set by an active fault
         #: plan so survivors detect dead peers instead of deadlocking

@@ -1,0 +1,437 @@
+"""Unit tests for the deterministic metrics registry and snapshot ops."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Cluster
+from repro.runtime.metrics import (
+    SCHEMA,
+    MetricsRegistry,
+    MetricsSchemaError,
+    comm_matrix,
+    counter_totals,
+    hashmap_locality,
+    merge_snapshots,
+    render_report,
+    stage_imbalance,
+    taskqueue_summary,
+    to_prometheus,
+    validate_snapshot,
+)
+
+
+def _empty_snapshot(nprocs=2):
+    return MetricsRegistry(nprocs).snapshot()
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_rank_and_key(self):
+        reg = MetricsRegistry(2)
+        fam = reg.counter("comm.p2p.bytes", ("peer", "dir"))
+        fam.inc(0, 10.0, key=(1, "sent"))
+        fam.inc(0, 5.0, key=(1, "sent"))
+        fam.inc(1, 7.0, key=(0, "recv"))
+        snap = reg.snapshot()
+        vals = snap["counters"]["comm.p2p.bytes"]["values"]
+        assert vals == [
+            {"rank": 0, "key": [1, "sent"], "value": 15.0},
+            {"rank": 1, "key": [0, "recv"], "value": 7.0},
+        ]
+
+    def test_gauge_set_overwrites(self):
+        reg = MetricsRegistry(1)
+        g = reg.gauge("mem.high_water")
+        g.set(0, 10.0)
+        g.set(0, 4.0)
+        snap = reg.snapshot()
+        assert snap["gauges"]["mem.high_water"]["values"][0]["value"] == 4.0
+
+    def test_histogram_buckets_sum_count(self):
+        reg = MetricsRegistry(1)
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 5.0, 100.0):
+            h.observe(0, v)
+        e = reg.snapshot()["histograms"]["lat"]["values"][0]
+        assert e["counts"] == [1, 2, 1]  # <=1, <=10, overflow
+        assert e["sum"] == pytest.approx(107.5)
+        assert e["count"] == 4
+
+    def test_family_reregistration_is_idempotent(self):
+        reg = MetricsRegistry(1)
+        a = reg.counter("x", ("l",))
+        b = reg.counter("x", ("l",))
+        assert a is b
+
+    def test_family_shape_conflict_raises(self):
+        reg = MetricsRegistry(1)
+        reg.counter("x", ("l",))
+        with pytest.raises(ValueError, match="re-registered"):
+            reg.counter("x", ("other",))
+        with pytest.raises(ValueError, match="re-registered"):
+            reg.gauge("x", ("l",))
+
+    def test_rank_totals_and_deltas(self):
+        reg = MetricsRegistry(2)
+        fam = reg.counter("c", ("k",))
+        fam.inc(0, 3.0, key=("a",))
+        before = reg.rank_totals(0)
+        fam.inc(0, 2.0, key=("a",))
+        fam.inc(0, 1.0, key=("b",))
+        fam.inc(1, 9.0, key=("a",))  # other rank: not in rank-0 delta
+        deltas = reg.rank_deltas(0, before)
+        assert deltas == {("c", ("a",)): 2.0, ("c", ("b",)): 1.0}
+
+    def test_record_stage_accumulates(self):
+        reg = MetricsRegistry(2)
+        reg.record_stage("scan", 0, 2.0, 0.5, {("c", ()): 3.0})
+        reg.record_stage("scan", 0, 1.0, 0.25, {("c", ()): 1.0})
+        reg.record_stage("scan", 1, 4.0, 0.0, {})
+        st = reg.snapshot()["stages"]["scan"]
+        assert st["seconds"] == [3.0, 4.0]
+        assert st["blocked_seconds"] == [0.75, 0.0]
+        assert st["counters"]["c"]["values"] == [
+            {"rank": 0, "key": [], "value": 4.0}
+        ]
+
+
+class TestSnapshotSchema:
+    def test_roundtrip_through_json(self):
+        reg = MetricsRegistry(2)
+        reg.counter("c", ("peer",)).inc(0, 2.0, key=(1,))
+        reg.histogram("h", bounds=(1.0,)).observe(1, 0.5)
+        reg.gauge("g").set(0, 3.0)
+        reg.record_stage("s", 0, 1.0, 0.5, {("c", (1,)): 2.0})
+        snap = reg.snapshot()
+        back = json.loads(json.dumps(snap))
+        assert back == snap
+        validate_snapshot(back)
+
+    def test_schema_version_bump_detected(self):
+        snap = _empty_snapshot()
+        snap["schema"] = "repro-metrics/2"
+        with pytest.raises(MetricsSchemaError, match="repro-metrics/2"):
+            validate_snapshot(snap)
+
+    def test_missing_section_detected(self):
+        snap = _empty_snapshot()
+        del snap["counters"]
+        with pytest.raises(MetricsSchemaError, match="counters"):
+            validate_snapshot(snap)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(MetricsSchemaError):
+            validate_snapshot([1, 2, 3])
+
+    def test_current_schema_constant(self):
+        assert _empty_snapshot()["schema"] == SCHEMA == "repro-metrics/1"
+
+
+def _snap_from_events(events, nprocs=2):
+    """Build a snapshot from (rank, key, value) counter events."""
+    reg = MetricsRegistry(nprocs)
+    fam = reg.counter("c", ("peer", "dir"))
+    hist = reg.histogram("h", bounds=(1.0, 10.0))
+    for rank, peer, value in events:
+        fam.inc(rank, value, key=(peer, "sent"))
+        hist.observe(rank, abs(value))
+    return reg.snapshot()
+
+
+# Values are dyadic (multiples of 0.5) so float64 addition is exact:
+# the associativity/commutativity assertions compare canonical JSON
+# byte-for-byte, which arbitrary floats would violate in the last ULP.
+_event = st.tuples(
+    st.integers(0, 1),
+    st.integers(0, 1),
+    st.integers(-200, 200).map(lambda n: n / 2.0),
+)
+
+
+class TestMerge:
+    def test_counters_add_gauges_max(self):
+        a = MetricsRegistry(2)
+        a.counter("c").inc(0, 1.0)
+        a.gauge("g").set(0, 5.0)
+        b = MetricsRegistry(2)
+        b.counter("c").inc(0, 2.0)
+        b.gauge("g").set(0, 3.0)
+        m = merge_snapshots(a.snapshot(), b.snapshot())
+        assert m["counters"]["c"]["values"][0]["value"] == 3.0
+        assert m["gauges"]["g"]["values"][0]["value"] == 5.0
+
+    def test_disjoint_families_union(self):
+        a = MetricsRegistry(2)
+        a.counter("only_a").inc(0, 1.0)
+        b = MetricsRegistry(2)
+        b.counter("only_b").inc(1, 2.0)
+        m = merge_snapshots(a.snapshot(), b.snapshot())
+        assert set(m["counters"]) == {"only_a", "only_b"}
+
+    def test_stage_sections_merge(self):
+        a = MetricsRegistry(2)
+        a.record_stage("s", 0, 1.0, 0.5, {("c", ()): 1.0})
+        b = MetricsRegistry(2)
+        b.record_stage("s", 0, 2.0, 0.0, {("c", ()): 4.0})
+        b.record_stage("t", 1, 3.0, 0.0, {})
+        m = merge_snapshots(a.snapshot(), b.snapshot())
+        assert m["stages"]["s"]["seconds"] == [3.0, 0.0]
+        assert m["stages"]["s"]["counters"]["c"]["values"][0]["value"] == 5.0
+        assert m["stages"]["t"]["seconds"] == [0.0, 3.0]
+
+    def test_nprocs_mismatch_rejected(self):
+        with pytest.raises(MetricsSchemaError, match="nprocs"):
+            merge_snapshots(_empty_snapshot(2), _empty_snapshot(4))
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a = MetricsRegistry(1)
+        a.histogram("h", bounds=(1.0,)).observe(0, 0.5)
+        b = MetricsRegistry(1)
+        b.histogram("h", bounds=(2.0,)).observe(0, 0.5)
+        with pytest.raises(MetricsSchemaError, match="bounds"):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        xs=st.lists(_event, max_size=12),
+        ys=st.lists(_event, max_size=12),
+        zs=st.lists(_event, max_size=12),
+    )
+    def test_merge_associative_and_commutative(self, xs, ys, zs):
+        """(a+b)+c == a+(b+c) and a+b == b+a, byte for byte.
+
+        This is what makes partial snapshots aggregatable in any
+        order (the hypothesis-property satellite of the issue).
+        """
+        a, b, c = (
+            _snap_from_events(ev) for ev in (xs, ys, zs)
+        )
+
+        def digest(s):
+            return json.dumps(s, sort_keys=True)
+
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert digest(left) == digest(right)
+        assert digest(merge_snapshots(a, b)) == digest(
+            merge_snapshots(b, a)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=st.lists(_event, max_size=12))
+    def test_merge_with_empty_is_identity(self, xs):
+        a = _snap_from_events(xs)
+        merged = merge_snapshots(a, _empty_snapshot())
+        assert json.dumps(merged["counters"], sort_keys=True) == json.dumps(
+            a["counters"], sort_keys=True
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        xs=st.lists(_event, max_size=10), ys=st.lists(_event, max_size=10)
+    )
+    def test_split_then_merge_equals_combined(self, xs, ys):
+        """Recording events in one registry == merging two halves."""
+        combined = _snap_from_events(xs + ys)
+        merged = merge_snapshots(
+            _snap_from_events(xs), _snap_from_events(ys)
+        )
+        ca = combined["counters"]["c"]["values"]
+        cm = merged["counters"]["c"]["values"]
+        assert [(e["rank"], e["key"]) for e in ca] == [
+            (e["rank"], e["key"]) for e in cm
+        ]
+        for ea, em in zip(ca, cm):
+            assert em["value"] == pytest.approx(ea["value"], abs=1e-9)
+
+
+class TestDerivedReports:
+    def _loaded_registry(self):
+        reg = MetricsRegistry(2)
+        p2p = reg.counter("comm.p2p.bytes", ("peer", "dir"))
+        p2p.inc(0, 100.0, key=(1, "sent"))
+        p2p.inc(1, 100.0, key=(0, "recv"))  # same transfer, recv side
+        rpc = reg.counter("comm.rpc.bytes", ("peer", "dir"))
+        rpc.inc(0, 10.0, key=(1, "out"))
+        rpc.inc(0, 6.0, key=(1, "in"))  # response flows 1 -> 0
+        one = reg.counter("comm.onesided.bytes", ("peer", "dir"))
+        one.inc(0, 50.0, key=(1, "get"))  # data flows 1 -> 0
+        one.inc(0, 25.0, key=(0, "put"))  # local window: diagonal
+        return reg
+
+    def test_comm_matrix_bytes_directionality(self):
+        m = comm_matrix(self._loaded_registry().snapshot(), "bytes")
+        assert m[0][1] == 110.0  # p2p sent + rpc out
+        assert m[1][0] == 56.0  # rpc response + one-sided get
+        assert m[0][0] == 25.0  # local one-sided on the diagonal
+
+    def test_comm_matrix_messages(self):
+        reg = MetricsRegistry(2)
+        msgs = reg.counter("comm.p2p.messages", ("peer", "dir"))
+        msgs.inc(0, 3.0, key=(1, "sent"))
+        msgs.inc(1, 3.0, key=(0, "recv"))
+        reg.counter("comm.rpc.calls", ("peer",)).inc(1, 2.0, key=(0,))
+        m = comm_matrix(reg.snapshot(), "messages")
+        assert m[0][1] == 3.0
+        assert m[1][0] == 2.0
+
+    def test_comm_matrix_unknown_metric(self):
+        with pytest.raises(ValueError):
+            comm_matrix(_empty_snapshot(), "frobs")
+
+    def test_stage_imbalance(self):
+        reg = MetricsRegistry(2)
+        reg.record_stage("s", 0, 10.0, 2.0, {})  # busy 8
+        reg.record_stage("s", 1, 10.0, 6.0, {})  # busy 4
+        out = stage_imbalance(reg.snapshot())
+        assert out["s"]["max_busy"] == 8.0
+        assert out["s"]["mean_busy"] == 6.0
+        assert out["s"]["imbalance"] == pytest.approx(8.0 / 6.0)
+
+    def test_stage_imbalance_zero_busy_is_balanced(self):
+        reg = MetricsRegistry(2)
+        reg.record_stage("s", 0, 0.0, 0.0, {})
+        assert stage_imbalance(reg.snapshot())["s"]["imbalance"] == 1.0
+
+    def test_hashmap_locality(self):
+        reg = MetricsRegistry(2)
+        ops = reg.counter("hashmap.ops", ("map", "locality"))
+        ops.inc(0, 3.0, key=("vocab", "local"))
+        ops.inc(0, 9.0, key=("vocab", "remote"))
+        reg.counter("hashmap.rpc_retries", ("map",)).inc(
+            0, 2.0, key=("vocab",)
+        )
+        out = hashmap_locality(reg.snapshot())
+        assert out["vocab"]["local_fraction"] == pytest.approx(0.25)
+        assert out["vocab"]["retries"] == 2.0
+
+    def test_taskqueue_summary(self):
+        reg = MetricsRegistry(2)
+        ch = reg.counter("taskq.chunks", ("queue", "kind"))
+        ch.inc(0, 4.0, key=("ifi", "own"))
+        ch.inc(1, 2.0, key=("ifi", "stolen"))
+        reg.counter("taskq.tasks", ("queue", "kind")).inc(
+            0, 12.0, key=("ifi", "own")
+        )
+        reg.counter("taskq.lease_reclaims", ("queue",)).inc(
+            1, 1.0, key=("ifi",)
+        )
+        out = taskqueue_summary(reg.snapshot())
+        assert out["ifi"] == {
+            "own": 4.0, "stolen": 2.0, "tasks": 12.0, "reclaims": 1.0
+        }
+
+    def test_counter_totals(self):
+        reg = self._loaded_registry()
+        totals = counter_totals(reg.snapshot())
+        assert totals["comm.p2p.bytes"] == 200.0
+        assert totals["comm.onesided.bytes"] == 75.0
+
+    def test_render_report_mentions_all_sections(self):
+        reg = self._loaded_registry()
+        reg.counter("hashmap.ops", ("map", "locality")).inc(
+            0, 1.0, key=("vocab", "local")
+        )
+        reg.record_stage("scan", 0, 1.0, 0.2, {})
+        reg.counter("comm.coll.calls", ("kind",)).inc(
+            0, 1.0, key=("barrier",)
+        )
+        text = render_report(reg.snapshot())
+        assert "communication matrix" in text
+        assert "load balance" in text
+        assert "vocab" in text
+        assert "barrier" in text
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        reg = MetricsRegistry(2)
+        reg.counter("comm.p2p.bytes", ("peer", "dir")).inc(
+            0, 42.0, key=(1, "sent")
+        )
+        reg.gauge("g").set(1, 7.0)
+        reg.histogram("h", bounds=(1.0, 10.0)).observe(0, 2.0)
+        text = to_prometheus(reg.snapshot())
+        assert "# TYPE repro_comm_p2p_bytes counter" in text
+        assert (
+            'repro_comm_p2p_bytes{rank="0",peer="1",dir="sent"} 42.0'
+            in text
+        )
+        assert 'repro_g{rank="1"} 7.0' in text
+        # histogram buckets are cumulative and end with +Inf
+        assert 'repro_h_bucket{rank="0",le="1.0"} 0' in text
+        assert 'repro_h_bucket{rank="0",le="10.0"} 1' in text
+        assert 'repro_h_bucket{rank="0",le="+Inf"} 1' in text
+        assert 'repro_h_count{rank="0"} 1' in text
+
+
+class TestRuntimeIntegration:
+    def test_cluster_records_p2p_and_collectives(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send(1, b"x" * 64)
+            elif ctx.rank == 1:
+                ctx.comm.recv(0)
+            ctx.comm.allreduce(1)
+
+        res = Cluster(2).run(program)
+        snap = res.metrics.snapshot()
+        sent = {
+            (e["rank"], tuple(e["key"])): e["value"]
+            for e in snap["counters"]["comm.p2p.messages"]["values"]
+        }
+        assert sent[(0, (1, "sent"))] == 1.0
+        assert sent[(1, (0, "recv"))] == 1.0
+        colls = {
+            tuple(e["key"])
+            for e in snap["counters"]["comm.coll.calls"]["values"]
+        }
+        assert ("allreduce",) in colls
+
+    def test_blocked_time_metric_matches_scheduler(self):
+        def program(ctx):
+            ctx.comm.barrier()
+            if ctx.rank == 0:
+                ctx.charge(1.0)
+            ctx.comm.barrier()
+
+        res = Cluster(2).run(program)
+        snap = res.metrics.snapshot()
+        by_rank = {
+            e["rank"]: e["value"]
+            for e in snap["counters"]["sched.blocked_seconds"]["values"]
+        }
+        for rank, total in enumerate(res.blocked_times):
+            assert by_rank.get(rank, 0.0) == pytest.approx(float(total))
+
+    def test_rpc_and_region_capture(self):
+        def program(ctx):
+            with ctx.region("work"):
+                ctx.rpc((ctx.rank + 1) % ctx.nprocs, lambda: None)
+            return None
+
+        res = Cluster(2).run(program)
+        snap = res.metrics.snapshot()
+        rpc = snap["counters"]["comm.rpc.calls"]["values"]
+        assert sum(e["value"] for e in rpc) == 2.0
+        stage = snap["stages"]["work"]
+        assert "comm.rpc.calls" in stage["counters"]
+        assert len(stage["seconds"]) == 2
+
+    def test_repeated_runs_bit_identical(self):
+        def program(ctx):
+            with ctx.region("w"):
+                other = (ctx.rank + 1) % ctx.nprocs
+                ctx.comm.send(other, list(range(50)))
+                ctx.comm.recv_any()
+                ctx.comm.allgather(ctx.rank)
+
+        digests = []
+        for _ in range(2):
+            res = Cluster(4).run(program)
+            digests.append(
+                json.dumps(res.metrics.snapshot(), sort_keys=True)
+            )
+        assert digests[0] == digests[1]

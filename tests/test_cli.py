@@ -218,6 +218,45 @@ def test_figures_command_small(tmp_path, capsys):
     assert "claims verified" in out
 
 
+def test_metrics_report_from_saved_result(results_dir, capsys, tmp_path):
+    json_out = tmp_path / "snap.json"
+    rc = main(
+        [
+            "metrics-report",
+            "--results",
+            str(results_dir / "result.npz"),
+            "--json",
+            str(json_out),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "communication matrix" in out
+    assert "load balance" in out
+    assert "hashmap RPC locality" in out
+    import json
+
+    snap = json.loads(json_out.read_text())
+    assert snap["schema"] == "repro-metrics/1"
+    assert snap["nprocs"] == 4
+
+
+def test_metrics_report_prometheus_format(results_dir, capsys):
+    rc = main(
+        [
+            "metrics-report",
+            "--results",
+            str(results_dir / "result.npz"),
+            "--format",
+            "prometheus",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_comm_coll_calls counter" in out
+    assert 'rank="0"' in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
