@@ -1,0 +1,350 @@
+"""Serving benchmark: throughput/latency of the sharded query layer.
+
+``python -m repro.cli serve-bench`` builds a small seeded corpus, runs
+the engine once, shards the result at several shard counts, replays a
+seeded closed-loop workload through the broker at each count, and
+writes ``BENCH_serving.json``:
+
+* ``results[P]`` -- served/rejected counts, virtual throughput,
+  p50/p99 virtual latency, cache hit rate and the ``serve.*`` counter
+  totals of the fault-free run;
+* ``fault`` -- the same workload at the largest shard count under a
+  crash fault plan (one shard rank dies mid-run): the run must still
+  answer **every** query, degrading to partial responses, and the
+  report records the degraded-response rate;
+* ``baseline`` comparison -- all virtual statistics are deterministic
+  for a given (corpus seed, workload seed, machine), so a drifted
+  number means a behavioural change: the run fails (exit 1) unless
+  ``--update-baseline``.
+
+Virtual stats depend on the engine's BLAS-backed stages (k-means/PCA
+assignments shape per-query payload sizes), so baselines are
+machine-local: CI regenerates its own baseline before comparing, like
+the perf-smoke job, and the committed file documents one reference
+machine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.pubmed import generate_pubmed
+from repro.engine.config import EngineConfig
+from repro.engine.serial import SerialTextEngine
+from repro.index.termindex import build_term_postings
+from repro.runtime.faults import CrashFault, FaultPlan
+from repro.runtime.metrics import counter_totals
+from repro.serve.broker import BrokerConfig, ServeReport, serve
+from repro.serve.store import build_shards
+from repro.serve.workload import generate_workload, store_profile
+
+SCHEMA = "repro-bench-serving/1"
+DEFAULT_SHARDS = (1, 2, 4, 8)
+DEFAULT_OUT = "BENCH_serving.json"
+DEFAULT_CORPUS_BYTES = 120_000
+DEFAULT_CLIENTS = 4
+DEFAULT_QUERIES = 30
+
+#: engine sized for a benchmark corpus, not a paper figure
+_BENCH_ENGINE = EngineConfig(
+    n_major_terms=300, n_clusters=8, chunk_docs=8
+)
+
+
+@dataclass
+class ServePoint:
+    """Measurements for one shard count."""
+
+    nshards: int
+    served: int
+    rejected: int
+    degraded: int
+    degraded_rate: float
+    cache_hit_rate: float
+    throughput_qps: float
+    p50_latency_s: float
+    p99_latency_s: float
+    makespan_s: float
+    counters: dict[str, float]
+
+    @classmethod
+    def from_report(cls, nshards: int, report: ServeReport) -> "ServePoint":
+        serve_counters = {
+            k: v
+            for k, v in counter_totals(report.metrics).items()
+            if k.startswith("serve.")
+        }
+        return cls(
+            nshards=nshards,
+            served=report.served,
+            rejected=len(report.rejected),
+            degraded=report.degraded,
+            degraded_rate=round(report.degraded_rate, 6),
+            cache_hit_rate=round(report.cache_hit_rate, 6),
+            throughput_qps=round(report.throughput, 6),
+            p50_latency_s=round(report.latency_percentile(50), 9),
+            p99_latency_s=round(report.latency_percentile(99), 9),
+            makespan_s=round(report.makespan, 9),
+            counters=serve_counters,
+        )
+
+
+@dataclass
+class Regression:
+    """One baseline-comparison failure."""
+
+    nshards: int
+    field: str
+    baseline: float
+    measured: float
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except OSError:  # pragma: no cover - git missing
+        return "unknown"
+
+
+def measure(
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
+    corpus_bytes: int = DEFAULT_CORPUS_BYTES,
+    corpus_seed: int = 4,
+    workload_seed: int = 7,
+    n_clients: int = DEFAULT_CLIENTS,
+    queries_per_client: int = DEFAULT_QUERIES,
+    progress=None,
+) -> tuple[dict[int, ServePoint], ServePoint, dict]:
+    """Run the serving matrix plus the fault-plan run.
+
+    Returns ``(per-shard-count points, fault-run point, fault
+    metadata)``.  The same workload scripts replay at every shard
+    count so the virtual stats are comparable across P.
+    """
+    corpus = generate_pubmed(corpus_bytes, seed=corpus_seed, n_themes=6)
+    result = SerialTextEngine(_BENCH_ENGINE).run(corpus)
+    postings = build_term_postings(
+        corpus, result, _BENCH_ENGINE.tokenizer
+    )
+    points: dict[int, ServePoint] = {}
+    config = BrokerConfig()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        stores = {}
+        for p in shards:
+            store_dir = str(Path(tmp) / f"store-{p}")
+            build_shards(result, store_dir, p, postings=postings)
+            stores[p] = store_dir
+        scripts = generate_workload(
+            store_profile(stores[max(shards)]),
+            n_clients=n_clients,
+            queries_per_client=queries_per_client,
+            seed=workload_seed,
+        )
+        for p in shards:
+            report = serve(stores[p], scripts, config=config)
+            points[p] = ServePoint.from_report(p, report)
+            if progress:
+                pt = points[p]
+                progress(
+                    f"P={p}: {pt.served} served, "
+                    f"{pt.throughput_qps:.1f} q/s virtual, "
+                    f"p99 {pt.p99_latency_s * 1e3:.2f} ms, "
+                    f"hit rate {pt.cache_hit_rate:.0%}"
+                )
+        # fault run: crash one mid shard rank partway into the workload
+        p = max(shards)
+        crash_rank = 1 + p // 2
+        total_queries = n_clients * queries_per_client
+        plan = FaultPlan(
+            faults=(
+                CrashFault(rank=crash_rank, at_call=total_queries // 2),
+            )
+        )
+        fault_config = BrokerConfig(shard_timeout_s=2.0)
+        report = serve(
+            stores[p], scripts, config=fault_config, faults=plan
+        )
+        fault_point = ServePoint.from_report(p, report)
+        fault_meta = {
+            "nshards": p,
+            "crashed_rank": crash_rank,
+            "at_call": total_queries // 2,
+            "failed_ranks": report.failed_ranks,
+            "completed": report.served + len(report.rejected)
+            == total_queries,
+        }
+        if progress:
+            progress(
+                f"P={p} +crash(rank {crash_rank}): "
+                f"{fault_point.served} served, "
+                f"{fault_point.degraded} degraded "
+                f"({fault_point.degraded_rate:.0%})"
+            )
+    return points, fault_point, fault_meta
+
+
+_COMPARED_FIELDS = (
+    "served",
+    "rejected",
+    "degraded",
+    "cache_hit_rate",
+    "throughput_qps",
+    "p50_latency_s",
+    "p99_latency_s",
+    "makespan_s",
+)
+
+
+def compare(
+    points: dict[int, ServePoint],
+    fault_point: ServePoint,
+    baseline: dict,
+) -> list[Regression]:
+    """Exact-equality check of every virtual statistic vs. a baseline.
+
+    Serving stats are fully deterministic on one machine, so *any*
+    drift is a behavioural change that must be acknowledged with
+    ``--update-baseline``.
+    """
+    regressions: list[Regression] = []
+    base_results = baseline.get("results", {})
+    for p, point in points.items():
+        base = base_results.get(str(p))
+        if base is None:
+            continue
+        for field in _COMPARED_FIELDS:
+            b, m = float(base[field]), float(getattr(point, field))
+            if b != m:
+                regressions.append(
+                    Regression(
+                        nshards=p, field=field, baseline=b, measured=m
+                    )
+                )
+    base_fault = baseline.get("fault", {}).get("point")
+    if base_fault is not None:
+        for field in _COMPARED_FIELDS:
+            b = float(base_fault[field])
+            m = float(getattr(fault_point, field))
+            if b != m:
+                regressions.append(
+                    Regression(
+                        nshards=fault_point.nshards,
+                        field=f"fault.{field}",
+                        baseline=b,
+                        measured=m,
+                    )
+                )
+    return regressions
+
+
+def build_report(
+    points: dict[int, ServePoint],
+    fault_point: ServePoint,
+    fault_meta: dict,
+    config_meta: dict,
+    baseline: Optional[dict] = None,
+) -> tuple[dict, list[Regression]]:
+    """Assemble the BENCH_serving.json document."""
+    report = {
+        "schema": SCHEMA,
+        "commit": _git_commit(),
+        "config": config_meta,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {
+            str(p): asdict(pt) for p, pt in sorted(points.items())
+        },
+        "fault": {"point": asdict(fault_point), **fault_meta},
+    }
+    regressions: list[Regression] = []
+    if baseline is not None:
+        regressions = compare(points, fault_point, baseline)
+        report["baseline"] = {
+            "commit": baseline.get("commit", "unknown"),
+            "regressions": [asdict(r) for r in regressions],
+        }
+    return report, regressions
+
+
+def run_bench(
+    out_path: str | Path = DEFAULT_OUT,
+    baseline_path: Optional[str | Path] = None,
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
+    corpus_bytes: int = DEFAULT_CORPUS_BYTES,
+    corpus_seed: int = 4,
+    workload_seed: int = 7,
+    n_clients: int = DEFAULT_CLIENTS,
+    queries_per_client: int = DEFAULT_QUERIES,
+    update_baseline: bool = False,
+    progress=print,
+) -> int:
+    """Full CLI flow; returns a process exit code.
+
+    The file at ``out_path`` (default ``BENCH_serving.json``) doubles
+    as the next run's baseline; ``--update-baseline`` rewrites it
+    without comparing.  A fault run that fails to answer the full
+    workload is always an error.
+    """
+    progress = progress or (lambda *_args: None)
+    out_path = Path(out_path)
+    baseline_path = Path(baseline_path or out_path)
+    baseline: Optional[dict] = None
+    if not update_baseline and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        if baseline.get("schema") != SCHEMA:
+            progress(
+                f"ignoring {baseline_path}: unknown schema "
+                f"{baseline.get('schema')!r}"
+            )
+            baseline = None
+    points, fault_point, fault_meta = measure(
+        shards=shards,
+        corpus_bytes=corpus_bytes,
+        corpus_seed=corpus_seed,
+        workload_seed=workload_seed,
+        n_clients=n_clients,
+        queries_per_client=queries_per_client,
+        progress=progress,
+    )
+    config_meta = {
+        "shards": list(shards),
+        "corpus_bytes": corpus_bytes,
+        "corpus_seed": corpus_seed,
+        "workload_seed": workload_seed,
+        "n_clients": n_clients,
+        "queries_per_client": queries_per_client,
+    }
+    report, regressions = build_report(
+        points, fault_point, fault_meta, config_meta, baseline
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    progress(f"wrote {out_path}")
+    for r in regressions:
+        progress(
+            f"DRIFT at P={r.nshards} [{r.field}]: baseline "
+            f"{r.baseline!r} vs measured {r.measured!r}"
+        )
+    if not fault_meta["completed"]:
+        progress("FAULT RUN INCOMPLETE: queries went unanswered")
+        return 1
+    return 1 if regressions else 0

@@ -12,6 +12,11 @@ Commands
 ``metrics-report``  print the P x P communication matrix, per-stage
                load-imbalance factors, and hashmap RPC locality from
                a saved result (or a fresh downscaled run)
+``serve-build``  shard a saved result into an on-disk serving store
+``serve-query``  answer one query from a sharded store via the broker
+``serve-bench``  replay a seeded closed-loop workload (plus a crash
+               fault plan) through the broker, write
+               ``BENCH_serving.json``, fail on drift
 
 Examples
 --------
@@ -187,6 +192,82 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="also write the raw snapshot as canonical JSON",
+    )
+
+    sb = sub.add_parser(
+        "serve-build",
+        help="shard a saved result into an on-disk serving store",
+    )
+    sb.add_argument("--results", type=Path, required=True)
+    sb.add_argument(
+        "--corpus",
+        type=Path,
+        default=None,
+        help=(
+            "source corpus to invert for term search postings "
+            "(omit to serve signature/cluster queries only)"
+        ),
+    )
+    sb.add_argument("--shards", type=int, default=4)
+    sb.add_argument("--out", type=Path, required=True)
+
+    sq = sub.add_parser(
+        "serve-query",
+        help="answer one query from a sharded store via the broker",
+    )
+    sq.add_argument("--store", type=Path, required=True)
+    sq.add_argument(
+        "--search", type=str, default=None, help="ranked term search"
+    )
+    sq.add_argument(
+        "--query", type=str, default=None, help="pseudo-signature query"
+    )
+    sq.add_argument(
+        "--similar", type=int, default=None, help="doc id to match"
+    )
+    sq.add_argument(
+        "--cluster", type=int, default=None, help="cluster to summarize"
+    )
+    sq.add_argument(
+        "--region",
+        type=str,
+        default=None,
+        metavar="X,Y,RADIUS",
+        help="landscape region to describe",
+    )
+    sq.add_argument("--top", type=int, default=10)
+
+    sv = sub.add_parser(
+        "serve-bench",
+        help="benchmark the serving layer, write BENCH_serving.json",
+    )
+    sv.add_argument(
+        "--shards",
+        type=str,
+        default="1,2,4,8",
+        help="comma-separated shard counts",
+    )
+    sv.add_argument("--corpus-bytes", type=int, default=120_000)
+    sv.add_argument("--corpus-seed", type=int, default=4)
+    sv.add_argument("--workload-seed", type=int, default=7)
+    sv.add_argument("--clients", type=int, default=4)
+    sv.add_argument("--queries-per-client", type=int, default=30)
+    sv.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_serving.json"),
+        help="report path (doubles as the committed baseline)",
+    )
+    sv.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline report to compare against (default: --out)",
+    )
+    sv.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="skip the comparison and rewrite the baseline file",
     )
 
     return parser
@@ -401,9 +482,27 @@ def _cmd_metrics_report(args: argparse.Namespace) -> int:
     )
 
     if args.results is not None:
+        import pickle
+        import zipfile
+
         from repro.engine import load_result
 
-        result = load_result(args.results)
+        try:
+            result = load_result(args.results)
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            zipfile.BadZipFile,
+            json.JSONDecodeError,
+            pickle.UnpicklingError,
+        ) as exc:
+            print(
+                f"error: {args.results} is not a saved engine result "
+                f"({exc})",
+                file=sys.stderr,
+            )
+            return 1
         snap = result.metrics
         if snap is None:
             print(
@@ -452,6 +551,95 @@ def _cmd_metrics_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_build(args: argparse.Namespace) -> int:
+    from repro.engine import load_result
+    from repro.serve import build_shards
+
+    result = load_result(args.results)
+    corpus = None
+    if args.corpus is not None:
+        from repro.text import read_source
+
+        corpus = read_source(args.corpus)
+    manifest = build_shards(
+        result, args.out, args.shards, corpus=corpus
+    )
+    total = sum(s.nbytes for s in manifest.shards)
+    print(
+        f"built {manifest.nshards}-shard store for "
+        f"{manifest.n_docs} documents ({total:,} shard bytes) "
+        f"at {args.out}/"
+    )
+    if corpus is None:
+        print(
+            "note: no corpus given, term search disabled in this store"
+        )
+    return 0
+
+
+def _cmd_serve_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import Query, ShardFormatError, query_store
+
+    query = None
+    if args.search is not None:
+        query = Query(
+            kind="search", terms=tuple(args.search.split()), k=args.top
+        )
+    elif args.query is not None:
+        query = Query(
+            kind="query", terms=tuple(args.query.split()), k=args.top
+        )
+    elif args.similar is not None:
+        query = Query(kind="similar", doc_id=args.similar, k=args.top)
+    elif args.cluster is not None:
+        query = Query(kind="cluster", cluster=args.cluster)
+    elif args.region is not None:
+        try:
+            x, y, radius = (float(v) for v in args.region.split(","))
+        except ValueError:
+            print(
+                f"error: --region wants X,Y,RADIUS, got {args.region!r}",
+                file=sys.stderr,
+            )
+            return 1
+        query = Query(kind="region", x=x, y=y, radius=radius)
+    if query is None:
+        print(
+            "error: pass one of --search/--query/--similar/"
+            "--cluster/--region",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        response = query_store(args.store, query)
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.bench.serving import run_bench
+
+    shards = tuple(
+        int(tok) for tok in args.shards.split(",") if tok.strip()
+    )
+    return run_bench(
+        out_path=args.out,
+        baseline_path=args.baseline,
+        shards=shards,
+        corpus_bytes=args.corpus_bytes,
+        corpus_seed=args.corpus_seed,
+        workload_seed=args.workload_seed,
+        n_clients=args.clients,
+        queries_per_client=args.queries_per_client,
+        update_baseline=args.update_baseline,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -461,6 +649,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figures": _cmd_figures,
         "bench-wallclock": _cmd_bench_wallclock,
         "metrics-report": _cmd_metrics_report,
+        "serve-build": _cmd_serve_build,
+        "serve-query": _cmd_serve_query,
+        "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,170 @@
+"""Major-term -> document postings for ranked term search.
+
+The serving layer (:mod:`repro.serve`) answers ranked term searches
+with tf·icf scoring over an inverted index restricted to the model's
+major terms.  This module builds that index from a corpus plus an
+:class:`~repro.engine.results.EngineResult` -- re-tokenizing with the
+engine's tokenizer, mapping tokens onto major-term rows, and inverting
+with the FAST-INV kernels from :mod:`repro.index.fastinv` -- and hosts
+the scoring kernel both the single-result reference path
+(:meth:`repro.analysis.session.AnalysisSession.term_search`) and the
+shard-parallel path execute.
+
+Determinism contract: per-document scores are accumulated **in query
+term order**, so a document's score is the same float regardless of how
+the posting lists are split across shards.  The serving layer's
+bit-identity acceptance test rests on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.fastinv import invert_chunk
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+
+
+@dataclass
+class TermPostings:
+    """Columnar term -> document postings over the major-term model.
+
+    Term *row* ``i`` is the i-th entry of the result's canonical
+    ``major_terms`` ranking; document *rows* index ``result.doc_ids``.
+    ``rows[offsets[i]:offsets[i+1]]`` are the (ascending) document rows
+    containing term ``i``, with term frequencies in the parallel ``tf``
+    slice.
+    """
+
+    n_docs: int
+    #: (n_terms + 1,) prefix offsets into ``rows``/``tf``
+    offsets: np.ndarray
+    #: document rows, ascending within each term run
+    rows: np.ndarray
+    #: term frequencies, parallel to ``rows``
+    tf: np.ndarray
+
+    @property
+    def n_terms(self) -> int:
+        return int(self.offsets.shape[0] - 1)
+
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+    def term_slice(self, term_row: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(doc_rows, tfs)`` of one term's posting run."""
+        lo = int(self.offsets[term_row])
+        hi = int(self.offsets[term_row + 1])
+        return self.rows[lo:hi], self.tf[lo:hi]
+
+    def restrict(self, row_lo: int, row_hi: int) -> "TermPostings":
+        """Postings of document rows ``[row_lo, row_hi)``, rebased.
+
+        This is the shard partitioner: document rows are renumbered to
+        be shard-local (``rows - row_lo``) and every term keeps its
+        global term row.  Because rows ascend within a term run, a
+        contiguous document range selects a contiguous sub-run of every
+        term.
+        """
+        if not 0 <= row_lo <= row_hi <= self.n_docs:
+            raise ValueError(
+                f"bad row range [{row_lo}, {row_hi}) for "
+                f"{self.n_docs} documents"
+            )
+        mask = (self.rows >= row_lo) & (self.rows < row_hi)
+        counts = np.diff(self.offsets)
+        seg = np.repeat(np.arange(self.n_terms), counts)
+        kept = np.bincount(
+            seg[mask], minlength=self.n_terms
+        ).astype(np.int64)
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(kept)]
+        )
+        return TermPostings(
+            n_docs=row_hi - row_lo,
+            offsets=offsets,
+            rows=(self.rows[mask] - row_lo).astype(np.int64),
+            tf=self.tf[mask].astype(np.int64),
+        )
+
+
+def build_term_postings(
+    corpus,
+    result,
+    tokenizer_config: TokenizerConfig | None = None,
+) -> TermPostings:
+    """Invert ``corpus`` onto the result's major-term rows.
+
+    Tokenization must match the engine run that produced ``result``;
+    pass the run's ``EngineConfig.tokenizer`` when it was non-default.
+    Documents absent from ``result.doc_ids`` are ignored, as are tokens
+    outside the major-term model.
+    """
+    tokenizer = Tokenizer(
+        tokenizer_config
+        if tokenizer_config is not None
+        else TokenizerConfig()
+    )
+    term_row = {t.term: i for i, t in enumerate(result.major_terms)}
+    doc_row = {int(d): i for i, d in enumerate(result.doc_ids)}
+    n_docs = int(result.doc_ids.shape[0])
+    n_terms = len(result.major_terms)
+    gid_parts: list[int] = []
+    row_parts: list[int] = []
+    for doc in corpus.documents:
+        row = doc_row.get(doc.doc_id)
+        if row is None:
+            continue
+        for text in doc.fields.values():
+            for tok in tokenizer.tokens(text):
+                t = term_row.get(tok)
+                if t is not None:
+                    gid_parts.append(t)
+                    row_parts.append(row)
+    gids = np.asarray(gid_parts, dtype=np.int64)
+    rows = np.asarray(row_parts, dtype=np.int64)
+    _t2f, t2d = invert_chunk(gids, rows, np.zeros_like(gids))
+    offsets = np.searchsorted(
+        t2d.gids, np.arange(n_terms + 1, dtype=np.int64)
+    ).astype(np.int64)
+    return TermPostings(
+        n_docs=n_docs,
+        offsets=offsets,
+        rows=t2d.keys.astype(np.int64),
+        tf=t2d.counts.astype(np.int64),
+    )
+
+
+def icf_weights(df: np.ndarray, n_docs: int) -> np.ndarray:
+    """Inverse-collection-frequency term weights.
+
+    ``log1p(n_docs / df)`` over the major terms' document frequencies:
+    a pure function of the (replicated) model statistics, so every
+    shard computes the identical weight vector.
+    """
+    df = np.asarray(df, dtype=np.float64)
+    return np.log1p(float(n_docs) / np.maximum(df, 1.0))
+
+
+def accumulate_tficf(
+    postings: TermPostings,
+    term_rows: list[int],
+    icf: np.ndarray,
+    out: np.ndarray,
+) -> int:
+    """Add each query term's ``tf * icf`` contribution into ``out``.
+
+    ``out`` is a float64 score array over the postings' document rows
+    (shard-local or global).  Terms are applied **in the given order**
+    -- the op-order contract that makes shard-split scores bit-identical
+    to the single-array path.  Returns the number of postings scanned
+    (the bytes-scanned accounting input).
+    """
+    scanned = 0
+    for r in term_rows:
+        rows, tfs = postings.term_slice(int(r))
+        if rows.size:
+            out[rows] += tfs * icf[int(r)]
+        scanned += int(rows.size)
+    return scanned

@@ -42,6 +42,7 @@ from .metrics import (
     hashmap_locality,
     merge_snapshots,
     render_report,
+    serving_summary,
     stage_imbalance,
     to_prometheus,
     validate_snapshot,
@@ -87,6 +88,7 @@ __all__ = [
     "hashmap_locality",
     "merge_snapshots",
     "render_report",
+    "serving_summary",
     "stage_imbalance",
     "to_prometheus",
     "validate_snapshot",

@@ -594,12 +594,52 @@ def _fmt_bytes(n: float) -> str:
     return f"{n:.2f}TB"  # pragma: no cover - unreachable
 
 
+def serving_summary(snap: dict) -> dict:
+    """Serving-layer counters, aggregated for the text report.
+
+    Returns an empty dict when the snapshot holds no ``serve.*``
+    families (i.e. the run was not a broker session).
+    """
+    counters = snap["counters"]
+    if not any(name.startswith("serve.") for name in counters):
+        return {}
+
+    def _total(name: str) -> float:
+        doc = counters.get(name)
+        if doc is None:
+            return 0.0
+        return float(sum(e["value"] for e in doc["values"]))
+
+    def _by_key(name: str) -> dict[str, float]:
+        doc = counters.get(name)
+        if doc is None:
+            return {}
+        out: dict[str, float] = {}
+        for e in doc["values"]:
+            key = str(e["key"][0]) if e["key"] else ""
+            out[key] = out.get(key, 0.0) + float(e["value"])
+        return out
+
+    return {
+        "queries_by_kind": _by_key("serve.queries"),
+        "cache": {
+            "hit": _total("serve.cache.hit"),
+            "miss": _total("serve.cache.miss"),
+            "evict": _total("serve.cache.evict"),
+        },
+        "rejected": _total("serve.rejected"),
+        "degraded": _total("serve.degraded"),
+        "bytes_scanned_by_shard": _by_key("serve.shard.bytes_scanned"),
+    }
+
+
 def render_report(snap: dict) -> str:
     """Human-readable metrics report (the ``metrics-report`` command).
 
     Prints the P x P communication matrix, per-collective totals, the
-    per-stage load-imbalance factors, hashmap RPC locality, and
-    task-queue stealing statistics.
+    per-stage load-imbalance factors, hashmap RPC locality,
+    task-queue stealing statistics, and (for broker sessions) the
+    serving-layer counters.
     """
     validate_snapshot(snap)
     p = int(snap["nprocs"])
@@ -680,6 +720,36 @@ def render_report(snap: dict) -> str:
                 f"stolen chunks ({q['tasks']:.0f} tasks), "
                 f"{q['reclaims']:.0f} lease reclaims"
             )
+
+    serving = serving_summary(snap)
+    if serving:
+        lines.append("")
+        lines.append("serving layer (broker session):")
+        kinds = serving["queries_by_kind"]
+        total_q = sum(kinds.values())
+        mix = ", ".join(
+            f"{k}={kinds[k]:.0f}" for k in sorted(kinds)
+        )
+        lines.append(f"  queries: {total_q:.0f} ({mix})")
+        cache = serving["cache"]
+        lookups = cache["hit"] + cache["miss"]
+        rate = cache["hit"] / lookups if lookups else 0.0
+        lines.append(
+            f"  cache: {cache['hit']:.0f} hits / "
+            f"{cache['miss']:.0f} misses ({rate:.1%} hit rate), "
+            f"{cache['evict']:.0f} evictions"
+        )
+        lines.append(
+            f"  admission: {serving['rejected']:.0f} rejected; "
+            f"degraded responses: {serving['degraded']:.0f}"
+        )
+        scanned = serving["bytes_scanned_by_shard"]
+        if scanned:
+            per_shard = ", ".join(
+                f"shard {s}: {_fmt_bytes(scanned[s])}"
+                for s in sorted(scanned, key=int)
+            )
+            lines.append(f"  bytes scanned: {per_shard}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,39 @@
+"""Sharded on-disk serving of pipeline outputs.
+
+``repro.serve`` turns an :class:`~repro.engine.results.EngineResult`
+into a servable search/analytics service: :mod:`~repro.serve.store`
+writes a versioned sharded container format, :mod:`~repro.serve.query`
+executes per-shard query operators with the exact scoring kernels of
+:mod:`repro.analysis.session`, :mod:`~repro.serve.broker` fans queries
+out over shard-server ranks on the deterministic runtime with caching,
+admission control and fault degradation, and
+:mod:`~repro.serve.workload` generates seeded closed-loop workloads for
+the ``serve-bench`` harness.
+"""
+
+from repro.serve.broker import BrokerConfig, ServeReport, query_store, serve
+from repro.serve.query import Query, ShardStore, canonical_response
+from repro.serve.store import (
+    ShardFormatError,
+    StoreManifest,
+    build_shards,
+    load_manifest,
+)
+from repro.serve.workload import ClientScript, generate_workload, store_profile
+
+__all__ = [
+    "BrokerConfig",
+    "ClientScript",
+    "Query",
+    "ServeReport",
+    "ShardFormatError",
+    "ShardStore",
+    "StoreManifest",
+    "build_shards",
+    "canonical_response",
+    "generate_workload",
+    "load_manifest",
+    "query_store",
+    "serve",
+    "store_profile",
+]

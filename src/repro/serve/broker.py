@@ -1,0 +1,585 @@
+"""Query broker over shard-server ranks on the deterministic runtime.
+
+Topology: ``nprocs = nshards + 1`` SPMD ranks.  Rank 0 is the broker;
+rank ``r >= 1`` serves shard ``r - 1`` from its on-disk container.  The
+broker runs a closed-loop discrete-event simulation of the client
+scripts: queries arrive in (virtual arrival time, client) order, pass
+bounded-in-flight admission control and an LRU result cache, then fan
+out to the live shard ranks; per-shard candidate lists merge with the
+same (score, global row) tie-breaking a global stable argsort applies,
+so the merged answer is bit-identical to the single-result
+:class:`~repro.analysis.session.AnalysisSession` path at every shard
+count.
+
+Degradation policy: a per-query shard timeout bounds each fan-out
+round.  :class:`~repro.runtime.errors.RankFailedError` (a shard rank
+crashed) permanently removes the dead ranks from the live set;
+:class:`~repro.runtime.errors.CommTimeoutError` (alive but silent)
+retries the round once, then drops the unresponsive shards for this
+query.  Either way the query *answers* -- with ``"partial": true`` and
+the missing shards listed -- instead of failing, and the response is
+excluded from the cache.  Every layer feeds
+:mod:`repro.runtime.metrics` (``serve.queries``,
+``serve.cache.{hit,miss,evict}``, ``serve.rejected``,
+``serve.degraded``, ``serve.latency``, ``serve.shard.bytes_scanned``).
+
+Responses carry no timing fields; latencies live in the
+:class:`ServeReport`.  That is what makes serialized responses the
+byte-compare oracle for the determinism tests: identical across shard
+layouts and scheduler modes even though latencies differ per layout.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.session import pseudo_signature, top_positive_terms
+from repro.index.termindex import icf_weights
+from repro.runtime.cluster import Cluster, MachineSpec
+from repro.runtime.errors import CommTimeoutError, RankFailedError
+from repro.serve.query import (
+    Query,
+    ShardStore,
+    hits_payload,
+    merge_asc,
+    merge_desc,
+)
+from repro.serve.store import Container, ServeModel, load_manifest, load_model
+from repro.serve.workload import ClientScript
+
+TAG_REQ = 101
+TAG_RESP = 102
+
+#: modelled broker-side op costs (abstract cpu ops)
+_DISPATCH_OPS = 1_000
+_CACHE_HIT_OPS = 200
+_REJECT_OPS = 50
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Serving-policy knobs of one broker session."""
+
+    #: virtual seconds a fan-out round waits on silent shards
+    shard_timeout_s: float = 5.0
+    #: accepted-but-unfinished queries admitted before rejecting
+    max_inflight: int = 8
+    #: LRU result-cache capacity (entries); 0 disables caching
+    cache_capacity: int = 128
+    #: resend rounds after a CommTimeoutError before degrading
+    retries: int = 1
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one broker session over a workload."""
+
+    responses: list[dict]
+    latencies: list[float]
+    rejected: list[dict]
+    failed_ranks: list[int]
+    makespan: float
+    metrics: dict = field(repr=False, default_factory=dict)
+
+    @property
+    def served(self) -> int:
+        return len(self.responses)
+
+    @property
+    def throughput(self) -> float:
+        """Served queries per virtual second."""
+        return self.served / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def degraded(self) -> int:
+        return sum(1 for r in self.responses if r["response"].get("partial"))
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded / self.served if self.served else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = sum(1 for r in self.responses if r.get("cached"))
+        return hits / self.served if self.served else 0.0
+
+    def latency_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of served-query virtual latency."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = max(0, int(np.ceil(pct / 100.0 * len(ordered))) - 1)
+        return ordered[idx]
+
+
+# ----------------------------------------------------------------------
+# shard-server rank
+# ----------------------------------------------------------------------
+def _shard_main(ctx, store_dir: str) -> int:
+    """Serve one shard's operators until the broker says stop."""
+    manifest = load_manifest(store_dir)
+    model = load_model(store_dir)
+    shard_idx = ctx.rank - 1
+    info = manifest.shards[shard_idx]
+    shard = ShardStore(
+        Container(os.path.join(store_dir, info.file)), model
+    )
+    bytes_scanned = ctx.metrics.counter(
+        "serve.shard.bytes_scanned", ("shard",)
+    )
+    skey = (str(shard_idx),)
+    served = 0
+    while True:
+        msg = ctx.comm.recv(0, tag=TAG_REQ)
+        if msg[0] == "stop":
+            return served
+        qid, op, params = msg
+        if op == "search":
+            cands, scanned = shard.op_search(
+                params["term_rows"], params["icf"], params["k"]
+            )
+            ctx.charge_cpu(scanned // 16 * 4)
+            payload = cands
+        elif op == "matvec":
+            cands, scanned = shard.op_matvec(
+                params["unit"], params["k"], params.get("skip_row", -1)
+            )
+            ctx.charge_flops(2 * shard.n_docs * params["unit"].shape[0])
+            payload = cands
+        elif op == "fetch_unit":
+            unit, row, scanned = shard.op_fetch_unit(params["doc_id"])
+            payload = (unit, row)
+        elif op == "cluster":
+            size, cands, scanned = shard.op_cluster(
+                params["cluster"], params["n_docs"]
+            )
+            ctx.charge_flops(3 * size * shard.model.centroids.shape[1])
+            payload = (size, cands)
+        elif op == "region":
+            rows, block, scanned = shard.op_region(
+                params["x"], params["y"], params["radius"]
+            )
+            ctx.charge_cpu(2 * shard.n_docs)
+            payload = (rows, block)
+        else:
+            raise ValueError(f"unknown shard op {op!r}")
+        ctx.charge_io(scanned, concurrent_readers=1)
+        bytes_scanned.inc(ctx.rank, float(scanned), key=skey)
+        ctx.comm.send(0, (qid, shard_idx, payload), tag=TAG_RESP)
+        served += 1
+
+
+# ----------------------------------------------------------------------
+# broker rank
+# ----------------------------------------------------------------------
+class _Broker:
+    def __init__(self, ctx, model: ServeModel, config: BrokerConfig):
+        self.ctx = ctx
+        self.model = model
+        self.config = config
+        self.n_docs = model.n_docs
+        #: live shard ranks (1-based); shrinks on RankFailedError
+        self.live = list(range(1, ctx.nprocs))
+        self.qid = 0
+        self.icf = icf_weights(model.term_df, model.n_docs)
+        m = ctx.metrics
+        self.c_queries = m.counter("serve.queries", ("kind",))
+        self.c_hit = m.counter("serve.cache.hit")
+        self.c_miss = m.counter("serve.cache.miss")
+        self.c_evict = m.counter("serve.cache.evict")
+        self.c_rejected = m.counter("serve.rejected")
+        self.c_degraded = m.counter("serve.degraded")
+        self.h_latency = m.histogram("serve.latency", label_names=("kind",))
+        self.cache: OrderedDict[tuple, dict] = OrderedDict()
+
+    # -- fan-out -------------------------------------------------------
+    def _fanout(
+        self, targets: list[int], op: str, params: dict
+    ) -> tuple[dict[int, object], list[int]]:
+        """One request round over ``targets``; returns (responses by
+        shard index, shards dropped this query)."""
+        ctx, cfg = self.ctx, self.config
+        self.qid += 1
+        qid = self.qid
+        for r in targets:
+            ctx.comm.send(r, (qid, op, params), tag=TAG_REQ)
+        pending = set(targets)
+        got: dict[int, object] = {}
+        resends = 0
+        while pending:
+            try:
+                src, msg = ctx.comm.recv_any(
+                    sources=sorted(pending),
+                    tag=TAG_RESP,
+                    timeout=cfg.shard_timeout_s,
+                )
+            except RankFailedError as exc:
+                dead = [r for r in exc.failed if r in pending]
+                for r in dead:
+                    pending.discard(r)
+                    if r in self.live:
+                        self.live.remove(r)
+                continue
+            except CommTimeoutError:
+                if resends < cfg.retries:
+                    resends += 1
+                    for r in sorted(pending):
+                        ctx.comm.send(r, (qid, op, params), tag=TAG_REQ)
+                    continue
+                break
+            rqid, shard_idx, payload = msg
+            if rqid != qid:
+                continue  # stale answer from a retried round
+            got[shard_idx] = payload
+            pending.discard(src)
+        dropped = sorted(r - 1 for r in pending)
+        return got, dropped
+
+    def _merged_response(
+        self,
+        kind: str,
+        got: dict[int, object],
+        dropped: list[int],
+        k: int,
+        descending: bool = True,
+    ) -> dict:
+        per_shard = [got[s] for s in sorted(got)]
+        merge = merge_desc if descending else merge_asc
+        cands = merge(per_shard, k)
+        self.ctx.charge_cpu(sum(len(p) for p in per_shard) + _DISPATCH_OPS)
+        resp = {"kind": kind, "hits": hits_payload(cands)}
+        self._flag(resp, dropped)
+        return resp
+
+    def _flag(self, resp: dict, dropped: list[int]) -> None:
+        """Mark a response that is missing any shard's documents.
+
+        Permanently-dead shards count on every later query too: an
+        answer that cannot see part of the collection stays flagged
+        partial even though its fan-out round had no new failures.
+        """
+        dead = [
+            r - 1
+            for r in range(1, self.ctx.nprocs)
+            if r not in self.live
+        ]
+        missing = sorted(set(dropped) | set(dead))
+        resp["partial"] = bool(missing)
+        resp["failed_shards"] = missing
+
+    # -- operators -----------------------------------------------------
+    def execute(self, query: Query) -> dict:
+        """Fan one accepted, uncached query out and merge the answer."""
+        kind = query.kind
+        if kind == "search":
+            return self._exec_search(query)
+        if kind == "query":
+            return self._exec_query(query)
+        if kind == "similar":
+            return self._exec_similar(query)
+        if kind == "cluster":
+            return self._exec_cluster(query)
+        return self._exec_region(query)
+
+    def _exec_search(self, query: Query) -> dict:
+        term_rows = [
+            self.model.term_row[t]
+            for t in query.terms
+            if t in self.model.term_row
+        ]
+        if not term_rows or not self.model.has_postings:
+            return {
+                "kind": "search",
+                "hits": [],
+                "partial": False,
+                "failed_shards": [],
+            }
+        k = min(max(1, query.k), self.n_docs)
+        got, dropped = self._fanout(
+            self.live,
+            "search",
+            {"term_rows": term_rows, "icf": self.icf, "k": k},
+        )
+        return self._merged_response("search", got, dropped, k)
+
+    def _exec_query(self, query: Query) -> dict:
+        rows = [
+            self.model.term_row[t]
+            for t in query.terms
+            if t in self.model.term_row
+        ]
+        unit = pseudo_signature(self.model.association, rows)
+        if unit is None:
+            return {
+                "kind": "query",
+                "hits": [],
+                "partial": False,
+                "failed_shards": [],
+            }
+        k = min(max(1, query.k), self.n_docs)
+        got, dropped = self._fanout(
+            self.live, "matvec", {"unit": unit, "k": k}
+        )
+        return self._merged_response("query", got, dropped, k)
+
+    def _exec_similar(self, query: Query) -> dict:
+        manifest = self.model.manifest
+        owner = None
+        for i, s in enumerate(manifest.shards):
+            if s.n_docs and s.doc_lo <= query.doc_id <= s.doc_hi:
+                owner = i
+                break
+        if owner is None:
+            return {
+                "kind": "similar",
+                "hits": [],
+                "error": f"unknown doc_id {query.doc_id}",
+                "partial": False,
+                "failed_shards": [],
+            }
+        owner_rank = owner + 1
+        if owner_rank not in self.live:
+            # the only shard that could anchor this query is gone
+            resp = {"kind": "similar", "hits": []}
+            self._flag(resp, [owner])
+            return resp
+        got, dropped = self._fanout(
+            [owner_rank], "fetch_unit", {"doc_id": query.doc_id}
+        )
+        fetched = got.get(owner)
+        if fetched is None:
+            resp = {"kind": "similar", "hits": []}
+            self._flag(resp, dropped or [owner])
+            return resp
+        if fetched[0] is None:
+            return {
+                "kind": "similar",
+                "hits": [],
+                "error": f"unknown doc_id {query.doc_id}",
+                "partial": False,
+                "failed_shards": [],
+            }
+        unit_row, global_row = fetched[0], fetched[1]
+        k = min(max(1, query.k), self.n_docs - 1)
+        got, dropped2 = self._fanout(
+            self.live,
+            "matvec",
+            {"unit": unit_row, "k": k, "skip_row": global_row},
+        )
+        return self._merged_response(
+            "similar", got, sorted(set(dropped) | set(dropped2)), k
+        )
+
+    def _exec_cluster(self, query: Query) -> dict:
+        kmax = self.model.centroids.shape[0]
+        if not 0 <= query.cluster < kmax:
+            return {
+                "kind": "cluster",
+                "error": (
+                    f"cluster {query.cluster} out of range [0, {kmax})"
+                ),
+                "partial": False,
+                "failed_shards": [],
+            }
+        centroid = self.model.centroids[query.cluster]
+        got, dropped = self._fanout(
+            self.live,
+            "cluster",
+            {"cluster": query.cluster, "n_docs": query.n_docs},
+        )
+        sizes = {s: got[s][0] for s in got}
+        per_shard = [got[s][1] for s in sorted(got)]
+        size = int(sum(sizes.values()))
+        take = min(query.n_docs, size)
+        reps = merge_asc(per_shard, take)
+        self.ctx.charge_cpu(
+            sum(len(p) for p in per_shard) + _DISPATCH_OPS
+        )
+        resp = {
+            "kind": "cluster",
+            "cluster": query.cluster,
+            "size": size,
+            "top_terms": top_positive_terms(
+                centroid, self.model.topic_terms, query.n_terms
+            ),
+            "representative_docs": [c.doc_id for c in reps],
+            "centroid_norm": float(np.linalg.norm(centroid)),
+        }
+        self._flag(resp, dropped)
+        return resp
+
+    def _exec_region(self, query: Query) -> dict:
+        got, dropped = self._fanout(
+            self.live,
+            "region",
+            {"x": query.x, "y": query.y, "radius": query.radius},
+        )
+        blocks = [got[s][1] for s in sorted(got) if got[s][0].size]
+        size = int(sum(got[s][0].size for s in got))
+        if size == 0:
+            resp = {"kind": "region", "size": 0, "terms": []}
+            self._flag(resp, dropped)
+            return resp
+        # concatenating the shard blocks in shard (= global row) order
+        # rebuilds the exact contiguous array the reference session
+        # reduces, so the mean is bit-identical to the unsharded path
+        mean_sig = np.concatenate(blocks, axis=0).mean(axis=0)
+        self.ctx.charge_flops(size * mean_sig.shape[0] + _DISPATCH_OPS)
+        resp = {
+            "kind": "region",
+            "size": size,
+            "terms": top_positive_terms(
+                mean_sig, self.model.topic_terms, query.n_terms
+            ),
+        }
+        self._flag(resp, dropped)
+        return resp
+
+    # -- closed-loop event pump ----------------------------------------
+    def pump(self, scripts: list[ClientScript]) -> ServeReport:
+        ctx, cfg = self.ctx, self.config
+        heap: list[tuple[float, int, int]] = []
+        for c, script in enumerate(scripts):
+            if script.queries:
+                heapq.heappush(heap, (script.think_s[0], c, 0))
+        responses: list[dict] = []
+        latencies: list[float] = []
+        rejected: list[dict] = []
+        finishes: list[float] = []  # ascending: server is sequential
+
+        def _next(client: int, seq: int, now: float) -> None:
+            script = scripts[client]
+            if seq + 1 < len(script.queries):
+                heapq.heappush(
+                    heap, (now + script.think_s[seq + 1], client, seq + 1)
+                )
+
+        while heap:
+            arrival, client, seq = heapq.heappop(heap)
+            query = scripts[client].queries[seq]
+            self.c_queries.inc(0, key=(query.kind,))
+            # admission control: accepted-but-unfinished depth at arrival
+            depth = len(finishes) - bisect_right(finishes, arrival)
+            if depth >= cfg.max_inflight:
+                self.c_rejected.inc(0)
+                ctx.charge_cpu(_REJECT_OPS)
+                rejected.append(
+                    {"client": client, "seq": seq, "kind": query.kind}
+                )
+                _next(client, seq, arrival)
+                continue
+            if ctx.now < arrival:
+                ctx.charge(arrival - ctx.now)
+            key = query.key()
+            cached = cfg.cache_capacity > 0 and key in self.cache
+            if cached:
+                self.c_hit.inc(0)
+                self.cache.move_to_end(key)
+                ctx.charge_cpu(_CACHE_HIT_OPS)
+                resp = self.cache[key]
+            else:
+                self.c_miss.inc(0)
+                resp = self.execute(query)
+                if resp.get("partial"):
+                    self.c_degraded.inc(0)
+                elif cfg.cache_capacity > 0:
+                    self.cache[key] = resp
+                    if len(self.cache) > cfg.cache_capacity:
+                        self.cache.popitem(last=False)
+                        self.c_evict.inc(0)
+            finish = ctx.now
+            latency = finish - arrival
+            self.h_latency.observe(0, latency, key=(query.kind,))
+            responses.append(
+                {
+                    "client": client,
+                    "seq": seq,
+                    "kind": query.kind,
+                    "cached": cached,
+                    "response": resp,
+                }
+            )
+            latencies.append(latency)
+            finishes.append(finish)
+            _next(client, seq, finish)
+
+        for r in self.live:
+            ctx.comm.send(r, ("stop",), tag=TAG_REQ)
+        return ServeReport(
+            responses=responses,
+            latencies=latencies,
+            rejected=rejected,
+            failed_ranks=sorted(
+                r for r in range(1, ctx.nprocs) if r not in self.live
+            ),
+            makespan=ctx.now,
+        )
+
+
+def _serve_main(ctx, store_dir: str, scripts, config: BrokerConfig):
+    if ctx.rank == 0:
+        model = load_model(store_dir)
+        return _Broker(ctx, model, config).pump(list(scripts))
+    return _shard_main(ctx, store_dir)
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def serve(
+    store_dir: str | os.PathLike,
+    scripts: list[ClientScript],
+    config: Optional[BrokerConfig] = None,
+    machine: Optional[MachineSpec] = None,
+    faults=None,
+) -> ServeReport:
+    """Run one broker session over a sharded store.
+
+    Spawns ``nshards + 1`` ranks on the deterministic runtime, serves
+    every scripted query, and returns the broker's
+    :class:`ServeReport` with the run's metrics snapshot attached.
+    Under a fault plan the session degrades (partial responses) rather
+    than failing: the cluster runs with ``raise_on_failure=False``.
+    """
+    store_dir = str(store_dir)
+    manifest = load_manifest(store_dir)
+    config = config if config is not None else BrokerConfig()
+    cluster = Cluster(
+        manifest.nshards + 1, machine=machine, faults=faults
+    )
+    result = cluster.run(
+        _serve_main,
+        store_dir,
+        tuple(scripts),
+        config,
+        raise_on_failure=False,
+    )
+    report = result.rank_results[0]
+    if report is None:
+        raise RankFailedError(
+            result.failed_ranks, "broker rank crashed"
+        )
+    report.metrics = result.metrics.snapshot()
+    report.failed_ranks = sorted(
+        set(report.failed_ranks) | set(result.failed_ranks)
+    )
+    return report
+
+
+def query_store(
+    store_dir: str | os.PathLike,
+    query: Query,
+    config: Optional[BrokerConfig] = None,
+    machine: Optional[MachineSpec] = None,
+) -> dict:
+    """Answer one query against a store (the ``serve-query`` path)."""
+    script = ClientScript(client=0, queries=(query,), think_s=(0.0,))
+    report = serve(store_dir, [script], config=config, machine=machine)
+    return report.responses[0]["response"]

@@ -1,0 +1,306 @@
+"""Per-shard query execution over the on-disk store.
+
+A :class:`ShardStore` wraps one shard container plus the replicated
+model and executes the shard-local half of every query operator.  All
+scoring goes through the *same module-level kernels* as
+:class:`repro.analysis.session.AnalysisSession` -- every per-document
+float is produced by an identical sequence of float ops on identical
+row data, which is what makes the broker's merged answers bit-identical
+to the single-result reference path (the acceptance criterion of the
+serving layer).
+
+Each operator returns per-document *candidates* keyed by
+``(score, global_row)`` so the broker can merge shards' top-k lists
+with the same deterministic tie-breaking a global stable argsort would
+apply, plus the number of payload bytes it scanned (the accounting
+input for ``serve.shard.bytes_scanned``).
+
+The broker-side merge helpers and the canonical response serialization
+(used by the determinism byte-compare tests) also live here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.session import (
+    centroid_distances,
+    cosine_scores,
+    point_distances,
+    topk_asc,
+    topk_desc,
+    unit_rows,
+)
+from repro.index.termindex import TermPostings, accumulate_tficf
+from repro.serve.store import (
+    Container,
+    ServeModel,
+    decode_postings,
+)
+
+QUERY_KINDS = ("search", "query", "similar", "cluster", "region")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One analyst request against the store.
+
+    ``kind`` selects the operator: ``search`` (ranked tf·icf term
+    search), ``query`` (pseudo-signature cosine ranking), ``similar``
+    (k-NN of one document), ``cluster`` (cluster summary), ``region``
+    (landscape-region topic terms).  Unused fields stay at their
+    defaults; :meth:`key` is the cache key.
+    """
+
+    kind: str
+    terms: tuple[str, ...] = ()
+    doc_id: int = -1
+    cluster: int = -1
+    x: float = 0.0
+    y: float = 0.0
+    radius: float = 0.0
+    k: int = 10
+    n_terms: int = 6
+    n_docs: int = 5
+
+    def __post_init__(self):
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(
+                f"unknown query kind {self.kind!r}; "
+                f"expected one of {QUERY_KINDS}"
+            )
+
+    def key(self) -> tuple:
+        """Hashable identity for result caching."""
+        return (
+            self.kind,
+            self.terms,
+            self.doc_id,
+            self.cluster,
+            self.x,
+            self.y,
+            self.radius,
+            self.k,
+            self.n_terms,
+            self.n_docs,
+        )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One shard-local scored document, keyed for the global merge."""
+
+    score: float
+    row: int  # global document row
+    doc_id: int
+    cluster: int
+
+
+class ShardStore:
+    """One shard's documents, loaded lazily from its container."""
+
+    def __init__(self, container: Container, model: ServeModel):
+        self.container = container
+        self.model = model
+        self.row_lo = int(container.meta["row_lo"])
+        self.row_hi = int(container.meta["row_hi"])
+        self.doc_ids = np.asarray(container.load("doc_ids"))
+        self.assignments = np.asarray(container.load("assignments"))
+        self._unit: Optional[np.ndarray] = None
+        self._sigs: Optional[np.ndarray] = None
+        self._postings: Optional[TermPostings] = None
+
+    @property
+    def n_docs(self) -> int:
+        return self.row_hi - self.row_lo
+
+    @property
+    def signatures(self) -> np.ndarray:
+        if self._sigs is None:
+            self._sigs = np.asarray(self.container.load("signatures"))
+        return self._sigs
+
+    @property
+    def unit(self) -> np.ndarray:
+        if self._unit is None:
+            self._unit = unit_rows(self.signatures)
+        return self._unit
+
+    @property
+    def postings(self) -> TermPostings:
+        if self._postings is None:
+            if "post_offsets" not in self.container:
+                raise KeyError(
+                    f"{self.container.path}: shard was built without "
+                    "postings (pass a corpus to build_shards)"
+                )
+            self._postings = decode_postings(
+                self.n_docs,
+                np.asarray(self.container.load("post_offsets")),
+                np.asarray(self.container.load("post_rows_delta")),
+                np.asarray(self.container.load("post_tf")),
+            )
+        return self._postings
+
+    def _candidates(
+        self, local_idx: np.ndarray, scores: np.ndarray
+    ) -> list[Candidate]:
+        return [
+            Candidate(
+                score=float(scores[i]),
+                row=self.row_lo + int(i),
+                doc_id=int(self.doc_ids[i]),
+                cluster=int(self.assignments[i]),
+            )
+            for i in local_idx
+        ]
+
+    # ------------------------------------------------------------------
+    # operators (shard-local halves)
+    # ------------------------------------------------------------------
+    def op_fetch_unit(
+        self, doc_id: int
+    ) -> tuple[Optional[np.ndarray], int, int]:
+        """``(unit signature row, global row, bytes scanned)`` of one
+        locally-owned document (``(None, -1, scanned)`` if absent)."""
+        scanned = self.doc_ids.nbytes
+        rows = np.flatnonzero(self.doc_ids == doc_id)
+        if rows.size == 0:
+            return None, -1, scanned
+        row = int(rows[0])
+        return (
+            self.unit[row].copy(),
+            self.row_lo + row,
+            scanned + self.unit[row].nbytes,
+        )
+
+    def op_matvec(
+        self,
+        unit_query: np.ndarray,
+        k: int,
+        skip_row: int = -1,
+    ) -> tuple[list[Candidate], int]:
+        """Local cosine top-k against a unit query vector.
+
+        ``skip_row`` (a *global* row) masks the query document itself
+        for k-NN, exactly like the session's ``sims[row] = -inf``.
+        """
+        sims = cosine_scores(self.unit, unit_query)
+        if self.row_lo <= skip_row < self.row_hi:
+            sims[skip_row - self.row_lo] = -np.inf
+        take = min(k, sims.shape[0])
+        idx = topk_desc(sims, take)
+        return self._candidates(idx, sims), self.unit.nbytes
+
+    def op_search(
+        self, term_rows: list[int], icf: np.ndarray, k: int
+    ) -> tuple[list[Candidate], int]:
+        """Local tf·icf ranked search over the shard's postings."""
+        postings = self.postings
+        scores = np.zeros(self.n_docs, dtype=np.float64)
+        scanned_postings = accumulate_tficf(
+            postings, term_rows, icf, scores
+        )
+        take = min(k, scores.shape[0])
+        idx = topk_desc(scores, take)
+        idx = idx[scores[idx] > 0]
+        # each posting stores a delta-coded row and a tf (8 bytes each)
+        return self._candidates(idx, scores), scanned_postings * 16
+
+    def op_cluster(
+        self, cluster: int, n_docs: int
+    ) -> tuple[int, list[Candidate], int]:
+        """Local member count + nearest-to-centroid candidates."""
+        centroid = self.model.centroids[cluster]
+        members = np.flatnonzero(self.assignments == cluster)
+        scanned = self.assignments.nbytes
+        if members.size == 0:
+            return 0, [], scanned
+        d2 = centroid_distances(self.signatures[members], centroid)
+        take = min(n_docs, members.size)
+        idx = topk_asc(d2, take)
+        cands = [
+            Candidate(
+                score=float(d2[j]),
+                row=self.row_lo + int(members[j]),
+                doc_id=int(self.doc_ids[members[j]]),
+                cluster=cluster,
+            )
+            for j in idx
+        ]
+        return int(members.size), cands, scanned + members.size * (
+            self.signatures.shape[1] * 8
+        )
+
+    def op_region(
+        self, x: float, y: float, radius: float
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Global rows + signature block of local in-circle documents.
+
+        The *broker* computes the region mean on the concatenation of
+        all shards' blocks (global row order) so the reduction is
+        bit-identical to the session's single-array mean.
+        """
+        coords = np.asarray(self.container.load("coords"))
+        d2 = point_distances(coords, x, y)
+        mask = d2 <= radius * radius
+        scanned = coords.nbytes
+        if not mask.any():
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, self.model.centroids.shape[1])),
+                scanned,
+            )
+        block = self.signatures[mask]
+        rows = self.row_lo + np.flatnonzero(mask).astype(np.int64)
+        return rows, block, scanned + block.nbytes
+
+
+# ----------------------------------------------------------------------
+# broker-side merges
+# ----------------------------------------------------------------------
+def merge_desc(
+    per_shard: list[list[Candidate]], k: int
+) -> list[Candidate]:
+    """Global top-k by (score desc, global row asc).
+
+    Equivalent to a stable global argsort on descending score: shard
+    lists are already row-ordered within equal scores, so sorting the
+    concatenation by ``(-score, row)`` reproduces the reference order.
+    """
+    merged = [c for cands in per_shard for c in cands]
+    merged.sort(key=lambda c: (-c.score, c.row))
+    return merged[:k]
+
+
+def merge_asc(
+    per_shard: list[list[Candidate]], k: int
+) -> list[Candidate]:
+    """Global bottom-k by (score asc, global row asc)."""
+    merged = [c for cands in per_shard for c in cands]
+    merged.sort(key=lambda c: (c.score, c.row))
+    return merged[:k]
+
+
+def hits_payload(cands: list[Candidate]) -> list[dict]:
+    """JSON-native hit list of a merged candidate ranking."""
+    return [
+        {"doc": c.doc_id, "score": c.score, "cluster": c.cluster}
+        for c in cands
+    ]
+
+
+def canonical_response(response: dict) -> bytes:
+    """Canonical serialized form of one response.
+
+    Sorted keys, minimal separators, UTF-8: two responses are
+    bit-identical iff these bytes are equal (the determinism tests'
+    comparison oracle).
+    """
+    return json.dumps(
+        response, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")

@@ -1,0 +1,557 @@
+"""Versioned on-disk shard store for the serving layer.
+
+A *store* is a directory holding one ``model`` container (the
+replicated per-collection state: major-term dictionary and statistics,
+association matrix, cluster centroids, optional PCA projection), P
+``shard-XXX`` containers (each a contiguous document-row slice of the
+result: doc ids, L1-normalized signatures, landscape coordinates,
+cluster assignments, and delta-encoded major-term postings), and a
+``manifest.json`` describing the layout.
+
+Container format (one file)::
+
+    offset 0   magic     b"REPROSHD"                       (8 bytes)
+    offset 8   version   u32 little-endian                 (4 bytes)
+    offset 12  reserved  u32, zero                         (4 bytes)
+    offset 16  hdr_len   u64 little-endian                 (8 bytes)
+    offset 24  header    UTF-8 JSON, hdr_len bytes
+    ...        padding to the next 64-byte boundary
+    ...        sections  raw little-endian arrays, each 64-aligned
+
+The header JSON lists the ordered section table (name, dtype, shape)
+plus free-form ``meta``; section offsets are *recomputed* from that
+table identically by writer and reader, so they can never disagree
+with the payload.  Sections are loaded lazily via ``np.memmap`` --
+opening a store touches only headers, and a query reads only the
+sections (and pages) it scans.
+
+Malformed input -- bad magic, unsupported version, truncated or
+corrupt header, section table overrunning the file -- raises
+:class:`ShardFormatError` carrying the offending path.
+
+Postings are stored delta-encoded: within each term's run the first
+document row is absolute and the rest are gaps, so decoding a term is
+one ``np.cumsum`` over its slice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.results import EngineResult
+from repro.index.termindex import TermPostings, build_term_postings
+from repro.project.pca import PCATransform
+from repro.signature.topicality import RankedTerm
+
+MAGIC = b"REPROSHD"
+FORMAT_VERSION = 1
+MANIFEST_FORMAT = "repro-serve/1"
+_ALIGN = 64
+_PREFIX_LEN = 24
+_MAX_HEADER = 64 * 1024 * 1024
+
+MODEL_FILE = "model.repro"
+MANIFEST_FILE = "manifest.json"
+
+
+class ShardFormatError(Exception):
+    """A store file is malformed, truncated, or version-incompatible."""
+
+    def __init__(self, path: str, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"{path}: {reason}")
+
+
+def _pad(n: int) -> int:
+    return (-n) % _ALIGN
+
+
+def _section_layout(
+    sections: list[dict], header_len: int
+) -> list[tuple[int, int]]:
+    """(offset, nbytes) per section, recomputed from the ordered table."""
+    pos = _PREFIX_LEN + header_len
+    pos += _pad(pos)
+    layout = []
+    for sec in sections:
+        nbytes = int(np.dtype(sec["dtype"]).itemsize) * int(
+            np.prod(sec["shape"], dtype=np.int64)
+        )
+        layout.append((pos, nbytes))
+        pos += nbytes + _pad(nbytes)
+    return layout
+
+
+def write_container(
+    path: str | os.PathLike,
+    arrays: dict[str, np.ndarray],
+    meta: dict,
+) -> int:
+    """Write one container file; returns its size in bytes."""
+    sections = []
+    payload = []
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        if arr.dtype.byteorder == ">":
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        sections.append(
+            {"name": name, "dtype": arr.dtype.str, "shape": list(arr.shape)}
+        )
+        payload.append(arr)
+    header = json.dumps(
+        {"sections": sections, "meta": meta}, sort_keys=True
+    ).encode("utf-8")
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(
+            int(FORMAT_VERSION).to_bytes(4, "little")
+            + b"\x00\x00\x00\x00"
+        )
+        f.write(len(header).to_bytes(8, "little"))
+        f.write(header)
+        f.write(b"\x00" * _pad(_PREFIX_LEN + len(header)))
+        for arr in payload:
+            data = arr.tobytes()
+            f.write(data)
+            f.write(b"\x00" * _pad(len(data)))
+        return f.tell()
+
+
+class Container:
+    """Lazy reader of one container file.
+
+    The header is parsed eagerly (and validated); each section becomes
+    a read-only ``np.memmap`` on first access and is cached.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = str(path)
+        try:
+            size = os.path.getsize(self.path)
+            with open(self.path, "rb") as f:
+                prefix = f.read(_PREFIX_LEN)
+                if len(prefix) < _PREFIX_LEN or prefix[:8] != MAGIC:
+                    raise ShardFormatError(
+                        self.path, "bad magic: not a repro shard container"
+                    )
+                version = int.from_bytes(prefix[8:12], "little")
+                if version != FORMAT_VERSION:
+                    raise ShardFormatError(
+                        self.path,
+                        f"unsupported format version {version} "
+                        f"(reader supports {FORMAT_VERSION})",
+                    )
+                hdr_len = int.from_bytes(prefix[16:24], "little")
+                if hdr_len > _MAX_HEADER or _PREFIX_LEN + hdr_len > size:
+                    raise ShardFormatError(
+                        self.path,
+                        f"header length {hdr_len} exceeds file size {size}",
+                    )
+                raw = f.read(hdr_len)
+                if len(raw) < hdr_len:
+                    raise ShardFormatError(self.path, "truncated header")
+        except OSError as exc:
+            raise ShardFormatError(self.path, f"unreadable: {exc}") from exc
+        try:
+            header = json.loads(raw.decode("utf-8"))
+            self._sections = {
+                sec["name"]: (sec["dtype"], tuple(sec["shape"]))
+                for sec in header["sections"]
+            }
+            self.meta = header["meta"]
+            self._layout = dict(
+                zip(
+                    (s["name"] for s in header["sections"]),
+                    _section_layout(header["sections"], hdr_len),
+                )
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ShardFormatError(
+                self.path, f"corrupt header: {exc}"
+            ) from exc
+        for name, (off, nbytes) in self._layout.items():
+            if off + nbytes > size:
+                raise ShardFormatError(
+                    self.path,
+                    f"section {name!r} [{off}, {off + nbytes}) overruns "
+                    f"file size {size}",
+                )
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def section_names(self) -> list[str]:
+        return list(self._sections)
+
+    def nbytes(self, name: str) -> int:
+        """Payload size of one section (bytes-scanned accounting)."""
+        return self._layout[name][1]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sections
+
+    def load(self, name: str) -> np.ndarray:
+        """Memory-map one section (cached, read-only)."""
+        if name not in self._cache:
+            if name not in self._sections:
+                raise KeyError(f"{self.path}: no section {name!r}")
+            dtype, shape = self._sections[name]
+            offset, _ = self._layout[name]
+            self._cache[name] = np.memmap(
+                self.path,
+                mode="r",
+                dtype=np.dtype(dtype),
+                shape=shape,
+                offset=offset,
+            )
+        return self._cache[name]
+
+
+# ----------------------------------------------------------------------
+# postings delta coding
+# ----------------------------------------------------------------------
+def delta_encode_postings(postings: TermPostings) -> np.ndarray:
+    """Per-term delta code of the postings' document rows.
+
+    Rows ascend within each term run; each run stores its first row
+    absolute and subsequent rows as gaps.
+    """
+    delta = np.diff(postings.rows, prepend=0).astype(np.int64)
+    starts = postings.offsets[:-1][np.diff(postings.offsets) > 0]
+    delta[starts] = postings.rows[starts]
+    return delta
+
+
+def decode_term_rows(
+    delta: np.ndarray, offsets: np.ndarray, term_row: int
+) -> np.ndarray:
+    """Absolute document rows of one term's delta-coded run."""
+    lo = int(offsets[term_row])
+    hi = int(offsets[term_row + 1])
+    return np.cumsum(delta[lo:hi])
+
+
+def decode_postings(
+    n_docs: int, offsets: np.ndarray, delta: np.ndarray, tf: np.ndarray
+) -> TermPostings:
+    """Decode a full delta-coded postings block."""
+    rows = np.asarray(delta, dtype=np.int64).copy()
+    offsets = np.asarray(offsets, dtype=np.int64)
+    for t in range(offsets.shape[0] - 1):
+        lo, hi = int(offsets[t]), int(offsets[t + 1])
+        if hi > lo:
+            rows[lo:hi] = np.cumsum(rows[lo:hi])
+    return TermPostings(
+        n_docs=n_docs,
+        offsets=offsets,
+        rows=rows,
+        tf=np.asarray(tf, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard's row/doc coverage as recorded in the manifest."""
+
+    file: str
+    row_lo: int
+    row_hi: int
+    doc_lo: int
+    doc_hi: int
+    nbytes: int
+
+    @property
+    def n_docs(self) -> int:
+        return self.row_hi - self.row_lo
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """Directory-level description of a sharded store."""
+
+    format: str
+    nshards: int
+    n_docs: int
+    corpus_name: str
+    model_file: str
+    bbox: tuple[float, float, float, float]
+    shards: tuple[ShardInfo, ...]
+
+    def shard_of_row(self, row: int) -> int:
+        """Index of the shard owning a global document row."""
+        for i, s in enumerate(self.shards):
+            if s.row_lo <= row < s.row_hi:
+                return i
+        raise KeyError(f"row {row} outside store of {self.n_docs} docs")
+
+
+def load_manifest(store_dir: str | os.PathLike) -> StoreManifest:
+    """Parse and validate a store directory's manifest."""
+    path = os.path.join(str(store_dir), MANIFEST_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as exc:
+        raise ShardFormatError(path, f"unreadable: {exc}") from exc
+    except ValueError as exc:
+        raise ShardFormatError(path, f"corrupt manifest: {exc}") from exc
+    try:
+        if data["format"] != MANIFEST_FORMAT:
+            raise ShardFormatError(
+                path,
+                f"unsupported store format {data['format']!r} "
+                f"(reader supports {MANIFEST_FORMAT!r})",
+            )
+        return StoreManifest(
+            format=data["format"],
+            nshards=int(data["nshards"]),
+            n_docs=int(data["n_docs"]),
+            corpus_name=data["corpus_name"],
+            model_file=data["model_file"],
+            bbox=tuple(data["bbox"]),
+            shards=tuple(
+                ShardInfo(
+                    file=s["file"],
+                    row_lo=int(s["row_lo"]),
+                    row_hi=int(s["row_hi"]),
+                    doc_lo=int(s["doc_lo"]),
+                    doc_hi=int(s["doc_hi"]),
+                    nbytes=int(s["nbytes"]),
+                )
+                for s in data["shards"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ShardFormatError(path, f"corrupt manifest: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+def build_shards(
+    result: EngineResult,
+    out_dir: str | os.PathLike,
+    nshards: int,
+    corpus=None,
+    postings: TermPostings | None = None,
+    tokenizer_config=None,
+) -> StoreManifest:
+    """Partition an engine result into a P-shard on-disk store.
+
+    Documents are split into ``nshards`` contiguous row ranges (the
+    same ``np.array_split`` convention as the pipeline's partitioner).
+    Term postings come from ``postings`` or are inverted from
+    ``corpus``; without either, the store serves signature/cluster
+    queries but not ranked term search.
+    """
+    if result.signatures is None:
+        raise ValueError(
+            "build_shards needs signatures; run the engine with "
+            "keep_signatures=True"
+        )
+    if nshards < 1:
+        raise ValueError(f"nshards must be >= 1, got {nshards}")
+    n_docs = int(result.doc_ids.shape[0])
+    if postings is None and corpus is not None:
+        postings = build_term_postings(
+            corpus, result, tokenizer_config=tokenizer_config
+        )
+    out = str(out_dir)
+    os.makedirs(out, exist_ok=True)
+
+    model_meta = {
+        "kind": "model",
+        "corpus_name": result.corpus_name,
+        "n_docs": n_docs,
+        "n_topics": int(result.centroids.shape[1]),
+        "terms": [t.term for t in result.major_terms],
+        "topic_terms": [t.term for t in result.topic_terms],
+        "has_postings": postings is not None,
+    }
+    model_arrays = {
+        "association": np.asarray(result.association, dtype=np.float64),
+        "centroids": np.asarray(result.centroids, dtype=np.float64),
+        "term_gid": np.array(
+            [t.gid for t in result.major_terms], dtype=np.int64
+        ),
+        "term_score": np.array(
+            [t.score for t in result.major_terms], dtype=np.float64
+        ),
+        "term_df": np.array(
+            [t.df for t in result.major_terms], dtype=np.int64
+        ),
+        "term_cf": np.array(
+            [t.cf for t in result.major_terms], dtype=np.int64
+        ),
+    }
+    if result.projection is not None:
+        model_arrays["pca_mean"] = np.asarray(
+            result.projection.mean, dtype=np.float64
+        )
+        model_arrays["pca_components"] = np.asarray(
+            result.projection.components, dtype=np.float64
+        )
+        model_arrays["pca_explained_variance"] = np.asarray(
+            result.projection.explained_variance, dtype=np.float64
+        )
+    write_container(os.path.join(out, MODEL_FILE), model_arrays, model_meta)
+
+    splits = np.array_split(np.arange(n_docs, dtype=np.int64), nshards)
+    shards: list[ShardInfo] = []
+    for i, rows in enumerate(splits):
+        row_lo = int(rows[0]) if rows.size else (
+            shards[-1].row_hi if shards else 0
+        )
+        row_hi = int(rows[-1]) + 1 if rows.size else row_lo
+        fname = f"shard-{i:03d}.repro"
+        arrays = {
+            "doc_ids": np.asarray(
+                result.doc_ids[row_lo:row_hi], dtype=np.int64
+            ),
+            "signatures": np.asarray(
+                result.signatures[row_lo:row_hi], dtype=np.float64
+            ),
+            "coords": np.asarray(
+                result.coords[row_lo:row_hi], dtype=np.float64
+            ),
+            "assignments": np.asarray(
+                result.assignments[row_lo:row_hi], dtype=np.int64
+            ),
+        }
+        if postings is not None:
+            local = postings.restrict(row_lo, row_hi)
+            arrays["post_offsets"] = local.offsets
+            arrays["post_rows_delta"] = delta_encode_postings(local)
+            arrays["post_tf"] = local.tf
+        meta = {
+            "kind": "shard",
+            "shard": i,
+            "row_lo": row_lo,
+            "row_hi": row_hi,
+            "corpus_name": result.corpus_name,
+        }
+        nbytes = write_container(os.path.join(out, fname), arrays, meta)
+        shards.append(
+            ShardInfo(
+                file=fname,
+                row_lo=row_lo,
+                row_hi=row_hi,
+                doc_lo=int(result.doc_ids[row_lo]) if row_hi > row_lo else 0,
+                doc_hi=int(result.doc_ids[row_hi - 1])
+                if row_hi > row_lo
+                else 0,
+                nbytes=nbytes,
+            )
+        )
+
+    bbox = (
+        float(result.coords[:, 0].min()) if n_docs else 0.0,
+        float(result.coords[:, 1].min()) if n_docs else 0.0,
+        float(result.coords[:, 0].max()) if n_docs else 0.0,
+        float(result.coords[:, 1].max()) if n_docs else 0.0,
+    )
+    manifest = StoreManifest(
+        format=MANIFEST_FORMAT,
+        nshards=nshards,
+        n_docs=n_docs,
+        corpus_name=result.corpus_name,
+        model_file=MODEL_FILE,
+        bbox=bbox,
+        shards=tuple(shards),
+    )
+    with open(
+        os.path.join(out, MANIFEST_FILE), "w", encoding="utf-8"
+    ) as f:
+        json.dump(
+            {
+                "format": manifest.format,
+                "nshards": manifest.nshards,
+                "n_docs": manifest.n_docs,
+                "corpus_name": manifest.corpus_name,
+                "model_file": manifest.model_file,
+                "bbox": list(manifest.bbox),
+                "shards": [
+                    {
+                        "file": s.file,
+                        "row_lo": s.row_lo,
+                        "row_hi": s.row_hi,
+                        "doc_lo": s.doc_lo,
+                        "doc_hi": s.doc_hi,
+                        "nbytes": s.nbytes,
+                    }
+                    for s in manifest.shards
+                ],
+            },
+            f,
+            indent=2,
+            sort_keys=True,
+        )
+        f.write("\n")
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# model-side loading helpers
+# ----------------------------------------------------------------------
+def load_model(store_dir: str | os.PathLike) -> "ServeModel":
+    """Open the store's replicated model container."""
+    manifest = load_manifest(store_dir)
+    cont = Container(os.path.join(str(store_dir), manifest.model_file))
+    return ServeModel(manifest=manifest, container=cont)
+
+
+@dataclass
+class ServeModel:
+    """Replicated per-collection state every query consults."""
+
+    manifest: StoreManifest
+    container: Container
+
+    def __post_init__(self):
+        c = self.container
+        self.terms: list[str] = list(c.meta["terms"])
+        self.topic_terms: list[str] = list(c.meta["topic_terms"])
+        self.term_row = {t: i for i, t in enumerate(self.terms)}
+        self.association = np.asarray(c.load("association"))
+        self.centroids = np.asarray(c.load("centroids"))
+        self.term_df = np.asarray(c.load("term_df"))
+        self.has_postings = bool(c.meta["has_postings"])
+
+    @property
+    def n_docs(self) -> int:
+        return self.manifest.n_docs
+
+    def major_terms(self) -> list[RankedTerm]:
+        c = self.container
+        gid = np.asarray(c.load("term_gid"))
+        score = np.asarray(c.load("term_score"))
+        cf = np.asarray(c.load("term_cf"))
+        return [
+            RankedTerm(
+                term=t,
+                gid=int(gid[i]),
+                score=float(score[i]),
+                df=int(self.term_df[i]),
+                cf=int(cf[i]),
+            )
+            for i, t in enumerate(self.terms)
+        ]
+
+    def projection(self) -> PCATransform | None:
+        c = self.container
+        if "pca_mean" not in c:
+            return None
+        return PCATransform(
+            mean=np.asarray(c.load("pca_mean")),
+            components=np.asarray(c.load("pca_components")),
+            explained_variance=np.asarray(
+                c.load("pca_explained_variance")
+            ),
+        )

@@ -1,0 +1,165 @@
+"""Seeded closed-loop workloads for the serving layer.
+
+A workload is a set of :class:`ClientScript`\\ s: each simulated client
+issues its queries one at a time, thinking for a sampled interval
+between the completion of one query and the issue of the next (the
+closed-loop model the broker's event pump executes).  Everything is
+drawn from ``np.random.default_rng(seed)`` over a profile extracted
+from the store itself, so a (store, seed, knobs) triple always yields
+the byte-identical workload -- the property the serving benchmark's
+baseline comparison rests on.
+
+Query mix and skew follow the interactive-analysis shape: term
+searches and pseudo-signature queries over a rank-biased term pool
+(frequent model terms are queried more), k-NN jumps from recently
+"read" documents, cluster summaries, and landscape-region probes.  A
+configurable fraction of queries repeats from a small hot pool, which
+is what gives the result cache something to do.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.query import Query
+from repro.serve.store import StoreManifest, load_manifest, load_model
+
+#: default query-kind mix (must sum to 1)
+DEFAULT_MIX: dict[str, float] = {
+    "search": 0.35,
+    "query": 0.15,
+    "similar": 0.20,
+    "cluster": 0.15,
+    "region": 0.15,
+}
+
+
+@dataclass(frozen=True)
+class ClientScript:
+    """One client's scripted session.
+
+    ``think_s[i]`` is the virtual think time between the completion of
+    query ``i - 1`` (session start for ``i = 0``) and the issue of
+    query ``i``.
+    """
+
+    client: int
+    queries: tuple[Query, ...]
+    think_s: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class StoreProfile:
+    """What the generator needs to know about a store."""
+
+    terms: tuple[str, ...]
+    doc_ids: tuple[int, ...]
+    n_clusters: int
+    bbox: tuple[float, float, float, float]
+
+
+def store_profile(store_dir: str | os.PathLike) -> StoreProfile:
+    """Extract a workload profile from a store directory."""
+    manifest: StoreManifest = load_manifest(store_dir)
+    model = load_model(store_dir)
+    # shard boundary doc ids bracket the id space; sampling uniformly
+    # between doc_lo/doc_hi per shard keeps ids inside real ranges
+    doc_ids: list[int] = []
+    for s in manifest.shards:
+        if s.n_docs:
+            doc_ids.extend((s.doc_lo, s.doc_hi))
+    return StoreProfile(
+        terms=tuple(model.terms),
+        doc_ids=tuple(doc_ids),
+        n_clusters=int(model.centroids.shape[0]),
+        bbox=manifest.bbox,
+    )
+
+
+def _rank_biased_term(rng: np.random.Generator, terms: tuple[str, ...]) -> str:
+    """Sample a model term with probability decaying in rank."""
+    n = len(terms)
+    # geometric-ish decay truncated to the dictionary
+    r = int(rng.geometric(p=min(0.05, 10.0 / max(n, 1))))
+    return terms[min(r - 1, n - 1)]
+
+
+def _make_query(
+    rng: np.random.Generator,
+    profile: StoreProfile,
+    kinds: list[str],
+    cum: np.ndarray,
+) -> Query:
+    kind = kinds[int(np.searchsorted(cum, rng.random(), side="right"))]
+    if kind in ("search", "query"):
+        n_terms = 1 + int(rng.integers(0, 3))
+        terms = tuple(
+            _rank_biased_term(rng, profile.terms) for _ in range(n_terms)
+        )
+        return Query(kind=kind, terms=terms, k=10)
+    if kind == "similar":
+        doc = int(profile.doc_ids[int(rng.integers(len(profile.doc_ids)))])
+        return Query(kind="similar", doc_id=doc, k=10)
+    if kind == "cluster":
+        c = int(rng.integers(profile.n_clusters))
+        return Query(kind="cluster", cluster=c)
+    x0, y0, x1, y1 = profile.bbox
+    x = float(x0 + (x1 - x0) * rng.random())
+    y = float(y0 + (y1 - y0) * rng.random())
+    radius = float(0.05 + 0.20 * rng.random()) * max(
+        x1 - x0, y1 - y0, 1e-9
+    )
+    return Query(kind="region", x=x, y=y, radius=radius)
+
+
+def generate_workload(
+    profile: StoreProfile,
+    n_clients: int = 4,
+    queries_per_client: int = 25,
+    seed: int = 0,
+    mix: dict[str, float] | None = None,
+    hot_fraction: float = 0.3,
+    hot_pool: int = 8,
+    mean_think_s: float = 0.05,
+) -> list[ClientScript]:
+    """Generate a seeded closed-loop workload over a store profile.
+
+    ``hot_fraction`` of queries repeat from a shared ``hot_pool`` of
+    popular queries (cache fodder); the rest are fresh draws.  Think
+    times are exponential with mean ``mean_think_s`` virtual seconds.
+    """
+    if not profile.terms and not profile.doc_ids:
+        raise ValueError("store profile is empty; nothing to query")
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    bad = sorted(set(mix) - set(DEFAULT_MIX))
+    if bad:
+        raise ValueError(f"unknown query kinds in mix: {bad}")
+    kinds = sorted(mix)
+    weights = np.array([mix[k] for k in kinds], dtype=np.float64)
+    if weights.sum() <= 0:
+        raise ValueError(f"query mix has no mass: {mix}")
+    cum = np.cumsum(weights / weights.sum())
+    rng = np.random.default_rng(seed)
+    pool = [
+        _make_query(rng, profile, kinds, cum) for _ in range(hot_pool)
+    ]
+    scripts: list[ClientScript] = []
+    for c in range(n_clients):
+        queries: list[Query] = []
+        think: list[float] = []
+        for _ in range(queries_per_client):
+            if pool and rng.random() < hot_fraction:
+                q = pool[int(rng.integers(len(pool)))]
+            else:
+                q = _make_query(rng, profile, kinds, cum)
+            queries.append(q)
+            think.append(float(rng.exponential(mean_think_s)))
+        scripts.append(
+            ClientScript(
+                client=c, queries=tuple(queries), think_s=tuple(think)
+            )
+        )
+    return scripts

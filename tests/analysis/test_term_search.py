@@ -1,0 +1,106 @@
+"""Ranked term search over the major-term postings index."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.session import AnalysisSession
+from repro.datasets.pubmed import generate_pubmed
+from repro.engine.config import EngineConfig
+from repro.engine.serial import SerialTextEngine
+from repro.index.termindex import (
+    build_term_postings,
+    icf_weights,
+)
+
+CONFIG = EngineConfig(n_major_terms=150, n_clusters=4, chunk_docs=8)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_pubmed(50_000, seed=7, n_themes=4)
+
+
+@pytest.fixture(scope="module")
+def result(corpus):
+    return SerialTextEngine(CONFIG).run(corpus)
+
+
+@pytest.fixture(scope="module")
+def postings(corpus, result):
+    return build_term_postings(corpus, result, CONFIG.tokenizer)
+
+
+@pytest.fixture(scope="module")
+def session(result, postings):
+    return AnalysisSession(result, postings=postings)
+
+
+def _brute_force(result, postings, terms, k):
+    """Reference tf.icf ranking straight from the postings arrays."""
+    term_row = {t.term: i for i, t in enumerate(result.major_terms)}
+    icf = icf_weights(
+        np.array([t.df for t in result.major_terms]), result.n_docs
+    )
+    scores = np.zeros(len(result.doc_ids))
+    for t in terms:
+        r = term_row.get(t)
+        if r is None:
+            continue
+        lo, hi = postings.offsets[r], postings.offsets[r + 1]
+        for row, tf in zip(
+            postings.rows[lo:hi], postings.tf[lo:hi]
+        ):
+            scores[row] += tf * icf[r]
+    idx = np.argsort(-scores, kind="stable")[: min(k, len(scores))]
+    return [
+        (int(result.doc_ids[i]), float(scores[i]))
+        for i in idx
+        if scores[i] > 0
+    ]
+
+
+class TestTermSearch:
+    def test_matches_brute_force(self, result, postings, session):
+        terms = [result.major_terms[i].term for i in (0, 5, 17)]
+        hits = session.term_search(terms, k=15)
+        assert [
+            (h.doc_id, h.score) for h in hits
+        ] == _brute_force(result, postings, terms, 15)
+
+    def test_single_term_docs_contain_it(self, result, session):
+        term = result.major_terms[3].term
+        hits = session.term_search([term], k=10)
+        assert hits
+        assert all(h.score > 0 for h in hits)
+        # descending, ties broken by global row order (stable)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_terms_empty(self, session):
+        assert session.term_search(["zzz-never-a-term"], k=5) == []
+        assert session.term_search([], k=5) == []
+
+    def test_k_clamped(self, result, session):
+        term = result.major_terms[0].term
+        hits = session.term_search([term], k=10**9)
+        assert len(hits) <= result.n_docs
+        assert session.term_search([term], k=0)  # clamps to 1
+
+
+class TestAttachPostings:
+    def test_requires_postings(self, result):
+        bare = AnalysisSession(result)
+        with pytest.raises(ValueError, match="postings"):
+            bare.term_search(["anything"])
+
+    def test_rejects_mismatched_postings(self, result, postings):
+        bad = postings.restrict(0, postings.n_docs - 1)
+        bare = AnalysisSession(result)
+        with pytest.raises(ValueError, match="documents"):
+            bare.attach_postings(bad)
+
+    def test_attach_after_init(self, result, postings):
+        late = AnalysisSession(result)
+        late.attach_postings(postings)
+        term = result.major_terms[0].term
+        assert late.term_search([term], k=3)

@@ -1,0 +1,166 @@
+"""Serving benchmark harness tests (small downscale)."""
+
+import json
+
+import pytest
+
+from repro.bench.serving import (
+    SCHEMA,
+    ServePoint,
+    build_report,
+    compare,
+    measure,
+    run_bench,
+)
+
+SMALL = dict(
+    shards=(1, 2),
+    corpus_bytes=40_000,
+    n_clients=2,
+    queries_per_client=6,
+)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure(progress=None, **SMALL)
+
+
+def test_measure_matrix(measured):
+    points, fault_point, fault_meta = measured
+    assert set(points) == {1, 2}
+    total = SMALL["n_clients"] * SMALL["queries_per_client"]
+    for p, pt in points.items():
+        assert pt.nshards == p
+        assert pt.served + pt.rejected == total
+        assert pt.degraded == 0
+        assert pt.throughput_qps > 0
+        assert 0 < pt.p50_latency_s <= pt.p99_latency_s
+        assert pt.counters["serve.queries"] == total
+        assert pt.counters["serve.shard.bytes_scanned"] > 0
+    # identical workload replays at every P: same query totals
+    assert points[1].served == points[2].served
+
+
+def test_fault_run_degrades_but_completes(measured):
+    _, fault_point, fault_meta = measured
+    assert fault_meta["completed"]
+    assert fault_meta["nshards"] == 2
+    assert fault_meta["failed_ranks"] == [fault_meta["crashed_rank"]]
+    assert fault_point.degraded > 0
+    assert fault_point.degraded_rate > 0
+
+
+def test_measure_is_deterministic(measured):
+    points, fault_point, _ = measured
+    again, fault_again, _ = measure(progress=None, **SMALL)
+    for p in points:
+        assert points[p] == again[p]
+    assert fault_point == fault_again
+
+
+def _point(p, **over):
+    base = dict(
+        nshards=p,
+        served=12,
+        rejected=0,
+        degraded=0,
+        degraded_rate=0.0,
+        cache_hit_rate=0.25,
+        throughput_qps=50.0,
+        p50_latency_s=0.001,
+        p99_latency_s=0.002,
+        makespan_s=0.24,
+        counters={},
+    )
+    base.update(over)
+    return ServePoint(**base)
+
+
+def _baseline(points, fault_point):
+    from dataclasses import asdict
+
+    return {
+        "schema": SCHEMA,
+        "commit": "feedc0de",
+        "results": {str(p): asdict(pt) for p, pt in points.items()},
+        "fault": {"point": asdict(fault_point)},
+    }
+
+
+def test_compare_exact_match_passes():
+    points = {2: _point(2)}
+    fault = _point(2, degraded=5, degraded_rate=5 / 12)
+    assert compare(points, fault, _baseline(points, fault)) == []
+
+
+def test_compare_flags_any_drift():
+    points = {2: _point(2)}
+    fault = _point(2)
+    base = _baseline(points, fault)
+    drifted = {2: _point(2, throughput_qps=49.0)}
+    regs = compare(drifted, fault, base)
+    assert [r.field for r in regs] == ["throughput_qps"]
+    assert regs[0].nshards == 2
+
+    fault_drift = _point(2, degraded=1, degraded_rate=1 / 12)
+    regs = compare(points, fault_drift, base)
+    assert {r.field for r in regs} == {"fault.degraded"}
+
+
+def test_compare_ignores_unknown_shard_counts():
+    points = {4: _point(4)}
+    fault = _point(4)
+    base = _baseline({2: _point(2)}, fault)
+    assert compare(points, fault, base) == []
+
+
+def test_build_report_schema(measured):
+    points, fault_point, fault_meta = measured
+    report, regs = build_report(
+        points, fault_point, fault_meta, {"shards": [1, 2]}
+    )
+    assert regs == []
+    assert report["schema"] == SCHEMA
+    assert set(report["results"]) == {"1", "2"}
+    assert report["fault"]["completed"]
+    assert "baseline" not in report
+    json.dumps(report)  # must be serializable
+
+
+def test_run_bench_baseline_cycle(tmp_path, capsys):
+    out = tmp_path / "BENCH_serving.json"
+    rc = run_bench(
+        out_path=out, update_baseline=True, progress=None, **SMALL
+    )
+    assert rc == 0
+    assert out.exists()
+
+    # identical rerun against its own baseline: no drift
+    rc = run_bench(out_path=out, progress=None, **SMALL)
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["baseline"]["regressions"] == []
+
+
+def test_run_bench_detects_drift(tmp_path):
+    out = tmp_path / "BENCH_serving.json"
+    assert run_bench(
+        out_path=out, update_baseline=True, progress=None, **SMALL
+    ) == 0
+    doc = json.loads(out.read_text())
+    doc["results"]["2"]["throughput_qps"] += 1.0
+    out.write_text(json.dumps(doc))
+    messages = []
+    rc = run_bench(out_path=out, progress=messages.append, **SMALL)
+    assert rc == 1
+    assert any("DRIFT" in m for m in messages)
+
+
+def test_run_bench_ignores_foreign_schema(tmp_path):
+    out = tmp_path / "BENCH_serving.json"
+    out.write_text(json.dumps({"schema": "something-else/9"}))
+    messages = []
+    rc = run_bench(out_path=out, progress=messages.append, **SMALL)
+    assert rc == 0
+    assert any("unknown schema" in m for m in messages)

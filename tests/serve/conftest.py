@@ -1,0 +1,43 @@
+"""Shared fixtures for the serving-layer tests.
+
+One small engine run (serial reference engine, deterministic) is
+shared module-wide; stores at several shard counts are built from it
+on demand.
+"""
+
+import pytest
+
+from repro.datasets.pubmed import generate_pubmed
+from repro.engine.config import EngineConfig
+from repro.engine.serial import SerialTextEngine
+from repro.index.termindex import build_term_postings
+from repro.serve.store import build_shards
+
+ENGINE_CONFIG = EngineConfig(n_major_terms=200, n_clusters=5, chunk_docs=8)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_pubmed(60_000, seed=4, n_themes=4)
+
+
+@pytest.fixture(scope="session")
+def result(corpus):
+    return SerialTextEngine(ENGINE_CONFIG).run(corpus)
+
+
+@pytest.fixture(scope="session")
+def postings(corpus, result):
+    return build_term_postings(corpus, result, ENGINE_CONFIG.tokenizer)
+
+
+@pytest.fixture(scope="session")
+def stores(result, postings, tmp_path_factory):
+    """Store directories keyed by shard count."""
+    base = tmp_path_factory.mktemp("stores")
+    built = {}
+    for p in (1, 2, 4, 8):
+        out = base / f"store-{p}"
+        build_shards(result, out, p, postings=postings)
+        built[p] = out
+    return built

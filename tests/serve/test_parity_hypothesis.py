@@ -1,0 +1,136 @@
+"""Property tests: session <-> serve score parity, exact float equality.
+
+For random tiny corpora, random shard counts, and random queries of
+every kind, the sharded serving path must return *exactly* the floats
+the in-memory :class:`AnalysisSession` computes -- no tolerance.
+"""
+
+import functools
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.session import AnalysisSession
+from repro.datasets.pubmed import generate_pubmed
+from repro.engine.config import EngineConfig
+from repro.engine.serial import SerialTextEngine
+from repro.index.termindex import build_term_postings
+from repro.serve.broker import query_store
+from repro.serve.query import Query
+from repro.serve.store import build_shards
+
+ENGINE = EngineConfig(n_major_terms=120, n_clusters=4, chunk_docs=8)
+CORPUS_SEEDS = (11, 29)
+SHARD_COUNTS = (1, 2, 3, 5)
+
+_base = Path(tempfile.mkdtemp(prefix="repro-serve-hyp-"))
+
+
+@functools.lru_cache(maxsize=None)
+def _fixture(corpus_seed):
+    corpus = generate_pubmed(40_000, seed=corpus_seed, n_themes=3)
+    result = SerialTextEngine(ENGINE).run(corpus)
+    postings = build_term_postings(corpus, result, ENGINE.tokenizer)
+    session = AnalysisSession(result, postings=postings)
+    return result, postings, session
+
+
+@functools.lru_cache(maxsize=None)
+def _store(corpus_seed, nshards):
+    result, postings, _ = _fixture(corpus_seed)
+    out = _base / f"s{corpus_seed}-p{nshards}"
+    build_shards(result, out, nshards, postings=postings)
+    return out
+
+
+def _hits(resp):
+    return [(h["doc"], h["score"], h["cluster"]) for h in resp["hits"]]
+
+
+def _ref_hits(hits):
+    return [(h.doc_id, h.score, h.cluster) for h in hits]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    corpus_seed=st.sampled_from(CORPUS_SEEDS),
+    nshards=st.sampled_from(SHARD_COUNTS),
+    data=st.data(),
+)
+def test_search_and_query_parity(corpus_seed, nshards, data):
+    _, _, session = _fixture(corpus_seed)
+    store = _store(corpus_seed, nshards)
+    terms = [t.term for t in session.result.major_terms]
+    picked = tuple(
+        data.draw(
+            st.lists(
+                st.sampled_from(terms), min_size=1, max_size=4
+            ),
+            label="terms",
+        )
+    )
+    k = data.draw(st.integers(min_value=1, max_value=20), label="k")
+    resp = query_store(store, Query(kind="search", terms=picked, k=k))
+    assert _hits(resp) == _ref_hits(session.term_search(list(picked), k=k))
+    resp = query_store(store, Query(kind="query", terms=picked, k=k))
+    assert _hits(resp) == _ref_hits(session.query(list(picked), k=k))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    corpus_seed=st.sampled_from(CORPUS_SEEDS),
+    nshards=st.sampled_from(SHARD_COUNTS),
+    data=st.data(),
+)
+def test_similar_parity(corpus_seed, nshards, data):
+    _, _, session = _fixture(corpus_seed)
+    store = _store(corpus_seed, nshards)
+    doc_ids = [int(d) for d in session.result.doc_ids]
+    doc = data.draw(st.sampled_from(doc_ids), label="doc_id")
+    k = data.draw(st.integers(min_value=1, max_value=15), label="k")
+    resp = query_store(store, Query(kind="similar", doc_id=doc, k=k))
+    assert _hits(resp) == _ref_hits(session.similar_documents(doc, k=k))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    corpus_seed=st.sampled_from(CORPUS_SEEDS),
+    nshards=st.sampled_from(SHARD_COUNTS),
+    data=st.data(),
+)
+def test_cluster_and_region_parity(corpus_seed, nshards, data):
+    _, _, session = _fixture(corpus_seed)
+    store = _store(corpus_seed, nshards)
+    n_clusters = session.result.centroids.shape[0]
+    c = data.draw(
+        st.integers(min_value=0, max_value=n_clusters - 1),
+        label="cluster",
+    )
+    resp = query_store(store, Query(kind="cluster", cluster=c))
+    ref = session.cluster_summary(c)
+    assert resp["size"] == ref.size
+    assert resp["top_terms"] == ref.top_terms
+    assert resp["representative_docs"] == ref.representative_docs
+    assert resp["centroid_norm"] == ref.centroid_norm
+
+    coords = session.result.coords
+    span = float(np.abs(coords[:, :2]).max()) or 1.0
+    x = data.draw(
+        st.floats(min_value=-span, max_value=span, allow_nan=False),
+        label="x",
+    )
+    y = data.draw(
+        st.floats(min_value=-span, max_value=span, allow_nan=False),
+        label="y",
+    )
+    radius = data.draw(
+        st.floats(min_value=1e-6, max_value=2 * span, allow_nan=False),
+        label="radius",
+    )
+    resp = query_store(
+        store, Query(kind="region", x=x, y=y, radius=radius)
+    )
+    assert resp["terms"] == session.region_terms(x, y, radius)

@@ -1,0 +1,159 @@
+"""Acceptance: serve answers are bit-identical to the live session.
+
+The broker must return byte-identical serialized responses (a) to the
+single-result :class:`AnalysisSession` reference path, (b) across
+every tested shard layout, and (c) under both scheduler mechanisms
+(fastpath vs ``REPRO_SCHED_SLOWPATH=1``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.session import AnalysisSession
+from repro.serve.broker import serve
+from repro.serve.query import Query, canonical_response
+from repro.serve.workload import ClientScript
+
+LAYOUTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def session(result, postings):
+    return AnalysisSession(result, postings=postings)
+
+
+@pytest.fixture(scope="module")
+def queries(result):
+    terms = tuple(result.major_terms[i].term for i in (0, 3, 9))
+    docs = [int(result.doc_ids[i]) for i in (0, len(result.doc_ids) // 2)]
+    x, y = (float(v) for v in result.coords[1, :2])
+    radius = 0.6 * float(np.abs(result.coords[:, :2]).max())
+    qs = [
+        Query(kind="search", terms=terms, k=10),
+        Query(kind="search", terms=(terms[0],), k=5),
+        Query(kind="query", terms=terms, k=10),
+        Query(kind="query", terms=("zzz-not-a-term",), k=10),
+        Query(kind="cluster", cluster=0),
+        Query(kind="cluster", cluster=2, n_terms=4, n_docs=3),
+        Query(kind="region", x=x, y=y, radius=radius),
+        Query(kind="region", x=1e9, y=1e9, radius=1e-3),
+    ]
+    qs += [Query(kind="similar", doc_id=d, k=8) for d in docs]
+    return qs
+
+
+def _serve_all(store, queries):
+    script = ClientScript(
+        client=0,
+        queries=tuple(queries),
+        think_s=tuple(0.0 for _ in queries),
+    )
+    report = serve(store, [script])
+    assert report.served == len(queries)
+    in_order = sorted(report.responses, key=lambda r: r["seq"])
+    return [r["response"] for r in in_order]
+
+
+@pytest.fixture(scope="module")
+def responses_by_layout(stores, queries):
+    return {
+        p: _serve_all(stores[p], queries) for p in LAYOUTS
+    }
+
+
+def _hits(resp):
+    return [(h["doc"], h["score"], h["cluster"]) for h in resp["hits"]]
+
+
+class TestSessionParity:
+    """Serve-from-disk == live in-memory session, exactly."""
+
+    def test_search_parity(self, session, queries, responses_by_layout):
+        for p in LAYOUTS:
+            for q, resp in zip(queries, responses_by_layout[p]):
+                if q.kind != "search":
+                    continue
+                ref = session.term_search(list(q.terms), k=q.k)
+                assert _hits(resp) == [
+                    (h.doc_id, h.score, h.cluster) for h in ref
+                ]
+
+    def test_query_parity(self, session, queries, responses_by_layout):
+        for p in LAYOUTS:
+            for q, resp in zip(queries, responses_by_layout[p]):
+                if q.kind != "query":
+                    continue
+                ref = session.query(list(q.terms), k=q.k)
+                assert _hits(resp) == [
+                    (h.doc_id, h.score, h.cluster) for h in ref
+                ]
+
+    def test_similar_parity(self, session, queries, responses_by_layout):
+        for p in LAYOUTS:
+            for q, resp in zip(queries, responses_by_layout[p]):
+                if q.kind != "similar":
+                    continue
+                ref = session.similar_documents(q.doc_id, k=q.k)
+                assert _hits(resp) == [
+                    (h.doc_id, h.score, h.cluster) for h in ref
+                ]
+
+    def test_cluster_parity(self, session, queries, responses_by_layout):
+        for p in LAYOUTS:
+            for q, resp in zip(queries, responses_by_layout[p]):
+                if q.kind != "cluster":
+                    continue
+                ref = session.cluster_summary(
+                    q.cluster, n_terms=q.n_terms, n_docs=q.n_docs
+                )
+                assert resp["size"] == ref.size
+                assert resp["top_terms"] == ref.top_terms
+                assert (
+                    resp["representative_docs"]
+                    == ref.representative_docs
+                )
+                assert resp["centroid_norm"] == ref.centroid_norm
+
+    def test_region_parity(self, session, queries, responses_by_layout):
+        for p in LAYOUTS:
+            for q, resp in zip(queries, responses_by_layout[p]):
+                if q.kind != "region":
+                    continue
+                ref = session.region_terms(
+                    q.x, q.y, q.radius, n_terms=q.n_terms
+                )
+                assert resp["terms"] == ref
+
+
+class TestLayoutDeterminism:
+    """Byte-identical responses at P in {1, 2, 4, 8}."""
+
+    def test_byte_identical_across_layouts(self, responses_by_layout):
+        blobs = {
+            p: [canonical_response(r) for r in responses_by_layout[p]]
+            for p in LAYOUTS
+        }
+        for p in LAYOUTS[1:]:
+            assert blobs[p] == blobs[1], f"layout P={p} diverged"
+
+    def test_no_partial_without_faults(self, responses_by_layout):
+        for resps in responses_by_layout.values():
+            assert all(not r["partial"] for r in resps)
+
+
+class TestSchedulerDeterminism:
+    """Byte-identical responses under fastpath and slowpath."""
+
+    @pytest.mark.parametrize("nshards", (2, 4))
+    def test_fast_vs_slowpath(
+        self, monkeypatch, stores, queries, nshards
+    ):
+        from repro.runtime.scheduler import SLOWPATH_ENV
+
+        monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+        fast = _serve_all(stores[nshards], queries)
+        monkeypatch.setenv(SLOWPATH_ENV, "1")
+        slow = _serve_all(stores[nshards], queries)
+        assert [canonical_response(r) for r in fast] == [
+            canonical_response(r) for r in slow
+        ]

@@ -1,0 +1,258 @@
+"""Shard store format: round-trips, delta coding, typed errors."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.query import ShardStore
+from repro.serve.store import (
+    FORMAT_VERSION,
+    MAGIC,
+    Container,
+    ShardFormatError,
+    build_shards,
+    decode_postings,
+    delta_encode_postings,
+    load_manifest,
+    load_model,
+    write_container,
+)
+
+
+def _write(tmp_path, arrays=None, meta=None):
+    path = tmp_path / "test.repro"
+    write_container(
+        path,
+        arrays if arrays is not None else {"a": np.arange(5)},
+        meta if meta is not None else {"kind": "test"},
+    )
+    return path
+
+
+class TestContainer:
+    def test_round_trip(self, tmp_path):
+        arrays = {
+            "ints": np.arange(7, dtype=np.int64),
+            "floats": np.linspace(0, 1, 12).reshape(3, 4),
+            "empty": np.empty((0, 3), dtype=np.float64),
+        }
+        path = _write(tmp_path, arrays, {"kind": "test", "n": 7})
+        cont = Container(path)
+        assert cont.meta == {"kind": "test", "n": 7}
+        assert cont.section_names == ["ints", "floats", "empty"]
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(cont.load(name), arr)
+            assert cont.load(name).dtype == arr.dtype
+
+    def test_sections_are_64_aligned(self, tmp_path):
+        path = _write(
+            tmp_path,
+            {"a": np.arange(3, dtype=np.int8), "b": np.arange(5)},
+        )
+        cont = Container(path)
+        for name in cont.section_names:
+            assert cont._layout[name][0] % 64 == 0
+
+    def test_load_is_lazy_memmap(self, tmp_path):
+        path = _write(tmp_path)
+        cont = Container(path)
+        assert isinstance(cont.load("a"), np.memmap)
+        assert cont.load("a") is cont.load("a")
+
+    def test_unknown_section_raises_keyerror(self, tmp_path):
+        cont = Container(_write(tmp_path))
+        with pytest.raises(KeyError):
+            cont.load("nope")
+
+    def test_nbytes_accounting(self, tmp_path):
+        cont = Container(_write(tmp_path, {"a": np.arange(5)}))
+        assert cont.nbytes("a") == 40
+
+
+class TestShardFormatError:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.repro"
+        path.write_bytes(b"NOTASHRD" + b"\x00" * 64)
+        with pytest.raises(ShardFormatError) as err:
+            Container(path)
+        assert err.value.path == str(path)
+        assert "magic" in str(err.value)
+
+    def test_version_mismatch(self, tmp_path):
+        path = _write(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[8:12] = (FORMAT_VERSION + 1).to_bytes(4, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(ShardFormatError) as err:
+            Container(path)
+        assert f"version {FORMAT_VERSION + 1}" in str(err.value)
+        assert err.value.path == str(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "trunc.repro"
+        path.write_bytes(MAGIC + b"\x00" * 4)
+        with pytest.raises(ShardFormatError):
+            Container(path)
+
+    def test_corrupt_header_json(self, tmp_path):
+        path = _write(tmp_path)
+        data = bytearray(path.read_bytes())
+        hdr_len = int.from_bytes(data[16:24], "little")
+        data[24 : 24 + hdr_len] = b"{" * hdr_len
+        path.write_bytes(bytes(data))
+        with pytest.raises(ShardFormatError) as err:
+            Container(path)
+        assert "corrupt header" in str(err.value)
+
+    def test_header_overruns_file(self, tmp_path):
+        path = _write(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[16:24] = (10**9).to_bytes(8, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(ShardFormatError) as err:
+            Container(path)
+        assert "header length" in str(err.value)
+
+    def test_section_overruns_file(self, tmp_path):
+        path = _write(tmp_path, {"a": np.arange(100)})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 128])
+        with pytest.raises(ShardFormatError) as err:
+            Container(path)
+        assert "overruns" in str(err.value)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ShardFormatError):
+            Container(tmp_path / "absent.repro")
+
+
+class TestManifest:
+    def test_load_round_trip(self, stores):
+        manifest = load_manifest(stores[4])
+        assert manifest.nshards == 4
+        assert len(manifest.shards) == 4
+        assert manifest.shards[0].row_lo == 0
+        assert manifest.shards[-1].row_hi == manifest.n_docs
+        for a, b in zip(manifest.shards, manifest.shards[1:]):
+            assert a.row_hi == b.row_lo
+
+    def test_shard_of_row(self, stores):
+        manifest = load_manifest(stores[4])
+        for row in (0, manifest.n_docs - 1):
+            i = manifest.shard_of_row(row)
+            assert (
+                manifest.shards[i].row_lo
+                <= row
+                < manifest.shards[i].row_hi
+            )
+        with pytest.raises(KeyError):
+            manifest.shard_of_row(manifest.n_docs)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ShardFormatError):
+            load_manifest(tmp_path)
+
+    def test_corrupt_manifest_json(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{nope")
+        with pytest.raises(ShardFormatError) as err:
+            load_manifest(tmp_path)
+        assert "corrupt manifest" in str(err.value)
+
+    def test_unsupported_store_format(self, stores, tmp_path):
+        data = json.loads(
+            (stores[1] / "manifest.json").read_text()
+        )
+        data["format"] = "repro-serve/999"
+        (tmp_path / "manifest.json").write_text(json.dumps(data))
+        with pytest.raises(ShardFormatError) as err:
+            load_manifest(tmp_path)
+        assert "repro-serve/999" in str(err.value)
+
+
+class TestDeltaCoding:
+    def test_encode_decode_round_trip(self, postings):
+        delta = delta_encode_postings(postings)
+        decoded = decode_postings(
+            postings.n_docs, postings.offsets, delta, postings.tf
+        )
+        np.testing.assert_array_equal(decoded.rows, postings.rows)
+        np.testing.assert_array_equal(decoded.tf, postings.tf)
+        np.testing.assert_array_equal(
+            decoded.offsets, postings.offsets
+        )
+
+    def test_deltas_are_small(self, postings):
+        # the point of the coding: gaps are smaller than absolute rows
+        delta = delta_encode_postings(postings)
+        if len(postings):
+            assert delta.max() <= postings.rows.max()
+            assert (delta >= 0).all()
+
+
+class TestBuildShards:
+    def test_shards_partition_rows(self, result, stores):
+        manifest = load_manifest(stores[4])
+        doc_ids = []
+        for info in manifest.shards:
+            cont = Container(stores[4] / info.file)
+            ids = np.asarray(cont.load("doc_ids"))
+            assert len(ids) == info.n_docs
+            doc_ids.append(ids)
+        np.testing.assert_array_equal(
+            np.concatenate(doc_ids), result.doc_ids
+        )
+
+    def test_model_round_trip(self, result, stores):
+        model = load_model(stores[2])
+        np.testing.assert_array_equal(
+            model.association, result.association
+        )
+        np.testing.assert_array_equal(
+            model.centroids, result.centroids
+        )
+        assert model.terms == [t.term for t in result.major_terms]
+        assert model.major_terms() == result.major_terms
+        proj = model.projection()
+        assert proj is not None
+        np.testing.assert_array_equal(
+            proj.components, result.projection.components
+        )
+
+    def test_shard_postings_round_trip(self, postings, stores):
+        manifest = load_manifest(stores[4])
+        model = load_model(stores[4])
+        for i, info in enumerate(manifest.shards):
+            shard = ShardStore(
+                Container(stores[4] / info.file), model
+            )
+            expect = postings.restrict(info.row_lo, info.row_hi)
+            np.testing.assert_array_equal(
+                shard.postings.rows, expect.rows
+            )
+            np.testing.assert_array_equal(
+                shard.postings.tf, expect.tf
+            )
+
+    def test_requires_signatures(self, result, tmp_path):
+        from dataclasses import replace
+
+        stripped = replace(result, signatures=None)
+        with pytest.raises(ValueError, match="signatures"):
+            build_shards(stripped, tmp_path / "s", 2)
+
+    def test_rejects_bad_shard_count(self, result, tmp_path):
+        with pytest.raises(ValueError, match="nshards"):
+            build_shards(result, tmp_path / "s", 0)
+
+    def test_store_without_postings(self, result, tmp_path):
+        out = tmp_path / "nopost"
+        build_shards(result, out, 2)
+        model = load_model(out)
+        assert not model.has_postings
+        manifest = load_manifest(out)
+        shard = ShardStore(
+            Container(out / manifest.shards[0].file), model
+        )
+        with pytest.raises(KeyError, match="postings"):
+            _ = shard.postings

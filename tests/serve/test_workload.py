@@ -1,0 +1,113 @@
+"""Workload generator: seeded determinism, mix, profile validity."""
+
+import dataclasses
+
+import pytest
+
+from repro.serve.query import QUERY_KINDS
+from repro.serve.workload import (
+    DEFAULT_MIX,
+    generate_workload,
+    store_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def profile(stores):
+    return store_profile(stores[4])
+
+
+class TestStoreProfile:
+    def test_profile_contents(self, profile, result):
+        assert profile.n_clusters == result.centroids.shape[0]
+        assert profile.terms
+        assert set(profile.terms) <= {
+            t.term for t in result.major_terms
+        }
+        assert profile.doc_ids
+        known = set(int(d) for d in result.doc_ids)
+        assert set(profile.doc_ids) <= known
+        xmin, ymin, xmax, ymax = profile.bbox
+        assert xmin <= xmax and ymin <= ymax
+
+
+class TestGenerateWorkload:
+    def test_seeded_determinism(self, profile):
+        a = generate_workload(profile, n_clients=4, seed=3)
+        b = generate_workload(profile, n_clients=4, seed=3)
+        assert a == b
+
+    def test_seed_changes_workload(self, profile):
+        a = generate_workload(profile, seed=3)
+        b = generate_workload(profile, seed=4)
+        assert a != b
+
+    def test_shape(self, profile):
+        scripts = generate_workload(
+            profile, n_clients=5, queries_per_client=12, seed=0
+        )
+        assert len(scripts) == 5
+        assert [s.client for s in scripts] == list(range(5))
+        for s in scripts:
+            assert len(s.queries) == 12
+            assert len(s.think_s) == 12
+            assert all(t >= 0 for t in s.think_s)
+            assert isinstance(s, tuple) or dataclasses.is_dataclass(s)
+
+    def test_queries_are_valid_for_profile(self, profile):
+        scripts = generate_workload(
+            profile, n_clients=4, queries_per_client=40, seed=1
+        )
+        for s in scripts:
+            for q in s.queries:
+                assert q.kind in QUERY_KINDS
+                if q.kind in ("search", "query"):
+                    assert q.terms
+                    assert set(q.terms) <= set(profile.terms)
+                elif q.kind == "similar":
+                    assert q.doc_id in profile.doc_ids
+                elif q.kind == "cluster":
+                    assert 0 <= q.cluster < profile.n_clusters
+                else:
+                    assert q.radius > 0
+
+    def test_mix_respected(self, profile):
+        scripts = generate_workload(
+            profile,
+            n_clients=2,
+            queries_per_client=50,
+            seed=5,
+            mix={"cluster": 1.0},
+        )
+        kinds = {
+            q.kind for s in scripts for q in s.queries
+        }
+        assert kinds == {"cluster"}
+
+    def test_default_mix_covers_all_kinds(self, profile):
+        assert set(DEFAULT_MIX) == set(QUERY_KINDS)
+        scripts = generate_workload(
+            profile, n_clients=4, queries_per_client=50, seed=2
+        )
+        kinds = {q.kind for s in scripts for q in s.queries}
+        assert kinds == set(QUERY_KINDS)
+
+    def test_hot_queries_repeat(self, profile):
+        scripts = generate_workload(
+            profile,
+            n_clients=4,
+            queries_per_client=30,
+            seed=9,
+            hot_fraction=0.5,
+            hot_pool=4,
+        )
+        keys = [q.key() for s in scripts for q in s.queries]
+        assert len(set(keys)) < len(keys)
+
+    def test_zero_mass_mix_rejected(self, profile):
+        with pytest.raises(ValueError, match="mix"):
+            generate_workload(profile, mix={"cluster": 0.0})
+
+    def test_unknown_kind_in_mix_rejected(self, profile):
+        with pytest.raises(ValueError, match="unknown"):
+            generate_workload(profile, mix={"bogus": 1.0})

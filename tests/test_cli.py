@@ -257,6 +257,141 @@ def test_metrics_report_prometheus_format(results_dir, capsys):
     assert 'rank="0"' in out
 
 
+def test_metrics_report_rejects_non_result_file(tmp_path, capsys):
+    bogus = tmp_path / "notaresult.npz"
+    bogus.write_bytes(b"this is not a result archive")
+    rc = main(["metrics-report", "--results", str(bogus)])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "not a saved engine result" in err
+    assert str(bogus) in err
+
+
+@pytest.fixture(scope="module")
+def store_dir(corpus_file, results_dir, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-store") / "store"
+    rc = main(
+        [
+            "serve-build",
+            "--results",
+            str(results_dir / "result.npz"),
+            "--corpus",
+            str(corpus_file),
+            "--shards",
+            "3",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+def test_serve_build_writes_store(store_dir, capsys):
+    assert (store_dir / "manifest.json").exists()
+    assert (store_dir / "model.repro").exists()
+    from repro.serve import load_manifest
+
+    manifest = load_manifest(store_dir)
+    assert manifest.nshards == 3
+    for info in manifest.shards:
+        assert (store_dir / info.file).exists()
+
+
+def test_serve_query_cluster(store_dir, capsys):
+    import json
+
+    rc = main(
+        ["serve-query", "--store", str(store_dir), "--cluster", "0"]
+    )
+    assert rc == 0
+    resp = json.loads(capsys.readouterr().out)
+    assert resp["kind"] == "cluster"
+    assert resp["size"] > 0
+    assert resp["top_terms"]
+    assert not resp["partial"]
+
+
+def test_serve_query_search(store_dir, results_dir, capsys):
+    import json
+
+    from repro.engine import load_result
+
+    result = load_result(results_dir / "result.npz")
+    term = result.major_terms[0].term
+    rc = main(
+        [
+            "serve-query",
+            "--store",
+            str(store_dir),
+            "--search",
+            term,
+            "--top",
+            "5",
+        ]
+    )
+    assert rc == 0
+    resp = json.loads(capsys.readouterr().out)
+    assert resp["kind"] == "search"
+    assert len(resp["hits"]) <= 5
+    assert resp["hits"], "search over a model term found nothing"
+
+
+def test_serve_query_requires_exactly_one_query(store_dir, capsys):
+    rc = main(["serve-query", "--store", str(store_dir)])
+    assert rc == 1
+    assert "pass one of" in capsys.readouterr().err
+
+
+def test_serve_query_bad_region_spec(store_dir, capsys):
+    rc = main(
+        ["serve-query", "--store", str(store_dir), "--region", "1,2"]
+    )
+    assert rc == 1
+    assert "X,Y,RADIUS" in capsys.readouterr().err
+
+
+def test_serve_query_missing_store(tmp_path, capsys):
+    rc = main(
+        [
+            "serve-query",
+            "--store",
+            str(tmp_path / "absent"),
+            "--cluster",
+            "0",
+        ]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_bench_smoke(tmp_path, capsys):
+    out = tmp_path / "BENCH_serving.json"
+    rc = main(
+        [
+            "serve-bench",
+            "--shards",
+            "1,2",
+            "--corpus-bytes",
+            "40000",
+            "--clients",
+            "2",
+            "--queries-per-client",
+            "5",
+            "--out",
+            str(out),
+            "--update-baseline",
+        ]
+    )
+    assert rc == 0
+    import json
+
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro-bench-serving/1"
+    assert set(report["results"]) == {"1", "2"}
+    assert report["fault"]["completed"]
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
