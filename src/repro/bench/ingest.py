@@ -1,0 +1,452 @@
+"""Ingest benchmark: freshness and query latency under churn.
+
+``python -m repro.cli bench-ingest`` builds a small seeded corpus and
+engine result, shards it at several shard counts, and replays the same
+seeded document feed through a live broker session
+(:func:`repro.ingest.serve_live`) at each count while a seeded
+workload queries the store.  It writes ``BENCH_ingest.json``:
+
+* ``results[P]`` -- served/degraded counts and churn-time p50/p99
+  virtual latency, ingest volume (docs, generations, compactions,
+  broker hot-reloads), publish freshness lag (virtual seconds from a
+  batch's arrival to its generation's ``CURRENT`` flip), and ingest
+  throughput in docs per virtual second;
+* ``fault`` -- the same live session at the largest shard count with a
+  crash plan killing one shard rank mid-run: every query must still
+  answer (degrading to partial responses) while ingest keeps
+  publishing;
+* ``baseline`` comparison -- all statistics are virtual and
+  deterministic per machine, so the harness demands exact equality and
+  fails on any drift unless ``--update-baseline`` (machine-local in
+  CI, like ``serve-bench``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.pubmed import generate_pubmed
+from repro.engine.config import EngineConfig
+from repro.engine.serial import SerialTextEngine
+from repro.index.termindex import build_term_postings
+from repro.ingest.compact import CompactionPolicy
+from repro.ingest.feed import FeedConfig, FeedSource
+from repro.ingest.live import IngestConfig, IngestPlan, serve_live
+from repro.runtime.faults import CrashFault, FaultPlan
+from repro.runtime.metrics import counter_totals
+from repro.serve.broker import BrokerConfig, ServeReport
+from repro.serve.store import build_shards
+from repro.serve.workload import generate_workload, store_profile
+
+SCHEMA = "repro-bench-ingest/1"
+DEFAULT_SHARDS = (1, 2, 4)
+DEFAULT_OUT = "BENCH_ingest.json"
+DEFAULT_CORPUS_BYTES = 120_000
+DEFAULT_CLIENTS = 3
+DEFAULT_QUERIES = 20
+DEFAULT_BATCHES = 4
+DEFAULT_BATCH_DOCS = 10
+
+#: engine sized for a benchmark corpus, not a paper figure
+_BENCH_ENGINE = EngineConfig(
+    n_major_terms=300, n_clusters=8, chunk_docs=8
+)
+
+
+@dataclass
+class IngestPoint:
+    """Measurements for one shard count's live session."""
+
+    nshards: int
+    served: int
+    rejected: int
+    degraded: int
+    degraded_rate: float
+    cache_hit_rate: float
+    throughput_qps: float
+    p50_latency_s: float
+    p99_latency_s: float
+    makespan_s: float
+    docs_ingested: int
+    generations_published: int
+    compactions: int
+    broker_reloads: int
+    rebuild_flags: int
+    publish_lag_mean_s: float
+    publish_lag_max_s: float
+    ingest_docs_per_s: float
+    generations_queried: list[int]
+    counters: dict[str, float]
+
+    @classmethod
+    def from_report(
+        cls, nshards: int, report: ServeReport
+    ) -> "IngestPoint":
+        totals = counter_totals(report.metrics)
+        kept = {
+            k: v
+            for k, v in totals.items()
+            if k.startswith(("serve.", "ingest."))
+        }
+        outcome = report.ingest or {}
+        publishes = [
+            e
+            for e in outcome.get("events", ())
+            if e["event"] == "publish"
+        ]
+        lags = [e["published_s"] - e["arrival_s"] for e in publishes]
+        finished = float(outcome.get("finished_s", 0.0))
+        docs = int(outcome.get("docs_ingested", 0))
+        return cls(
+            nshards=nshards,
+            served=report.served,
+            rejected=len(report.rejected),
+            degraded=report.degraded,
+            degraded_rate=round(report.degraded_rate, 6),
+            cache_hit_rate=round(report.cache_hit_rate, 6),
+            throughput_qps=round(report.throughput, 6),
+            p50_latency_s=round(report.latency_percentile(50), 9),
+            p99_latency_s=round(report.latency_percentile(99), 9),
+            makespan_s=round(report.makespan, 9),
+            docs_ingested=docs,
+            generations_published=int(
+                totals.get("ingest.generations", 0.0)
+            ),
+            compactions=int(totals.get("ingest.compactions", 0.0)),
+            broker_reloads=int(
+                totals.get("ingest.broker.reloads", 0.0)
+            ),
+            rebuild_flags=int(totals.get("ingest.rebuild_flags", 0.0)),
+            publish_lag_mean_s=round(
+                sum(lags) / len(lags), 9
+            )
+            if lags
+            else 0.0,
+            publish_lag_max_s=round(max(lags), 9) if lags else 0.0,
+            ingest_docs_per_s=round(docs / finished, 6)
+            if finished > 0
+            else 0.0,
+            generations_queried=sorted(
+                int(g) for g in report.generations
+            ),
+            counters=kept,
+        )
+
+
+@dataclass
+class Regression:
+    """One baseline-comparison failure."""
+
+    nshards: int
+    field: str
+    baseline: float
+    measured: float
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except OSError:  # pragma: no cover - git missing
+        return "unknown"
+
+
+def measure(
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
+    corpus_bytes: int = DEFAULT_CORPUS_BYTES,
+    corpus_seed: int = 4,
+    feed_seed: int = 4,
+    workload_seed: int = 7,
+    n_clients: int = DEFAULT_CLIENTS,
+    queries_per_client: int = DEFAULT_QUERIES,
+    n_batches: int = DEFAULT_BATCHES,
+    batch_docs: int = DEFAULT_BATCH_DOCS,
+    compact_max_deltas: int = 2,
+    progress=None,
+) -> tuple[dict[int, IngestPoint], IngestPoint, dict]:
+    """Run the live-ingest matrix plus the crash-fault run.
+
+    Each shard count gets a *fresh* store (ingest mutates the store
+    directory) but replays the identical feed batches and workload
+    scripts, so the statistics are comparable across P.
+    """
+    corpus = generate_pubmed(corpus_bytes, seed=corpus_seed, n_themes=6)
+    result = SerialTextEngine(_BENCH_ENGINE).run(corpus)
+    postings = build_term_postings(
+        corpus, result, _BENCH_ENGINE.tokenizer
+    )
+    # continue the corpus's own seeded stream (the synthetic
+    # vocabulary is keyed to the seed: a different one would share no
+    # terms with the frozen model and project every doc to null)
+    feed = FeedSource(
+        FeedConfig(
+            dataset="pubmed",
+            batch_docs=batch_docs,
+            n_batches=n_batches,
+            seed=feed_seed,
+            skip_docs=len(corpus.documents),
+            start_doc_id=int(result.doc_ids[-1]) + 1,
+            mean_interarrival_s=0.05,
+            themes=6,
+        )
+    )
+    batches = feed.batches()
+    ingest_config = IngestConfig(
+        compaction=CompactionPolicy(max_deltas=compact_max_deltas)
+    )
+    config = BrokerConfig()
+    points: dict[int, IngestPoint] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-bench-") as tmp:
+
+        def _fresh_store(p: int, tag: str) -> str:
+            store_dir = str(Path(tmp) / f"store-{tag}-{p}")
+            build_shards(result, store_dir, p, postings=postings)
+            return store_dir
+
+        scripts = generate_workload(
+            store_profile(_fresh_store(max(shards), "profile")),
+            n_clients=n_clients,
+            queries_per_client=queries_per_client,
+            seed=workload_seed,
+        )
+        for p in shards:
+            store_dir = _fresh_store(p, "live")
+            plan = IngestPlan(
+                result=result,
+                batches=list(batches),
+                config=ingest_config,
+            )
+            report = serve_live(store_dir, scripts, plan, config=config)
+            points[p] = IngestPoint.from_report(p, report)
+            if progress:
+                pt = points[p]
+                progress(
+                    f"P={p}: {pt.served} served during churn, "
+                    f"p99 {pt.p99_latency_s * 1e3:.2f} ms, "
+                    f"{pt.generations_published} generations "
+                    f"(+{pt.compactions} compactions), "
+                    f"publish lag {pt.publish_lag_mean_s * 1e3:.2f} ms"
+                )
+        # fault run: crash one mid shard rank while ingest churns
+        p = max(shards)
+        crash_rank = 1 + p // 2
+        total_queries = n_clients * queries_per_client
+        plan_faults = FaultPlan(
+            faults=(
+                CrashFault(rank=crash_rank, at_call=total_queries // 2),
+            )
+        )
+        store_dir = _fresh_store(p, "fault")
+        plan = IngestPlan(
+            result=result, batches=list(batches), config=ingest_config
+        )
+        report = serve_live(
+            store_dir,
+            scripts,
+            plan,
+            config=BrokerConfig(shard_timeout_s=2.0),
+            faults=plan_faults,
+        )
+        fault_point = IngestPoint.from_report(p, report)
+        fault_meta = {
+            "nshards": p,
+            "crashed_rank": crash_rank,
+            "at_call": total_queries // 2,
+            "failed_ranks": report.failed_ranks,
+            "completed": report.served + len(report.rejected)
+            == total_queries,
+        }
+        if progress:
+            progress(
+                f"P={p} +crash(rank {crash_rank}): "
+                f"{fault_point.served} served, "
+                f"{fault_point.degraded} degraded "
+                f"({fault_point.degraded_rate:.0%}), "
+                f"{fault_point.generations_published} generations"
+            )
+    return points, fault_point, fault_meta
+
+
+_COMPARED_FIELDS = (
+    "served",
+    "rejected",
+    "degraded",
+    "cache_hit_rate",
+    "throughput_qps",
+    "p50_latency_s",
+    "p99_latency_s",
+    "makespan_s",
+    "docs_ingested",
+    "generations_published",
+    "compactions",
+    "broker_reloads",
+    "publish_lag_mean_s",
+    "publish_lag_max_s",
+    "ingest_docs_per_s",
+)
+
+
+def compare(
+    points: dict[int, IngestPoint],
+    fault_point: IngestPoint,
+    baseline: dict,
+) -> list[Regression]:
+    """Exact-equality check of every statistic vs. a baseline.
+
+    Live-ingest stats are fully deterministic on one machine, so *any*
+    drift is a behavioural change that must be acknowledged with
+    ``--update-baseline``.
+    """
+    regressions: list[Regression] = []
+    base_results = baseline.get("results", {})
+    for p, point in points.items():
+        base = base_results.get(str(p))
+        if base is None:
+            continue
+        for field in _COMPARED_FIELDS:
+            b, m = float(base[field]), float(getattr(point, field))
+            if b != m:
+                regressions.append(
+                    Regression(
+                        nshards=p, field=field, baseline=b, measured=m
+                    )
+                )
+    base_fault = baseline.get("fault", {}).get("point")
+    if base_fault is not None:
+        for field in _COMPARED_FIELDS:
+            b = float(base_fault[field])
+            m = float(getattr(fault_point, field))
+            if b != m:
+                regressions.append(
+                    Regression(
+                        nshards=fault_point.nshards,
+                        field=f"fault.{field}",
+                        baseline=b,
+                        measured=m,
+                    )
+                )
+    return regressions
+
+
+def build_report(
+    points: dict[int, IngestPoint],
+    fault_point: IngestPoint,
+    fault_meta: dict,
+    config_meta: dict,
+    baseline: Optional[dict] = None,
+) -> tuple[dict, list[Regression]]:
+    """Assemble the BENCH_ingest.json document."""
+    report = {
+        "schema": SCHEMA,
+        "commit": _git_commit(),
+        "config": config_meta,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {
+            str(p): asdict(pt) for p, pt in sorted(points.items())
+        },
+        "fault": {"point": asdict(fault_point), **fault_meta},
+    }
+    regressions: list[Regression] = []
+    if baseline is not None:
+        regressions = compare(points, fault_point, baseline)
+        report["baseline"] = {
+            "commit": baseline.get("commit", "unknown"),
+            "regressions": [asdict(r) for r in regressions],
+        }
+    return report, regressions
+
+
+def run_bench(
+    out_path: str | Path = DEFAULT_OUT,
+    baseline_path: Optional[str | Path] = None,
+    shards: tuple[int, ...] = DEFAULT_SHARDS,
+    corpus_bytes: int = DEFAULT_CORPUS_BYTES,
+    corpus_seed: int = 4,
+    feed_seed: int = 4,
+    workload_seed: int = 7,
+    n_clients: int = DEFAULT_CLIENTS,
+    queries_per_client: int = DEFAULT_QUERIES,
+    n_batches: int = DEFAULT_BATCHES,
+    batch_docs: int = DEFAULT_BATCH_DOCS,
+    compact_max_deltas: int = 2,
+    update_baseline: bool = False,
+    progress=print,
+) -> int:
+    """Full CLI flow; returns a process exit code.
+
+    The file at ``out_path`` (default ``BENCH_ingest.json``) doubles
+    as the next run's baseline; ``--update-baseline`` rewrites it
+    without comparing.  A fault run that fails to answer the full
+    workload is always an error.
+    """
+    progress = progress or (lambda *_args: None)
+    out_path = Path(out_path)
+    baseline_path = Path(baseline_path or out_path)
+    baseline: Optional[dict] = None
+    if not update_baseline and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        if baseline.get("schema") != SCHEMA:
+            progress(
+                f"ignoring {baseline_path}: unknown schema "
+                f"{baseline.get('schema')!r}"
+            )
+            baseline = None
+    points, fault_point, fault_meta = measure(
+        shards=shards,
+        corpus_bytes=corpus_bytes,
+        corpus_seed=corpus_seed,
+        feed_seed=feed_seed,
+        workload_seed=workload_seed,
+        n_clients=n_clients,
+        queries_per_client=queries_per_client,
+        n_batches=n_batches,
+        batch_docs=batch_docs,
+        compact_max_deltas=compact_max_deltas,
+        progress=progress,
+    )
+    config_meta = {
+        "shards": list(shards),
+        "corpus_bytes": corpus_bytes,
+        "corpus_seed": corpus_seed,
+        "feed_seed": feed_seed,
+        "workload_seed": workload_seed,
+        "n_clients": n_clients,
+        "queries_per_client": queries_per_client,
+        "n_batches": n_batches,
+        "batch_docs": batch_docs,
+        "compact_max_deltas": compact_max_deltas,
+    }
+    report, regressions = build_report(
+        points, fault_point, fault_meta, config_meta, baseline
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    progress(f"wrote {out_path}")
+    for r in regressions:
+        progress(
+            f"DRIFT at P={r.nshards} [{r.field}]: baseline "
+            f"{r.baseline!r} vs measured {r.measured!r}"
+        )
+    if not fault_meta["completed"]:
+        progress("FAULT RUN INCOMPLETE: queries went unanswered")
+        return 1
+    return 1 if regressions else 0

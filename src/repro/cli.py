@@ -17,6 +17,13 @@ Commands
 ``serve-bench``  replay a seeded closed-loop workload (plus a crash
                fault plan) through the broker, write
                ``BENCH_serving.json``, fail on drift
+``ingest-feed``  append seeded document batches to an ingest journal
+``ingest-publish``  replay a journal against a store: project each
+               batch into a delta segment and publish generations
+``ingest-compact``  fold a store's delta segments into base shards
+``ingest-status``  verify a store and print its generation state
+``bench-ingest``  benchmark live ingest (freshness lag, churn-time
+               latency, crash degradation), write ``BENCH_ingest.json``
 
 Examples
 --------
@@ -265,6 +272,113 @@ def _build_parser() -> argparse.ArgumentParser:
         help="baseline report to compare against (default: --out)",
     )
     sv.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="skip the comparison and rewrite the baseline file",
+    )
+
+    jf = sub.add_parser(
+        "ingest-feed",
+        help="append seeded document batches to an ingest journal",
+    )
+    jf.add_argument("--journal", type=Path, required=True)
+    jf.add_argument(
+        "--dataset",
+        choices=("pubmed", "trec", "newswire"),
+        default="pubmed",
+    )
+    jf.add_argument("--batches", type=int, default=4)
+    jf.add_argument("--batch-docs", type=int, default=40)
+    jf.add_argument("--seed", type=int, default=0)
+    jf.add_argument(
+        "--themes",
+        type=int,
+        default=4,
+        help="theme count (match the base corpus so vocab overlaps)",
+    )
+    jf.add_argument(
+        "--skip-docs",
+        type=int,
+        default=0,
+        help=(
+            "skip this many documents of the seeded stream (continue "
+            "past where the static corpus stopped)"
+        ),
+    )
+    jf.add_argument(
+        "--start-doc-id",
+        type=int,
+        default=0,
+        help="first doc_id to assign (continue after the store)",
+    )
+    jf.add_argument("--mean-interarrival", type=float, default=2.0)
+
+    ip = sub.add_parser(
+        "ingest-publish",
+        help="replay a journal against a store, publishing generations",
+    )
+    ip.add_argument("--store", type=Path, required=True)
+    ip.add_argument(
+        "--results",
+        type=Path,
+        required=True,
+        help="saved result.npz holding the frozen projection model",
+    )
+    ip.add_argument("--journal", type=Path, required=True)
+    ip.add_argument("--compact-max-deltas", type=int, default=4)
+    ip.add_argument(
+        "--compact-max-bytes-fraction",
+        type=float,
+        default=0.5,
+        help="compact once deltas exceed this fraction of base bytes",
+    )
+    ip.add_argument("--refresh-null-fraction", type=float, default=0.25)
+    ip.add_argument("--refresh-min-docs", type=int, default=1)
+
+    ic = sub.add_parser(
+        "ingest-compact",
+        help="fold a store's delta segments into base shards",
+    )
+    ic.add_argument("--store", type=Path, required=True)
+
+    st = sub.add_parser(
+        "ingest-status",
+        help="verify a store and print its generation state",
+    )
+    st.add_argument("--store", type=Path, required=True)
+
+    bi = sub.add_parser(
+        "bench-ingest",
+        help="benchmark live ingest, write BENCH_ingest.json",
+    )
+    bi.add_argument(
+        "--shards",
+        type=str,
+        default="1,2,4",
+        help="comma-separated shard counts",
+    )
+    bi.add_argument("--corpus-bytes", type=int, default=120_000)
+    bi.add_argument("--corpus-seed", type=int, default=4)
+    bi.add_argument("--feed-seed", type=int, default=4)
+    bi.add_argument("--workload-seed", type=int, default=7)
+    bi.add_argument("--clients", type=int, default=3)
+    bi.add_argument("--queries-per-client", type=int, default=20)
+    bi.add_argument("--batches", type=int, default=4)
+    bi.add_argument("--batch-docs", type=int, default=10)
+    bi.add_argument("--compact-max-deltas", type=int, default=2)
+    bi.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_ingest.json"),
+        help="report path (doubles as the committed baseline)",
+    )
+    bi.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline report to compare against (default: --out)",
+    )
+    bi.add_argument(
         "--update-baseline",
         action="store_true",
         help="skip the comparison and rewrite the baseline file",
@@ -640,6 +754,184 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_ingest_feed(args: argparse.Namespace) -> int:
+    from repro.ingest import FeedConfig, FeedSource, IngestJournal
+    from repro.serve import ShardFormatError
+
+    try:
+        if args.journal.exists():
+            journal = IngestJournal.open(args.journal)
+        else:
+            journal = IngestJournal.create(
+                args.journal, corpus_name=args.dataset
+            )
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    feed = FeedSource(
+        FeedConfig(
+            dataset=args.dataset,
+            batch_docs=args.batch_docs,
+            n_batches=args.batches,
+            seed=args.seed,
+            start_doc_id=args.start_doc_id,
+            mean_interarrival_s=args.mean_interarrival,
+            themes=args.themes,
+            skip_docs=args.skip_docs,
+        )
+    )
+    # re-feeding an existing journal continues after its last arrival
+    base = journal.batches[-1].arrival_s if journal.batches else 0.0
+    for corpus, arrival in feed.batches():
+        entry = journal.append(corpus, base + arrival)
+        print(
+            f"batch {entry.index}: {entry.n_docs} docs at "
+            f"t={entry.arrival_s:.3f}s -> {entry.file}"
+        )
+    print(
+        f"journal {args.journal}: {len(journal)} batches, "
+        f"{journal.n_docs} documents"
+    )
+    return 0
+
+
+def _cmd_ingest_publish(args: argparse.Namespace) -> int:
+    from repro.engine import load_result
+    from repro.engine.incremental import refresh_recommended
+    from repro.ingest import (
+        CompactionPolicy,
+        IngestJournal,
+        append_generation,
+        build_delta,
+        compact_store,
+        should_compact,
+    )
+    from repro.serve import ShardFormatError, load_manifest
+
+    try:
+        journal = IngestJournal.open(args.journal)
+        manifest = load_manifest(args.store)
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    result = load_result(args.results)
+    policy = CompactionPolicy(
+        max_deltas=args.compact_max_deltas,
+        max_delta_bytes_fraction=args.compact_max_bytes_fraction,
+    )
+    # the manifest records how many batches are already in: replaying
+    # the same journal again publishes only the new tail
+    done = manifest.ingested_batches
+    pending = journal.replay()[done:]
+    if not pending:
+        print(
+            f"nothing to publish: store already holds "
+            f"{done} of {len(journal)} journal batches"
+        )
+        return 0
+    rebuild = False
+    for corpus, _arrival in pending:
+        delta = build_delta(result, corpus.documents)
+        manifest = append_generation(args.store, [delta])
+        flagged = refresh_recommended(
+            delta.projected,
+            max_null_fraction=args.refresh_null_fraction,
+            min_docs=args.refresh_min_docs,
+        )
+        rebuild = rebuild or flagged
+        print(
+            f"generation {manifest.generation}: +{delta.n_docs} docs "
+            f"({delta.null_count} null signatures)"
+            + ("  [rebuild recommended]" if flagged else "")
+        )
+        if should_compact(manifest, policy):
+            manifest = compact_store(args.store)
+            print(
+                f"generation {manifest.generation}: compacted into "
+                f"{manifest.nshards} base shards"
+            )
+    print(
+        f"store {args.store}: generation {manifest.generation}, "
+        f"{manifest.n_docs} documents, {len(manifest.deltas)} live deltas"
+    )
+    if rebuild:
+        print(
+            "warning: null-signature rate crossed the refresh "
+            "threshold; schedule a full model rebuild",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_ingest_compact(args: argparse.Namespace) -> int:
+    from repro.ingest import compact_store
+    from repro.serve import ShardFormatError, load_manifest
+
+    try:
+        before = load_manifest(args.store)
+        if not before.deltas:
+            print(
+                f"store {args.store}: no delta segments, nothing to do"
+            )
+            return 0
+        manifest = compact_store(args.store)
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"compacted {len(before.deltas)} deltas into "
+        f"{manifest.nshards} shards at generation {manifest.generation}"
+    )
+    return 0
+
+
+def _cmd_ingest_status(args: argparse.Namespace) -> int:
+    from repro.serve import ShardFormatError, verify_store
+
+    try:
+        manifest = verify_store(args.store)
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"store {args.store}: OK")
+    print(f"  generation:       {manifest.generation}")
+    print(f"  documents:        {manifest.n_docs}")
+    print(
+        f"  base shards:      {manifest.nshards} "
+        f"({manifest.base_nbytes:,} bytes, "
+        f"{manifest.base_n_docs} docs)"
+    )
+    print(
+        f"  delta segments:   {len(manifest.deltas)} "
+        f"({manifest.delta_nbytes:,} bytes)"
+    )
+    print(f"  ingested batches: {manifest.ingested_batches}")
+    return 0
+
+
+def _cmd_bench_ingest(args: argparse.Namespace) -> int:
+    from repro.bench.ingest import run_bench
+
+    shards = tuple(
+        int(tok) for tok in args.shards.split(",") if tok.strip()
+    )
+    return run_bench(
+        out_path=args.out,
+        baseline_path=args.baseline,
+        shards=shards,
+        corpus_bytes=args.corpus_bytes,
+        corpus_seed=args.corpus_seed,
+        feed_seed=args.feed_seed,
+        workload_seed=args.workload_seed,
+        n_clients=args.clients,
+        queries_per_client=args.queries_per_client,
+        n_batches=args.batches,
+        batch_docs=args.batch_docs,
+        compact_max_deltas=args.compact_max_deltas,
+        update_baseline=args.update_baseline,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -652,6 +944,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve-build": _cmd_serve_build,
         "serve-query": _cmd_serve_query,
         "serve-bench": _cmd_serve_bench,
+        "ingest-feed": _cmd_ingest_feed,
+        "ingest-publish": _cmd_ingest_publish,
+        "ingest-compact": _cmd_ingest_compact,
+        "ingest-status": _cmd_ingest_status,
+        "bench-ingest": _cmd_bench_ingest,
     }
     return handlers[args.command](args)
 

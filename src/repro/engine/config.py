@@ -32,6 +32,14 @@ class EngineConfig:
     max_null_fraction: float = 0.05
     max_major_terms: int = 6400
 
+    # --- incremental refresh policy (live ingest) -------------------------
+    #: recommend a full-model rebuild when a projected batch's null-
+    #: signature fraction exceeds this (vocabulary drift signal)
+    refresh_null_fraction: float = 0.25
+    #: ignore the null fraction of batches smaller than this -- tiny
+    #: batches make the ratio too noisy to act on
+    refresh_min_docs: int = 1
+
     # --- clustering ------------------------------------------------------
     n_clusters: int = 10
     #: "kmeans", or a hierarchical linkage applied over k-means
@@ -94,6 +102,10 @@ class EngineConfig:
             )
         if not 0.0 <= self.max_null_fraction <= 1.0:
             raise ValueError("max_null_fraction must be in [0, 1]")
+        if not 0.0 <= self.refresh_null_fraction <= 1.0:
+            raise ValueError("refresh_null_fraction must be in [0, 1]")
+        if self.refresh_min_docs < 1:
+            raise ValueError("refresh_min_docs must be >= 1")
         if self.n_clusters < 1:
             raise ValueError("n_clusters must be >= 1")
         if self.kmeans_max_iter < 1:

@@ -136,6 +136,93 @@ def build_term_postings(
     )
 
 
+def build_batch_postings(
+    documents,
+    result,
+    tokenizer_config: TokenizerConfig | None = None,
+) -> TermPostings:
+    """Invert one ingest batch onto the result's major-term rows.
+
+    The live-ingest analogue of :func:`build_term_postings`: document
+    rows are batch-local ``0..len(documents)-1`` in input order, and
+    tokenization iterates fields exactly like the corpus path so a
+    later compaction reproduces a fresh build's postings byte for
+    byte.
+    """
+    tokenizer = Tokenizer(
+        tokenizer_config
+        if tokenizer_config is not None
+        else TokenizerConfig()
+    )
+    term_row = {t.term: i for i, t in enumerate(result.major_terms)}
+    n_terms = len(result.major_terms)
+    gid_parts: list[int] = []
+    row_parts: list[int] = []
+    for row, doc in enumerate(documents):
+        for text in doc.fields.values():
+            for tok in tokenizer.tokens(text):
+                t = term_row.get(tok)
+                if t is not None:
+                    gid_parts.append(t)
+                    row_parts.append(row)
+    gids = np.asarray(gid_parts, dtype=np.int64)
+    rows = np.asarray(row_parts, dtype=np.int64)
+    _t2f, t2d = invert_chunk(gids, rows, np.zeros_like(gids))
+    offsets = np.searchsorted(
+        t2d.gids, np.arange(n_terms + 1, dtype=np.int64)
+    ).astype(np.int64)
+    return TermPostings(
+        n_docs=len(documents),
+        offsets=offsets,
+        rows=t2d.keys.astype(np.int64),
+        tf=t2d.counts.astype(np.int64),
+    )
+
+
+def concat_postings(parts: "list[TermPostings]") -> TermPostings:
+    """Stack postings of document ranges laid out back to back.
+
+    Part ``i``'s document rows are rebased by the total length of the
+    parts before it, and each term's run is the in-order concatenation
+    of the parts' runs -- exactly the postings a single inversion over
+    the concatenated document sequence would produce (rows ascend
+    within a run because each part's rows do and rebasing preserves
+    part order).
+    """
+    if not parts:
+        raise ValueError("concat_postings needs at least one part")
+    n_terms = parts[0].n_terms
+    for p in parts[1:]:
+        if p.n_terms != n_terms:
+            raise ValueError(
+                f"postings disagree on term count: {p.n_terms} != {n_terms}"
+            )
+    n_docs = sum(p.n_docs for p in parts)
+    kept = np.zeros(n_terms, dtype=np.int64)
+    for p in parts:
+        kept += np.diff(p.offsets)
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(kept)]
+    )
+    total = int(offsets[-1])
+    rows = np.empty(total, dtype=np.int64)
+    tf = np.empty(total, dtype=np.int64)
+    cursor = offsets[:-1].copy()
+    base = 0
+    for p in parts:
+        for t in range(n_terms):
+            lo = int(p.offsets[t])
+            hi = int(p.offsets[t + 1])
+            if hi > lo:
+                n = hi - lo
+                c = int(cursor[t])
+                rows[c : c + n] = p.rows[lo:hi] + base
+                tf[c : c + n] = p.tf[lo:hi]
+                cursor[t] = c + n
+        base += p.n_docs
+    return TermPostings(n_docs=n_docs, offsets=offsets, rows=rows, tf=tf)
+
+
 def icf_weights(df: np.ndarray, n_docs: int) -> np.ndarray:
     """Inverse-collection-frequency term weights.
 

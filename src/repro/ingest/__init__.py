@@ -1,0 +1,45 @@
+"""Deterministic live ingest: generational delta shards over the store.
+
+``repro.ingest`` turns the static :mod:`repro.serve` store into a
+continuously growing one.  A seeded :class:`FeedSource` appends
+document batches to an append-only :class:`IngestJournal`; an
+:class:`IngestPlan` replays the journal inside a broker session,
+projecting each batch through the frozen model into *delta segments*
+published as atomic generations; the broker hot-reloads between
+queries with epoch-pinned fan-outs; a :class:`CompactionPolicy`-driven
+compactor folds deltas back into base shards.  Queries during churn
+are bit-identical to the equivalent static store at each generation --
+the subsystem's acceptance criterion.
+"""
+
+from repro.ingest.compact import (
+    CompactionPolicy,
+    compact_store,
+    should_compact,
+)
+from repro.ingest.delta import (
+    DeltaBatch,
+    append_generation,
+    build_delta,
+    extend_result,
+)
+from repro.ingest.feed import FeedConfig, FeedSource
+from repro.ingest.journal import IngestJournal, JournalBatch
+from repro.ingest.live import IngestConfig, IngestPlan, serve_live
+
+__all__ = [
+    "CompactionPolicy",
+    "DeltaBatch",
+    "FeedConfig",
+    "FeedSource",
+    "IngestConfig",
+    "IngestJournal",
+    "IngestPlan",
+    "JournalBatch",
+    "append_generation",
+    "build_delta",
+    "compact_store",
+    "extend_result",
+    "serve_live",
+    "should_compact",
+]

@@ -1,0 +1,174 @@
+"""Compaction: fold delta segments back into base shards.
+
+Delta segments keep publishes cheap, but every segment a shard rank
+owns adds per-query scan overhead.  When a policy threshold trips
+(:func:`should_compact`), :func:`compact_store` rewrites the store's
+documents -- base rows followed by delta rows, i.e. global row order
+-- into ``nshards`` fresh contiguous shards with the same
+``np.array_split`` convention as :func:`repro.serve.store.build_shards`
+and publishes them as a new generation with an empty delta list.  The
+rewrite reuses the stored arrays byte for byte and reassembles postings
+with :func:`repro.index.termindex.concat_postings`, so a compacted
+store answers every query bit-identically to both the pre-compaction
+generational store and a fresh build over the grown collection.
+
+The model container is untouched: compaction reorganizes documents,
+it never changes the frozen model (vocabulary drift is handled by the
+rebuild flag, not the compactor).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.index.termindex import TermPostings, concat_postings
+from repro.serve.store import (
+    Container,
+    ShardInfo,
+    StoreManifest,
+    decode_postings,
+    delta_encode_postings,
+    generation_dir,
+    load_manifest,
+    publish_generation,
+    write_container,
+    write_generation_manifest,
+)
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When to fold deltas back into base shards."""
+
+    #: compact once this many delta segments are live
+    max_deltas: int = 4
+    #: ... or once deltas reach this fraction of base bytes
+    max_delta_bytes_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_deltas < 1:
+            raise ValueError("max_deltas must be >= 1")
+        if self.max_delta_bytes_fraction <= 0:
+            raise ValueError("max_delta_bytes_fraction must be > 0")
+
+
+def should_compact(
+    manifest: StoreManifest, policy: CompactionPolicy
+) -> bool:
+    """Does the manifest's delta load trip the policy?"""
+    if not manifest.deltas:
+        return False
+    if len(manifest.deltas) >= policy.max_deltas:
+        return True
+    base = manifest.base_nbytes
+    return base > 0 and (
+        manifest.delta_nbytes / base > policy.max_delta_bytes_fraction
+    )
+
+
+def _segment_postings(container: Container) -> TermPostings:
+    n_docs = int(container.meta["row_hi"]) - int(container.meta["row_lo"])
+    return decode_postings(
+        n_docs,
+        np.asarray(container.load("post_offsets")),
+        np.asarray(container.load("post_rows_delta")),
+        np.asarray(container.load("post_tf")),
+    )
+
+
+def compact_store(
+    store_dir: str | os.PathLike, published_s: float = 0.0
+) -> StoreManifest:
+    """Merge all delta segments into rewritten base shards.
+
+    No-op (returns the current manifest) when no deltas are live.
+    Writes the new shard containers under the next generation's
+    directory, then publishes atomically.  ``published_s`` stamps the
+    compacted generation's virtual publish instant (0.0 = offline).
+    """
+    store = str(store_dir)
+    manifest = load_manifest(store)
+    if not manifest.deltas:
+        return manifest
+    gen = manifest.generation + 1
+    gdir = generation_dir(gen)
+    os.makedirs(os.path.join(store, gdir), exist_ok=True)
+
+    # base shards in row order, then deltas in row order: global rows
+    segments = [
+        Container(os.path.join(store, s.file)) for s in manifest.shards
+    ] + [Container(os.path.join(store, d.file)) for d in manifest.deltas]
+    doc_ids = np.concatenate(
+        [np.asarray(c.load("doc_ids")) for c in segments]
+    )
+    signatures = np.concatenate(
+        [np.asarray(c.load("signatures")) for c in segments], axis=0
+    )
+    coords = np.concatenate(
+        [np.asarray(c.load("coords")) for c in segments], axis=0
+    )
+    assignments = np.concatenate(
+        [np.asarray(c.load("assignments")) for c in segments]
+    )
+    has_postings = all("post_offsets" in c for c in segments)
+    postings = (
+        concat_postings([_segment_postings(c) for c in segments])
+        if has_postings
+        else None
+    )
+    n_docs = manifest.n_docs
+
+    splits = np.array_split(np.arange(n_docs, dtype=np.int64), manifest.nshards)
+    shards: list[ShardInfo] = []
+    for i, rows in enumerate(splits):
+        row_lo = int(rows[0]) if rows.size else (
+            shards[-1].row_hi if shards else 0
+        )
+        row_hi = int(rows[-1]) + 1 if rows.size else row_lo
+        fname = f"{gdir}/shard-{i:03d}.repro"
+        arrays = {
+            "doc_ids": np.asarray(doc_ids[row_lo:row_hi], dtype=np.int64),
+            "signatures": np.asarray(
+                signatures[row_lo:row_hi], dtype=np.float64
+            ),
+            "coords": np.asarray(coords[row_lo:row_hi], dtype=np.float64),
+            "assignments": np.asarray(
+                assignments[row_lo:row_hi], dtype=np.int64
+            ),
+        }
+        if postings is not None:
+            local = postings.restrict(row_lo, row_hi)
+            arrays["post_offsets"] = local.offsets
+            arrays["post_rows_delta"] = delta_encode_postings(local)
+            arrays["post_tf"] = local.tf
+        meta = {
+            "kind": "shard",
+            "shard": i,
+            "row_lo": row_lo,
+            "row_hi": row_hi,
+            "corpus_name": manifest.corpus_name,
+        }
+        nbytes = write_container(os.path.join(store, fname), arrays, meta)
+        shards.append(
+            ShardInfo(
+                file=fname,
+                row_lo=row_lo,
+                row_hi=row_hi,
+                doc_lo=int(doc_ids[row_lo]) if row_hi > row_lo else 0,
+                doc_hi=int(doc_ids[row_hi - 1]) if row_hi > row_lo else 0,
+                nbytes=nbytes,
+            )
+        )
+    compacted = replace(
+        manifest,
+        generation=gen,
+        shards=tuple(shards),
+        deltas=(),
+        published_s=float(published_s),
+    )
+    write_generation_manifest(store, compacted)
+    publish_generation(store, compacted)
+    return compacted

@@ -1,0 +1,173 @@
+"""Append-only ingest journal: the durable record of arriving batches.
+
+A journal is a directory holding one ``JOURNAL.json`` meta file plus
+one ``batch-XXXXXX.jsonl`` corpus source per appended batch.  The meta
+file lists the batches in arrival order with their virtual arrival
+times; it is rewritten atomically (tmp + ``os.replace``) on every
+append, so a reader always sees a consistent prefix of the stream.
+The batch files themselves are ordinary ``.jsonl`` sources readable by
+:func:`repro.text.io.read_corpus`.
+
+Replaying a journal is what makes live ingest deterministic and
+reproducible: the serve-side ingest driver does not generate data, it
+replays the journal's batches at their recorded virtual arrival times.
+
+A missing, unreadable, or corrupt meta file raises
+:class:`~repro.serve.store.ShardFormatError` carrying the offending
+path, matching the store layer's corruption contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.serve.store import ShardFormatError
+from repro.text.documents import Corpus
+from repro.text.io import read_corpus, write_corpus
+
+JOURNAL_FORMAT = "repro-ingest-journal/1"
+JOURNAL_META = "JOURNAL.json"
+
+
+def batch_file(index: int) -> str:
+    """Relative filename of one journaled batch."""
+    return f"batch-{index:06d}.jsonl"
+
+
+@dataclass(frozen=True)
+class JournalBatch:
+    """One appended batch as recorded in the journal meta."""
+
+    index: int
+    file: str
+    n_docs: int
+    #: virtual seconds after serving start at which the batch arrives
+    arrival_s: float
+
+
+class IngestJournal:
+    """Reader/writer of one journal directory."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        corpus_name: str,
+        batches: tuple[JournalBatch, ...],
+    ):
+        self.path = str(path)
+        self.corpus_name = corpus_name
+        self.batches = list(batches)
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, corpus_name: str = "ingest"
+    ) -> "IngestJournal":
+        """Initialize an empty journal directory (idempotent mkdir)."""
+        journal = cls(path, corpus_name, ())
+        os.makedirs(journal.path, exist_ok=True)
+        journal._write_meta()
+        return journal
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "IngestJournal":
+        """Open an existing journal, validating its meta file."""
+        meta_path = os.path.join(str(path), JOURNAL_META)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except OSError as exc:
+            raise ShardFormatError(
+                meta_path, f"unreadable: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ShardFormatError(
+                meta_path, f"corrupt journal meta: {exc}"
+            ) from exc
+        try:
+            if data["format"] != JOURNAL_FORMAT:
+                raise ShardFormatError(
+                    meta_path,
+                    f"unsupported journal format {data['format']!r} "
+                    f"(reader supports {JOURNAL_FORMAT!r})",
+                )
+            batches = tuple(
+                JournalBatch(
+                    index=int(b["index"]),
+                    file=b["file"],
+                    n_docs=int(b["n_docs"]),
+                    arrival_s=float(b["arrival_s"]),
+                )
+                for b in data["batches"]
+            )
+            return cls(path, data["corpus_name"], batches)
+        except ShardFormatError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShardFormatError(
+                meta_path, f"corrupt journal meta: {exc}"
+            ) from exc
+
+    # -- append --------------------------------------------------------
+    def append(self, batch: Corpus, arrival_s: float) -> JournalBatch:
+        """Append one batch: write its source file, then publish the
+        extended meta atomically."""
+        if self.batches and arrival_s < self.batches[-1].arrival_s:
+            raise ValueError(
+                f"arrival_s must be non-decreasing: {arrival_s} < "
+                f"{self.batches[-1].arrival_s}"
+            )
+        index = len(self.batches)
+        fname = batch_file(index)
+        write_corpus(batch, os.path.join(self.path, fname))
+        entry = JournalBatch(
+            index=index,
+            file=fname,
+            n_docs=len(batch.documents),
+            arrival_s=float(arrival_s),
+        )
+        self.batches.append(entry)
+        self._write_meta()
+        return entry
+
+    def _write_meta(self) -> None:
+        doc = {
+            "format": JOURNAL_FORMAT,
+            "corpus_name": self.corpus_name,
+            "batches": [
+                {
+                    "index": b.index,
+                    "file": b.file,
+                    "n_docs": b.n_docs,
+                    "arrival_s": b.arrival_s,
+                }
+                for b in self.batches
+            ],
+        }
+        meta_path = os.path.join(self.path, JOURNAL_META)
+        tmp = meta_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, meta_path)
+
+    # -- read ----------------------------------------------------------
+    def read_batch(self, index: int) -> Corpus:
+        """Load one journaled batch as a corpus."""
+        entry = self.batches[index]
+        return read_corpus(os.path.join(self.path, entry.file))
+
+    def replay(self) -> list[tuple[Corpus, float]]:
+        """All batches with arrival times, in arrival order."""
+        return [
+            (self.read_batch(b.index), b.arrival_s) for b in self.batches
+        ]
+
+    @property
+    def n_docs(self) -> int:
+        return sum(b.n_docs for b in self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)

@@ -42,6 +42,7 @@ from .metrics import (
     hashmap_locality,
     merge_snapshots,
     render_report,
+    ingest_summary,
     serving_summary,
     stage_imbalance,
     to_prometheus,
@@ -88,6 +89,7 @@ __all__ = [
     "hashmap_locality",
     "merge_snapshots",
     "render_report",
+    "ingest_summary",
     "serving_summary",
     "stage_imbalance",
     "to_prometheus",

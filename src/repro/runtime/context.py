@@ -71,6 +71,18 @@ class RankContext:
             dt = self.sched.injector.adjust_io(self.rank, self.now, dt)
         self.charge(dt)
 
+    def sync(self) -> None:
+        """A pure synchronization point: yield the turn.
+
+        Charges advance the clock but never hand execution to another
+        rank -- a rank doing only local work runs to completion in one
+        turn.  Ranks whose *side effects* must become visible to
+        lower-clock peers in virtual-time order (e.g. the ingest driver
+        publishing store generations) call this after each effect so
+        the min-clock rule covers it.  Returns with the turn held.
+        """
+        self.comm.sched.wait_turn(self.comm._grank)
+
     def replicated(self, key, fn):
         """Compute-once cache for deterministically replicated work.
 

@@ -633,6 +633,33 @@ def serving_summary(snap: dict) -> dict:
     }
 
 
+def ingest_summary(snap: dict) -> dict:
+    """Live-ingest counters, aggregated for the text report.
+
+    Returns an empty dict when the snapshot holds no ``ingest.*``
+    families (i.e. no ingest driver ran and the broker never
+    hot-reloaded a generation).
+    """
+    counters = snap["counters"]
+    if not any(name.startswith("ingest.") for name in counters):
+        return {}
+
+    def _total(name: str) -> float:
+        doc = counters.get(name)
+        if doc is None:
+            return 0.0
+        return float(sum(e["value"] for e in doc["values"]))
+
+    return {
+        "docs_ingested": _total("ingest.docs"),
+        "null_signatures": _total("ingest.null_signatures"),
+        "generations_published": _total("ingest.generations"),
+        "compactions": _total("ingest.compactions"),
+        "broker_reloads": _total("ingest.broker.reloads"),
+        "rebuild_flags": _total("ingest.rebuild_flags"),
+    }
+
+
 def render_report(snap: dict) -> str:
     """Human-readable metrics report (the ``metrics-report`` command).
 
@@ -750,6 +777,27 @@ def render_report(snap: dict) -> str:
                 for s in sorted(scanned, key=int)
             )
             lines.append(f"  bytes scanned: {per_shard}")
+
+    ingest = ingest_summary(snap)
+    if ingest:
+        lines.append("")
+        lines.append("ingest layer (live generations):")
+        lines.append(
+            f"  docs ingested: {ingest['docs_ingested']:.0f} "
+            f"({ingest['null_signatures']:.0f} null signatures)"
+        )
+        lines.append(
+            f"  generations published: "
+            f"{ingest['generations_published']:.0f}; "
+            f"compactions: {ingest['compactions']:.0f}; "
+            f"broker hot-reloads: {ingest['broker_reloads']:.0f}"
+        )
+        if ingest["rebuild_flags"]:
+            lines.append(
+                f"  full-model rebuild flagged "
+                f"{ingest['rebuild_flags']:.0f} time(s) "
+                "(null-signature rate above threshold)"
+            )
     return "\n".join(lines)
 
 

@@ -14,16 +14,21 @@ the ``serve-bench`` harness.
 from repro.serve.broker import BrokerConfig, ServeReport, query_store, serve
 from repro.serve.query import Query, ShardStore, canonical_response
 from repro.serve.store import (
+    DeltaInfo,
     ShardFormatError,
     StoreManifest,
     build_shards,
+    current_generation,
     load_manifest,
+    load_manifest_generation,
+    verify_store,
 )
 from repro.serve.workload import ClientScript, generate_workload, store_profile
 
 __all__ = [
     "BrokerConfig",
     "ClientScript",
+    "DeltaInfo",
     "Query",
     "ServeReport",
     "ShardFormatError",
@@ -31,9 +36,12 @@ __all__ = [
     "StoreManifest",
     "build_shards",
     "canonical_response",
+    "current_generation",
     "generate_workload",
     "load_manifest",
+    "load_manifest_generation",
     "query_store",
     "serve",
     "store_profile",
+    "verify_store",
 ]

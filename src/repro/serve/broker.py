@@ -1,15 +1,29 @@
 """Query broker over shard-server ranks on the deterministic runtime.
 
-Topology: ``nprocs = nshards + 1`` SPMD ranks.  Rank 0 is the broker;
-rank ``r >= 1`` serves shard ``r - 1`` from its on-disk container.  The
-broker runs a closed-loop discrete-event simulation of the client
-scripts: queries arrive in (virtual arrival time, client) order, pass
-bounded-in-flight admission control and an LRU result cache, then fan
-out to the live shard ranks; per-shard candidate lists merge with the
-same (score, global row) tie-breaking a global stable argsort applies,
-so the merged answer is bit-identical to the single-result
-:class:`~repro.analysis.session.AnalysisSession` path at every shard
-count.
+Topology: ``nprocs = nshards + 1`` SPMD ranks (plus one optional
+ingest-driver rank, see below).  Rank 0 is the broker; rank ``r`` with
+``1 <= r <= nshards`` serves shard ``r - 1`` from its on-disk
+containers.  The broker runs a closed-loop discrete-event simulation of
+the client scripts: queries arrive in (virtual arrival time, client)
+order, pass bounded-in-flight admission control and an LRU result
+cache, then fan out to the live shard ranks; per-shard candidate lists
+merge with the same (score, global row) tie-breaking a global stable
+argsort applies, so the merged answer is bit-identical to the
+single-result :class:`~repro.analysis.session.AnalysisSession` path at
+every shard count.
+
+Generational serving (live ingest): when the store is generational --
+or an ingest plan runs alongside in an extra rank ``nshards + 1`` --
+the broker polls the store's ``CURRENT`` pointer between queries and
+hot-reloads the newest manifest (a charged, bounded amount of broker
+work; zero downtime).  Every accepted query is pinned to the epoch the
+broker saw at its arrival: the fan-out messages carry that epoch, each
+shard rank resolves exactly that generation's segment list (its base
+shard plus the delta segments it owns), and the response envelope
+records the generation -- one query never mixes generations.  The
+per-epoch icf weights are recomputed on reload because they depend on
+the collection size.  Static stores keep the PR-4 three-field wire
+messages, so their virtual timings are unchanged.
 
 Degradation policy: a per-query shard timeout bounds each fan-out
 round.  :class:`~repro.runtime.errors.RankFailedError` (a shard rank
@@ -21,7 +35,8 @@ the missing shards listed -- instead of failing, and the response is
 excluded from the cache.  Every layer feeds
 :mod:`repro.runtime.metrics` (``serve.queries``,
 ``serve.cache.{hit,miss,evict}``, ``serve.rejected``,
-``serve.degraded``, ``serve.latency``, ``serve.shard.bytes_scanned``).
+``serve.degraded``, ``serve.latency``, ``serve.shard.bytes_scanned``,
+and ``ingest.broker.reloads`` in generational mode).
 
 Responses carry no timing fields; latencies live in the
 :class:`ServeReport`.  That is what makes serialized responses the
@@ -51,7 +66,15 @@ from repro.serve.query import (
     merge_asc,
     merge_desc,
 )
-from repro.serve.store import Container, ServeModel, load_manifest, load_model
+from repro.serve.store import (
+    CURRENT_FILE,
+    Container,
+    StoreManifest,
+    current_generation,
+    load_manifest,
+    load_manifest_generation,
+    load_model,
+)
 from repro.serve.workload import ClientScript
 
 TAG_REQ = 101
@@ -61,6 +84,7 @@ TAG_RESP = 102
 _DISPATCH_OPS = 1_000
 _CACHE_HIT_OPS = 200
 _REJECT_OPS = 50
+_RELOAD_OPS = 200
 
 
 @dataclass(frozen=True)
@@ -87,6 +111,10 @@ class ServeReport:
     failed_ranks: list[int]
     makespan: float
     metrics: dict = field(repr=False, default_factory=dict)
+    #: generation -> {"queries", "first_virtual_s"} of served queries
+    generations: dict = field(default_factory=dict)
+    #: ingest-driver outcome when an ingest plan ran alongside
+    ingest: Optional[dict] = None
 
     @property
     def served(self) -> int:
@@ -122,73 +150,183 @@ class ServeReport:
 # ----------------------------------------------------------------------
 # shard-server rank
 # ----------------------------------------------------------------------
+class _ShardWorker:
+    """One shard rank's serving loop over the generations it is asked
+    about.
+
+    Per epoch the rank serves a *segment list*: its base shard plus
+    every delta segment whose ``owner`` it is.  Manifests and segment
+    stores are cached across epochs (a generation's containers are
+    immutable once published).  With a single segment -- every static
+    store -- the per-op charge sequence and payloads are byte-identical
+    to the PR-4 single-shard loop.
+    """
+
+    def __init__(self, ctx, store_dir: str):
+        self.ctx = ctx
+        self.store_dir = store_dir
+        self.shard_idx = ctx.rank - 1
+        self.model = load_model(store_dir)
+        self._manifests: dict[int, StoreManifest] = {}
+        self._segments: dict[int, list[ShardStore]] = {}
+        self._stores: dict[str, ShardStore] = {}
+
+    def _manifest(self, epoch: int) -> StoreManifest:
+        m = self._manifests.get(epoch)
+        if m is None:
+            m = load_manifest_generation(self.store_dir, epoch)
+            self._manifests[epoch] = m
+        return m
+
+    def _store(self, fname: str) -> ShardStore:
+        s = self._stores.get(fname)
+        if s is None:
+            s = ShardStore(
+                Container(os.path.join(self.store_dir, fname)), self.model
+            )
+            self._stores[fname] = s
+        return s
+
+    def segments(self, epoch: int) -> list[ShardStore]:
+        segs = self._segments.get(epoch)
+        if segs is None:
+            m = self._manifest(epoch)
+            files = [m.shards[self.shard_idx].file]
+            files += [
+                d.file for d in m.deltas if d.owner == self.shard_idx
+            ]
+            segs = [self._store(f) for f in files]
+            self._segments[epoch] = segs
+        return segs
+
+    def run(self) -> int:
+        """Serve operators until the broker says stop."""
+        ctx = self.ctx
+        bytes_scanned = ctx.metrics.counter(
+            "serve.shard.bytes_scanned", ("shard",)
+        )
+        skey = (str(self.shard_idx),)
+        served = 0
+        while True:
+            msg = ctx.comm.recv(0, tag=TAG_REQ)
+            if msg[0] == "stop":
+                return served
+            if len(msg) == 4:
+                qid, epoch, op, params = msg
+            else:
+                qid, op, params = msg
+                epoch = 0
+            segs = self.segments(epoch)
+            scanned = 0
+            if op == "search":
+                cands: list = []
+                for seg in segs:
+                    c, s = seg.op_search(
+                        params["term_rows"], params["icf"], params["k"]
+                    )
+                    cands.extend(c)
+                    scanned += s
+                ctx.charge_cpu(scanned // 16 * 4)
+                payload: object = cands
+            elif op == "matvec":
+                cands = []
+                n_docs = 0
+                for seg in segs:
+                    c, s = seg.op_matvec(
+                        params["unit"],
+                        params["k"],
+                        params.get("skip_row", -1),
+                    )
+                    cands.extend(c)
+                    scanned += s
+                    n_docs += seg.n_docs
+                ctx.charge_flops(2 * n_docs * params["unit"].shape[0])
+                payload = cands
+            elif op == "fetch_unit":
+                payload = (None, -1)
+                for seg in segs:
+                    unit, row, s = seg.op_fetch_unit(params["doc_id"])
+                    scanned += s
+                    if unit is not None and payload[0] is None:
+                        payload = (unit, row)
+            elif op == "cluster":
+                size = 0
+                cands = []
+                for seg in segs:
+                    sz, c, s = seg.op_cluster(
+                        params["cluster"], params["n_docs"]
+                    )
+                    size += sz
+                    cands.extend(c)
+                    scanned += s
+                ctx.charge_flops(
+                    3 * size * self.model.centroids.shape[1]
+                )
+                payload = (size, cands)
+            elif op == "region":
+                rows_parts: list[np.ndarray] = []
+                block_parts: list[np.ndarray] = []
+                n_docs = 0
+                for seg in segs:
+                    rows, block, s = seg.op_region(
+                        params["x"], params["y"], params["radius"]
+                    )
+                    scanned += s
+                    n_docs += seg.n_docs
+                    if rows.size:
+                        rows_parts.append(rows)
+                        block_parts.append(block)
+                ctx.charge_cpu(2 * n_docs)
+                if rows_parts:
+                    payload = (
+                        np.concatenate(rows_parts),
+                        np.concatenate(block_parts, axis=0),
+                    )
+                else:
+                    payload = (
+                        np.empty(0, dtype=np.int64),
+                        np.empty((0, self.model.centroids.shape[1])),
+                    )
+            else:
+                raise ValueError(f"unknown shard op {op!r}")
+            ctx.charge_io(scanned, concurrent_readers=1)
+            bytes_scanned.inc(ctx.rank, float(scanned), key=skey)
+            ctx.comm.send(0, (qid, self.shard_idx, payload), tag=TAG_RESP)
+            served += 1
+
+
 def _shard_main(ctx, store_dir: str) -> int:
     """Serve one shard's operators until the broker says stop."""
-    manifest = load_manifest(store_dir)
-    model = load_model(store_dir)
-    shard_idx = ctx.rank - 1
-    info = manifest.shards[shard_idx]
-    shard = ShardStore(
-        Container(os.path.join(store_dir, info.file)), model
-    )
-    bytes_scanned = ctx.metrics.counter(
-        "serve.shard.bytes_scanned", ("shard",)
-    )
-    skey = (str(shard_idx),)
-    served = 0
-    while True:
-        msg = ctx.comm.recv(0, tag=TAG_REQ)
-        if msg[0] == "stop":
-            return served
-        qid, op, params = msg
-        if op == "search":
-            cands, scanned = shard.op_search(
-                params["term_rows"], params["icf"], params["k"]
-            )
-            ctx.charge_cpu(scanned // 16 * 4)
-            payload = cands
-        elif op == "matvec":
-            cands, scanned = shard.op_matvec(
-                params["unit"], params["k"], params.get("skip_row", -1)
-            )
-            ctx.charge_flops(2 * shard.n_docs * params["unit"].shape[0])
-            payload = cands
-        elif op == "fetch_unit":
-            unit, row, scanned = shard.op_fetch_unit(params["doc_id"])
-            payload = (unit, row)
-        elif op == "cluster":
-            size, cands, scanned = shard.op_cluster(
-                params["cluster"], params["n_docs"]
-            )
-            ctx.charge_flops(3 * size * shard.model.centroids.shape[1])
-            payload = (size, cands)
-        elif op == "region":
-            rows, block, scanned = shard.op_region(
-                params["x"], params["y"], params["radius"]
-            )
-            ctx.charge_cpu(2 * shard.n_docs)
-            payload = (rows, block)
-        else:
-            raise ValueError(f"unknown shard op {op!r}")
-        ctx.charge_io(scanned, concurrent_readers=1)
-        bytes_scanned.inc(ctx.rank, float(scanned), key=skey)
-        ctx.comm.send(0, (qid, shard_idx, payload), tag=TAG_RESP)
-        served += 1
+    return _ShardWorker(ctx, store_dir).run()
 
 
 # ----------------------------------------------------------------------
 # broker rank
 # ----------------------------------------------------------------------
 class _Broker:
-    def __init__(self, ctx, model: ServeModel, config: BrokerConfig):
+    def __init__(
+        self,
+        ctx,
+        store_dir: str,
+        config: BrokerConfig,
+        generational: bool = False,
+    ):
         self.ctx = ctx
-        self.model = model
+        self.store_dir = store_dir
         self.config = config
-        self.n_docs = model.n_docs
+        self.model = load_model(store_dir)
+        manifest = self.model.manifest
+        self.manifest = manifest
+        self.nshards = manifest.nshards
+        self.epoch = manifest.generation
+        self.n_docs = manifest.n_docs
+        self.generational = generational or os.path.exists(
+            os.path.join(store_dir, CURRENT_FILE)
+        )
         #: live shard ranks (1-based); shrinks on RankFailedError
-        self.live = list(range(1, ctx.nprocs))
+        self.live = list(range(1, self.nshards + 1))
         self.qid = 0
-        self.icf = icf_weights(model.term_df, model.n_docs)
+        self.icf = icf_weights(self.model.term_df, self.n_docs)
         m = ctx.metrics
         self.c_queries = m.counter("serve.queries", ("kind",))
         self.c_hit = m.counter("serve.cache.hit")
@@ -197,7 +335,46 @@ class _Broker:
         self.c_rejected = m.counter("serve.rejected")
         self.c_degraded = m.counter("serve.degraded")
         self.h_latency = m.histogram("serve.latency", label_names=("kind",))
+        # registered only in generational mode so static-serve metric
+        # snapshots gain no empty ingest families
+        self.c_reloads = (
+            m.counter("ingest.broker.reloads") if self.generational else None
+        )
         self.cache: OrderedDict[tuple, dict] = OrderedDict()
+        self.gen_stats: dict[int, dict] = {}
+
+    # -- hot reload ----------------------------------------------------
+    def _maybe_reload(self) -> None:
+        """Swap to the newest published generation between queries.
+
+        Bounded broker work (one pointer read; on change, one manifest
+        parse plus an icf recompute), charged as ``_RELOAD_OPS``.  The
+        epoch set here pins every fan-out of the next query.
+        """
+        if not self.generational:
+            return
+        # sync point before the poll: lets the ingest rank (and any
+        # other lower-clock rank) run first, so every publish stamped
+        # at or before this query's arrival is really on disk
+        self.ctx.sync()
+        gen = current_generation(self.store_dir)
+        # adopt the newest generation already published in virtual
+        # time: a generation stamped later than this query's arrival
+        # is not visible to it (walk back -- publishes are stamped in
+        # ascending order, so the first hit is the right one)
+        while gen > self.epoch:
+            manifest = load_manifest_generation(self.store_dir, gen)
+            if manifest.published_s > self.ctx.now:
+                gen -= 1
+                continue
+            self.epoch = gen
+            self.manifest = manifest
+            self.n_docs = manifest.n_docs
+            # icf depends on the collection size: per-epoch state
+            self.icf = icf_weights(self.model.term_df, self.n_docs)
+            self.ctx.charge_cpu(_RELOAD_OPS)
+            self.c_reloads.inc(0)
+            return
 
     # -- fan-out -------------------------------------------------------
     def _fanout(
@@ -208,8 +385,15 @@ class _Broker:
         ctx, cfg = self.ctx, self.config
         self.qid += 1
         qid = self.qid
+        # static stores keep the PR-4 three-field messages (identical
+        # wire sizes); generational fan-outs pin the query's epoch
+        req = (
+            (qid, self.epoch, op, params)
+            if self.generational
+            else (qid, op, params)
+        )
         for r in targets:
-            ctx.comm.send(r, (qid, op, params), tag=TAG_REQ)
+            ctx.comm.send(r, req, tag=TAG_REQ)
         pending = set(targets)
         got: dict[int, object] = {}
         resends = 0
@@ -231,7 +415,7 @@ class _Broker:
                 if resends < cfg.retries:
                     resends += 1
                     for r in sorted(pending):
-                        ctx.comm.send(r, (qid, op, params), tag=TAG_REQ)
+                        ctx.comm.send(r, req, tag=TAG_REQ)
                     continue
                 break
             rqid, shard_idx, payload = msg
@@ -267,7 +451,7 @@ class _Broker:
         """
         dead = [
             r - 1
-            for r in range(1, self.ctx.nprocs)
+            for r in range(1, self.nshards + 1)
             if r not in self.live
         ]
         missing = sorted(set(dropped) | set(dead))
@@ -330,12 +514,17 @@ class _Broker:
         return self._merged_response("query", got, dropped, k)
 
     def _exec_similar(self, query: Query) -> dict:
-        manifest = self.model.manifest
+        manifest = self.manifest
         owner = None
         for i, s in enumerate(manifest.shards):
             if s.n_docs and s.doc_lo <= query.doc_id <= s.doc_hi:
                 owner = i
                 break
+        if owner is None:
+            for d in manifest.deltas:
+                if d.n_docs and d.doc_lo <= query.doc_id <= d.doc_hi:
+                    owner = d.owner
+                    break
         if owner is None:
             return {
                 "kind": "similar",
@@ -421,16 +610,22 @@ class _Broker:
             "region",
             {"x": query.x, "y": query.y, "radius": query.radius},
         )
-        blocks = [got[s][1] for s in sorted(got) if got[s][0].size]
+        parts = [got[s] for s in sorted(got) if got[s][0].size]
         size = int(sum(got[s][0].size for s in got))
         if size == 0:
             resp = {"kind": "region", "size": 0, "terms": []}
             self._flag(resp, dropped)
             return resp
-        # concatenating the shard blocks in shard (= global row) order
-        # rebuilds the exact contiguous array the reference session
-        # reduces, so the mean is bit-identical to the unsharded path
-        mean_sig = np.concatenate(blocks, axis=0).mean(axis=0)
+        # reassembling the shard blocks in global row order rebuilds
+        # the exact contiguous array the reference session reduces, so
+        # the mean is bit-identical to the unsharded path; on static
+        # stores the permutation is the identity (shard order IS row
+        # order), on generational stores it interleaves delta rows back
+        # into collection order
+        rows = np.concatenate([p[0] for p in parts])
+        block = np.concatenate([p[1] for p in parts], axis=0)
+        order = np.argsort(rows, kind="stable")
+        mean_sig = block[order].mean(axis=0)
         self.ctx.charge_flops(size * mean_sig.shape[0] + _DISPATCH_OPS)
         resp = {
             "kind": "region",
@@ -477,7 +672,10 @@ class _Broker:
                 continue
             if ctx.now < arrival:
                 ctx.charge(arrival - ctx.now)
-            key = query.key()
+            # pin this query's epoch: reload happens between queries,
+            # never inside a fan-out
+            self._maybe_reload()
+            key = (self.epoch,) + query.key()
             cached = cfg.cache_capacity > 0 and key in self.cache
             if cached:
                 self.c_hit.inc(0)
@@ -497,12 +695,18 @@ class _Broker:
             finish = ctx.now
             latency = finish - arrival
             self.h_latency.observe(0, latency, key=(query.kind,))
+            stats = self.gen_stats.setdefault(
+                self.epoch,
+                {"queries": 0, "first_virtual_s": float(arrival)},
+            )
+            stats["queries"] += 1
             responses.append(
                 {
                     "client": client,
                     "seq": seq,
                     "kind": query.kind,
                     "cached": cached,
+                    "generation": self.epoch,
                     "response": resp,
                 }
             )
@@ -517,17 +721,23 @@ class _Broker:
             latencies=latencies,
             rejected=rejected,
             failed_ranks=sorted(
-                r for r in range(1, ctx.nprocs) if r not in self.live
+                r for r in range(1, self.nshards + 1) if r not in self.live
             ),
             makespan=ctx.now,
+            generations=self.gen_stats,
         )
 
 
-def _serve_main(ctx, store_dir: str, scripts, config: BrokerConfig):
+def _serve_main(
+    ctx, store_dir: str, scripts, config: BrokerConfig, nshards: int, ingest
+):
     if ctx.rank == 0:
-        model = load_model(store_dir)
-        return _Broker(ctx, model, config).pump(list(scripts))
-    return _shard_main(ctx, store_dir)
+        return _Broker(
+            ctx, store_dir, config, generational=ingest is not None
+        ).pump(list(scripts))
+    if ctx.rank <= nshards:
+        return _ShardWorker(ctx, store_dir).run()
+    return ingest.run(ctx, store_dir)
 
 
 # ----------------------------------------------------------------------
@@ -539,6 +749,7 @@ def serve(
     config: Optional[BrokerConfig] = None,
     machine: Optional[MachineSpec] = None,
     faults=None,
+    ingest=None,
 ) -> ServeReport:
     """Run one broker session over a sharded store.
 
@@ -547,18 +758,24 @@ def serve(
     :class:`ServeReport` with the run's metrics snapshot attached.
     Under a fault plan the session degrades (partial responses) rather
     than failing: the cluster runs with ``raise_on_failure=False``.
+
+    ``ingest`` (an object with ``run(ctx, store_dir) -> dict``, e.g. an
+    :class:`repro.ingest.IngestPlan`) adds one extra driver rank that
+    feeds, publishes, and compacts generations while the broker serves;
+    its outcome is attached as ``report.ingest``.
     """
     store_dir = str(store_dir)
     manifest = load_manifest(store_dir)
     config = config if config is not None else BrokerConfig()
-    cluster = Cluster(
-        manifest.nshards + 1, machine=machine, faults=faults
-    )
+    nprocs = manifest.nshards + 1 + (1 if ingest is not None else 0)
+    cluster = Cluster(nprocs, machine=machine, faults=faults)
     result = cluster.run(
         _serve_main,
         store_dir,
         tuple(scripts),
         config,
+        manifest.nshards,
+        ingest,
         raise_on_failure=False,
     )
     report = result.rank_results[0]
@@ -570,6 +787,8 @@ def serve(
     report.failed_ranks = sorted(
         set(report.failed_ranks) | set(result.failed_ranks)
     )
+    if ingest is not None:
+        report.ingest = result.rank_results[manifest.nshards + 1]
     return report
 
 

@@ -32,6 +32,27 @@ corrupt header, section table overrunning the file -- raises
 Postings are stored delta-encoded: within each term's run the first
 document row is absolute and the rest are gaps, so decoding a term is
 one ``np.cumsum`` over its slice.
+
+Generational stores (live ingest)
+---------------------------------
+
+A store becomes *generational* once :mod:`repro.ingest` publishes its
+first delta generation.  Generation 0 is the static layout above
+(``manifest.json``).  Generation ``k >= 1`` adds a directory
+``gen-0000k/`` holding that generation's new containers (delta
+segments, or rewritten base shards after a compaction) plus a manifest
+``manifest-0000k.json`` (format ``repro-serve/2``) recording the base
+shard table *and* the ordered delta list.  A small ``CURRENT`` pointer
+file names the active generation and is replaced atomically
+(``os.replace``), so a reader either sees the old complete generation
+or the new complete generation -- never a torn store.  Publish order
+is therefore: delta containers, then the generation manifest, then
+``CURRENT``.
+
+A stale pointer (``CURRENT`` naming a manifest that does not exist),
+a corrupt pointer, or a generation manifest referencing a missing or
+truncated container all raise :class:`ShardFormatError` carrying the
+offending path.
 """
 
 from __future__ import annotations
@@ -50,12 +71,25 @@ from repro.signature.topicality import RankedTerm
 MAGIC = b"REPROSHD"
 FORMAT_VERSION = 1
 MANIFEST_FORMAT = "repro-serve/1"
+MANIFEST_FORMAT_GEN = "repro-serve/2"
+CURRENT_FORMAT = "repro-serve-current/1"
 _ALIGN = 64
 _PREFIX_LEN = 24
 _MAX_HEADER = 64 * 1024 * 1024
 
 MODEL_FILE = "model.repro"
 MANIFEST_FILE = "manifest.json"
+CURRENT_FILE = "CURRENT"
+
+
+def generation_dir(generation: int) -> str:
+    """Relative directory name of one published generation."""
+    return f"gen-{generation:05d}"
+
+
+def generation_manifest_file(generation: int) -> str:
+    """Manifest filename of one published generation (k >= 1)."""
+    return f"manifest-{generation:05d}.json"
 
 
 class ShardFormatError(Exception):
@@ -273,8 +307,37 @@ class ShardInfo:
 
 
 @dataclass(frozen=True)
+class DeltaInfo:
+    """One delta segment appended by a published generation.
+
+    ``owner`` is the index of the base shard whose server rank also
+    serves this segment; rows are global (appended after every earlier
+    segment's rows).
+    """
+
+    file: str
+    generation: int
+    owner: int
+    row_lo: int
+    row_hi: int
+    doc_lo: int
+    doc_hi: int
+    nbytes: int
+
+    @property
+    def n_docs(self) -> int:
+        return self.row_hi - self.row_lo
+
+
+@dataclass(frozen=True)
 class StoreManifest:
-    """Directory-level description of a sharded store."""
+    """Directory-level description of a sharded store.
+
+    A static store is generation 0 with an empty ``deltas`` tuple.  In
+    a generational store ``shards`` stays the base shard table (which a
+    compaction rewrites) while ``deltas`` is the ordered list of live
+    delta segments; ``n_docs`` always counts base plus deltas.
+    """
 
     format: str
     nshards: int
@@ -283,31 +346,51 @@ class StoreManifest:
     model_file: str
     bbox: tuple[float, float, float, float]
     shards: tuple[ShardInfo, ...]
+    generation: int = 0
+    deltas: tuple[DeltaInfo, ...] = ()
+    ingested_batches: int = 0
+    #: virtual publish instant within the serving session that wrote
+    #: this generation (0.0 = published offline / before the session);
+    #: the broker only adopts generations with ``published_s <= now``
+    published_s: float = 0.0
+
+    @property
+    def base_n_docs(self) -> int:
+        """Documents covered by the base shards alone."""
+        return self.shards[-1].row_hi if self.shards else 0
+
+    @property
+    def delta_nbytes(self) -> int:
+        return sum(d.nbytes for d in self.deltas)
+
+    @property
+    def base_nbytes(self) -> int:
+        return sum(s.nbytes for s in self.shards)
 
     def shard_of_row(self, row: int) -> int:
-        """Index of the shard owning a global document row."""
+        """Index of the base shard whose rank owns a global row.
+
+        Delta rows map to the *serving* shard (their ``owner``), not a
+        base row range.
+        """
         for i, s in enumerate(self.shards):
             if s.row_lo <= row < s.row_hi:
                 return i
+        for d in self.deltas:
+            if d.row_lo <= row < d.row_hi:
+                return d.owner
         raise KeyError(f"row {row} outside store of {self.n_docs} docs")
 
 
-def load_manifest(store_dir: str | os.PathLike) -> StoreManifest:
-    """Parse and validate a store directory's manifest."""
-    path = os.path.join(str(store_dir), MANIFEST_FILE)
+def _manifest_from_data(
+    path: str, data: dict, expect_format: str
+) -> StoreManifest:
     try:
-        with open(path, "r", encoding="utf-8") as f:
-            data = json.load(f)
-    except OSError as exc:
-        raise ShardFormatError(path, f"unreadable: {exc}") from exc
-    except ValueError as exc:
-        raise ShardFormatError(path, f"corrupt manifest: {exc}") from exc
-    try:
-        if data["format"] != MANIFEST_FORMAT:
+        if data["format"] != expect_format:
             raise ShardFormatError(
                 path,
                 f"unsupported store format {data['format']!r} "
-                f"(reader supports {MANIFEST_FORMAT!r})",
+                f"(reader supports {expect_format!r})",
             )
         return StoreManifest(
             format=data["format"],
@@ -327,9 +410,209 @@ def load_manifest(store_dir: str | os.PathLike) -> StoreManifest:
                 )
                 for s in data["shards"]
             ),
+            generation=int(data.get("generation", 0)),
+            deltas=tuple(
+                DeltaInfo(
+                    file=d["file"],
+                    generation=int(d["generation"]),
+                    owner=int(d["owner"]),
+                    row_lo=int(d["row_lo"]),
+                    row_hi=int(d["row_hi"]),
+                    doc_lo=int(d["doc_lo"]),
+                    doc_hi=int(d["doc_hi"]),
+                    nbytes=int(d["nbytes"]),
+                )
+                for d in data.get("deltas", ())
+            ),
+            ingested_batches=int(data.get("ingested_batches", 0)),
+            published_s=float(data.get("published_s", 0.0)),
         )
+    except ShardFormatError:
+        raise
     except (KeyError, TypeError, ValueError) as exc:
         raise ShardFormatError(path, f"corrupt manifest: {exc}") from exc
+
+
+def _read_json(path: str, what: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as exc:
+        raise ShardFormatError(path, f"unreadable: {exc}") from exc
+    except ValueError as exc:
+        raise ShardFormatError(path, f"corrupt {what}: {exc}") from exc
+
+
+def current_generation(store_dir: str | os.PathLike) -> int:
+    """The published generation of a store (0 = static layout).
+
+    Reads only the small ``CURRENT`` pointer, so polling between
+    queries is cheap.
+    """
+    path = os.path.join(str(store_dir), CURRENT_FILE)
+    if not os.path.exists(path):
+        return 0
+    data = _read_json(path, "generation pointer")
+    try:
+        if data["format"] != CURRENT_FORMAT:
+            raise ShardFormatError(
+                path,
+                f"unsupported pointer format {data['format']!r} "
+                f"(reader supports {CURRENT_FORMAT!r})",
+            )
+        return int(data["generation"])
+    except ShardFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ShardFormatError(
+            path, f"corrupt generation pointer: {exc}"
+        ) from exc
+
+
+def load_manifest_generation(
+    store_dir: str | os.PathLike, generation: int
+) -> StoreManifest:
+    """Load one specific generation's manifest.
+
+    Generation 0 is the static ``manifest.json``; generation ``k >= 1``
+    is ``manifest-0000k.json`` as published by the ingest subsystem.  A
+    missing generation manifest raises :class:`ShardFormatError`
+    naming it a *stale generation pointer* -- the pointer survived but
+    the generation it names is gone.
+    """
+    store = str(store_dir)
+    if generation == 0:
+        path = os.path.join(store, MANIFEST_FILE)
+        return _manifest_from_data(
+            path, _read_json(path, "manifest"), MANIFEST_FORMAT
+        )
+    path = os.path.join(store, generation_manifest_file(generation))
+    if not os.path.exists(path):
+        raise ShardFormatError(
+            path,
+            f"stale generation pointer: generation {generation} "
+            "manifest does not exist",
+        )
+    return _manifest_from_data(
+        path, _read_json(path, "manifest"), MANIFEST_FORMAT_GEN
+    )
+
+
+def load_manifest(store_dir: str | os.PathLike) -> StoreManifest:
+    """Parse and validate a store's *current* manifest.
+
+    Static stores read ``manifest.json`` directly; generational stores
+    follow the atomic ``CURRENT`` pointer to the active generation.
+    """
+    return load_manifest_generation(
+        store_dir, current_generation(store_dir)
+    )
+
+
+def write_generation_manifest(
+    store_dir: str | os.PathLike, manifest: StoreManifest
+) -> str:
+    """Write one generation's manifest file (not yet published)."""
+    if manifest.generation < 1:
+        raise ValueError(
+            "generation manifests start at 1; generation 0 is the "
+            "static manifest.json"
+        )
+    path = os.path.join(
+        str(store_dir), generation_manifest_file(manifest.generation)
+    )
+    doc = {
+        "format": MANIFEST_FORMAT_GEN,
+        "generation": manifest.generation,
+        "nshards": manifest.nshards,
+        "n_docs": manifest.n_docs,
+        "ingested_batches": manifest.ingested_batches,
+        "published_s": manifest.published_s,
+        "corpus_name": manifest.corpus_name,
+        "model_file": manifest.model_file,
+        "bbox": list(manifest.bbox),
+        "shards": [
+            {
+                "file": s.file,
+                "row_lo": s.row_lo,
+                "row_hi": s.row_hi,
+                "doc_lo": s.doc_lo,
+                "doc_hi": s.doc_hi,
+                "nbytes": s.nbytes,
+            }
+            for s in manifest.shards
+        ],
+        "deltas": [
+            {
+                "file": d.file,
+                "generation": d.generation,
+                "owner": d.owner,
+                "row_lo": d.row_lo,
+                "row_hi": d.row_hi,
+                "doc_lo": d.doc_lo,
+                "doc_hi": d.doc_hi,
+                "nbytes": d.nbytes,
+            }
+            for d in manifest.deltas
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def publish_generation(
+    store_dir: str | os.PathLike, manifest: StoreManifest
+) -> None:
+    """Atomically flip the store's ``CURRENT`` pointer to a manifest.
+
+    The generation's containers and manifest must already be on disk;
+    the pointer is written to a temporary file and ``os.replace``\\ d
+    into place, so concurrent readers see either the previous or the
+    new generation in full.
+    """
+    store = str(store_dir)
+    manifest_file = generation_manifest_file(manifest.generation)
+    if not os.path.exists(os.path.join(store, manifest_file)):
+        raise ValueError(
+            f"generation {manifest.generation} manifest not written; "
+            "call write_generation_manifest first"
+        )
+    tmp = os.path.join(store, CURRENT_FILE + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(
+            {
+                "format": CURRENT_FORMAT,
+                "generation": manifest.generation,
+                "manifest": manifest_file,
+            },
+            f,
+            sort_keys=True,
+        )
+        f.write("\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, os.path.join(store, CURRENT_FILE))
+
+
+def verify_store(store_dir: str | os.PathLike) -> StoreManifest:
+    """Open every container the current generation references.
+
+    Validates the generation pointer, the manifest, and each referenced
+    container's header and section table (which catches truncation and
+    a missing generation directory), raising :class:`ShardFormatError`
+    with the offending path on the first problem.  Returns the verified
+    manifest.
+    """
+    store = str(store_dir)
+    manifest = load_manifest(store)
+    Container(os.path.join(store, manifest.model_file))
+    for s in manifest.shards:
+        Container(os.path.join(store, s.file))
+    for d in manifest.deltas:
+        Container(os.path.join(store, d.file))
+    return manifest
 
 
 # ----------------------------------------------------------------------

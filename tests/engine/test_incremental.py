@@ -124,3 +124,39 @@ def test_persisted_model_supports_incremental(model, tmp_path):
         batch_orig.signatures, batch_loaded.signatures
     )
     np.testing.assert_array_equal(batch_orig.coords, batch_loaded.coords)
+
+
+def test_refresh_threshold_resolution(model):
+    """Explicit args beat config values beat the built-in defaults."""
+    result, _, _ = model
+    alien = [
+        Document(0, {"body": "zzzalpha zzzbeta"}),
+        Document(1, {"body": "qqqone qqqtwo"}),
+    ]
+    batch = project_new_documents(result, alien)  # 100% null
+    assert refresh_recommended(batch)  # default threshold 0.25
+    assert not refresh_recommended(batch, max_null_fraction=1.0)
+    strict = EngineConfig(refresh_null_fraction=0.0)
+    lax = EngineConfig(refresh_null_fraction=1.0)
+    assert refresh_recommended(batch, config=strict)
+    assert not refresh_recommended(batch, config=lax)
+    # the explicit argument wins over the config
+    assert refresh_recommended(batch, max_null_fraction=0.5, config=lax)
+
+
+def test_refresh_min_docs_gate(model):
+    """Tiny batches never trip the refresh flag."""
+    result, _, _ = model
+    alien = [Document(0, {"body": "zzzalpha zzzbeta"})]
+    batch = project_new_documents(result, alien)
+    assert refresh_recommended(batch)  # default min_docs = 1
+    assert not refresh_recommended(batch, min_docs=2)
+    gated = EngineConfig(refresh_min_docs=5)
+    assert not refresh_recommended(batch, config=gated)
+
+
+def test_refresh_knob_validation():
+    with pytest.raises(ValueError, match="refresh_null_fraction"):
+        EngineConfig(refresh_null_fraction=1.5)
+    with pytest.raises(ValueError, match="refresh_min_docs"):
+        EngineConfig(refresh_min_docs=0)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the live-ingest tests.
+
+One small serial engine run is shared session-wide; each test builds
+its own store copy because ingest mutates the store directory.  The
+feed continues the base corpus's seeded document stream (same seed +
+``skip_docs``) so projected signatures are non-null.
+"""
+
+import pytest
+
+from repro.datasets.pubmed import generate_pubmed
+from repro.engine.config import EngineConfig
+from repro.engine.serial import SerialTextEngine
+from repro.index.termindex import build_term_postings
+from repro.ingest.feed import FeedConfig, FeedSource
+from repro.serve.store import build_shards
+
+ENGINE_CONFIG = EngineConfig(n_major_terms=200, n_clusters=5, chunk_docs=8)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_pubmed(60_000, seed=4, n_themes=4)
+
+
+@pytest.fixture(scope="session")
+def result(corpus):
+    return SerialTextEngine(ENGINE_CONFIG).run(corpus)
+
+
+@pytest.fixture(scope="session")
+def postings(corpus, result):
+    return build_term_postings(corpus, result, ENGINE_CONFIG.tokenizer)
+
+
+@pytest.fixture(scope="session")
+def feed_batches(corpus, result):
+    """Three 6-doc batches continuing the corpus's seeded stream."""
+    feed = FeedSource(
+        FeedConfig(
+            dataset="pubmed",
+            batch_docs=6,
+            n_batches=3,
+            seed=4,
+            themes=4,
+            skip_docs=len(corpus.documents),
+            start_doc_id=int(result.doc_ids[-1]) + 1,
+            mean_interarrival_s=0.05,
+        )
+    )
+    return feed.batches()
+
+
+@pytest.fixture
+def make_store(result, postings, tmp_path):
+    """Build a fresh (mutable) store at a given shard count."""
+
+    def _build(nshards, tag="store"):
+        out = tmp_path / f"{tag}-{nshards}"
+        build_shards(result, out, nshards, postings=postings)
+        return out
+
+    return _build

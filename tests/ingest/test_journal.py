@@ -1,0 +1,75 @@
+"""Ingest journal: append-only, replayable, validated on open."""
+
+import json
+
+import pytest
+
+from repro.ingest.journal import JOURNAL_META, IngestJournal
+from repro.serve.store import ShardFormatError
+
+
+def _corpus_slice(corpus, lo, hi, name="slice"):
+    from repro.text.documents import Corpus
+
+    return Corpus(name=name, documents=corpus.documents[lo:hi])
+
+
+def test_round_trip(tmp_path, corpus):
+    path = tmp_path / "journal"
+    journal = IngestJournal.create(path, corpus_name="pubmed")
+    journal.append(_corpus_slice(corpus, 0, 4, "b0"), 1.5)
+    journal.append(_corpus_slice(corpus, 4, 7, "b1"), 3.25)
+
+    reopened = IngestJournal.open(path)
+    assert len(reopened) == 2
+    assert reopened.n_docs == 7
+    assert reopened.corpus_name == "pubmed"
+    replayed = reopened.replay()
+    assert [arrival for _, arrival in replayed] == [1.5, 3.25]
+    first = replayed[0][0]
+    assert [d.doc_id for d in first.documents] == [
+        d.doc_id for d in corpus.documents[:4]
+    ]
+    assert first.documents[0].fields == corpus.documents[0].fields
+
+
+def test_read_single_batch(tmp_path, corpus):
+    journal = IngestJournal.create(tmp_path / "j")
+    journal.append(_corpus_slice(corpus, 0, 3), 0.5)
+    journal.append(_corpus_slice(corpus, 3, 5), 1.0)
+    batch = journal.read_batch(1)
+    assert [d.doc_id for d in batch.documents] == [
+        d.doc_id for d in corpus.documents[3:5]
+    ]
+
+
+def test_arrivals_must_be_monotonic(tmp_path, corpus):
+    journal = IngestJournal.create(tmp_path / "j")
+    journal.append(_corpus_slice(corpus, 0, 2), 2.0)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        journal.append(_corpus_slice(corpus, 2, 4), 1.0)
+
+
+def test_open_missing_journal(tmp_path):
+    with pytest.raises(ShardFormatError):
+        IngestJournal.open(tmp_path / "nope")
+
+
+def test_open_corrupt_meta(tmp_path, corpus):
+    path = tmp_path / "j"
+    journal = IngestJournal.create(path)
+    journal.append(_corpus_slice(corpus, 0, 2), 1.0)
+    (path / JOURNAL_META).write_text("{truncated")
+    with pytest.raises(ShardFormatError) as err:
+        IngestJournal.open(path)
+    assert JOURNAL_META in str(err.value)
+
+
+def test_open_unsupported_format(tmp_path):
+    path = tmp_path / "j"
+    IngestJournal.create(path)
+    meta = json.loads((path / JOURNAL_META).read_text())
+    meta["format"] = "repro-ingest-journal/99"
+    (path / JOURNAL_META).write_text(json.dumps(meta))
+    with pytest.raises(ShardFormatError):
+        IngestJournal.open(path)

@@ -395,3 +395,182 @@ def test_serve_bench_smoke(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+@pytest.fixture(scope="module")
+def journal_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-journal") / "journal"
+    rc = main(
+        [
+            "ingest-feed",
+            "--journal",
+            str(path),
+            "--dataset",
+            "pubmed",
+            "--batches",
+            "2",
+            "--batch-docs",
+            "4",
+            "--seed",
+            "4",
+            "--themes",
+            "4",
+            "--skip-docs",
+            "30",
+            "--start-doc-id",
+            "30",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+def test_ingest_feed_creates_journal(journal_dir, capsys):
+    assert (journal_dir / "JOURNAL.json").exists()
+    from repro.ingest import IngestJournal
+
+    journal = IngestJournal.open(journal_dir)
+    assert len(journal) == 2
+    assert journal.n_docs == 8
+
+
+def test_ingest_feed_appends_after_last_arrival(journal_dir, capsys):
+    rc = main(
+        [
+            "ingest-feed",
+            "--journal",
+            str(journal_dir),
+            "--batches",
+            "1",
+            "--batch-docs",
+            "4",
+            "--seed",
+            "4",
+            "--themes",
+            "4",
+            "--skip-docs",
+            "38",
+            "--start-doc-id",
+            "38",
+        ]
+    )
+    assert rc == 0
+    from repro.ingest import IngestJournal
+
+    journal = IngestJournal.open(journal_dir)
+    assert len(journal) == 3
+    arrivals = [b.arrival_s for b in journal.batches]
+    assert arrivals == sorted(arrivals)
+
+
+@pytest.fixture()
+def mutable_store(corpus_file, results_dir, tmp_path):
+    out = tmp_path / "store"
+    rc = main(
+        [
+            "serve-build",
+            "--results",
+            str(results_dir / "result.npz"),
+            "--corpus",
+            str(corpus_file),
+            "--shards",
+            "2",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+def test_ingest_publish_status_compact(
+    mutable_store, results_dir, journal_dir, capsys
+):
+    results = str(results_dir / "result.npz")
+    rc = main(
+        [
+            "ingest-publish",
+            "--store",
+            str(mutable_store),
+            "--results",
+            results,
+            "--journal",
+            str(journal_dir),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "generation 1" in out
+
+    # replay is idempotent: already-published batches are skipped
+    rc = main(
+        [
+            "ingest-publish",
+            "--store",
+            str(mutable_store),
+            "--results",
+            results,
+            "--journal",
+            str(journal_dir),
+        ]
+    )
+    assert rc == 0
+    assert "nothing to publish" in capsys.readouterr().out
+
+    from repro.ingest import IngestJournal
+
+    n_batches = len(IngestJournal.open(journal_dir))
+    rc = main(["ingest-status", "--store", str(mutable_store)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert f"ingested batches: {n_batches}" in out
+
+    from repro.serve import load_manifest
+
+    has_deltas = bool(load_manifest(mutable_store).deltas)
+    rc = main(["ingest-compact", "--store", str(mutable_store)])
+    assert rc == 0
+    expect = "compacted" if has_deltas else "nothing to do"
+    assert expect in capsys.readouterr().out
+    # a second pass always finds a fully-compacted store
+    rc = main(["ingest-compact", "--store", str(mutable_store)])
+    assert rc == 0
+    assert "nothing to do" in capsys.readouterr().out
+
+
+def test_ingest_status_rejects_corrupt_store(tmp_path, capsys):
+    rc = main(["ingest-status", "--store", str(tmp_path / "nope")])
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bench_ingest_smoke(tmp_path, capsys):
+    out = tmp_path / "BENCH_ingest.json"
+    rc = main(
+        [
+            "bench-ingest",
+            "--shards",
+            "1",
+            "--corpus-bytes",
+            "40000",
+            "--clients",
+            "2",
+            "--queries-per-client",
+            "4",
+            "--batches",
+            "2",
+            "--batch-docs",
+            "4",
+            "--out",
+            str(out),
+            "--update-baseline",
+        ]
+    )
+    assert rc == 0
+    import json
+
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro-bench-ingest/1"
+    assert report["results"]["1"]["docs_ingested"] == 8
+    assert report["fault"]["completed"]
