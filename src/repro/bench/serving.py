@@ -12,6 +12,16 @@ writes ``BENCH_serving.json``:
   crash fault plan (one shard rank dies mid-run): the run must still
   answer **every** query, degrading to partial responses, and the
   report records the degraded-response rate;
+* ``replica.matrix`` -- the replicated tier scaling study: Zipf
+  hot-spot workloads with thousands of clients replayed through
+  router-fronted broker pools at growing rank counts (the largest row
+  runs 64 ranks), recording failover counts, shed rates and tail
+  latency per configuration;
+* ``replica.failover`` -- one replicated configuration run three
+  ways: fault-free, with a mid-run worker crash at R=2 (must answer
+  every admitted query with **zero** degraded responses,
+  byte-identical to the fault-free run), and the same crash at R=1
+  (reproduces the flagged degradation the tier exists to remove);
 * ``baseline`` comparison -- all virtual statistics are deterministic
   for a given (corpus seed, workload seed, machine), so a drifted
   number means a behavioural change: the run fails (exit 1) unless
@@ -43,15 +53,32 @@ from repro.index.termindex import build_term_postings
 from repro.runtime.faults import CrashFault, FaultPlan
 from repro.runtime.metrics import counter_totals
 from repro.serve.broker import BrokerConfig, ServeReport, serve
+from repro.serve.query import canonical_response
+from repro.serve.replica import ReplicaMap
+from repro.serve.router import RouterConfig, TierReport, serve_replicated
 from repro.serve.store import build_shards
-from repro.serve.workload import generate_workload, store_profile
+from repro.serve.workload import (
+    generate_workload,
+    generate_zipf_workload,
+    store_profile,
+)
 
-SCHEMA = "repro-bench-serving/1"
+SCHEMA = "repro-bench-serving/2"
 DEFAULT_SHARDS = (1, 2, 4, 8)
 DEFAULT_OUT = "BENCH_serving.json"
 DEFAULT_CORPUS_BYTES = 120_000
 DEFAULT_CLIENTS = 4
 DEFAULT_QUERIES = 30
+
+#: replicated-tier scaling matrix:
+#: (nshards, workers, brokers, replicas, clients, queries/client).
+#: Ranks = 1 router + brokers + workers; the last row runs 64 ranks
+#: with two thousand Zipf clients hammering seven brokers.
+DEFAULT_REPLICA_MATRIX = (
+    (8, 8, 2, 2, 200, 3),
+    (16, 16, 4, 2, 600, 3),
+    (32, 56, 7, 2, 2000, 2),
+)
 
 #: engine sized for a benchmark corpus, not a paper figure
 _BENCH_ENGINE = EngineConfig(
@@ -97,6 +124,98 @@ class ServePoint:
         )
 
 
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One row of the replicated-tier scaling matrix."""
+
+    nshards: int
+    workers: int
+    brokers: int
+    replicas: int
+    n_clients: int
+    queries_per_client: int
+
+    @property
+    def nprocs(self) -> int:
+        return 1 + self.brokers + self.workers
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.nshards}s-{self.workers}w-{self.brokers}b-"
+            f"r{self.replicas}-c{self.n_clients}"
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ReplicaSpec":
+        """Parse the CLI colon form ``shards:workers:brokers:replicas:clients:qpc``."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(
+                "replica spec must be "
+                f"shards:workers:brokers:replicas:clients:qpc, got {text!r}"
+            )
+        return cls(*(int(p) for p in parts))
+
+
+@dataclass
+class ReplicaPoint:
+    """Measurements for one replicated-tier configuration."""
+
+    label: str
+    nshards: int
+    workers: int
+    brokers: int
+    replicas: int
+    ranks: int
+    n_clients: int
+    served: int
+    shed: int
+    shed_rate: float
+    degraded: int
+    failovers: int
+    hedges: int
+    suspicions: int
+    cache_hit_rate: float
+    throughput_qps: float
+    p50_latency_s: float
+    p99_latency_s: float
+    makespan_s: float
+    counters: dict[str, float]
+
+    @classmethod
+    def from_report(
+        cls, spec: ReplicaSpec, report: TierReport
+    ) -> "ReplicaPoint":
+        serve_counters = {
+            k: v
+            for k, v in counter_totals(report.metrics).items()
+            if k.startswith("serve.")
+        }
+        return cls(
+            label=spec.label,
+            nshards=spec.nshards,
+            workers=spec.workers,
+            brokers=spec.brokers,
+            replicas=spec.replicas,
+            ranks=spec.nprocs,
+            n_clients=spec.n_clients,
+            served=report.served,
+            shed=len(report.shed),
+            shed_rate=round(report.shed_rate, 6),
+            degraded=report.degraded,
+            failovers=report.failovers,
+            hedges=report.hedges,
+            suspicions=report.suspicions,
+            cache_hit_rate=round(report.cache_hit_rate, 6),
+            throughput_qps=round(report.throughput, 6),
+            p50_latency_s=round(report.latency_percentile(50), 9),
+            p99_latency_s=round(report.latency_percentile(99), 9),
+            makespan_s=round(report.makespan, 9),
+            counters=serve_counters,
+        )
+
+
 @dataclass
 class Regression:
     """One baseline-comparison failure."""
@@ -123,6 +242,135 @@ def _git_commit() -> str:
         return "unknown"
 
 
+def _canonical_answers(responses: list[dict]) -> dict:
+    return {
+        (r["client"], r["seq"]): canonical_response(r["response"])
+        for r in responses
+    }
+
+
+def _measure_replica_matrix(
+    result,
+    postings,
+    tmp: Path,
+    matrix: tuple[ReplicaSpec, ...],
+    workload_seed: int,
+    progress,
+) -> dict[str, ReplicaPoint]:
+    """Zipf scaling study over the replicated tier."""
+    points: dict[str, ReplicaPoint] = {}
+    for spec in matrix:
+        store_dir = str(tmp / f"rstore-{spec.label}")
+        build_shards(
+            result,
+            store_dir,
+            spec.nshards,
+            postings=postings,
+            replication=spec.replicas,
+        )
+        scripts = generate_zipf_workload(
+            store_profile(store_dir),
+            n_clients=spec.n_clients,
+            queries_per_client=spec.queries_per_client,
+            seed=workload_seed,
+        )
+        config = RouterConfig(
+            brokers=spec.brokers,
+            workers=spec.workers,
+            replicas=spec.replicas,
+            max_inflight=16,
+        )
+        report = serve_replicated(store_dir, scripts, config=config)
+        pt = ReplicaPoint.from_report(spec, report)
+        points[spec.label] = pt
+        if progress:
+            progress(
+                f"replica {spec.label} ({spec.nprocs} ranks): "
+                f"{pt.served} served, shed {pt.shed} "
+                f"({pt.shed_rate:.0%}), p99 "
+                f"{pt.p99_latency_s * 1e3:.2f} ms"
+            )
+    return points
+
+
+def _measure_failover(
+    result,
+    postings,
+    tmp: Path,
+    workload_seed: int,
+    progress,
+) -> dict:
+    """One replicated configuration, fault-free vs crash at R=2 and R=1.
+
+    The crash victim is the sole R=1 owner of shard 0 (the consistent
+    hash walk makes it the *first* R=2 owner too), so the same fault
+    plan forces a failover at R=2 and a flagged degradation at R=1.
+    """
+    nshards, workers, brokers = 8, 8, 2
+    spec2 = ReplicaSpec(nshards, workers, brokers, 2, 40, 3)
+    spec1 = ReplicaSpec(nshards, workers, brokers, 1, 40, 3)
+    store_dir = str(tmp / "rstore-failover")
+    build_shards(
+        result, store_dir, nshards, postings=postings, replication=2
+    )
+    scripts = generate_zipf_workload(
+        store_profile(store_dir),
+        n_clients=spec2.n_clients,
+        queries_per_client=spec2.queries_per_client,
+        seed=workload_seed,
+    )
+    victim = ReplicaMap.place(nshards, 1, workers).workers_for(0)[0]
+    crash_rank = 1 + brokers + victim
+    # crash during the first fanout wave so requests are in flight to
+    # the victim (exercises RankFailedError failover, not just
+    # health-based avoidance); max_inflight is set high enough that
+    # the failover backlog never trips the priority shed thresholds --
+    # this study isolates failover, the matrix rows cover shedding
+    at_call = 5
+    plan = FaultPlan(
+        faults=(CrashFault(rank=crash_rank, at_call=at_call),)
+    )
+
+    def _config(replicas: int) -> RouterConfig:
+        return RouterConfig(
+            brokers=brokers,
+            workers=workers,
+            replicas=replicas,
+            max_inflight=256,
+            hedge_delay_s=0.5,
+            shard_timeout_s=2.0,
+        )
+
+    base = serve_replicated(store_dir, scripts, config=_config(2))
+    fault2 = serve_replicated(
+        store_dir, scripts, config=_config(2), faults=plan
+    )
+    fault1 = serve_replicated(
+        store_dir, scripts, config=_config(1), faults=plan
+    )
+    exact = _canonical_answers(base.responses) == _canonical_answers(
+        fault2.responses
+    )
+    if progress:
+        progress(
+            f"failover study ({spec2.label}, crash rank {crash_rank}): "
+            f"R=2 {fault2.degraded} degraded / "
+            f"{fault2.failovers} failovers "
+            f"(exact={'yes' if exact else 'NO'}), "
+            f"R=1 {fault1.degraded} degraded"
+        )
+    return {
+        "spec": asdict(spec2),
+        "crashed_rank": crash_rank,
+        "crashed_worker": victim,
+        "at_call": at_call,
+        "baseline": asdict(ReplicaPoint.from_report(spec2, base)),
+        "fault_r2": asdict(ReplicaPoint.from_report(spec2, fault2)),
+        "fault_r1": asdict(ReplicaPoint.from_report(spec1, fault1)),
+        "exact_match_r2": exact,
+    }
+
+
 def measure(
     shards: tuple[int, ...] = DEFAULT_SHARDS,
     corpus_bytes: int = DEFAULT_CORPUS_BYTES,
@@ -130,14 +378,20 @@ def measure(
     workload_seed: int = 7,
     n_clients: int = DEFAULT_CLIENTS,
     queries_per_client: int = DEFAULT_QUERIES,
+    replica_matrix: tuple[ReplicaSpec, ...] | None = None,
     progress=None,
-) -> tuple[dict[int, ServePoint], ServePoint, dict]:
-    """Run the serving matrix plus the fault-plan run.
+) -> tuple[dict[int, ServePoint], ServePoint, dict, dict[str, ReplicaPoint], dict]:
+    """Run the serving matrix, the fault run, and the replica studies.
 
     Returns ``(per-shard-count points, fault-run point, fault
-    metadata)``.  The same workload scripts replay at every shard
-    count so the virtual stats are comparable across P.
+    metadata, replica matrix points, failover study)``.  The same
+    workload scripts replay at every shard count so the virtual stats
+    are comparable across P.
     """
+    if replica_matrix is None:
+        replica_matrix = tuple(
+            ReplicaSpec(*row) for row in DEFAULT_REPLICA_MATRIX
+        )
     corpus = generate_pubmed(corpus_bytes, seed=corpus_seed, n_themes=6)
     result = SerialTextEngine(_BENCH_ENGINE).run(corpus)
     postings = build_term_postings(
@@ -197,7 +451,18 @@ def measure(
                 f"{fault_point.degraded} degraded "
                 f"({fault_point.degraded_rate:.0%})"
             )
-    return points, fault_point, fault_meta
+        replica_points = _measure_replica_matrix(
+            result,
+            postings,
+            Path(tmp),
+            replica_matrix,
+            workload_seed,
+            progress,
+        )
+        failover = _measure_failover(
+            result, postings, Path(tmp), workload_seed, progress
+        )
+    return points, fault_point, fault_meta, replica_points, failover
 
 
 _COMPARED_FIELDS = (
@@ -211,11 +476,27 @@ _COMPARED_FIELDS = (
     "makespan_s",
 )
 
+_REPLICA_COMPARED_FIELDS = (
+    "served",
+    "shed",
+    "shed_rate",
+    "degraded",
+    "failovers",
+    "hedges",
+    "cache_hit_rate",
+    "throughput_qps",
+    "p50_latency_s",
+    "p99_latency_s",
+    "makespan_s",
+)
+
 
 def compare(
     points: dict[int, ServePoint],
     fault_point: ServePoint,
     baseline: dict,
+    replica_points: dict[str, ReplicaPoint] | None = None,
+    failover: dict | None = None,
 ) -> list[Regression]:
     """Exact-equality check of every virtual statistic vs. a baseline.
 
@@ -251,6 +532,41 @@ def compare(
                         measured=m,
                     )
                 )
+    base_replica = baseline.get("replica", {})
+    for label, point in (replica_points or {}).items():
+        base = base_replica.get("matrix", {}).get(label)
+        if base is None:
+            continue
+        for field in _REPLICA_COMPARED_FIELDS:
+            b, m = float(base[field]), float(getattr(point, field))
+            if b != m:
+                regressions.append(
+                    Regression(
+                        nshards=point.nshards,
+                        field=f"replica[{label}].{field}",
+                        baseline=b,
+                        measured=m,
+                    )
+                )
+    base_failover = base_replica.get("failover")
+    if failover is not None and base_failover is not None:
+        for run in ("baseline", "fault_r2", "fault_r1"):
+            base_run = base_failover.get(run)
+            if base_run is None:
+                continue
+            measured_run = failover[run]
+            for field in _REPLICA_COMPARED_FIELDS:
+                b = float(base_run[field])
+                m = float(measured_run[field])
+                if b != m:
+                    regressions.append(
+                        Regression(
+                            nshards=int(measured_run["nshards"]),
+                            field=f"failover.{run}.{field}",
+                            baseline=b,
+                            measured=m,
+                        )
+                    )
     return regressions
 
 
@@ -260,6 +576,8 @@ def build_report(
     fault_meta: dict,
     config_meta: dict,
     baseline: Optional[dict] = None,
+    replica_points: dict[str, ReplicaPoint] | None = None,
+    failover: dict | None = None,
 ) -> tuple[dict, list[Regression]]:
     """Assemble the BENCH_serving.json document."""
     report = {
@@ -275,10 +593,21 @@ def build_report(
             str(p): asdict(pt) for p, pt in sorted(points.items())
         },
         "fault": {"point": asdict(fault_point), **fault_meta},
+        "replica": {
+            "matrix": {
+                label: asdict(pt)
+                for label, pt in sorted(
+                    (replica_points or {}).items()
+                )
+            },
+            "failover": failover,
+        },
     }
     regressions: list[Regression] = []
     if baseline is not None:
-        regressions = compare(points, fault_point, baseline)
+        regressions = compare(
+            points, fault_point, baseline, replica_points, failover
+        )
         report["baseline"] = {
             "commit": baseline.get("commit", "unknown"),
             "regressions": [asdict(r) for r in regressions],
@@ -295,6 +624,7 @@ def run_bench(
     workload_seed: int = 7,
     n_clients: int = DEFAULT_CLIENTS,
     queries_per_client: int = DEFAULT_QUERIES,
+    replica_matrix: tuple[ReplicaSpec, ...] | None = None,
     update_baseline: bool = False,
     progress=print,
 ) -> int:
@@ -303,7 +633,8 @@ def run_bench(
     The file at ``out_path`` (default ``BENCH_serving.json``) doubles
     as the next run's baseline; ``--update-baseline`` rewrites it
     without comparing.  A fault run that fails to answer the full
-    workload is always an error.
+    workload is always an error, as is a replicated R=2 crash run
+    that degrades any response or drifts from the fault-free answers.
     """
     progress = progress or (lambda *_args: None)
     out_path = Path(out_path)
@@ -317,13 +648,18 @@ def run_bench(
                 f"{baseline.get('schema')!r}"
             )
             baseline = None
-    points, fault_point, fault_meta = measure(
+    if replica_matrix is None:
+        replica_matrix = tuple(
+            ReplicaSpec(*row) for row in DEFAULT_REPLICA_MATRIX
+        )
+    points, fault_point, fault_meta, replica_points, failover = measure(
         shards=shards,
         corpus_bytes=corpus_bytes,
         corpus_seed=corpus_seed,
         workload_seed=workload_seed,
         n_clients=n_clients,
         queries_per_client=queries_per_client,
+        replica_matrix=replica_matrix,
         progress=progress,
     )
     config_meta = {
@@ -333,9 +669,16 @@ def run_bench(
         "workload_seed": workload_seed,
         "n_clients": n_clients,
         "queries_per_client": queries_per_client,
+        "replica_matrix": [asdict(s) for s in replica_matrix],
     }
     report, regressions = build_report(
-        points, fault_point, fault_meta, config_meta, baseline
+        points,
+        fault_point,
+        fault_meta,
+        config_meta,
+        baseline,
+        replica_points,
+        failover,
     )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     progress(f"wrote {out_path}")
@@ -346,5 +689,11 @@ def run_bench(
         )
     if not fault_meta["completed"]:
         progress("FAULT RUN INCOMPLETE: queries went unanswered")
+        return 1
+    if failover["fault_r2"]["degraded"] != 0:
+        progress("REPLICA FAULT RUN DEGRADED: failover did not mask the crash")
+        return 1
+    if not failover["exact_match_r2"]:
+        progress("REPLICA FAULT RUN DRIFTED from fault-free answers")
         return 1
     return 1 if regressions else 0

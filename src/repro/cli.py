@@ -216,6 +216,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sb.add_argument("--shards", type=int, default=4)
+    sb.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help=(
+            "default replication factor recorded in the manifest "
+            "(the replicated tier's serve_replicated honors it)"
+        ),
+    )
     sb.add_argument("--out", type=Path, required=True)
 
     sq = sub.add_parser(
@@ -270,6 +279,18 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="baseline report to compare against (default: --out)",
+    )
+    sv.add_argument(
+        "--replica-matrix",
+        type=str,
+        default=None,
+        metavar="S:W:B:R:C:Q[,...]",
+        help=(
+            "replicated-tier study rows as "
+            "shards:workers:brokers:replicas:clients:queries-per-client"
+            " (comma-separated; default runs the built-in 64-rank"
+            " matrix)"
+        ),
     )
     sv.add_argument(
         "--update-baseline",
@@ -676,13 +697,17 @@ def _cmd_serve_build(args: argparse.Namespace) -> int:
 
         corpus = read_source(args.corpus)
     manifest = build_shards(
-        result, args.out, args.shards, corpus=corpus
+        result,
+        args.out,
+        args.shards,
+        corpus=corpus,
+        replication=args.replicas,
     )
     total = sum(s.nbytes for s in manifest.shards)
     print(
         f"built {manifest.nshards}-shard store for "
-        f"{manifest.n_docs} documents ({total:,} shard bytes) "
-        f"at {args.out}/"
+        f"{manifest.n_docs} documents ({total:,} shard bytes, "
+        f"replication {manifest.replication}) at {args.out}/"
     )
     if corpus is None:
         print(
@@ -736,11 +761,22 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.bench.serving import run_bench
+    from repro.bench.serving import ReplicaSpec, run_bench
 
     shards = tuple(
         int(tok) for tok in args.shards.split(",") if tok.strip()
     )
+    replica_matrix = None
+    if args.replica_matrix is not None:
+        try:
+            replica_matrix = tuple(
+                ReplicaSpec.parse(tok)
+                for tok in args.replica_matrix.split(",")
+                if tok.strip()
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     return run_bench(
         out_path=args.out,
         baseline_path=args.baseline,
@@ -750,6 +786,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         workload_seed=args.workload_seed,
         n_clients=args.clients,
         queries_per_client=args.queries_per_client,
+        replica_matrix=replica_matrix,
         update_baseline=args.update_baseline,
     )
 

@@ -620,7 +620,7 @@ def serving_summary(snap: dict) -> dict:
             out[key] = out.get(key, 0.0) + float(e["value"])
         return out
 
-    return {
+    out = {
         "queries_by_kind": _by_key("serve.queries"),
         "cache": {
             "hit": _total("serve.cache.hit"),
@@ -631,6 +631,18 @@ def serving_summary(snap: dict) -> dict:
         "degraded": _total("serve.degraded"),
         "bytes_scanned_by_shard": _by_key("serve.shard.bytes_scanned"),
     }
+    # replicated-tier families appear only when the router tier served
+    # the session; key presence is what the report renderer gates on
+    if "serve.shed" in counters or "serve.failover" in counters:
+        out["replica"] = {
+            "shed_by_priority": _by_key("serve.shed"),
+            "shed": _total("serve.shed"),
+            "failovers": _total("serve.failover"),
+            "hedges": _total("serve.hedge"),
+            "suspicions": _total("serve.replica.suspect"),
+            "downs": _total("serve.replica.down"),
+        }
+    return out
 
 
 def ingest_summary(snap: dict) -> dict:
@@ -770,6 +782,22 @@ def render_report(snap: dict) -> str:
             f"  admission: {serving['rejected']:.0f} rejected; "
             f"degraded responses: {serving['degraded']:.0f}"
         )
+        replica = serving.get("replica")
+        if replica:
+            by_p = replica["shed_by_priority"]
+            shed_mix = ", ".join(
+                f"p{p_}={by_p[p_]:.0f}" for p_ in sorted(by_p)
+            )
+            lines.append(
+                f"  replica tier: {replica['failovers']:.0f} failovers, "
+                f"{replica['hedges']:.0f} hedged requests; "
+                f"shed: {replica['shed']:.0f}"
+                + (f" ({shed_mix})" if shed_mix else "")
+            )
+            lines.append(
+                f"  replica health: {replica['suspicions']:.0f} "
+                f"suspicions, {replica['downs']:.0f} confirmed down"
+            )
         scanned = serving["bytes_scanned_by_shard"]
         if scanned:
             per_shard = ", ".join(

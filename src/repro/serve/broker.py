@@ -150,6 +150,91 @@ class ServeReport:
 # ----------------------------------------------------------------------
 # shard-server rank
 # ----------------------------------------------------------------------
+def execute_shard_op(
+    ctx, model, segs: list[ShardStore], op: str, params: dict
+) -> tuple[object, int]:
+    """Run one shard operator over a segment list.
+
+    Returns ``(payload, bytes_scanned)``; charges the per-op cpu/flops
+    cost but leaves the io charge and metrics to the caller (whose
+    loop structure differs between the single-shard and the replica
+    worker).  Shared by :class:`_ShardWorker` and the replica worker in
+    :mod:`repro.serve.router` so replicas of a shard are bit-identical
+    by construction.
+    """
+    scanned = 0
+    if op == "search":
+        cands: list = []
+        for seg in segs:
+            c, s = seg.op_search(
+                params["term_rows"], params["icf"], params["k"]
+            )
+            cands.extend(c)
+            scanned += s
+        ctx.charge_cpu(scanned // 16 * 4)
+        payload: object = cands
+    elif op == "matvec":
+        cands = []
+        n_docs = 0
+        for seg in segs:
+            c, s = seg.op_matvec(
+                params["unit"],
+                params["k"],
+                params.get("skip_row", -1),
+            )
+            cands.extend(c)
+            scanned += s
+            n_docs += seg.n_docs
+        ctx.charge_flops(2 * n_docs * params["unit"].shape[0])
+        payload = cands
+    elif op == "fetch_unit":
+        payload = (None, -1)
+        for seg in segs:
+            unit, row, s = seg.op_fetch_unit(params["doc_id"])
+            scanned += s
+            if unit is not None and payload[0] is None:
+                payload = (unit, row)
+    elif op == "cluster":
+        size = 0
+        cands = []
+        for seg in segs:
+            sz, c, s = seg.op_cluster(
+                params["cluster"], params["n_docs"]
+            )
+            size += sz
+            cands.extend(c)
+            scanned += s
+        ctx.charge_flops(3 * size * model.centroids.shape[1])
+        payload = (size, cands)
+    elif op == "region":
+        rows_parts: list[np.ndarray] = []
+        block_parts: list[np.ndarray] = []
+        n_docs = 0
+        for seg in segs:
+            rows, block, s = seg.op_region(
+                params["x"], params["y"], params["radius"]
+            )
+            scanned += s
+            n_docs += seg.n_docs
+            if rows.size:
+                rows_parts.append(rows)
+                block_parts.append(block)
+        ctx.charge_cpu(2 * n_docs)
+        if rows_parts:
+            payload = (
+                np.concatenate(rows_parts),
+                np.concatenate(block_parts, axis=0),
+            )
+        else:
+            payload = (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, model.centroids.shape[1])),
+            )
+    else:
+        raise ValueError(f"unknown shard op {op!r}")
+    return payload, scanned
+
+
 class _ShardWorker:
     """One shard rank's serving loop over the generations it is asked
     about.
@@ -217,78 +302,9 @@ class _ShardWorker:
                 qid, op, params = msg
                 epoch = 0
             segs = self.segments(epoch)
-            scanned = 0
-            if op == "search":
-                cands: list = []
-                for seg in segs:
-                    c, s = seg.op_search(
-                        params["term_rows"], params["icf"], params["k"]
-                    )
-                    cands.extend(c)
-                    scanned += s
-                ctx.charge_cpu(scanned // 16 * 4)
-                payload: object = cands
-            elif op == "matvec":
-                cands = []
-                n_docs = 0
-                for seg in segs:
-                    c, s = seg.op_matvec(
-                        params["unit"],
-                        params["k"],
-                        params.get("skip_row", -1),
-                    )
-                    cands.extend(c)
-                    scanned += s
-                    n_docs += seg.n_docs
-                ctx.charge_flops(2 * n_docs * params["unit"].shape[0])
-                payload = cands
-            elif op == "fetch_unit":
-                payload = (None, -1)
-                for seg in segs:
-                    unit, row, s = seg.op_fetch_unit(params["doc_id"])
-                    scanned += s
-                    if unit is not None and payload[0] is None:
-                        payload = (unit, row)
-            elif op == "cluster":
-                size = 0
-                cands = []
-                for seg in segs:
-                    sz, c, s = seg.op_cluster(
-                        params["cluster"], params["n_docs"]
-                    )
-                    size += sz
-                    cands.extend(c)
-                    scanned += s
-                ctx.charge_flops(
-                    3 * size * self.model.centroids.shape[1]
-                )
-                payload = (size, cands)
-            elif op == "region":
-                rows_parts: list[np.ndarray] = []
-                block_parts: list[np.ndarray] = []
-                n_docs = 0
-                for seg in segs:
-                    rows, block, s = seg.op_region(
-                        params["x"], params["y"], params["radius"]
-                    )
-                    scanned += s
-                    n_docs += seg.n_docs
-                    if rows.size:
-                        rows_parts.append(rows)
-                        block_parts.append(block)
-                ctx.charge_cpu(2 * n_docs)
-                if rows_parts:
-                    payload = (
-                        np.concatenate(rows_parts),
-                        np.concatenate(block_parts, axis=0),
-                    )
-                else:
-                    payload = (
-                        np.empty(0, dtype=np.int64),
-                        np.empty((0, self.model.centroids.shape[1])),
-                    )
-            else:
-                raise ValueError(f"unknown shard op {op!r}")
+            payload, scanned = execute_shard_op(
+                ctx, self.model, segs, op, params
+            )
             ctx.charge_io(scanned, concurrent_readers=1)
             bytes_scanned.inc(ctx.rank, float(scanned), key=skey)
             ctx.comm.send(0, (qid, self.shard_idx, payload), tag=TAG_RESP)
@@ -323,8 +339,10 @@ class _Broker:
         self.generational = generational or os.path.exists(
             os.path.join(store_dir, CURRENT_FILE)
         )
-        #: live shard ranks (1-based); shrinks on RankFailedError
-        self.live = list(range(1, self.nshards + 1))
+        #: live shard indices (0-based); shrinks on RankFailedError
+        self.live = list(range(self.nshards))
+        #: this broker's metric slot (rank 0 in the single-broker tier)
+        self.mrank = ctx.rank
         self.qid = 0
         self.icf = icf_weights(self.model.term_df, self.n_docs)
         m = ctx.metrics
@@ -373,15 +391,19 @@ class _Broker:
             # icf depends on the collection size: per-epoch state
             self.icf = icf_weights(self.model.term_df, self.n_docs)
             self.ctx.charge_cpu(_RELOAD_OPS)
-            self.c_reloads.inc(0)
+            self.c_reloads.inc(self.mrank)
             return
 
     # -- fan-out -------------------------------------------------------
+    def _shard_rank(self, shard: int) -> int:
+        """Rank serving ``shard`` (single-copy tier: rank = shard + 1)."""
+        return shard + 1
+
     def _fanout(
         self, targets: list[int], op: str, params: dict
     ) -> tuple[dict[int, object], list[int]]:
-        """One request round over ``targets``; returns (responses by
-        shard index, shards dropped this query)."""
+        """One request round over ``targets`` (shard indices); returns
+        (responses by shard index, shards dropped this query)."""
         ctx, cfg = self.ctx, self.config
         self.qid += 1
         qid = self.qid
@@ -392,38 +414,40 @@ class _Broker:
             if self.generational
             else (qid, op, params)
         )
-        for r in targets:
-            ctx.comm.send(r, req, tag=TAG_REQ)
+        for s in targets:
+            ctx.comm.send(self._shard_rank(s), req, tag=TAG_REQ)
         pending = set(targets)
         got: dict[int, object] = {}
         resends = 0
         while pending:
             try:
                 src, msg = ctx.comm.recv_any(
-                    sources=sorted(pending),
+                    sources=sorted(self._shard_rank(s) for s in pending),
                     tag=TAG_RESP,
                     timeout=cfg.shard_timeout_s,
                 )
             except RankFailedError as exc:
-                dead = [r for r in exc.failed if r in pending]
-                for r in dead:
-                    pending.discard(r)
-                    if r in self.live:
-                        self.live.remove(r)
+                dead = [r - 1 for r in exc.failed if r - 1 in pending]
+                for s in dead:
+                    pending.discard(s)
+                    if s in self.live:
+                        self.live.remove(s)
                 continue
             except CommTimeoutError:
                 if resends < cfg.retries:
                     resends += 1
-                    for r in sorted(pending):
-                        ctx.comm.send(r, req, tag=TAG_REQ)
+                    for s in sorted(pending):
+                        ctx.comm.send(
+                            self._shard_rank(s), req, tag=TAG_REQ
+                        )
                     continue
                 break
             rqid, shard_idx, payload = msg
             if rqid != qid:
                 continue  # stale answer from a retried round
             got[shard_idx] = payload
-            pending.discard(src)
-        dropped = sorted(r - 1 for r in pending)
+            pending.discard(shard_idx)
+        dropped = sorted(pending)
         return got, dropped
 
     def _merged_response(
@@ -449,11 +473,7 @@ class _Broker:
         answer that cannot see part of the collection stays flagged
         partial even though its fan-out round had no new failures.
         """
-        dead = [
-            r - 1
-            for r in range(1, self.nshards + 1)
-            if r not in self.live
-        ]
+        dead = [s for s in range(self.nshards) if s not in self.live]
         missing = sorted(set(dropped) | set(dead))
         resp["partial"] = bool(missing)
         resp["failed_shards"] = missing
@@ -533,14 +553,13 @@ class _Broker:
                 "partial": False,
                 "failed_shards": [],
             }
-        owner_rank = owner + 1
-        if owner_rank not in self.live:
+        if owner not in self.live:
             # the only shard that could anchor this query is gone
             resp = {"kind": "similar", "hits": []}
             self._flag(resp, [owner])
             return resp
         got, dropped = self._fanout(
-            [owner_rank], "fetch_unit", {"doc_id": query.doc_id}
+            [owner], "fetch_unit", {"doc_id": query.doc_id}
         )
         fetched = got.get(owner)
         if fetched is None:
@@ -638,6 +657,47 @@ class _Broker:
         return resp
 
     # -- closed-loop event pump ----------------------------------------
+    def _admit(self, script: ClientScript, depth: int) -> bool:
+        """Whether a query may enter at the given in-flight depth."""
+        return depth < self.config.max_inflight
+
+    def _on_reject(
+        self,
+        client: int,
+        seq: int,
+        query: Query,
+        script: ClientScript,
+        depth: int,
+        rejected: list,
+    ) -> None:
+        """Record one turned-away query (subclass hook)."""
+        self.c_rejected.inc(self.mrank)
+        rejected.append({"client": client, "seq": seq, "kind": query.kind})
+
+    def _shutdown(self) -> None:
+        """End-of-session: stop the shard ranks this broker owns."""
+        for s in self.live:
+            self.ctx.comm.send(
+                self._shard_rank(s), ("stop",), tag=TAG_REQ
+            )
+
+    def _build_report(
+        self,
+        responses: list[dict],
+        latencies: list[float],
+        rejected: list,
+    ) -> ServeReport:
+        return ServeReport(
+            responses=responses,
+            latencies=latencies,
+            rejected=rejected,
+            failed_ranks=sorted(
+                s + 1 for s in range(self.nshards) if s not in self.live
+            ),
+            makespan=self.ctx.now,
+            generations=self.gen_stats,
+        )
+
     def pump(self, scripts: list[ClientScript]) -> ServeReport:
         ctx, cfg = self.ctx, self.config
         heap: list[tuple[float, int, int]] = []
@@ -646,7 +706,7 @@ class _Broker:
                 heapq.heappush(heap, (script.think_s[0], c, 0))
         responses: list[dict] = []
         latencies: list[float] = []
-        rejected: list[dict] = []
+        rejected: list = []
         finishes: list[float] = []  # ascending: server is sequential
 
         def _next(client: int, seq: int, now: float) -> None:
@@ -657,18 +717,21 @@ class _Broker:
                 )
 
         while heap:
-            arrival, client, seq = heapq.heappop(heap)
-            query = scripts[client].queries[seq]
-            self.c_queries.inc(0, key=(query.kind,))
+            # heap entries carry the *position* in ``scripts``; response
+            # records carry the script's own client id (they differ when
+            # a tier broker pumps a routed subset of the client set)
+            arrival, idx, seq = heapq.heappop(heap)
+            script = scripts[idx]
+            query = script.queries[seq]
+            self.c_queries.inc(self.mrank, key=(query.kind,))
             # admission control: accepted-but-unfinished depth at arrival
             depth = len(finishes) - bisect_right(finishes, arrival)
-            if depth >= cfg.max_inflight:
-                self.c_rejected.inc(0)
+            if not self._admit(script, depth):
                 ctx.charge_cpu(_REJECT_OPS)
-                rejected.append(
-                    {"client": client, "seq": seq, "kind": query.kind}
+                self._on_reject(
+                    script.client, seq, query, script, depth, rejected
                 )
-                _next(client, seq, arrival)
+                _next(idx, seq, arrival)
                 continue
             if ctx.now < arrival:
                 ctx.charge(arrival - ctx.now)
@@ -678,23 +741,23 @@ class _Broker:
             key = (self.epoch,) + query.key()
             cached = cfg.cache_capacity > 0 and key in self.cache
             if cached:
-                self.c_hit.inc(0)
+                self.c_hit.inc(self.mrank)
                 self.cache.move_to_end(key)
                 ctx.charge_cpu(_CACHE_HIT_OPS)
                 resp = self.cache[key]
             else:
-                self.c_miss.inc(0)
+                self.c_miss.inc(self.mrank)
                 resp = self.execute(query)
                 if resp.get("partial"):
-                    self.c_degraded.inc(0)
+                    self.c_degraded.inc(self.mrank)
                 elif cfg.cache_capacity > 0:
                     self.cache[key] = resp
                     if len(self.cache) > cfg.cache_capacity:
                         self.cache.popitem(last=False)
-                        self.c_evict.inc(0)
+                        self.c_evict.inc(self.mrank)
             finish = ctx.now
             latency = finish - arrival
-            self.h_latency.observe(0, latency, key=(query.kind,))
+            self.h_latency.observe(self.mrank, latency, key=(query.kind,))
             stats = self.gen_stats.setdefault(
                 self.epoch,
                 {"queries": 0, "first_virtual_s": float(arrival)},
@@ -702,7 +765,7 @@ class _Broker:
             stats["queries"] += 1
             responses.append(
                 {
-                    "client": client,
+                    "client": script.client,
                     "seq": seq,
                     "kind": query.kind,
                     "cached": cached,
@@ -712,20 +775,10 @@ class _Broker:
             )
             latencies.append(latency)
             finishes.append(finish)
-            _next(client, seq, finish)
+            _next(idx, seq, finish)
 
-        for r in self.live:
-            ctx.comm.send(r, ("stop",), tag=TAG_REQ)
-        return ServeReport(
-            responses=responses,
-            latencies=latencies,
-            rejected=rejected,
-            failed_ranks=sorted(
-                r for r in range(1, self.nshards + 1) if r not in self.live
-            ),
-            makespan=ctx.now,
-            generations=self.gen_stats,
-        )
+        self._shutdown()
+        return self._build_report(responses, latencies, rejected)
 
 
 def _serve_main(

@@ -1,0 +1,701 @@
+"""Replicated, multi-broker serving tier on the deterministic runtime.
+
+Topology: ``nprocs = 1 + brokers + workers`` SPMD ranks (plus one
+optional ingest-driver rank).  Rank 0 is the front-end *router*: it
+assigns every client to a broker by consistent hash (sticky sessions),
+ships each broker its script subset, collects the per-broker session
+reports, and stops the worker tier.  Ranks ``1..B`` are brokers, each
+running the PR-4 closed-loop event pump over its own clients with its
+own admission queue and result cache.  Ranks ``B+1..B+W`` are replica
+workers: worker ``w`` serves *every* shard that
+:class:`~repro.serve.replica.ReplicaMap` places on it, for whatever
+epoch a request pins.  Replicas of a shard resolve the identical
+per-epoch segment list through the same
+:func:`~repro.serve.broker.execute_shard_op` code path, so any copy
+answers bit-identically at every epoch -- which is what lets a broker
+fail over mid-query without perturbing a single response byte.
+
+Failure handling replaces PR-4 degradation with failover:
+
+- ``RankFailedError`` during a fan-out marks the dead workers DOWN
+  (permanently) and re-sends each orphaned shard request to the next
+  live replica in ring order, after a seeded jittered backoff in
+  virtual time.
+- A silent shard (``CommTimeoutError`` after ``hedge_delay_s``) gets a
+  *hedged* duplicate request on the next replica; the first answer
+  wins and stragglers are drained by query id.  The silent worker is
+  marked SUSPECT for ``probation_s`` virtual seconds and deprioritized.
+- Only when a shard has no replica left does the broker drop it and
+  flag the response partial -- with ``replicas=1`` this reduces
+  exactly to the PR-4 flagged-degradation behavior.
+
+Overload protection: admission is by priority class (priority ``p``
+admits while the in-flight depth is below ``max_inflight / 2**p``), so
+as a broker saturates it sheds its lowest classes first.  Shed queries
+surface as typed :class:`ShedResponse` records in the report -- never
+as silently inflated latency -- and count into the ``serve.shed``
+metric by class.
+
+Every response still carries no timing fields, so the merged, (client,
+seq)-sorted response list remains the byte-compare oracle: identical
+across broker counts, replica counts, scheduler mechanisms, and -- with
+``replicas >= 2`` -- identical with and without a worker crash.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.cluster import Cluster, MachineSpec
+from repro.runtime.errors import CommTimeoutError, RankFailedError
+from repro.serve.broker import (
+    TAG_REQ,
+    TAG_RESP,
+    _Broker,
+    execute_shard_op,
+)
+from repro.serve.query import ShardStore
+from repro.serve.replica import ReplicaHealth, ReplicaMap, stable_hash
+from repro.serve.store import (
+    Container,
+    ShardFormatError,
+    StoreManifest,
+    load_manifest,
+    load_manifest_generation,
+    load_model,
+)
+from repro.serve.workload import ClientScript
+
+TAG_SCRIPTS = 104
+TAG_REPORT = 105
+
+#: modelled router-side routing cost per client script (abstract ops)
+_ROUTE_OPS = 50
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Policy knobs of one replicated serving session."""
+
+    #: broker ranks fronting the worker tier
+    brokers: int = 2
+    #: worker ranks; 0 means ``max(nshards, replicas)``
+    workers: int = 0
+    #: replicas per shard; 0 means the store manifest's ``replication``
+    replicas: int = 0
+    #: virtual nodes per worker on the placement ring
+    vnodes: int = 16
+    #: placement / routing hash seed
+    seed: int = 0
+    #: virtual seconds before a silent shard gets a hedged duplicate
+    hedge_delay_s: float = 1.0
+    #: virtual seconds a post-hedge round waits before retrying
+    shard_timeout_s: float = 5.0
+    #: resend rounds after hedging before dropping a shard
+    retries: int = 1
+    #: base of the jittered failover/retry backoff (virtual seconds)
+    retry_jitter_s: float = 0.05
+    #: how long a timeout keeps a worker SUSPECT (virtual seconds)
+    probation_s: float = 10.0
+    #: per-broker in-flight depth admitting priority-0 queries
+    max_inflight: int = 8
+    #: per-broker LRU result-cache capacity; 0 disables caching
+    cache_capacity: int = 128
+
+
+@dataclass(frozen=True)
+class ShedResponse:
+    """One query turned away by admission control (typed, not silent)."""
+
+    client: int
+    seq: int
+    kind: str
+    priority: int
+    broker: int
+    depth: int
+
+
+@dataclass
+class TierReport:
+    """Outcome of one replicated-tier session over a workload."""
+
+    responses: list[dict]
+    latencies: list[float]
+    shed: list[ShedResponse]
+    failed_ranks: list[int]
+    makespan: float
+    replica_map: dict
+    brokers: int
+    workers: int
+    failovers: int = 0
+    hedges: int = 0
+    suspicions: int = 0
+    #: final worker health by state ("up" lists only ever-suspected ones)
+    health: dict = field(default_factory=dict)
+    metrics: dict = field(repr=False, default_factory=dict)
+    generations: dict = field(default_factory=dict)
+    per_broker: list = field(default_factory=list)
+    ingest: Optional[dict] = None
+
+    @property
+    def served(self) -> int:
+        return len(self.responses)
+
+    @property
+    def throughput(self) -> float:
+        """Served queries per virtual second."""
+        return self.served / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def degraded(self) -> int:
+        return sum(1 for r in self.responses if r["response"].get("partial"))
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded / self.served if self.served else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        total = self.served + len(self.shed)
+        return len(self.shed) / total if total else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = sum(1 for r in self.responses if r.get("cached"))
+        return hits / self.served if self.served else 0.0
+
+    def latency_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of served-query virtual latency."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = max(0, int(np.ceil(pct / 100.0 * len(ordered))) - 1)
+        return ordered[idx]
+
+
+def broker_of_client(client: int, brokers: int, seed: int = 0) -> int:
+    """Sticky client->broker assignment (pure hash, scheduler-free)."""
+    return stable_hash(f"{seed}/client-{client}") % brokers
+
+
+# ----------------------------------------------------------------------
+# replica worker rank
+# ----------------------------------------------------------------------
+class _ReplicaWorker:
+    """One worker rank serving every shard replica placed on it."""
+
+    def __init__(
+        self,
+        ctx,
+        store_dir: str,
+        rmap: ReplicaMap,
+        n_brokers: int,
+    ):
+        self.ctx = ctx
+        self.store_dir = store_dir
+        self.rmap = rmap
+        self.n_brokers = n_brokers
+        self.worker_id = ctx.rank - 1 - n_brokers
+        self.shards = rmap.shards_of(self.worker_id)
+        self.model = load_model(store_dir)
+        self._manifests: dict[int, StoreManifest] = {}
+        self._segments: dict[tuple[int, int], list[ShardStore]] = {}
+        self._stores: dict[str, ShardStore] = {}
+
+    def _identity(self, shard: int) -> str:
+        hosts = self.rmap.workers_for(shard)
+        copy = hosts.index(self.worker_id) if self.worker_id in hosts else -1
+        return (
+            f"shard {shard} copy {copy} on worker {self.worker_id} "
+            f"(rank {self.ctx.rank})"
+        )
+
+    def _manifest(self, epoch: int, shard: int) -> StoreManifest:
+        m = self._manifests.get(epoch)
+        if m is None:
+            try:
+                m = load_manifest_generation(self.store_dir, epoch)
+            except ShardFormatError as exc:
+                raise ShardFormatError(
+                    exc.path, exc.reason, context=self._identity(shard)
+                ) from exc
+            self._manifests[epoch] = m
+        return m
+
+    def _store(self, fname: str, shard: int) -> ShardStore:
+        s = self._stores.get(fname)
+        if s is None:
+            try:
+                s = ShardStore(
+                    Container(os.path.join(self.store_dir, fname)),
+                    self.model,
+                )
+            except ShardFormatError as exc:
+                raise ShardFormatError(
+                    exc.path, exc.reason, context=self._identity(shard)
+                ) from exc
+            self._stores[fname] = s
+        return s
+
+    def segments(self, epoch: int, shard: int) -> list[ShardStore]:
+        """The epoch's segment list for one hosted shard.
+
+        Identical files -- base shard plus owned deltas -- on every
+        replica of the shard, so replicas answer bit-identically.
+        """
+        segs = self._segments.get((epoch, shard))
+        if segs is None:
+            m = self._manifest(epoch, shard)
+            files = [m.shards[shard].file]
+            files += [d.file for d in m.deltas if d.owner == shard]
+            segs = [self._store(f, shard) for f in files]
+            self._segments[(epoch, shard)] = segs
+        return segs
+
+    def run(self) -> int:
+        ctx = self.ctx
+        bytes_scanned = ctx.metrics.counter(
+            "serve.shard.bytes_scanned", ("shard",)
+        )
+        served = 0
+        sources = list(range(self.n_brokers + 1))  # router + brokers
+        while True:
+            try:
+                src, msg = ctx.comm.recv_any(sources=sources, tag=TAG_REQ)
+            except CommTimeoutError:
+                if 0 in ctx.failed_ranks():
+                    return served
+                continue
+            except RankFailedError as exc:
+                if 0 in exc.failed:
+                    return served
+                sources = [r for r in sources if r not in set(exc.failed)]
+                if len(sources) <= 1:  # only the router left
+                    continue
+                continue
+            if msg[0] == "stop":
+                return served
+            qid, epoch, shard, op, params = msg
+            segs = self.segments(epoch, shard)
+            payload, scanned = execute_shard_op(
+                ctx, self.model, segs, op, params
+            )
+            ctx.charge_io(scanned, concurrent_readers=1)
+            bytes_scanned.inc(ctx.rank, float(scanned), key=(str(shard),))
+            ctx.comm.send(src, (qid, shard, payload), tag=TAG_RESP)
+            served += 1
+
+
+# ----------------------------------------------------------------------
+# broker rank (tier flavour)
+# ----------------------------------------------------------------------
+class _TierBroker(_Broker):
+    """A PR-4 broker pumping its client subset against replica workers.
+
+    Inherits the closed-loop pump, the per-epoch cache, the hot-reload
+    dance, and every operator; overrides the fan-out (replica choice,
+    failover, hedging), admission (priority shedding), and shutdown
+    (the router owns the workers' lifecycle).
+    """
+
+    def __init__(self, ctx, store_dir: str, config: RouterConfig,
+                 rmap: ReplicaMap, generational: bool):
+        super().__init__(ctx, store_dir, config, generational=generational)
+        self.rmap = rmap
+        self.broker_idx = ctx.rank - 1
+        self.worker_base = 1 + config.brokers
+        self.health = ReplicaHealth(probation_s=config.probation_s)
+        self.rng = np.random.default_rng((config.seed, ctx.rank))
+        self.n_failover = 0
+        self.n_hedge = 0
+        m = ctx.metrics
+        self.c_shed = m.counter("serve.shed", ("priority",))
+        self.c_failover = m.counter("serve.failover")
+        self.c_hedge = m.counter("serve.hedge")
+        self.c_suspect = m.counter("serve.replica.suspect")
+        self.c_down = m.counter("serve.replica.down")
+
+    # -- replica health ------------------------------------------------
+    def _worker_rank(self, worker: int) -> int:
+        return self.worker_base + worker
+
+    def _mark_down(self, worker: int) -> None:
+        if not self.health.is_down(worker):
+            self.health.mark_down(worker)
+            self.c_down.inc(self.mrank)
+
+    def _refresh_live(self) -> None:
+        """A shard is live while any replica of it is not DOWN."""
+        self.live = [
+            s
+            for s in range(self.nshards)
+            if any(
+                not self.health.is_down(w)
+                for w in self.rmap.workers_for(s)
+            )
+        ]
+
+    def _observe_failures(self) -> None:
+        """Fold the runtime failure detector into replica health."""
+        changed = False
+        for r in self.ctx.failed_ranks():
+            w = r - self.worker_base
+            if 0 <= w < len(self.rmap.workers) and not self.health.is_down(w):
+                self._mark_down(w)
+                changed = True
+        if changed:
+            self._refresh_live()
+
+    def _next_replica(
+        self, shard: int, tried: list[int], now: float
+    ) -> Optional[int]:
+        for w in self.health.preference(self.rmap.workers_for(shard), now):
+            if w not in tried:
+                return w
+        return None
+
+    def _jitter(self, attempt: int) -> None:
+        """Charge a seeded, jittered backoff before a re-send."""
+        base = self.config.retry_jitter_s * max(1, attempt)
+        self.ctx.charge(base * float(self.rng.uniform(0.5, 1.5)))
+
+    # -- replica-aware fan-out -----------------------------------------
+    def _fanout(
+        self, targets: list[int], op: str, params: dict
+    ) -> tuple[dict[int, object], list[int]]:
+        ctx, cfg = self.ctx, self.config
+        self.qid += 1
+        qid = self.qid
+        self._observe_failures()
+        outstanding: dict[int, set[int]] = {}
+        tried: dict[int, list[int]] = {}
+
+        def _send(shard: int, worker: int) -> None:
+            ctx.comm.send(
+                self._worker_rank(worker),
+                (qid, self.epoch, shard, op, params),
+                tag=TAG_REQ,
+            )
+            outstanding.setdefault(shard, set()).add(worker)
+            tried.setdefault(shard, []).append(worker)
+
+        for s in targets:
+            prefs = self.health.preference(
+                self.rmap.workers_for(s), ctx.now
+            )
+            if not prefs:
+                continue  # no live replica: dropped below
+            # deterministic spread: rotate the preferred replica by
+            # query id and broker index so load shares across copies
+            _send(s, prefs[(qid + self.broker_idx) % len(prefs)])
+        pending = set(outstanding)
+        got: dict[int, object] = {}
+        hedged = False
+        resends = 0
+        while pending:
+            srcs = sorted(
+                {
+                    self._worker_rank(w)
+                    for s in pending
+                    for w in outstanding[s]
+                }
+            )
+            timeout = cfg.shard_timeout_s if hedged else cfg.hedge_delay_s
+            try:
+                src, msg = ctx.comm.recv_any(
+                    sources=srcs, tag=TAG_RESP, timeout=timeout
+                )
+            except RankFailedError as exc:
+                dead = sorted(
+                    r - self.worker_base
+                    for r in exc.failed
+                    if r >= self.worker_base
+                )
+                for w in dead:
+                    self._mark_down(w)
+                self._refresh_live()
+                for s in sorted(pending):
+                    outstanding[s] -= set(dead)
+                    if outstanding[s]:
+                        continue
+                    nxt = self._next_replica(s, tried[s], ctx.now)
+                    if nxt is None:
+                        pending.discard(s)  # no replica left: drop
+                        continue
+                    self.n_failover += 1
+                    self.c_failover.inc(self.mrank)
+                    self._jitter(len(tried[s]))
+                    _send(s, nxt)
+                continue
+            except CommTimeoutError:
+                if not hedged:
+                    # silent shards get one hedged duplicate on the
+                    # next replica; the silent copy turns SUSPECT
+                    hedged = True
+                    for s in sorted(pending):
+                        for w in sorted(outstanding[s]):
+                            if self.health.state(w, ctx.now) != "suspect":
+                                self.health.mark_suspect(w, ctx.now)
+                                self.c_suspect.inc(self.mrank)
+                        nxt = self._next_replica(s, tried[s], ctx.now)
+                        if nxt is not None:
+                            self.n_hedge += 1
+                            self.c_hedge.inc(self.mrank)
+                            _send(s, nxt)
+                    continue
+                if resends < cfg.retries:
+                    resends += 1
+                    self._jitter(resends)
+                    for s in sorted(pending):
+                        for w in sorted(outstanding[s]):
+                            ctx.comm.send(
+                                self._worker_rank(w),
+                                (qid, self.epoch, s, op, params),
+                                tag=TAG_REQ,
+                            )
+                    continue
+                break  # drop whatever is still silent
+            rqid, shard, payload = msg
+            if rqid != qid or shard not in pending:
+                continue  # stale or already-hedged duplicate
+            got[shard] = payload
+            pending.discard(shard)
+        dropped = sorted(set(targets) - set(got))
+        return got, dropped
+
+    # -- priority admission --------------------------------------------
+    def _admit(self, script: ClientScript, depth: int) -> bool:
+        """Class ``p`` admits below ``max_inflight / 2**p`` in-flight.
+
+        Priority 0 is the highest class; as depth grows the lowest
+        classes (largest ``p``) shed first, deterministically.
+        """
+        p = getattr(script, "priority", 0)
+        return depth < max(1, self.config.max_inflight // (2**p))
+
+    def _on_reject(self, client, seq, query, script, depth, rejected):
+        p = getattr(script, "priority", 0)
+        self.c_shed.inc(self.mrank, key=(str(p),))
+        rejected.append(
+            ShedResponse(
+                client=client,
+                seq=seq,
+                kind=query.kind,
+                priority=p,
+                broker=self.broker_idx,
+                depth=depth,
+            )
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def _shutdown(self) -> None:
+        """The router owns the workers; brokers stop nothing."""
+
+    def _build_report(self, responses, latencies, rejected) -> dict:
+        now = self.ctx.now
+        return {
+            "broker": self.broker_idx,
+            "responses": responses,
+            "latencies": latencies,
+            "shed": rejected,
+            "failovers": self.n_failover,
+            "hedges": self.n_hedge,
+            "suspicions": self.health.suspicions,
+            "health": self.health.snapshot(now),
+            "gen_stats": self.gen_stats,
+            "live": list(self.live),
+            "makespan": now,
+        }
+
+    def run(self) -> dict:
+        ctx = self.ctx
+        while True:
+            try:
+                scripts = ctx.comm.recv(0, tag=TAG_SCRIPTS)
+                break
+            except CommTimeoutError:
+                continue
+        report = self.pump(list(scripts))
+        ctx.comm.send(0, report, tag=TAG_REPORT)
+        return report
+
+
+# ----------------------------------------------------------------------
+# router rank
+# ----------------------------------------------------------------------
+def _run_router(
+    ctx, scripts, cfg: RouterConfig, rmap: ReplicaMap
+) -> TierReport:
+    nbrokers, nworkers = cfg.brokers, cfg.workers
+    worker_base = 1 + nbrokers
+    assign: dict[int, list[ClientScript]] = {
+        b: [] for b in range(nbrokers)
+    }
+    for script in scripts:
+        assign[broker_of_client(script.client, nbrokers, cfg.seed)].append(
+            script
+        )
+    for b in range(nbrokers):
+        ctx.charge_cpu(_ROUTE_OPS * max(1, len(assign[b])))
+        ctx.comm.send(1 + b, tuple(assign[b]), tag=TAG_SCRIPTS)
+    reports: list[Optional[dict]] = []
+    for b in range(nbrokers):
+        while True:
+            try:
+                reports.append(ctx.comm.recv(1 + b, tag=TAG_REPORT))
+                break
+            except CommTimeoutError:
+                continue
+            except RankFailedError:
+                reports.append(None)
+                break
+    dead = set(ctx.failed_ranks())
+    for w in range(nworkers):
+        rank = worker_base + w
+        if rank not in dead:
+            ctx.comm.send(rank, ("stop",), tag=TAG_REQ)
+    return _merge_reports(ctx, reports, cfg, rmap, dead)
+
+
+def _merge_reports(
+    ctx, reports, cfg: RouterConfig, rmap: ReplicaMap, dead: set
+) -> TierReport:
+    live = [r for r in reports if r is not None]
+    indexed: list[tuple[tuple[int, int], dict, float]] = []
+    for rep in live:
+        for resp, lat in zip(rep["responses"], rep["latencies"]):
+            resp = dict(resp, broker=rep["broker"])
+            indexed.append(((resp["client"], resp["seq"]), resp, lat))
+    indexed.sort(key=lambda t: t[0])
+    responses = [r for _, r, _ in indexed]
+    latencies = [lat for _, _, lat in indexed]
+    shed = sorted(
+        (s for rep in live for s in rep["shed"]),
+        key=lambda s: (s.client, s.seq),
+    )
+    generations: dict[int, dict] = {}
+    for rep in live:
+        for g, stats in rep["gen_stats"].items():
+            agg = generations.setdefault(
+                g,
+                {"queries": 0, "first_virtual_s": stats["first_virtual_s"]},
+            )
+            agg["queries"] += stats["queries"]
+            agg["first_virtual_s"] = min(
+                agg["first_virtual_s"], stats["first_virtual_s"]
+            )
+    health: dict[str, list[int]] = {"up": [], "suspect": [], "down": []}
+    rank_of = {"up": 0, "suspect": 1, "down": 2}
+    worst: dict[int, str] = {}
+    for rep in live:
+        for state, workers in rep["health"].items():
+            for w in workers:
+                if (
+                    w not in worst
+                    or rank_of[state] > rank_of[worst[w]]
+                ):
+                    worst[w] = state
+    for w in sorted(worst):
+        health[worst[w]].append(w)
+    return TierReport(
+        responses=responses,
+        latencies=latencies,
+        shed=shed,
+        failed_ranks=sorted(dead),
+        makespan=max((rep["makespan"] for rep in live), default=ctx.now),
+        replica_map=rmap.to_dict(),
+        brokers=cfg.brokers,
+        workers=cfg.workers,
+        failovers=sum(rep["failovers"] for rep in live),
+        hedges=sum(rep["hedges"] for rep in live),
+        suspicions=sum(rep["suspicions"] for rep in live),
+        health=health,
+        generations=generations,
+        per_broker=[
+            {
+                "broker": rep["broker"],
+                "served": len(rep["responses"]),
+                "shed": len(rep["shed"]),
+                "failovers": rep["failovers"],
+                "hedges": rep["hedges"],
+                "makespan": rep["makespan"],
+            }
+            for rep in live
+        ],
+    )
+
+
+def _tier_main(ctx, store_dir, scripts, cfg, rmap, ingest):
+    nbrokers, nworkers = cfg.brokers, cfg.workers
+    if ctx.rank == 0:
+        return _run_router(ctx, scripts, cfg, rmap)
+    if ctx.rank <= nbrokers:
+        return _TierBroker(
+            ctx, store_dir, cfg, rmap, generational=ingest is not None
+        ).run()
+    if ctx.rank <= nbrokers + nworkers:
+        return _ReplicaWorker(ctx, store_dir, rmap, nbrokers).run()
+    return ingest.run(ctx, store_dir)
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def serve_replicated(
+    store_dir: str | os.PathLike,
+    scripts: list[ClientScript],
+    config: Optional[RouterConfig] = None,
+    machine: Optional[MachineSpec] = None,
+    faults=None,
+    ingest=None,
+) -> TierReport:
+    """Run one replicated-tier session over a sharded store.
+
+    Spawns ``1 + brokers + workers`` ranks (plus one when ``ingest``
+    is given), places ``replicas`` copies of every shard by consistent
+    hashing, serves every scripted query through the broker tier, and
+    returns the router's merged :class:`TierReport` with the run's
+    metrics snapshot attached.  Worker crashes under a fault plan fail
+    over to surviving replicas; the cluster runs with
+    ``raise_on_failure=False``.
+    """
+    store_dir = str(store_dir)
+    manifest = load_manifest(store_dir)
+    cfg = config if config is not None else RouterConfig()
+    replicas = cfg.replicas or max(1, manifest.replication)
+    workers = cfg.workers or max(manifest.nshards, replicas)
+    if cfg.brokers < 1:
+        raise ValueError(f"need at least one broker, got {cfg.brokers}")
+    cfg = replace(cfg, replicas=replicas, workers=workers)
+    rmap = ReplicaMap.place(
+        manifest.nshards,
+        replicas,
+        workers,
+        vnodes=cfg.vnodes,
+        seed=cfg.seed,
+    )
+    nprocs = 1 + cfg.brokers + workers + (1 if ingest is not None else 0)
+    cluster = Cluster(nprocs, machine=machine, faults=faults)
+    result = cluster.run(
+        _tier_main,
+        store_dir,
+        tuple(scripts),
+        cfg,
+        rmap,
+        ingest,
+        raise_on_failure=False,
+    )
+    report = result.rank_results[0]
+    if report is None:
+        raise RankFailedError(result.failed_ranks, "router rank crashed")
+    report.metrics = result.metrics.snapshot()
+    report.failed_ranks = sorted(
+        set(report.failed_ranks) | set(result.failed_ranks)
+    )
+    if ingest is not None:
+        report.ingest = result.rank_results[nprocs - 1]
+    return report

@@ -93,12 +93,19 @@ def generation_manifest_file(generation: int) -> str:
 
 
 class ShardFormatError(Exception):
-    """A store file is malformed, truncated, or version-incompatible."""
+    """A store file is malformed, truncated, or version-incompatible.
 
-    def __init__(self, path: str, reason: str):
+    ``context`` names *which copy* hit the problem when replicas are
+    in play (e.g. ``"shard 3 copy 1 on worker 5 (rank 9)"``), so an
+    operator can tell a corrupt replica from a corrupt store.
+    """
+
+    def __init__(self, path: str, reason: str, context: str = ""):
         self.path = str(path)
         self.reason = reason
-        super().__init__(f"{path}: {reason}")
+        self.context = context
+        suffix = f" [{context}]" if context else ""
+        super().__init__(f"{path}: {reason}{suffix}")
 
 
 def _pad(n: int) -> int:
@@ -353,6 +360,9 @@ class StoreManifest:
     #: this generation (0.0 = published offline / before the session);
     #: the broker only adopts generations with ``published_s <= now``
     published_s: float = 0.0
+    #: replicas per shard the replicated tier should place by default
+    #: (1 = unreplicated; carried through every later generation)
+    replication: int = 1
 
     @property
     def base_n_docs(self) -> int:
@@ -426,6 +436,7 @@ def _manifest_from_data(
             ),
             ingested_batches=int(data.get("ingested_batches", 0)),
             published_s=float(data.get("published_s", 0.0)),
+            replication=int(data.get("replication", 1)),
         )
     except ShardFormatError:
         raise
@@ -528,6 +539,7 @@ def write_generation_manifest(
         "n_docs": manifest.n_docs,
         "ingested_batches": manifest.ingested_batches,
         "published_s": manifest.published_s,
+        "replication": manifest.replication,
         "corpus_name": manifest.corpus_name,
         "model_file": manifest.model_file,
         "bbox": list(manifest.bbox),
@@ -625,6 +637,7 @@ def build_shards(
     corpus=None,
     postings: TermPostings | None = None,
     tokenizer_config=None,
+    replication: int = 1,
 ) -> StoreManifest:
     """Partition an engine result into a P-shard on-disk store.
 
@@ -632,8 +645,13 @@ def build_shards(
     same ``np.array_split`` convention as the pipeline's partitioner).
     Term postings come from ``postings`` or are inverted from
     ``corpus``; without either, the store serves signature/cluster
-    queries but not ranked term search.
+    queries but not ranked term search.  ``replication`` is recorded
+    in the manifest as the replicated tier's default copy count; it
+    does not change the on-disk layout (every worker reads the same
+    immutable containers).
     """
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
     if result.signatures is None:
         raise ValueError(
             "build_shards needs signatures; run the engine with "
@@ -748,6 +766,7 @@ def build_shards(
         model_file=MODEL_FILE,
         bbox=bbox,
         shards=tuple(shards),
+        replication=replication,
     )
     with open(
         os.path.join(out, MANIFEST_FILE), "w", encoding="utf-8"
@@ -757,6 +776,7 @@ def build_shards(
                 "format": manifest.format,
                 "nshards": manifest.nshards,
                 "n_docs": manifest.n_docs,
+                "replication": manifest.replication,
                 "corpus_name": manifest.corpus_name,
                 "model_file": manifest.model_file,
                 "bbox": list(manifest.bbox),

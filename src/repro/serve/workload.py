@@ -43,12 +43,16 @@ class ClientScript:
 
     ``think_s[i]`` is the virtual think time between the completion of
     query ``i - 1`` (session start for ``i = 0``) and the issue of
-    query ``i``.
+    query ``i``.  ``priority`` is the client's admission class for the
+    replicated tier's load shedding: 0 is the highest class; larger
+    values shed first under overload.  The single-broker path ignores
+    it.
     """
 
     client: int
     queries: tuple[Query, ...]
     think_s: tuple[float, ...]
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -115,6 +119,48 @@ def _make_query(
     return Query(kind="region", x=x, y=y, radius=radius)
 
 
+def _client_priorities(
+    n_clients: int,
+    seed: int,
+    priority_classes: tuple[int, ...],
+    priority_weights: tuple[float, ...] | None,
+) -> list[int]:
+    """Seeded per-client priority assignment.
+
+    Drawn from a *separate* rng stream (derived from ``seed``) so
+    tagging a workload with priorities never perturbs its query or
+    think-time draws -- the byte-identity of an untagged workload is
+    load-bearing for every baseline comparison.
+    """
+    if len(priority_classes) == 1:
+        return [int(priority_classes[0])] * n_clients
+    if any(p < 0 for p in priority_classes):
+        raise ValueError(
+            f"priority classes must be >= 0: {priority_classes}"
+        )
+    if priority_weights is None:
+        weights = np.full(len(priority_classes), 1.0)
+    else:
+        if len(priority_weights) != len(priority_classes):
+            raise ValueError(
+                "priority_weights must match priority_classes: "
+                f"{priority_weights} vs {priority_classes}"
+            )
+        weights = np.array(priority_weights, dtype=np.float64)
+    if weights.sum() <= 0:
+        raise ValueError(f"priority weights have no mass: {priority_weights}")
+    rng = np.random.default_rng((seed, 0x70))
+    cum = np.cumsum(weights / weights.sum())
+    return [
+        int(
+            priority_classes[
+                int(np.searchsorted(cum, rng.random(), side="right"))
+            ]
+        )
+        for _ in range(n_clients)
+    ]
+
+
 def generate_workload(
     profile: StoreProfile,
     n_clients: int = 4,
@@ -124,12 +170,18 @@ def generate_workload(
     hot_fraction: float = 0.3,
     hot_pool: int = 8,
     mean_think_s: float = 0.05,
+    priority_classes: tuple[int, ...] = (0,),
+    priority_weights: tuple[float, ...] | None = None,
 ) -> list[ClientScript]:
     """Generate a seeded closed-loop workload over a store profile.
 
     ``hot_fraction`` of queries repeat from a shared ``hot_pool`` of
     popular queries (cache fodder); the rest are fresh draws.  Think
     times are exponential with mean ``mean_think_s`` virtual seconds.
+    ``priority_classes`` (with optional ``priority_weights``) tags
+    each client with a seeded admission class; the default single
+    class leaves every script at priority 0 and the query stream
+    byte-identical to pre-priority workloads.
     """
     if not profile.terms and not profile.doc_ids:
         raise ValueError("store profile is empty; nothing to query")
@@ -142,6 +194,9 @@ def generate_workload(
     if weights.sum() <= 0:
         raise ValueError(f"query mix has no mass: {mix}")
     cum = np.cumsum(weights / weights.sum())
+    priorities = _client_priorities(
+        n_clients, seed, priority_classes, priority_weights
+    )
     rng = np.random.default_rng(seed)
     pool = [
         _make_query(rng, profile, kinds, cum) for _ in range(hot_pool)
@@ -159,7 +214,74 @@ def generate_workload(
             think.append(float(rng.exponential(mean_think_s)))
         scripts.append(
             ClientScript(
-                client=c, queries=tuple(queries), think_s=tuple(think)
+                client=c,
+                queries=tuple(queries),
+                think_s=tuple(think),
+                priority=priorities[c],
+            )
+        )
+    return scripts
+
+
+def generate_zipf_workload(
+    profile: StoreProfile,
+    n_clients: int = 100,
+    queries_per_client: int = 4,
+    seed: int = 0,
+    mix: dict[str, float] | None = None,
+    pool_size: int = 64,
+    zipf_s: float = 1.3,
+    mean_think_s: float = 0.2,
+    priority_classes: tuple[int, ...] = (0, 1, 2),
+    priority_weights: tuple[float, ...] | None = (0.2, 0.5, 0.3),
+) -> list[ClientScript]:
+    """Generate a Zipf hot-spot workload (the scaling-study shape).
+
+    Every query is drawn from a fixed pool of ``pool_size`` distinct
+    queries with truncated-Zipf(``zipf_s``) popularity: a handful of
+    head queries dominate (cache- and replica-contention fodder) with
+    a long tail of rare ones.  Clients are tagged with seeded
+    priority classes for the shedding study.  Fully deterministic in
+    ``(profile, seed, knobs)`` like :func:`generate_workload`.
+    """
+    if not profile.terms and not profile.doc_ids:
+        raise ValueError("store profile is empty; nothing to query")
+    if pool_size < 1:
+        raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+    if zipf_s <= 1.0:
+        raise ValueError(f"zipf_s must be > 1, got {zipf_s}")
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    bad = sorted(set(mix) - set(DEFAULT_MIX))
+    if bad:
+        raise ValueError(f"unknown query kinds in mix: {bad}")
+    kinds = sorted(mix)
+    weights = np.array([mix[k] for k in kinds], dtype=np.float64)
+    if weights.sum() <= 0:
+        raise ValueError(f"query mix has no mass: {mix}")
+    cum = np.cumsum(weights / weights.sum())
+    priorities = _client_priorities(
+        n_clients, seed, priority_classes, priority_weights
+    )
+    rng = np.random.default_rng(seed)
+    pool = [
+        _make_query(rng, profile, kinds, cum) for _ in range(pool_size)
+    ]
+    scripts: list[ClientScript] = []
+    for c in range(n_clients):
+        queries: list[Query] = []
+        think: list[float] = []
+        for _ in range(queries_per_client):
+            # rank-1 is the hottest query; truncate the unbounded
+            # Zipf draw onto the pool's tail bucket
+            rank = min(int(rng.zipf(zipf_s)), pool_size)
+            queries.append(pool[rank - 1])
+            think.append(float(rng.exponential(mean_think_s)))
+        scripts.append(
+            ClientScript(
+                client=c,
+                queries=tuple(queries),
+                think_s=tuple(think),
+                priority=priorities[c],
             )
         )
     return scripts

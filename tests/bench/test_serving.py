@@ -6,6 +6,8 @@ import pytest
 
 from repro.bench.serving import (
     SCHEMA,
+    ReplicaPoint,
+    ReplicaSpec,
     ServePoint,
     build_report,
     compare,
@@ -13,11 +15,23 @@ from repro.bench.serving import (
     run_bench,
 )
 
+# one tiny replica row: 2 shards x 3 workers x 2 brokers + router = 6
+# ranks, 4 clients x 3 queries
+_SPEC = ReplicaSpec(
+    nshards=2,
+    workers=3,
+    brokers=2,
+    replicas=2,
+    n_clients=4,
+    queries_per_client=3,
+)
+
 SMALL = dict(
     shards=(1, 2),
     corpus_bytes=40_000,
     n_clients=2,
     queries_per_client=6,
+    replica_matrix=(_SPEC,),
 )
 
 
@@ -26,8 +40,16 @@ def measured():
     return measure(progress=None, **SMALL)
 
 
+def test_replica_spec_parse():
+    assert ReplicaSpec.parse("2:3:2:2:4:3") == _SPEC
+    assert _SPEC.nprocs == 6
+    assert _SPEC.label == "2s-3w-2b-r2-c4"
+    with pytest.raises(ValueError):
+        ReplicaSpec.parse("2:3:2")
+
+
 def test_measure_matrix(measured):
-    points, fault_point, fault_meta = measured
+    points, fault_point, fault_meta, replica_points, failover = measured
     assert set(points) == {1, 2}
     total = SMALL["n_clients"] * SMALL["queries_per_client"]
     for p, pt in points.items():
@@ -43,7 +65,7 @@ def test_measure_matrix(measured):
 
 
 def test_fault_run_degrades_but_completes(measured):
-    _, fault_point, fault_meta = measured
+    _, fault_point, fault_meta, _, _ = measured
     assert fault_meta["completed"]
     assert fault_meta["nshards"] == 2
     assert fault_meta["failed_ranks"] == [fault_meta["crashed_rank"]]
@@ -51,12 +73,43 @@ def test_fault_run_degrades_but_completes(measured):
     assert fault_point.degraded_rate > 0
 
 
+def test_replica_matrix_point(measured):
+    _, _, _, replica_points, _ = measured
+    assert set(replica_points) == {_SPEC.label}
+    pt = replica_points[_SPEC.label]
+    assert isinstance(pt, ReplicaPoint)
+    assert pt.ranks == _SPEC.nprocs == 6
+    assert pt.replicas == 2
+    total = _SPEC.n_clients * _SPEC.queries_per_client
+    assert pt.served + pt.shed == total
+    assert pt.degraded == 0
+    assert pt.throughput_qps > 0
+    assert pt.counters["serve.queries"] >= pt.served
+
+
+def test_failover_study(measured):
+    _, _, _, _, failover = measured
+    # the crash-masked run answers everything exactly like the
+    # fault-free run; the single-replica control reproduces the
+    # degradation the tier exists to prevent
+    assert failover["fault_r2"]["degraded"] == 0
+    assert failover["fault_r2"]["failovers"] >= 1
+    assert failover["exact_match_r2"] is True
+    assert failover["fault_r1"]["degraded"] > 0
+    assert failover["baseline"]["degraded"] == 0
+    assert failover["crashed_rank"] == 1 + 2 + failover["crashed_worker"]
+
+
 def test_measure_is_deterministic(measured):
-    points, fault_point, _ = measured
-    again, fault_again, _ = measure(progress=None, **SMALL)
+    points, fault_point, _, replica_points, failover = measured
+    again, fault_again, _, replica_again, failover_again = measure(
+        progress=None, **SMALL
+    )
     for p in points:
         assert points[p] == again[p]
     assert fault_point == fault_again
+    assert replica_points == replica_again
+    assert failover == failover_again
 
 
 def _point(p, **over):
@@ -77,15 +130,51 @@ def _point(p, **over):
     return ServePoint(**base)
 
 
-def _baseline(points, fault_point):
+def _replica_point(**over):
+    base = dict(
+        label=_SPEC.label,
+        nshards=2,
+        workers=3,
+        brokers=2,
+        replicas=2,
+        ranks=6,
+        n_clients=4,
+        served=12,
+        shed=0,
+        shed_rate=0.0,
+        degraded=0,
+        failovers=0,
+        hedges=0,
+        suspicions=0,
+        cache_hit_rate=0.25,
+        throughput_qps=50.0,
+        p50_latency_s=0.001,
+        p99_latency_s=0.002,
+        makespan_s=0.24,
+        counters={},
+    )
+    base.update(over)
+    return ReplicaPoint(**base)
+
+
+def _baseline(points, fault_point, replica_points=None, failover=None):
     from dataclasses import asdict
 
-    return {
+    doc = {
         "schema": SCHEMA,
         "commit": "feedc0de",
         "results": {str(p): asdict(pt) for p, pt in points.items()},
         "fault": {"point": asdict(fault_point)},
     }
+    if replica_points is not None or failover is not None:
+        doc["replica"] = {
+            "matrix": {
+                label: asdict(pt)
+                for label, pt in (replica_points or {}).items()
+            },
+            "failover": failover,
+        }
+    return doc
 
 
 def test_compare_exact_match_passes():
@@ -108,22 +197,57 @@ def test_compare_flags_any_drift():
     assert {r.field for r in regs} == {"fault.degraded"}
 
 
+def test_compare_flags_replica_drift():
+    from dataclasses import asdict
+
+    points = {2: _point(2)}
+    fault = _point(2)
+    replica = {_SPEC.label: _replica_point()}
+    failover = {
+        run: asdict(_replica_point())
+        for run in ("baseline", "fault_r2", "fault_r1")
+    }
+    base = _baseline(points, fault, replica, failover)
+    assert compare(points, fault, base, replica, failover) == []
+
+    drifted = {_SPEC.label: _replica_point(failovers=2, shed=1)}
+    regs = compare(points, fault, base, drifted, failover)
+    assert {r.field for r in regs} == {
+        f"replica[{_SPEC.label}].shed",
+        f"replica[{_SPEC.label}].failovers",
+    }
+
+    fo_drift = dict(failover, fault_r2=asdict(_replica_point(hedges=3)))
+    regs = compare(points, fault, base, replica, fo_drift)
+    assert {r.field for r in regs} == {"failover.fault_r2.hedges"}
+
+
 def test_compare_ignores_unknown_shard_counts():
     points = {4: _point(4)}
     fault = _point(4)
     base = _baseline({2: _point(2)}, fault)
     assert compare(points, fault, base) == []
+    # unknown replica labels are likewise skipped
+    replica = {"9s-9w-9b-r9-c9": _replica_point(label="9s-9w-9b-r9-c9")}
+    assert compare(points, fault, base, replica, None) == []
 
 
 def test_build_report_schema(measured):
-    points, fault_point, fault_meta = measured
+    points, fault_point, fault_meta, replica_points, failover = measured
     report, regs = build_report(
-        points, fault_point, fault_meta, {"shards": [1, 2]}
+        points,
+        fault_point,
+        fault_meta,
+        {"shards": [1, 2]},
+        replica_points=replica_points,
+        failover=failover,
     )
     assert regs == []
     assert report["schema"] == SCHEMA
     assert set(report["results"]) == {"1", "2"}
     assert report["fault"]["completed"]
+    assert set(report["replica"]["matrix"]) == {_SPEC.label}
+    assert report["replica"]["failover"]["exact_match_r2"] is True
     assert "baseline" not in report
     json.dumps(report)  # must be serializable
 
@@ -150,6 +274,20 @@ def test_run_bench_detects_drift(tmp_path):
     ) == 0
     doc = json.loads(out.read_text())
     doc["results"]["2"]["throughput_qps"] += 1.0
+    out.write_text(json.dumps(doc))
+    messages = []
+    rc = run_bench(out_path=out, progress=messages.append, **SMALL)
+    assert rc == 1
+    assert any("DRIFT" in m for m in messages)
+
+
+def test_run_bench_detects_replica_drift(tmp_path):
+    out = tmp_path / "BENCH_serving.json"
+    assert run_bench(
+        out_path=out, update_baseline=True, progress=None, **SMALL
+    ) == 0
+    doc = json.loads(out.read_text())
+    doc["replica"]["matrix"][_SPEC.label]["p99_latency_s"] += 1.0
     out.write_text(json.dumps(doc))
     messages = []
     rc = run_bench(out_path=out, progress=messages.append, **SMALL)

@@ -41,3 +41,11 @@ def stores(result, postings, tmp_path_factory):
         build_shards(result, out, p, postings=postings)
         built[p] = out
     return built
+
+
+@pytest.fixture(scope="session")
+def replicated_store(result, postings, tmp_path_factory):
+    """A 4-shard store built with ``replication=2`` in its manifest."""
+    out = tmp_path_factory.mktemp("rstore") / "store"
+    build_shards(result, out, 4, postings=postings, replication=2)
+    return out

@@ -256,3 +256,39 @@ class TestBuildShards:
         )
         with pytest.raises(KeyError, match="postings"):
             _ = shard.postings
+
+
+class TestReplication:
+    def test_manifest_round_trip(self, replicated_store):
+        manifest = load_manifest(replicated_store)
+        assert manifest.replication == 2
+        data = json.loads(
+            (replicated_store / "manifest.json").read_text()
+        )
+        assert data["replication"] == 2
+
+    def test_default_is_one(self, stores):
+        assert load_manifest(stores[4]).replication == 1
+        # pre-replication manifests (no field at all) parse as 1
+        data = json.loads((stores[1] / "manifest.json").read_text())
+        data.pop("replication", None)
+        (stores[1] / "manifest.json").write_text(json.dumps(data))
+        try:
+            assert load_manifest(stores[1]).replication == 1
+        finally:
+            data["replication"] = 1
+            (stores[1] / "manifest.json").write_text(json.dumps(data))
+
+    def test_rejects_bad_replication(self, result, tmp_path):
+        with pytest.raises(ValueError, match="replication"):
+            build_shards(result, tmp_path / "s", 2, replication=0)
+
+    def test_error_context_is_optional(self):
+        plain = ShardFormatError("/x/f", "bad magic")
+        assert plain.context == ""
+        assert str(plain) == "/x/f: bad magic"
+        rich = ShardFormatError(
+            "/x/f", "bad magic", context="shard 1 copy 0 on worker 3"
+        )
+        assert "shard 1 copy 0 on worker 3" in str(rich)
+        assert rich.path == "/x/f" and rich.reason == "bad magic"

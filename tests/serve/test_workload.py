@@ -111,3 +111,96 @@ class TestGenerateWorkload:
     def test_unknown_kind_in_mix_rejected(self, profile):
         with pytest.raises(ValueError, match="unknown"):
             generate_workload(profile, mix={"bogus": 1.0})
+
+
+class TestPriorities:
+    def test_default_single_class_is_zero(self, profile):
+        scripts = generate_workload(profile, n_clients=6, seed=3)
+        assert all(s.priority == 0 for s in scripts)
+
+    def test_tagging_never_perturbs_queries(self, profile):
+        """Priorities draw from a separate rng stream.
+
+        The query/think streams of a tagged workload must stay
+        byte-identical to the untagged one -- the serving baselines
+        depend on exactly this.
+        """
+        plain = generate_workload(profile, n_clients=8, seed=3)
+        tagged = generate_workload(
+            profile,
+            n_clients=8,
+            seed=3,
+            priority_classes=(0, 1, 2),
+            priority_weights=(0.2, 0.5, 0.3),
+        )
+        for a, b in zip(plain, tagged):
+            assert a.queries == b.queries
+            assert a.think_s == b.think_s
+        assert {s.priority for s in tagged} <= {0, 1, 2}
+
+    def test_priorities_seeded(self, profile):
+        kw = dict(
+            n_clients=30, seed=5, priority_classes=(0, 1, 2)
+        )
+        a = generate_workload(profile, **kw)
+        b = generate_workload(profile, **kw)
+        assert [s.priority for s in a] == [s.priority for s in b]
+
+    def test_weight_validation(self, profile):
+        with pytest.raises(ValueError, match="match"):
+            generate_workload(
+                profile,
+                priority_classes=(0, 1),
+                priority_weights=(1.0,),
+            )
+        with pytest.raises(ValueError, match="mass"):
+            generate_workload(
+                profile,
+                priority_classes=(0, 1),
+                priority_weights=(0.0, 0.0),
+            )
+        with pytest.raises(ValueError, match=">= 0"):
+            generate_workload(profile, priority_classes=(-1, 0))
+
+
+class TestZipfWorkload:
+    def test_seeded_determinism(self, profile):
+        from repro.serve.workload import generate_zipf_workload
+
+        a = generate_zipf_workload(profile, n_clients=20, seed=3)
+        b = generate_zipf_workload(profile, n_clients=20, seed=3)
+        assert a == b
+
+    def test_head_queries_dominate(self, profile):
+        from collections import Counter
+
+        from repro.serve.workload import generate_zipf_workload
+
+        scripts = generate_zipf_workload(
+            profile,
+            n_clients=50,
+            queries_per_client=10,
+            seed=1,
+            pool_size=32,
+        )
+        counts = Counter(
+            q.key() for s in scripts for q in s.queries
+        )
+        # queries come from a bounded pool and the head is hot
+        assert len(counts) <= 32
+        top = counts.most_common(1)[0][1]
+        assert top > (50 * 10) // 32  # far above a uniform share
+
+    def test_priority_classes_assigned(self, profile):
+        from repro.serve.workload import generate_zipf_workload
+
+        scripts = generate_zipf_workload(profile, n_clients=60, seed=2)
+        assert {s.priority for s in scripts} == {0, 1, 2}
+
+    def test_validation(self, profile):
+        from repro.serve.workload import generate_zipf_workload
+
+        with pytest.raises(ValueError, match="zipf_s"):
+            generate_zipf_workload(profile, zipf_s=1.0)
+        with pytest.raises(ValueError, match="pool_size"):
+            generate_zipf_workload(profile, pool_size=0)

@@ -378,6 +378,8 @@ def test_serve_bench_smoke(tmp_path, capsys):
             "2",
             "--queries-per-client",
             "5",
+            "--replica-matrix",
+            "2:3:2:2:4:3",
             "--out",
             str(out),
             "--update-baseline",
@@ -387,9 +389,25 @@ def test_serve_bench_smoke(tmp_path, capsys):
     import json
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "repro-bench-serving/1"
+    assert report["schema"] == "repro-bench-serving/2"
     assert set(report["results"]) == {"1", "2"}
     assert report["fault"]["completed"]
+    assert set(report["replica"]["matrix"]) == {"2s-3w-2b-r2-c4"}
+    assert report["replica"]["failover"]["exact_match_r2"] is True
+
+
+def test_serve_bench_rejects_bad_replica_matrix(tmp_path, capsys):
+    rc = main(
+        [
+            "serve-bench",
+            "--replica-matrix",
+            "2:3:2",
+            "--out",
+            str(tmp_path / "out.json"),
+        ]
+    )
+    assert rc == 1
+    assert "replica spec" in capsys.readouterr().err
 
 
 def test_unknown_command_rejected():
