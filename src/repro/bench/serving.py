@@ -22,10 +22,21 @@ writes ``BENCH_serving.json``:
   every admitted query with **zero** degraded responses,
   byte-identical to the fault-free run), and the same crash at R=1
   (reproduces the flagged degradation the tier exists to remove);
+* ``pruning`` -- the block-max study: a term-search-heavy workload
+  over a larger corpus replayed exhaustively and with the exact
+  block-max kernel at broker batch sizes B in {1, 4, 16}, recording
+  **wall-clock** throughput (the virtual clock cannot see Python/numpy
+  kernel costs), virtual tail latency, posting bytes actually decoded,
+  and blocks skipped.  Every pruned configuration's answers are
+  byte-compared against the exhaustive run; any mismatch fails the
+  bench (exit 1) -- the exactness oracle;
 * ``baseline`` comparison -- all virtual statistics are deterministic
   for a given (corpus seed, workload seed, machine), so a drifted
   number means a behavioural change: the run fails (exit 1) unless
-  ``--update-baseline``.
+  ``--update-baseline``.  Wall-clock fields are never compared against
+  the stored baseline (absolute walls are machine-local); instead the
+  best pruned configuration must stay within 15% of the *same-run*
+  exhaustive wall throughput, or the bench fails.
 
 Virtual stats depend on the engine's BLAS-backed stages (k-means/PCA
 assignments shape per-query payload sizes), so baselines are
@@ -40,6 +51,7 @@ import json
 import platform
 import subprocess
 import tempfile
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Optional
@@ -63,12 +75,36 @@ from repro.serve.workload import (
     store_profile,
 )
 
-SCHEMA = "repro-bench-serving/2"
+SCHEMA = "repro-bench-serving/3"
 DEFAULT_SHARDS = (1, 2, 4, 8)
 DEFAULT_OUT = "BENCH_serving.json"
 DEFAULT_CORPUS_BYTES = 120_000
 DEFAULT_CLIENTS = 4
 DEFAULT_QUERIES = 30
+
+#: the pruning study runs over its own, much larger corpus -- block-max
+#: skipping only pays once posting decode dominates per-query cost, so
+#: the headline numbers need enough documents for the numpy kernels to
+#: outweigh simulator bookkeeping.  0 skips the study entirely.
+DEFAULT_PRUNING_CORPUS_BYTES = 40_000_000
+DEFAULT_BATCH_SIZES = (1, 4, 16)
+#: one shard: block-max skipping is a per-shard kernel win, and
+#: splitting ~15k docs over many tiny shards buries it in per-op
+#: dispatch overhead (the shard-count scaling story is ``results``)
+_PRUNING_SHARDS = 1
+#: zero-think closed loop so the broker actually queues -- cross-query
+#: batching only pays when more than one search op is waiting
+_PRUNING_CLIENTS = 32
+_PRUNING_QUERIES = 10
+_PRUNING_MAX_INFLIGHT = 64
+#: wall-clock is noisy; each configuration runs this many times and
+#: reports the *best* wall time (virtual stats are identical across
+#: repeats by determinism, so only the clock varies)
+_PRUNING_REPEATS = 3
+#: best pruned config's wall throughput below this fraction of the
+#: same-run exhaustive reference is a regression -- a same-process
+#: ratio, so it holds across machines where absolute walls do not
+_WALL_REGRESSION_FRACTION = 0.85
 
 #: replicated-tier scaling matrix:
 #: (nshards, workers, brokers, replicas, clients, queries/client).
@@ -83,6 +119,13 @@ DEFAULT_REPLICA_MATRIX = (
 #: engine sized for a benchmark corpus, not a paper figure
 _BENCH_ENGINE = EngineConfig(
     n_major_terms=300, n_clusters=8, chunk_docs=8
+)
+
+#: the pruning corpus is ~200x larger; bigger chunks keep the one-time
+#: engine run out of the measurement budget (serving stats never depend
+#: on chunking -- it only shapes engine wall time)
+_PRUNING_ENGINE = EngineConfig(
+    n_major_terms=300, n_clusters=8, chunk_docs=64
 )
 
 
@@ -214,6 +257,33 @@ class ReplicaPoint:
             makespan_s=round(report.makespan, 9),
             counters=serve_counters,
         )
+
+
+@dataclass
+class PruningPoint:
+    """One configuration of the block-max pruning study.
+
+    ``wall_s``/``wall_throughput_qps`` are real clock measurements
+    (best of ``_PRUNING_REPEATS``); everything else is deterministic
+    virtual/counter state.  ``exact_match`` is ``None`` for the
+    exhaustive reference itself, and a hard pass/fail oracle for every
+    pruned configuration: the canonical answer bytes must equal the
+    exhaustive run's, query for query.
+    """
+
+    label: str
+    pruned: bool
+    batch_max_queries: int
+    served: int
+    cache_hit_rate: float
+    bytes_scanned: float
+    blocks_skipped: float
+    makespan_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    wall_s: float
+    wall_throughput_qps: float
+    exact_match: bool | None
 
 
 @dataclass
@@ -371,6 +441,140 @@ def _measure_failover(
     }
 
 
+def _measure_pruning(
+    tmp: Path,
+    corpus_seed: int,
+    workload_seed: int,
+    pruning_corpus_bytes: int,
+    batch_sizes: tuple[int, ...],
+    progress,
+) -> Optional[dict]:
+    """Block-max pruning + batching study on a term-search workload.
+
+    Builds a dedicated large corpus, replays an all-search workload
+    exhaustively (the reference) and with the block-max kernel at each
+    broker batch size, and byte-compares every pruned run's canonical
+    answers against the exhaustive run's.  Returns ``None`` when the
+    study is disabled (``pruning_corpus_bytes <= 0``).
+    """
+    if pruning_corpus_bytes <= 0:
+        return None
+    corpus = generate_pubmed(
+        pruning_corpus_bytes, seed=corpus_seed, n_themes=6
+    )
+    result = SerialTextEngine(_PRUNING_ENGINE).run(corpus)
+    postings = build_term_postings(
+        corpus, result, _PRUNING_ENGINE.tokenizer
+    )
+    store_dir = str(tmp / "pruning-store")
+    build_shards(result, store_dir, _PRUNING_SHARDS, postings=postings)
+    scripts = generate_workload(
+        store_profile(store_dir),
+        n_clients=_PRUNING_CLIENTS,
+        queries_per_client=_PRUNING_QUERIES,
+        seed=workload_seed,
+        mix={"search": 1.0},
+        mean_think_s=0.0,
+    )
+    configs: list[tuple[str, BrokerConfig]] = [
+        (
+            "exhaustive",
+            BrokerConfig(
+                pruned_search=False, max_inflight=_PRUNING_MAX_INFLIGHT
+            ),
+        )
+    ]
+    for b in batch_sizes:
+        configs.append(
+            (
+                f"blockmax-b{b}",
+                BrokerConfig(
+                    pruned_search=True,
+                    batch_max_queries=b,
+                    max_inflight=_PRUNING_MAX_INFLIGHT,
+                ),
+            )
+        )
+    runs: dict[str, PruningPoint] = {}
+    reference_answers: Optional[dict] = None
+    for label, config in configs:
+        wall = float("inf")
+        report = None
+        for _ in range(_PRUNING_REPEATS):
+            t0 = time.perf_counter()
+            report = serve(store_dir, scripts, config=config)
+            wall = min(wall, time.perf_counter() - t0)
+        totals = counter_totals(report.metrics)
+        answers = _canonical_answers(report.responses)
+        if reference_answers is None:
+            reference_answers = answers
+            exact: bool | None = None
+        else:
+            exact = answers == reference_answers
+        runs[label] = PruningPoint(
+            label=label,
+            pruned=config.pruned_search,
+            batch_max_queries=config.batch_max_queries,
+            served=report.served,
+            cache_hit_rate=round(report.cache_hit_rate, 6),
+            bytes_scanned=totals.get("serve.shard.bytes_scanned", 0.0),
+            blocks_skipped=totals.get("serve.shard.blocks_skipped", 0.0),
+            makespan_s=round(report.makespan, 9),
+            p50_latency_s=round(report.latency_percentile(50), 9),
+            p99_latency_s=round(report.latency_percentile(99), 9),
+            wall_s=round(wall, 6),
+            wall_throughput_qps=round(report.served / wall, 3)
+            if wall > 0
+            else 0.0,
+            exact_match=exact,
+        )
+        if progress:
+            pt = runs[label]
+            oracle = (
+                "reference"
+                if exact is None
+                else ("exact" if exact else "MISMATCH")
+            )
+            progress(
+                f"pruning {label}: wall {pt.wall_s * 1e3:.1f} ms "
+                f"({pt.wall_throughput_qps:.0f} q/s), virtual p99 "
+                f"{pt.p99_latency_s * 1e3:.2f} ms, "
+                f"{pt.blocks_skipped:.0f} blocks skipped, "
+                f"{pt.bytes_scanned / 1e6:.2f} MB scanned [{oracle}]"
+            )
+    exhaustive = runs["exhaustive"]
+    best = max(
+        (pt for label, pt in runs.items() if label != "exhaustive"),
+        key=lambda pt: pt.wall_throughput_qps,
+    )
+    return {
+        "corpus_bytes": pruning_corpus_bytes,
+        "n_docs": int(result.n_docs),
+        "nshards": _PRUNING_SHARDS,
+        "n_clients": _PRUNING_CLIENTS,
+        "queries_per_client": _PRUNING_QUERIES,
+        "repeats": _PRUNING_REPEATS,
+        "batch_sizes": list(batch_sizes),
+        "runs": {label: asdict(pt) for label, pt in runs.items()},
+        "exact_match_all": all(
+            pt.exact_match
+            for label, pt in runs.items()
+            if label != "exhaustive"
+        ),
+        "best_config": best.label,
+        "wall_speedup_vs_exhaustive": round(
+            best.wall_throughput_qps
+            / max(exhaustive.wall_throughput_qps, 1e-9),
+            3,
+        ),
+        "p99_reduction_vs_exhaustive": round(
+            1.0
+            - best.p99_latency_s / max(exhaustive.p99_latency_s, 1e-12),
+            6,
+        ),
+    }
+
+
 def measure(
     shards: tuple[int, ...] = DEFAULT_SHARDS,
     corpus_bytes: int = DEFAULT_CORPUS_BYTES,
@@ -379,14 +583,23 @@ def measure(
     n_clients: int = DEFAULT_CLIENTS,
     queries_per_client: int = DEFAULT_QUERIES,
     replica_matrix: tuple[ReplicaSpec, ...] | None = None,
+    pruning_corpus_bytes: int = DEFAULT_PRUNING_CORPUS_BYTES,
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
     progress=None,
-) -> tuple[dict[int, ServePoint], ServePoint, dict, dict[str, ReplicaPoint], dict]:
+) -> tuple[
+    dict[int, ServePoint],
+    ServePoint,
+    dict,
+    dict[str, ReplicaPoint],
+    dict,
+    Optional[dict],
+]:
     """Run the serving matrix, the fault run, and the replica studies.
 
     Returns ``(per-shard-count points, fault-run point, fault
-    metadata, replica matrix points, failover study)``.  The same
-    workload scripts replay at every shard count so the virtual stats
-    are comparable across P.
+    metadata, replica matrix points, failover study, pruning study)``.
+    The same workload scripts replay at every shard count so the
+    virtual stats are comparable across P.
     """
     if replica_matrix is None:
         replica_matrix = tuple(
@@ -462,7 +675,15 @@ def measure(
         failover = _measure_failover(
             result, postings, Path(tmp), workload_seed, progress
         )
-    return points, fault_point, fault_meta, replica_points, failover
+        pruning = _measure_pruning(
+            Path(tmp),
+            corpus_seed,
+            workload_seed,
+            pruning_corpus_bytes,
+            batch_sizes,
+            progress,
+        )
+    return points, fault_point, fault_meta, replica_points, failover, pruning
 
 
 _COMPARED_FIELDS = (
@@ -474,6 +695,18 @@ _COMPARED_FIELDS = (
     "p50_latency_s",
     "p99_latency_s",
     "makespan_s",
+)
+
+#: deterministic (virtual/counter) pruning fields, exact-compared;
+#: wall_s / wall_throughput_qps are real-clock and get the 15% gate
+_PRUNING_COMPARED_FIELDS = (
+    "served",
+    "cache_hit_rate",
+    "bytes_scanned",
+    "blocks_skipped",
+    "makespan_s",
+    "p50_latency_s",
+    "p99_latency_s",
 )
 
 _REPLICA_COMPARED_FIELDS = (
@@ -497,6 +730,7 @@ def compare(
     baseline: dict,
     replica_points: dict[str, ReplicaPoint] | None = None,
     failover: dict | None = None,
+    pruning: dict | None = None,
 ) -> list[Regression]:
     """Exact-equality check of every virtual statistic vs. a baseline.
 
@@ -567,6 +801,28 @@ def compare(
                             measured=m,
                         )
                     )
+    base_pruning = baseline.get("pruning")
+    if pruning is not None and base_pruning is not None:
+        nshards = int(pruning["nshards"])
+        for label, run in pruning["runs"].items():
+            base_run = base_pruning.get("runs", {}).get(label)
+            if base_run is None:
+                continue
+            for field in _PRUNING_COMPARED_FIELDS:
+                b, m = float(base_run[field]), float(run[field])
+                if b != m:
+                    regressions.append(
+                        Regression(
+                            nshards=nshards,
+                            field=f"pruning[{label}].{field}",
+                            baseline=b,
+                            measured=m,
+                        )
+                    )
+            # wall-clock fields are never compared against a stored
+            # baseline: absolute walls are machine- and load-local.
+            # The throughput gate is the same-run speedup ratio,
+            # checked in run_bench.
     return regressions
 
 
@@ -578,6 +834,7 @@ def build_report(
     baseline: Optional[dict] = None,
     replica_points: dict[str, ReplicaPoint] | None = None,
     failover: dict | None = None,
+    pruning: dict | None = None,
 ) -> tuple[dict, list[Regression]]:
     """Assemble the BENCH_serving.json document."""
     report = {
@@ -602,11 +859,17 @@ def build_report(
             },
             "failover": failover,
         },
+        "pruning": pruning,
     }
     regressions: list[Regression] = []
     if baseline is not None:
         regressions = compare(
-            points, fault_point, baseline, replica_points, failover
+            points,
+            fault_point,
+            baseline,
+            replica_points,
+            failover,
+            pruning,
         )
         report["baseline"] = {
             "commit": baseline.get("commit", "unknown"),
@@ -625,6 +888,8 @@ def run_bench(
     n_clients: int = DEFAULT_CLIENTS,
     queries_per_client: int = DEFAULT_QUERIES,
     replica_matrix: tuple[ReplicaSpec, ...] | None = None,
+    pruning_corpus_bytes: int = DEFAULT_PRUNING_CORPUS_BYTES,
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
     update_baseline: bool = False,
     progress=print,
 ) -> int:
@@ -634,7 +899,9 @@ def run_bench(
     as the next run's baseline; ``--update-baseline`` rewrites it
     without comparing.  A fault run that fails to answer the full
     workload is always an error, as is a replicated R=2 crash run
-    that degrades any response or drifts from the fault-free answers.
+    that degrades any response or drifts from the fault-free answers,
+    or a pruned search run whose answers are not byte-identical to
+    the exhaustive reference.
     """
     progress = progress or (lambda *_args: None)
     out_path = Path(out_path)
@@ -652,15 +919,19 @@ def run_bench(
         replica_matrix = tuple(
             ReplicaSpec(*row) for row in DEFAULT_REPLICA_MATRIX
         )
-    points, fault_point, fault_meta, replica_points, failover = measure(
-        shards=shards,
-        corpus_bytes=corpus_bytes,
-        corpus_seed=corpus_seed,
-        workload_seed=workload_seed,
-        n_clients=n_clients,
-        queries_per_client=queries_per_client,
-        replica_matrix=replica_matrix,
-        progress=progress,
+    points, fault_point, fault_meta, replica_points, failover, pruning = (
+        measure(
+            shards=shards,
+            corpus_bytes=corpus_bytes,
+            corpus_seed=corpus_seed,
+            workload_seed=workload_seed,
+            n_clients=n_clients,
+            queries_per_client=queries_per_client,
+            replica_matrix=replica_matrix,
+            pruning_corpus_bytes=pruning_corpus_bytes,
+            batch_sizes=batch_sizes,
+            progress=progress,
+        )
     )
     config_meta = {
         "shards": list(shards),
@@ -670,6 +941,8 @@ def run_bench(
         "n_clients": n_clients,
         "queries_per_client": queries_per_client,
         "replica_matrix": [asdict(s) for s in replica_matrix],
+        "pruning_corpus_bytes": pruning_corpus_bytes,
+        "batch_sizes": list(batch_sizes),
     }
     report, regressions = build_report(
         points,
@@ -679,6 +952,7 @@ def run_bench(
         baseline,
         replica_points,
         failover,
+        pruning,
     )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     progress(f"wrote {out_path}")
@@ -695,5 +969,23 @@ def run_bench(
         return 1
     if not failover["exact_match_r2"]:
         progress("REPLICA FAULT RUN DRIFTED from fault-free answers")
+        return 1
+    if pruning is not None and not pruning["exact_match_all"]:
+        progress(
+            "PRUNING ORACLE MISMATCH: a block-max run's answers "
+            "differ from the exhaustive reference"
+        )
+        return 1
+    if (
+        pruning is not None
+        and pruning["wall_speedup_vs_exhaustive"]
+        < _WALL_REGRESSION_FRACTION
+    ):
+        progress(
+            "PRUNING THROUGHPUT REGRESSION: best block-max config is "
+            f"{pruning['wall_speedup_vs_exhaustive']:.2f}x the "
+            "same-run exhaustive wall throughput "
+            f"(floor {_WALL_REGRESSION_FRACTION})"
+        )
         return 1
     return 1 if regressions else 0

@@ -252,6 +252,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="landscape region to describe",
     )
     sq.add_argument("--top", type=int, default=10)
+    sq.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help=(
+            "disable block-max pruned search (answers are "
+            "bit-identical either way; this is the A/B knob)"
+        ),
+    )
 
     sv = sub.add_parser(
         "serve-bench",
@@ -296,6 +304,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="skip the comparison and rewrite the baseline file",
+    )
+    sv.add_argument(
+        "--pruning-corpus-bytes",
+        type=int,
+        default=40_000_000,
+        help=(
+            "corpus size of the term-search-heavy pruning study "
+            "(larger than the virtual-cost corpus so block-max "
+            "skipping has room to work; 0 skips the study)"
+        ),
+    )
+    sv.add_argument(
+        "--batch-sizes",
+        type=str,
+        default="1,4,16",
+        help="broker batch sizes B for the pruning study",
     )
 
     jf = sub.add_parser(
@@ -719,7 +743,12 @@ def _cmd_serve_build(args: argparse.Namespace) -> int:
 def _cmd_serve_query(args: argparse.Namespace) -> int:
     import json
 
-    from repro.serve import Query, ShardFormatError, query_store
+    from repro.serve import (
+        BrokerConfig,
+        Query,
+        ShardFormatError,
+        query_store,
+    )
 
     query = None
     if args.search is not None:
@@ -752,7 +781,11 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         )
         return 1
     try:
-        response = query_store(args.store, query)
+        response = query_store(
+            args.store,
+            query,
+            config=BrokerConfig(pruned_search=not args.exhaustive),
+        )
     except ShardFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -788,6 +821,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         queries_per_client=args.queries_per_client,
         replica_matrix=replica_matrix,
         update_baseline=args.update_baseline,
+        pruning_corpus_bytes=args.pruning_corpus_bytes,
+        batch_sizes=tuple(
+            int(tok) for tok in args.batch_sizes.split(",") if tok.strip()
+        ),
     )
 
 

@@ -18,12 +18,54 @@ bit-identity acceptance test rests on this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.index.fastinv import invert_chunk
 from repro.text.tokenizer import Tokenizer, TokenizerConfig
+
+#: default postings per block for block-max metadata
+BLOCK_SIZE = 128
+
+
+def compute_posting_blocks(
+    offsets: np.ndarray, tf: np.ndarray, block_size: int = BLOCK_SIZE
+) -> tuple[np.ndarray, np.ndarray]:
+    """Block table ``(block_offsets, block_maxtf)`` of a posting layout.
+
+    Every term run is chunked into blocks of at most ``block_size``
+    postings, restarting at each run boundary (a block never crosses
+    terms).  Blocks tile the postings contiguously, so one ascending
+    boundary array describes them all: block ``j`` covers postings
+    ``[block_offsets[j], block_offsets[j+1])`` and ``block_maxtf[j]``
+    is the largest term frequency inside it (the per-block score-bound
+    input of the block-max search kernel).  Both arrays are a pure
+    function of ``(offsets, tf, block_size)``, which is what makes a
+    compacted store's block sections byte-identical to a fresh build's.
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    offsets = np.asarray(offsets, dtype=np.int64)
+    tf = np.asarray(tf, dtype=np.int64)
+    counts = np.diff(offsets)
+    nb = -(-counts // block_size)  # ceil per term; 0 for empty runs
+    total_blocks = int(nb.sum())
+    if total_blocks == 0:
+        return (
+            np.zeros(1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+    seg = np.repeat(np.arange(counts.shape[0], dtype=np.int64), nb)
+    first = np.repeat(np.cumsum(nb) - nb, nb)
+    within = np.arange(total_blocks, dtype=np.int64) - first
+    block_lo = offsets[:-1][seg] + within * block_size
+    block_hi = np.minimum(block_lo + block_size, offsets[1:][seg])
+    block_offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), block_hi]
+    ).astype(np.int64)
+    block_maxtf = np.maximum.reduceat(tf, block_lo).astype(np.int64)
+    return block_offsets, block_maxtf
 
 
 @dataclass
@@ -35,6 +77,14 @@ class TermPostings:
     ``rows[offsets[i]:offsets[i+1]]`` are the (ascending) document rows
     containing term ``i``, with term frequencies in the parallel ``tf``
     slice.
+
+    Block metadata (optional): :meth:`with_blocks` attaches the
+    fixed-size block table of :func:`compute_posting_blocks`.  Because
+    the table is a pure function of the posting layout,
+    :meth:`restrict` and :func:`concat_postings` preserve it by
+    recomputation -- a shard split or a delta-generation concatenation
+    of blocked postings is itself blocked, with exactly the table a
+    fresh :meth:`with_blocks` would produce.
     """
 
     n_docs: int
@@ -44,10 +94,22 @@ class TermPostings:
     rows: np.ndarray
     #: term frequencies, parallel to ``rows``
     tf: np.ndarray
+    #: postings per block when block metadata is attached
+    block_size: int | None = None
+    #: (n_blocks + 1,) ascending block boundaries tiling the postings
+    block_offsets: np.ndarray | None = None
+    #: (n_blocks,) max term frequency inside each block
+    block_maxtf: np.ndarray | None = None
 
     @property
     def n_terms(self) -> int:
         return int(self.offsets.shape[0] - 1)
+
+    @property
+    def n_blocks(self) -> int:
+        if self.block_offsets is None:
+            return 0
+        return int(self.block_offsets.shape[0] - 1)
 
     def __len__(self) -> int:
         return int(self.rows.shape[0])
@@ -58,6 +120,36 @@ class TermPostings:
         hi = int(self.offsets[term_row + 1])
         return self.rows[lo:hi], self.tf[lo:hi]
 
+    def with_blocks(self, block_size: int = BLOCK_SIZE) -> "TermPostings":
+        """A copy carrying the block table for ``block_size``."""
+        block_offsets, block_maxtf = compute_posting_blocks(
+            self.offsets, self.tf, block_size
+        )
+        return replace(
+            self,
+            block_size=block_size,
+            block_offsets=block_offsets,
+            block_maxtf=block_maxtf,
+        )
+
+    def term_block_range(self, term_row: int) -> tuple[int, int]:
+        """Block-index range ``[lo, hi)`` of one term's run.
+
+        Run boundaries are always block boundaries, so both ends are
+        exact ``searchsorted`` hits.
+        """
+        if self.block_offsets is None:
+            raise ValueError("postings carry no block metadata")
+        lo = int(
+            np.searchsorted(self.block_offsets, self.offsets[term_row])
+        )
+        hi = int(
+            np.searchsorted(
+                self.block_offsets, self.offsets[term_row + 1]
+            )
+        )
+        return lo, hi
+
     def restrict(self, row_lo: int, row_hi: int) -> "TermPostings":
         """Postings of document rows ``[row_lo, row_hi)``, rebased.
 
@@ -65,28 +157,45 @@ class TermPostings:
         be shard-local (``rows - row_lo``) and every term keeps its
         global term row.  Because rows ascend within a term run, a
         contiguous document range selects a contiguous sub-run of every
-        term.
+        term -- found by one ``np.searchsorted`` pair per run, so the
+        cost is O(n_terms log + output) rather than a mask scan over
+        every posting.
         """
         if not 0 <= row_lo <= row_hi <= self.n_docs:
             raise ValueError(
                 f"bad row range [{row_lo}, {row_hi}) for "
                 f"{self.n_docs} documents"
             )
-        mask = (self.rows >= row_lo) & (self.rows < row_hi)
-        counts = np.diff(self.offsets)
-        seg = np.repeat(np.arange(self.n_terms), counts)
-        kept = np.bincount(
-            seg[mask], minlength=self.n_terms
-        ).astype(np.int64)
+        n_terms = self.n_terms
+        lo = np.empty(n_terms, dtype=np.int64)
+        hi = np.empty(n_terms, dtype=np.int64)
+        for t in range(n_terms):
+            a = int(self.offsets[t])
+            b = int(self.offsets[t + 1])
+            run = self.rows[a:b]
+            lo[t] = a + np.searchsorted(run, row_lo, side="left")
+            hi[t] = a + np.searchsorted(run, row_hi, side="left")
+        kept = hi - lo
         offsets = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(kept)]
         )
-        return TermPostings(
+        total = int(offsets[-1])
+        # gather indices of every kept posting: each term's contiguous
+        # sub-run [lo[t], hi[t]) laid out back to back
+        take = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets[:-1], kept)
+            + np.repeat(lo, kept)
+        )
+        out = TermPostings(
             n_docs=row_hi - row_lo,
             offsets=offsets,
-            rows=(self.rows[mask] - row_lo).astype(np.int64),
-            tf=self.tf[mask].astype(np.int64),
+            rows=(self.rows[take] - row_lo).astype(np.int64),
+            tf=self.tf[take].astype(np.int64),
         )
+        if self.block_size is not None:
+            out = out.with_blocks(self.block_size)
+        return out
 
 
 def build_term_postings(
@@ -220,7 +329,10 @@ def concat_postings(parts: "list[TermPostings]") -> TermPostings:
                 tf[c : c + n] = p.tf[lo:hi]
                 cursor[t] = c + n
         base += p.n_docs
-    return TermPostings(n_docs=n_docs, offsets=offsets, rows=rows, tf=tf)
+    out = TermPostings(n_docs=n_docs, offsets=offsets, rows=rows, tf=tf)
+    if parts[0].block_size is not None:
+        out = out.with_blocks(parts[0].block_size)
+    return out
 
 
 def icf_weights(df: np.ndarray, n_docs: int) -> np.ndarray:

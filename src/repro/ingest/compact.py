@@ -29,10 +29,10 @@ from repro.serve.store import (
     Container,
     ShardInfo,
     StoreManifest,
-    decode_postings,
-    delta_encode_postings,
+    encode_postings_sections,
     generation_dir,
     load_manifest,
+    load_segment_postings,
     publish_generation,
     write_container,
     write_generation_manifest,
@@ -71,12 +71,7 @@ def should_compact(
 
 def _segment_postings(container: Container) -> TermPostings:
     n_docs = int(container.meta["row_hi"]) - int(container.meta["row_lo"])
-    return decode_postings(
-        n_docs,
-        np.asarray(container.load("post_offsets")),
-        np.asarray(container.load("post_rows_delta")),
-        np.asarray(container.load("post_tf")),
-    )
+    return load_segment_postings(container, n_docs)
 
 
 def compact_store(
@@ -141,9 +136,7 @@ def compact_store(
         }
         if postings is not None:
             local = postings.restrict(row_lo, row_hi)
-            arrays["post_offsets"] = local.offsets
-            arrays["post_rows_delta"] = delta_encode_postings(local)
-            arrays["post_tf"] = local.tf
+            arrays.update(encode_postings_sections(local))
         meta = {
             "kind": "shard",
             "shard": i,

@@ -105,7 +105,7 @@ def append_generation(
     its virtual publish instant (live ingest passes ``ctx.now``); the
     default 0.0 marks an offline publish, visible from session start.
     """
-    from repro.serve.store import delta_encode_postings
+    from repro.serve.store import encode_postings_sections
 
     if not deltas:
         raise ValueError("append_generation needs at least one batch")
@@ -129,9 +129,7 @@ def append_generation(
             "signatures": np.asarray(p.signatures, dtype=np.float64),
             "coords": np.asarray(p.coords, dtype=np.float64),
             "assignments": np.asarray(p.assignments, dtype=np.int64),
-            "post_offsets": d.postings.offsets,
-            "post_rows_delta": delta_encode_postings(d.postings),
-            "post_tf": d.postings.tf,
+            **encode_postings_sections(d.postings),
         }
         meta = {
             "kind": "delta",

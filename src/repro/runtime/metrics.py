@@ -630,6 +630,10 @@ def serving_summary(snap: dict) -> dict:
         "rejected": _total("serve.rejected"),
         "degraded": _total("serve.degraded"),
         "bytes_scanned_by_shard": _by_key("serve.shard.bytes_scanned"),
+        "blocks_skipped_by_shard": _by_key(
+            "serve.shard.blocks_skipped"
+        ),
+        "blocks_skipped": _total("serve.shard.blocks_skipped"),
     }
     # replicated-tier families appear only when the router tier served
     # the session; key presence is what the report renderer gates on
@@ -805,6 +809,16 @@ def render_report(snap: dict) -> str:
                 for s in sorted(scanned, key=int)
             )
             lines.append(f"  bytes scanned: {per_shard}")
+        skipped = serving.get("blocks_skipped_by_shard", {})
+        if skipped and serving.get("blocks_skipped", 0.0) > 0:
+            per_shard = ", ".join(
+                f"shard {s}: {skipped[s]:.0f}"
+                for s in sorted(skipped, key=int)
+            )
+            lines.append(
+                f"  posting blocks skipped (block-max pruning): "
+                f"{serving['blocks_skipped']:.0f} ({per_shard})"
+            )
 
     ingest = ingest_summary(snap)
     if ingest:

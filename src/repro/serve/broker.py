@@ -99,6 +99,12 @@ class BrokerConfig:
     cache_capacity: int = 128
     #: resend rounds after a CommTimeoutError before degrading
     retries: int = 1
+    #: use block-max top-k pruning for search ops (answers are
+    #: bit-identical either way; legacy stores fall back regardless)
+    pruned_search: bool = True
+    #: max queued same-arrival ``search`` queries drained into one
+    #: fan-out message; 1 preserves the one-query-per-round protocol
+    batch_max_queries: int = 1
 
 
 @dataclass
@@ -152,27 +158,51 @@ class ServeReport:
 # ----------------------------------------------------------------------
 def execute_shard_op(
     ctx, model, segs: list[ShardStore], op: str, params: dict
-) -> tuple[object, int]:
+) -> tuple[object, int, int]:
     """Run one shard operator over a segment list.
 
-    Returns ``(payload, bytes_scanned)``; charges the per-op cpu/flops
-    cost but leaves the io charge and metrics to the caller (whose
-    loop structure differs between the single-shard and the replica
-    worker).  Shared by :class:`_ShardWorker` and the replica worker in
-    :mod:`repro.serve.router` so replicas of a shard are bit-identical
-    by construction.
+    Returns ``(payload, bytes_scanned, blocks_skipped)``; charges the
+    per-op cpu/flops cost but leaves the io charge and metrics to the
+    caller (whose loop structure differs between the single-shard and
+    the replica worker).  Shared by :class:`_ShardWorker` and the
+    replica worker in :mod:`repro.serve.router` so replicas of a shard
+    are bit-identical by construction.
     """
     scanned = 0
+    skipped = 0
     if op == "search":
         cands: list = []
         for seg in segs:
-            c, s = seg.op_search(
-                params["term_rows"], params["icf"], params["k"]
+            c, s, sk = seg.op_search(
+                params["term_rows"],
+                params["icf"],
+                params["k"],
+                pruned=params.get("pruned", True),
             )
             cands.extend(c)
             scanned += s
+            skipped += sk
         ctx.charge_cpu(scanned // 16 * 4)
         payload: object = cands
+    elif op == "search_batch":
+        # one message, N queries: every member scores over the same
+        # segment list, sharing the lazily-decoded postings blocks
+        batch_payload: list[list] = []
+        for term_rows, k in params["requests"]:
+            cands = []
+            for seg in segs:
+                c, s, sk = seg.op_search(
+                    term_rows,
+                    params["icf"],
+                    k,
+                    pruned=params.get("pruned", True),
+                )
+                cands.extend(c)
+                scanned += s
+                skipped += sk
+            batch_payload.append(cands)
+        ctx.charge_cpu(scanned // 16 * 4)
+        payload = batch_payload
     elif op == "matvec":
         cands = []
         n_docs = 0
@@ -232,7 +262,7 @@ def execute_shard_op(
             )
     else:
         raise ValueError(f"unknown shard op {op!r}")
-    return payload, scanned
+    return payload, scanned, skipped
 
 
 class _ShardWorker:
@@ -290,6 +320,9 @@ class _ShardWorker:
         bytes_scanned = ctx.metrics.counter(
             "serve.shard.bytes_scanned", ("shard",)
         )
+        blocks_skipped = ctx.metrics.counter(
+            "serve.shard.blocks_skipped", ("shard",)
+        )
         skey = (str(self.shard_idx),)
         served = 0
         while True:
@@ -302,11 +335,12 @@ class _ShardWorker:
                 qid, op, params = msg
                 epoch = 0
             segs = self.segments(epoch)
-            payload, scanned = execute_shard_op(
+            payload, scanned, skipped = execute_shard_op(
                 ctx, self.model, segs, op, params
             )
             ctx.charge_io(scanned, concurrent_readers=1)
             bytes_scanned.inc(ctx.rank, float(scanned), key=skey)
+            blocks_skipped.inc(ctx.rank, float(skipped), key=skey)
             ctx.comm.send(0, (qid, self.shard_idx, payload), tag=TAG_RESP)
             served += 1
 
@@ -509,9 +543,59 @@ class _Broker:
         got, dropped = self._fanout(
             self.live,
             "search",
-            {"term_rows": term_rows, "icf": self.icf, "k": k},
+            {
+                "term_rows": term_rows,
+                "icf": self.icf,
+                "k": k,
+                "pruned": self.config.pruned_search,
+            },
         )
         return self._merged_response("search", got, dropped, k)
+
+    def _exec_search_batch(self, queries: list[Query]) -> list[dict]:
+        """Answer several search queries with one shard round-trip.
+
+        Members with no known terms (or a store without postings) get
+        the fixed empty response inline, exactly like
+        :meth:`_exec_search`; the rest share a single ``search_batch``
+        fan-out so every shard decodes its postings once per batch
+        instead of once per query.  Merging stays per member, so each
+        response is identical to what :meth:`_exec_search` would have
+        produced for that query alone.
+        """
+        empty = {
+            "kind": "search",
+            "hits": [],
+            "partial": False,
+            "failed_shards": [],
+        }
+        out: list[Optional[dict]] = [None] * len(queries)
+        resolved: list[tuple[int, list, int]] = []
+        for i, query in enumerate(queries):
+            term_rows = [
+                self.model.term_row[t]
+                for t in query.terms
+                if t in self.model.term_row
+            ]
+            if not term_rows or not self.model.has_postings:
+                out[i] = dict(empty)
+                continue
+            k = min(max(1, query.k), self.n_docs)
+            resolved.append((i, term_rows, k))
+        if resolved:
+            got, dropped = self._fanout(
+                self.live,
+                "search_batch",
+                {
+                    "requests": [(tr, k) for _, tr, k in resolved],
+                    "icf": self.icf,
+                    "pruned": self.config.pruned_search,
+                },
+            )
+            for m, (i, _tr, k) in enumerate(resolved):
+                got_m = {s: got[s][m] for s in got}
+                out[i] = self._merged_response("search", got_m, dropped, k)
+        return out
 
     def _exec_query(self, query: Query) -> dict:
         rows = [
@@ -716,6 +800,42 @@ class _Broker:
                     heap, (now + script.think_s[seq + 1], client, seq + 1)
                 )
 
+        def _record(
+            idx: int, seq: int, arrival: float, query: Query,
+            resp: dict, cached: bool,
+        ) -> None:
+            script = scripts[idx]
+            finish = ctx.now
+            latency = finish - arrival
+            self.h_latency.observe(self.mrank, latency, key=(query.kind,))
+            stats = self.gen_stats.setdefault(
+                self.epoch,
+                {"queries": 0, "first_virtual_s": float(arrival)},
+            )
+            stats["queries"] += 1
+            responses.append(
+                {
+                    "client": script.client,
+                    "seq": seq,
+                    "kind": query.kind,
+                    "cached": cached,
+                    "generation": self.epoch,
+                    "response": resp,
+                }
+            )
+            latencies.append(latency)
+            finishes.append(finish)
+            _next(idx, seq, finish)
+
+        def _store(key: tuple, resp: dict) -> None:
+            if resp.get("partial"):
+                self.c_degraded.inc(self.mrank)
+            elif cfg.cache_capacity > 0:
+                self.cache[key] = resp
+                if len(self.cache) > cfg.cache_capacity:
+                    self.cache.popitem(last=False)
+                    self.c_evict.inc(self.mrank)
+
         while heap:
             # heap entries carry the *position* in ``scripts``; response
             # records carry the script's own client id (they differ when
@@ -739,43 +859,63 @@ class _Broker:
             # never inside a fan-out
             self._maybe_reload()
             key = (self.epoch,) + query.key()
-            cached = cfg.cache_capacity > 0 and key in self.cache
-            if cached:
+            if cfg.cache_capacity > 0 and key in self.cache:
                 self.c_hit.inc(self.mrank)
                 self.cache.move_to_end(key)
                 ctx.charge_cpu(_CACHE_HIT_OPS)
-                resp = self.cache[key]
-            else:
-                self.c_miss.inc(self.mrank)
+                _record(idx, seq, arrival, query, self.cache[key], True)
+                continue
+            self.c_miss.inc(self.mrank)
+            if (
+                query.kind != "search"
+                or cfg.batch_max_queries <= 1
+                or self.generational
+            ):
                 resp = self.execute(query)
-                if resp.get("partial"):
-                    self.c_degraded.inc(self.mrank)
-                elif cfg.cache_capacity > 0:
-                    self.cache[key] = resp
-                    if len(self.cache) > cfg.cache_capacity:
-                        self.cache.popitem(last=False)
-                        self.c_evict.inc(self.mrank)
-            finish = ctx.now
-            latency = finish - arrival
-            self.h_latency.observe(self.mrank, latency, key=(query.kind,))
-            stats = self.gen_stats.setdefault(
-                self.epoch,
-                {"queries": 0, "first_virtual_s": float(arrival)},
-            )
-            stats["queries"] += 1
-            responses.append(
-                {
-                    "client": script.client,
-                    "seq": seq,
-                    "kind": query.kind,
-                    "cached": cached,
-                    "generation": self.epoch,
-                    "response": resp,
-                }
-            )
-            latencies.append(latency)
-            finishes.append(finish)
-            _next(idx, seq, finish)
+                _store(key, resp)
+                _record(idx, seq, arrival, query, resp, False)
+                continue
+            # -- cross-query batching: drain search queries that have
+            # already arrived into one shard round-trip.  Members keep
+            # their own admission check, cache lookup, and response
+            # identity; they only share the fan-out (and with it the
+            # shard-side postings decode) and a common finish time.
+            batch = [(idx, seq, arrival, query, key)]
+            while heap and len(batch) < cfg.batch_max_queries:
+                a2, i2, s2 = heap[0]
+                q2 = scripts[i2].queries[s2]
+                if a2 > ctx.now or q2.kind != "search":
+                    break
+                heapq.heappop(heap)
+                script2 = scripts[i2]
+                self.c_queries.inc(self.mrank, key=(q2.kind,))
+                # accepted-but-unfinished depth counts the batch being
+                # assembled: its members are admitted but not served
+                depth2 = (
+                    len(finishes)
+                    - bisect_right(finishes, a2)
+                    + len(batch)
+                )
+                if not self._admit(script2, depth2):
+                    ctx.charge_cpu(_REJECT_OPS)
+                    self._on_reject(
+                        script2.client, s2, q2, script2, depth2, rejected
+                    )
+                    _next(i2, s2, a2)
+                    continue
+                key2 = (self.epoch,) + q2.key()
+                if cfg.cache_capacity > 0 and key2 in self.cache:
+                    self.c_hit.inc(self.mrank)
+                    self.cache.move_to_end(key2)
+                    ctx.charge_cpu(_CACHE_HIT_OPS)
+                    _record(i2, s2, a2, q2, self.cache[key2], True)
+                    continue
+                self.c_miss.inc(self.mrank)
+                batch.append((i2, s2, a2, q2, key2))
+            resps = self._exec_search_batch([b[3] for b in batch])
+            for (i2, s2, a2, q2, key2), resp in zip(batch, resps):
+                _store(key2, resp)
+                _record(i2, s2, a2, q2, resp, False)
 
         self._shutdown()
         return self._build_report(responses, latencies, rejected)

@@ -37,9 +37,10 @@ from repro.analysis.session import (
 )
 from repro.index.termindex import TermPostings, accumulate_tficf
 from repro.serve.store import (
+    BlockPostings,
     Container,
     ServeModel,
-    decode_postings,
+    load_segment_postings,
 )
 
 QUERY_KINDS = ("search", "query", "similar", "cluster", "region")
@@ -113,6 +114,8 @@ class ShardStore:
         self._unit: Optional[np.ndarray] = None
         self._sigs: Optional[np.ndarray] = None
         self._postings: Optional[TermPostings] = None
+        self._blocks: Optional[BlockPostings] = None
+        self._blocks_probed = False
 
     @property
     def n_docs(self) -> int:
@@ -138,25 +141,52 @@ class ShardStore:
                     f"{self.container.path}: shard was built without "
                     "postings (pass a corpus to build_shards)"
                 )
-            self._postings = decode_postings(
-                self.n_docs,
-                np.asarray(self.container.load("post_offsets")),
-                np.asarray(self.container.load("post_rows_delta")),
-                np.asarray(self.container.load("post_tf")),
+            self._postings = load_segment_postings(
+                self.container, self.n_docs
             )
         return self._postings
+
+    @property
+    def blocks(self) -> Optional[BlockPostings]:
+        """Lazy block-aligned postings, or ``None`` on legacy (v1)
+        containers without block sections -- the exhaustive-fallback
+        signal for :meth:`op_search`."""
+        if not self._blocks_probed:
+            self._blocks_probed = True
+            if "post_block_offsets" in self.container:
+                self._blocks = BlockPostings(self.container, self.n_docs)
+        return self._blocks
 
     def _candidates(
         self, local_idx: np.ndarray, scores: np.ndarray
     ) -> list[Candidate]:
+        local_idx = np.asarray(local_idx, dtype=np.int64)
+        return self._candidate_list(
+            local_idx,
+            np.asarray(scores, dtype=np.float64)[local_idx],
+        )
+
+    def _candidate_list(
+        self, local_idx: np.ndarray, cand_scores: np.ndarray
+    ) -> list[Candidate]:
+        """Candidates from parallel (local row, score) arrays.
+
+        Gathers every field with array indexing and one ``tolist`` per
+        column -- same values and ordering as the old per-candidate
+        loop, without the per-element numpy scalar boxing.
+        """
+        local_idx = np.asarray(local_idx, dtype=np.int64)
+        rows = (self.row_lo + local_idx).tolist()
+        scores = np.asarray(cand_scores, dtype=np.float64).tolist()
+        docs = np.asarray(self.doc_ids, dtype=np.int64)[
+            local_idx
+        ].tolist()
+        clusters = np.asarray(self.assignments, dtype=np.int64)[
+            local_idx
+        ].tolist()
         return [
-            Candidate(
-                score=float(scores[i]),
-                row=self.row_lo + int(i),
-                doc_id=int(self.doc_ids[i]),
-                cluster=int(self.assignments[i]),
-            )
-            for i in local_idx
+            Candidate(score=s, row=r, doc_id=d, cluster=c)
+            for s, r, d, c in zip(scores, rows, docs, clusters)
         ]
 
     # ------------------------------------------------------------------
@@ -197,9 +227,36 @@ class ShardStore:
         return self._candidates(idx, sims), self.unit.nbytes
 
     def op_search(
-        self, term_rows: list[int], icf: np.ndarray, k: int
-    ) -> tuple[list[Candidate], int]:
-        """Local tf·icf ranked search over the shard's postings."""
+        self,
+        term_rows: list[int],
+        icf: np.ndarray,
+        k: int,
+        pruned: bool = True,
+    ) -> tuple[list[Candidate], int, int]:
+        """Local tf·icf ranked search over the shard's postings.
+
+        Returns ``(candidates, bytes scanned, blocks skipped)``.  With
+        block sections present (format v2) and ``pruned``, runs the
+        exact block-max kernel and reports only the posting bytes it
+        actually decoded; legacy containers and ``pruned=False`` score
+        exhaustively (0 blocks skipped by definition).  Both paths
+        return bit-identical candidates -- the pruning exactness oracle.
+        """
+        blocks = self.blocks if pruned else None
+        if blocks is not None and not np.any(
+            np.asarray(icf, dtype=np.float64)[
+                np.asarray(term_rows, dtype=np.int64)
+            ]
+            < 0
+        ):
+            idx, cand_scores, scanned_postings, skipped = blockmax_search(
+                blocks, term_rows, icf, k
+            )
+            return (
+                self._candidate_list(idx, cand_scores),
+                scanned_postings * 16,
+                skipped,
+            )
         postings = self.postings
         scores = np.zeros(self.n_docs, dtype=np.float64)
         scanned_postings = accumulate_tficf(
@@ -209,7 +266,27 @@ class ShardStore:
         idx = topk_desc(scores, take)
         idx = idx[scores[idx] > 0]
         # each posting stores a delta-coded row and a tf (8 bytes each)
-        return self._candidates(idx, scores), scanned_postings * 16
+        return self._candidates(idx, scores), scanned_postings * 16, 0
+
+    def op_search_batch(
+        self,
+        requests: list[tuple[list[int], int]],
+        icf: np.ndarray,
+        pruned: bool = True,
+    ) -> list[tuple[list[Candidate], int, int]]:
+        """Batched :meth:`op_search` over ``(term_rows, k)`` requests.
+
+        The batch members share one lazy postings decode (the
+        :class:`BlockPostings` per-block row cache persists across
+        members), so N queries hitting overlapping terms pay the
+        cumsum/decode cost once.  Each member's candidate list is
+        bit-identical to a solo :meth:`op_search` call -- the batching
+        identity contract.
+        """
+        return [
+            self.op_search(term_rows, icf, k, pruned=pruned)
+            for term_rows, k in requests
+        ]
 
     def op_cluster(
         self, cluster: int, n_docs: int
@@ -258,6 +335,312 @@ class ShardStore:
         block = self.signatures[mask]
         rows = self.row_lo + np.flatnonzero(mask).astype(np.int64)
         return rows, block, scanned + block.nbytes
+
+
+# ----------------------------------------------------------------------
+# block-max exact top-k
+# ----------------------------------------------------------------------
+def _single_term_search(
+    blocks: BlockPostings, lo: int, hi: int, wp: float, k: int
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Exact single-term top-k with integer-threshold block skipping.
+
+    With one positive-weight term the k-th largest *tf* bounds the
+    k-th score exactly (``tf -> fl(tf·w)`` is monotone, so order
+    statistics commute with the rounding), which allows skipping the
+    row decode of every block whose ``fl(maxtf·w)`` falls strictly
+    below ``fl(kth_tf·w)`` -- no float margin needed.  The per-block
+    tf values are read directly (they are a flat section slice); only
+    the delta-coded rows of surviving blocks pay the cumsum decode.
+    """
+    nb = hi - lo
+    if nb == 0 or wp <= 0.0:
+        # zero weight: every score is 0 and the positive filter drops
+        # all of them, so nothing needs decoding at all
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            0,
+            nb,
+        )
+    tfs = blocks.run_tf(lo, hi)
+    df = int(tfs.size)
+    if df > k > 0:
+        kth = float(np.partition(tfs, df - k)[df - k])
+        theta = kth * wp
+        maxtf = np.asarray(blocks.block_maxtf[lo:hi], dtype=np.float64)
+        keep_mask = maxtf * wp >= theta
+        kept = np.flatnonzero(keep_mask) + lo
+    else:
+        theta = 0.0
+        kept = np.arange(lo, hi, dtype=np.int64)
+    rows_parts: list[np.ndarray] = []
+    tf_parts: list[np.ndarray] = []
+    scanned = 0
+    breaks = np.flatnonzero(np.diff(kept) > 1) + 1
+    for seg in np.split(kept, breaks):
+        j0, j1 = int(seg[0]), int(seg[-1]) + 1
+        rows_parts.append(blocks.run_rows(j0, j1))
+        tf_parts.append(blocks.run_tf(j0, j1))
+        scanned += int(
+            blocks.block_offsets[j1] - blocks.block_offsets[j0]
+        )
+    rows_k = np.concatenate(rows_parts)
+    sc = np.concatenate(tf_parts) * wp
+    cidx = np.flatnonzero(sc >= theta if theta > 0.0 else sc > 0)
+    rows_c = rows_k[cidx]
+    sc_c = sc[cidx]
+    sel = np.lexsort((rows_c, -sc_c))[: min(k, rows_c.size)]
+    return rows_c[sel], sc_c[sel], scanned, nb - int(kept.size)
+
+
+def blockmax_search(
+    blocks: BlockPostings,
+    term_rows: list[int],
+    icf: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Exact top-k tf·icf search with block-level early termination.
+
+    Returns ``(local rows, scores, postings decoded, blocks skipped)``
+    where the rows/scores are bit-identical -- values *and* tie order --
+    to exhaustive ``accumulate_tficf`` + stable ``topk_desc`` + the
+    positive-score filter.
+
+    The kernel prunes only *candidate generation*; every survivor is
+    rescored from scratch with the identical in-query-term-order float
+    accumulation, so determinism never rests on the pruning math.
+    Phase A walks terms in descending max-contribution order,
+    accumulating partial scores per block while maintaining a running
+    k-th-partial-score threshold; a block whose upper bound
+    (``icf·block_maxtf`` plus the unprocessed-term remainder) cannot
+    reach the threshold is skipped without decoding -- its bound is
+    banked in a per-row ``slack`` array so no already-touched document
+    can be lost.  All bound comparisons are inflated/deflated by a
+    conservative float-error margin, so a pruning decision can only
+    ever *keep* a document that exact arithmetic would drop, never the
+    reverse.  Phase B selects survivors whose optimistic bound
+    (partial + slack + remainder) reaches the threshold; phase C
+    rescores them exactly; phase D applies the reference
+    ``(-score, row)`` selection.
+    """
+    n_docs = blocks.n_docs
+    positions = [int(r) for r in term_rows]
+    n_pos = len(positions)
+    icf = np.asarray(icf, dtype=np.float64)
+    w = np.array([float(icf[r]) for r in positions], dtype=np.float64)
+    ranges = [blocks.term_block_range(r) for r in positions]
+
+    if n_pos == 1:
+        lo, hi = ranges[0]
+        return _single_term_search(blocks, lo, hi, float(w[0]), k)
+
+    relevant: set[int] = set()
+    for lo, hi in ranges:
+        relevant.update(range(lo, hi))
+
+    ub = np.zeros(n_pos, dtype=np.float64)
+    for p, (lo, hi) in enumerate(ranges):
+        if hi > lo and w[p] > 0.0:
+            ub[p] = w[p] * float(blocks.block_maxtf[lo:hi].max())
+
+    order = np.lexsort((np.arange(n_pos), -ub))
+    ub_sorted = ub[order]
+    # suffix[i] = upper bound on everything at sorted position >= i
+    suffix = np.zeros(n_pos + 1, dtype=np.float64)
+    if n_pos:
+        suffix[:n_pos] = np.cumsum(ub_sorted[::-1])[::-1]
+    # conservative float margin: partial sums have at most ~n_pos
+    # roundings, so a 4·(n_pos+2)·ulp relative band strictly separates
+    # "provably below threshold" from "possibly top-k"
+    eps = 4.0 * (n_pos + 2) * 2.0**-52
+    inflate = 1.0 + eps
+    deflate = 1.0 - 2.0 * eps
+
+    acc = np.zeros(n_docs, dtype=np.float64)
+    slack_diff: Optional[np.ndarray] = None
+    decoded: set[int] = set()
+    firsts = blocks.block_firsts
+    theta = 0.0
+    rem = 0.0
+    first_processed = True
+    for i in range(n_pos):
+        if theta > 0.0 and suffix[i] * inflate < theta * deflate:
+            rem = float(suffix[i])
+            break
+        p = int(order[i])
+        lo, hi = ranges[p]
+        wp = float(w[p])
+        if hi <= lo or wp <= 0.0:
+            continue
+        after = float(suffix[i + 1])
+        if theta > 0.0:
+            ubj = wp * np.asarray(
+                blocks.block_maxtf[lo:hi], dtype=np.float64
+            )
+            keep_mask = (ubj + after) * inflate >= theta * deflate
+            all_kept = bool(keep_mask.all())
+        else:
+            all_kept = True
+        if all_kept:
+            acc[blocks.run_rows(lo, hi)] += blocks.run_tf(lo, hi) * wp
+            decoded.update(range(lo, hi))
+        else:
+            skip = np.flatnonzero(~keep_mask) + lo
+            # bank each skipped block's bound over its row span: its
+            # first row is readable without decode, and its rows end
+            # before the next block's first row (same term run)
+            if slack_diff is None:
+                slack_diff = np.zeros(n_docs + 1, dtype=np.float64)
+            r0 = firsts[skip]
+            nxt = skip + 1
+            r1 = np.where(
+                nxt < hi, firsts[np.minimum(nxt, hi - 1)], n_docs
+            )
+            np.add.at(slack_diff, r0, ubj[skip - lo])
+            np.add.at(slack_diff, r1, -ubj[skip - lo])
+            kept = np.flatnonzero(keep_mask) + lo
+            if kept.size:
+                # decode contiguous kept runs: one segmented cumsum each
+                breaks = np.flatnonzero(np.diff(kept) > 1) + 1
+                for seg in np.split(kept, breaks):
+                    j0, j1 = int(seg[0]), int(seg[-1]) + 1
+                    acc[blocks.run_rows(j0, j1)] += (
+                        blocks.run_tf(j0, j1) * wp
+                    )
+                    decoded.update(range(j0, j1))
+        # a stale (smaller) theta is still a valid lower bound on the
+        # k-th final score, so only pay for a tighter one when a future
+        # position could actually use it
+        if 0 < k < n_docs and i + 1 < n_pos and ub_sorted[i + 1] > 0.0:
+            if first_processed:
+                # acc is exactly this one term's contributions, which
+                # are nonzero only on its postings: partition the run
+                # (cheap) instead of the dense score array
+                contrib = blocks.run_tf(lo, hi) * wp
+                if contrib.size >= k:
+                    theta = float(
+                        np.partition(contrib, contrib.size - k)[
+                            contrib.size - k
+                        ]
+                    )
+            else:
+                theta = float(
+                    np.partition(acc, n_docs - k)[n_docs - k]
+                )
+        first_processed = False
+
+    if theta > 0.0:
+        bound = acc if slack_diff is None else (
+            acc + np.cumsum(slack_diff[:-1])
+        )
+        cand = np.flatnonzero(
+            (bound + rem) * inflate >= theta * deflate
+        )
+    else:
+        cand = np.flatnonzero(acc > 0)
+
+    # adaptive bail: a dense candidate set means pruning bought
+    # nothing, and per-candidate rescoring would cost more than the
+    # straight dense accumulation -- which is trivially exact because
+    # it IS the exhaustive reference computation (in query-term order)
+    n_occ = int(
+        sum(
+            int(blocks.block_offsets[hi] - blocks.block_offsets[lo])
+            for lo, hi in ranges
+        )
+    )
+    if cand.size and cand.size * n_pos * 4 > n_occ:
+        acc2 = np.zeros(n_docs, dtype=np.float64)
+        for p in range(n_pos):
+            lo, hi = ranges[p]
+            if hi <= lo:
+                continue
+            acc2[blocks.run_rows(lo, hi)] += (
+                blocks.run_tf(lo, hi) * float(w[p])
+            )
+        take = min(k, n_docs)
+        # top-take by (-score, row) without a dense stable argsort:
+        # every row tying the take-th score survives the partition
+        # threshold, so the candidate lexsort reproduces the reference
+        # tie order exactly
+        if 0 < take < n_docs:
+            kth = float(
+                np.partition(acc2, n_docs - take)[n_docs - take]
+            )
+        else:
+            kth = 0.0
+        cand2 = np.flatnonzero(acc2 >= kth if kth > 0.0 else acc2 > 0)
+        sc2 = acc2[cand2]
+        sel2 = np.lexsort((cand2, -sc2))[:take]
+        sel2 = sel2[sc2[sel2] > 0]
+        return cand2[sel2], sc2[sel2], n_occ, 0
+
+    # exact rescore of survivors, in original query-term order.  Per
+    # candidate and term occurrence this performs exactly one
+    # ``score += tf * w`` add, so the floats match the exhaustive
+    # accumulation bit-for-bit regardless of which decode path serves
+    # the lookup.
+    scores = np.zeros(cand.size, dtype=np.float64)
+    if cand.size:
+        for p in range(n_pos):
+            lo, hi = ranges[p]
+            wp = float(w[p])
+            if hi <= lo or wp == 0.0:
+                continue
+            # block index of each candidate within this term's run
+            bidx = (
+                lo
+                + np.searchsorted(firsts[lo:hi], cand, side="right")
+                - 1
+            )
+            valid = bidx >= lo
+            if not valid.any():
+                continue
+            # decode demand is charged per candidate-containing block
+            # (pure per-query accounting, independent of cache state)
+            decoded.update(np.unique(bidx[valid]).tolist())
+            full = blocks.cached_rows(lo, hi)
+            if full is not None:
+                # whole run already decoded: one lookup pass
+                pos = np.searchsorted(full, cand)
+                clip = np.minimum(pos, full.size - 1)
+                hit = full[clip] == cand
+                if hit.any():
+                    scores[hit] += (
+                        blocks.run_tf(lo, hi)[pos[hit]] * wp
+                    )
+                continue
+            cidx = np.flatnonzero(valid)
+            vblocks = bidx[cidx]
+            uniq, starts = np.unique(vblocks, return_index=True)
+            bounds = np.append(starts, vblocks.size)
+            for m, j in enumerate(uniq.tolist()):
+                csel = cidx[bounds[m] : bounds[m + 1]]
+                sub = cand[csel]
+                rows_j = blocks.block_rows(j)
+                pos = np.searchsorted(rows_j, sub)
+                clip = np.minimum(pos, rows_j.size - 1)
+                hit = rows_j[clip] == sub
+                if hit.any():
+                    scores[csel[hit]] += (
+                        blocks.block_tf(j)[pos[hit]] * wp
+                    )
+
+    keep = scores > 0
+    cand_pos = cand[keep]
+    sc_pos = scores[keep]
+    sel = np.lexsort((cand_pos, -sc_pos))[: min(k, cand_pos.size)]
+    if decoded:
+        ja = np.fromiter(decoded, dtype=np.int64, count=len(decoded))
+        scanned = int(
+            (blocks.block_offsets[ja + 1] - blocks.block_offsets[ja])
+            .sum()
+        )
+    else:
+        scanned = 0
+    skipped = len(relevant) - len(decoded)
+    return cand_pos[sel], sc_pos[sel], scanned, skipped
 
 
 # ----------------------------------------------------------------------

@@ -105,6 +105,11 @@ class RouterConfig:
     max_inflight: int = 8
     #: per-broker LRU result-cache capacity; 0 disables caching
     cache_capacity: int = 128
+    #: block-max pruned top-k for search ops (exact either way)
+    pruned_search: bool = True
+    #: max queued search queries drained into one shard round-trip;
+    #: 1 preserves the strictly per-query fan-out
+    batch_max_queries: int = 1
 
 
 @dataclass(frozen=True)
@@ -261,6 +266,9 @@ class _ReplicaWorker:
         bytes_scanned = ctx.metrics.counter(
             "serve.shard.bytes_scanned", ("shard",)
         )
+        blocks_skipped = ctx.metrics.counter(
+            "serve.shard.blocks_skipped", ("shard",)
+        )
         served = 0
         sources = list(range(self.n_brokers + 1))  # router + brokers
         while True:
@@ -281,11 +289,12 @@ class _ReplicaWorker:
                 return served
             qid, epoch, shard, op, params = msg
             segs = self.segments(epoch, shard)
-            payload, scanned = execute_shard_op(
+            payload, scanned, skipped = execute_shard_op(
                 ctx, self.model, segs, op, params
             )
             ctx.charge_io(scanned, concurrent_readers=1)
             bytes_scanned.inc(ctx.rank, float(scanned), key=(str(shard),))
+            blocks_skipped.inc(ctx.rank, float(skipped), key=(str(shard),))
             ctx.comm.send(src, (qid, shard, payload), tag=TAG_RESP)
             served += 1
 

@@ -29,9 +29,17 @@ Malformed input -- bad magic, unsupported version, truncated or
 corrupt header, section table overrunning the file -- raises
 :class:`ShardFormatError` carrying the offending path.
 
-Postings are stored delta-encoded: within each term's run the first
-document row is absolute and the rest are gaps, so decoding a term is
-one ``np.cumsum`` over its slice.
+Postings are stored delta-encoded.  Version-1 containers restart the
+coding at each *term run*: the run's first document row is absolute
+and the rest are gaps, so decoding a term is one ``np.cumsum`` over
+its slice.  Version-2 containers add the block-max sections
+``post_block_offsets`` / ``post_block_maxtf`` (see
+:func:`repro.index.termindex.compute_posting_blocks`) and restart the
+coding at each *block* instead -- every block's first entry is an
+absolute row, so a block is independently decodable and a pruned
+search that skips a block really skips its decode.  The reader accepts
+both versions; containers without block sections fall back to
+exhaustive scoring.
 
 Generational stores (live ingest)
 ---------------------------------
@@ -64,12 +72,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.results import EngineResult
-from repro.index.termindex import TermPostings, build_term_postings
+from repro.index.termindex import (
+    BLOCK_SIZE,
+    TermPostings,
+    build_term_postings,
+)
 from repro.project.pca import PCATransform
 from repro.signature.topicality import RankedTerm
 
 MAGIC = b"REPROSHD"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: container versions this reader understands (1 = run-aligned delta
+#: coding, no block sections; 2 = block-aligned coding + block-max
+#: sections)
+SUPPORTED_VERSIONS = (1, 2)
 MANIFEST_FORMAT = "repro-serve/1"
 MANIFEST_FORMAT_GEN = "repro-serve/2"
 CURRENT_FORMAT = "repro-serve-current/1"
@@ -132,8 +148,14 @@ def write_container(
     path: str | os.PathLike,
     arrays: dict[str, np.ndarray],
     meta: dict,
+    version: int = FORMAT_VERSION,
 ) -> int:
-    """Write one container file; returns its size in bytes."""
+    """Write one container file; returns its size in bytes.
+
+    ``version`` defaults to the current format; passing an older
+    supported version writes a legacy-layout container (the fallback
+    tests use this to fabricate pre-block-max stores).
+    """
     sections = []
     payload = []
     for name, arr in arrays.items():
@@ -147,11 +169,15 @@ def write_container(
     header = json.dumps(
         {"sections": sections, "meta": meta}, sort_keys=True
     ).encode("utf-8")
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"cannot write container version {version}; "
+            f"supported: {SUPPORTED_VERSIONS}"
+        )
     with open(path, "wb") as f:
         f.write(MAGIC)
         f.write(
-            int(FORMAT_VERSION).to_bytes(4, "little")
-            + b"\x00\x00\x00\x00"
+            int(version).to_bytes(4, "little") + b"\x00\x00\x00\x00"
         )
         f.write(len(header).to_bytes(8, "little"))
         f.write(header)
@@ -181,12 +207,13 @@ class Container:
                         self.path, "bad magic: not a repro shard container"
                     )
                 version = int.from_bytes(prefix[8:12], "little")
-                if version != FORMAT_VERSION:
+                if version not in SUPPORTED_VERSIONS:
                     raise ShardFormatError(
                         self.path,
                         f"unsupported format version {version} "
-                        f"(reader supports {FORMAT_VERSION})",
+                        f"(reader supports {SUPPORTED_VERSIONS})",
                     )
+                self.version = version
                 hdr_len = int.from_bytes(prefix[16:24], "little")
                 if hdr_len > _MAX_HEADER or _PREFIX_LEN + hdr_len > size:
                     raise ShardFormatError(
@@ -291,6 +318,261 @@ def decode_postings(
         offsets=offsets,
         rows=rows,
         tf=np.asarray(tf, dtype=np.int64),
+    )
+
+
+def delta_encode_blocked(postings: TermPostings) -> np.ndarray:
+    """Block-aligned delta code of the postings' document rows.
+
+    Like :func:`delta_encode_postings` but the coding restarts at
+    every *block* boundary (block starts include every run start), so
+    each block decodes independently with one ``np.cumsum`` -- the
+    property that lets the block-max kernel skip a block's decode
+    entirely, and that makes a block's first row readable without any
+    decode at all.
+    """
+    if postings.block_offsets is None:
+        raise ValueError(
+            "delta_encode_blocked needs block metadata; call "
+            "TermPostings.with_blocks first"
+        )
+    delta = np.diff(postings.rows, prepend=0).astype(np.int64)
+    starts = postings.block_offsets[:-1]
+    delta[starts] = postings.rows[starts]
+    return delta
+
+
+def encode_postings_sections(
+    postings: TermPostings, block_size: int = BLOCK_SIZE
+) -> dict[str, np.ndarray]:
+    """The five current-format postings sections of one segment.
+
+    Shared by :func:`build_shards`, the ingest delta builder, and the
+    compactor, so every writer produces byte-identical sections for
+    identical postings (the compaction-parity invariant).
+    """
+    blocked = (
+        postings
+        if postings.block_size == block_size
+        and postings.block_offsets is not None
+        else postings.with_blocks(block_size)
+    )
+    return {
+        "post_offsets": np.asarray(blocked.offsets, dtype=np.int64),
+        "post_rows_delta": delta_encode_blocked(blocked),
+        "post_tf": np.asarray(blocked.tf, dtype=np.int64),
+        "post_block_offsets": np.asarray(
+            blocked.block_offsets, dtype=np.int64
+        ),
+        "post_block_maxtf": np.asarray(
+            blocked.block_maxtf, dtype=np.int64
+        ),
+    }
+
+
+class BlockPostings:
+    """Lazily-decoded block-aligned postings of one shard container.
+
+    Wraps the raw ``post_*`` sections without decoding anything: block
+    boundaries, per-block max-tf, and each block's first document row
+    (the absolute first entry of its delta slice) are all readable
+    up front, while a block's full row list is cumsum-decoded only on
+    first touch and cached.  The block-max search kernel consumes this
+    interface; the honest bytes-scanned accounting counts exactly the
+    blocks touched.
+
+    Corrupt block sections -- boundaries that do not tile the postings,
+    term runs not aligned to block boundaries, or a max-tf table of the
+    wrong length -- raise :class:`ShardFormatError` naming the
+    container path.
+    """
+
+    def __init__(self, container: Container, n_docs: int):
+        self.path = container.path
+        self.n_docs = int(n_docs)
+        self.offsets = np.asarray(
+            container.load("post_offsets"), dtype=np.int64
+        )
+        # left as memmaps: a query touches only the blocks it scans
+        self.delta = container.load("post_rows_delta")
+        self.tf = container.load("post_tf")
+        self.block_offsets = np.asarray(
+            container.load("post_block_offsets"), dtype=np.int64
+        )
+        self.block_maxtf = np.asarray(
+            container.load("post_block_maxtf"), dtype=np.int64
+        )
+        self._validate()
+        self._rows: dict[tuple[int, int], np.ndarray] = {}
+        self._tfs: dict[tuple[int, int], np.ndarray] = {}
+        self._firsts: np.ndarray | None = None
+
+    def _fail(self, reason: str) -> None:
+        raise ShardFormatError(self.path, reason)
+
+    def _validate(self) -> None:
+        bo = self.block_offsets
+        total = int(self.delta.shape[0])
+        if bo.ndim != 1 or bo.shape[0] < 1:
+            self._fail("corrupt block sections: empty post_block_offsets")
+        if int(bo[0]) != 0 or int(bo[-1]) != total:
+            self._fail(
+                "corrupt block sections: post_block_offsets "
+                f"[{int(bo[0])}..{int(bo[-1])}] do not tile "
+                f"{total} postings"
+            )
+        if bo.shape[0] > 1 and not np.all(np.diff(bo) > 0):
+            self._fail(
+                "corrupt block sections: post_block_offsets not "
+                "strictly increasing"
+            )
+        if self.block_maxtf.shape != (bo.shape[0] - 1,):
+            self._fail(
+                "corrupt block sections: post_block_maxtf has "
+                f"{self.block_maxtf.shape[0]} entries for "
+                f"{bo.shape[0] - 1} blocks (truncated?)"
+            )
+        if int(self.tf.shape[0]) != total:
+            self._fail(
+                "corrupt postings: post_tf length "
+                f"{int(self.tf.shape[0])} != post_rows_delta length "
+                f"{total}"
+            )
+        # every term run must start and end on a block boundary
+        hits = np.searchsorted(bo, self.offsets)
+        if not np.array_equal(bo[np.minimum(hits, bo.shape[0] - 1)],
+                              self.offsets):
+            self._fail(
+                "corrupt block sections: term offsets misaligned with "
+                "post_block_offsets"
+            )
+
+    @property
+    def n_terms(self) -> int:
+        return int(self.offsets.shape[0] - 1)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_offsets.shape[0] - 1)
+
+    def __len__(self) -> int:
+        return int(self.delta.shape[0])
+
+    def term_block_range(self, term_row: int) -> tuple[int, int]:
+        """Block-index range ``[lo, hi)`` of one term's run."""
+        lo = int(
+            np.searchsorted(self.block_offsets, self.offsets[term_row])
+        )
+        hi = int(
+            np.searchsorted(
+                self.block_offsets, self.offsets[term_row + 1]
+            )
+        )
+        return lo, hi
+
+    def block_bounds(self, block: int) -> tuple[int, int]:
+        """Posting-index range ``[lo, hi)`` of one block."""
+        return (
+            int(self.block_offsets[block]),
+            int(self.block_offsets[block + 1]),
+        )
+
+    def block_len(self, block: int) -> int:
+        return int(
+            self.block_offsets[block + 1] - self.block_offsets[block]
+        )
+
+    @property
+    def block_firsts(self) -> np.ndarray:
+        """First document row of every block, without any decode
+        (block-aligned coding stores each block's first row absolute)."""
+        if self._firsts is None:
+            self._firsts = np.asarray(
+                self.delta[self.block_offsets[:-1]], dtype=np.int64
+            )
+        return self._firsts
+
+    def block_first_row(self, block: int) -> int:
+        return int(self.block_firsts[block])
+
+    def run_rows(self, j0: int, j1: int) -> np.ndarray:
+        """Decoded document rows of the contiguous block run
+        ``[j0, j1)``, via one segmented cumsum (cached per run)."""
+        rows = self._rows.get((j0, j1))
+        if rows is None:
+            lo = int(self.block_offsets[j0])
+            hi = int(self.block_offsets[j1])
+            cs = np.cumsum(
+                np.asarray(self.delta[lo:hi], dtype=np.int64)
+            )
+            starts = (
+                np.asarray(self.block_offsets[j0 + 1 : j1]) - lo
+            )
+            if starts.size:
+                # each later block's prefix sums carry the spurious
+                # running total of everything before its absolute
+                # first row; subtract it per segment
+                seg_lens = np.diff(
+                    np.concatenate(([0], starts, [hi - lo]))
+                )
+                corr = np.concatenate(([0], cs[starts - 1]))
+                rows = cs - np.repeat(corr, seg_lens)
+            else:
+                rows = cs
+            self._rows[(j0, j1)] = rows
+        return rows
+
+    def cached_rows(self, j0: int, j1: int) -> np.ndarray | None:
+        """The run's decoded rows if already cached, else ``None``
+        (a pure cache probe -- never decodes)."""
+        return self._rows.get((j0, j1))
+
+    def run_tf(self, j0: int, j1: int) -> np.ndarray:
+        tf = self._tfs.get((j0, j1))
+        if tf is None:
+            lo = int(self.block_offsets[j0])
+            hi = int(self.block_offsets[j1])
+            tf = np.asarray(self.tf[lo:hi], dtype=np.int64)
+            self._tfs[(j0, j1)] = tf
+        return tf
+
+    def block_rows(self, block: int) -> np.ndarray:
+        """Decoded (absolute, ascending) document rows of one block."""
+        return self.run_rows(block, block + 1)
+
+    def block_tf(self, block: int) -> np.ndarray:
+        return self.run_tf(block, block + 1)
+
+    def to_term_postings(self) -> TermPostings:
+        """Fully-decoded postings (compaction and parity tests)."""
+        if self.n_blocks:
+            rows = self.run_rows(0, self.n_blocks)
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        return TermPostings(
+            n_docs=self.n_docs,
+            offsets=self.offsets,
+            rows=rows,
+            tf=np.asarray(self.tf, dtype=np.int64),
+        )
+
+
+def load_segment_postings(
+    container: Container, n_docs: int
+) -> TermPostings:
+    """Fully-decoded postings of one segment, any supported coding.
+
+    Containers with block sections decode block-aligned; legacy
+    containers decode run-aligned.  Used by the compactor, which needs
+    whole posting lists regardless of on-disk layout.
+    """
+    if "post_block_offsets" in container:
+        return BlockPostings(container, n_docs).to_term_postings()
+    return decode_postings(
+        n_docs,
+        np.asarray(container.load("post_offsets")),
+        np.asarray(container.load("post_rows_delta")),
+        np.asarray(container.load("post_tf")),
     )
 
 
@@ -728,9 +1010,7 @@ def build_shards(
         }
         if postings is not None:
             local = postings.restrict(row_lo, row_hi)
-            arrays["post_offsets"] = local.offsets
-            arrays["post_rows_delta"] = delta_encode_postings(local)
-            arrays["post_tf"] = local.tf
+            arrays.update(encode_postings_sections(local))
         meta = {
             "kind": "shard",
             "shard": i,

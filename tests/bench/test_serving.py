@@ -32,6 +32,10 @@ SMALL = dict(
     n_clients=2,
     queries_per_client=6,
     replica_matrix=(_SPEC,),
+    # the pruning study gets its own dedicated test below -- keeping
+    # it out of SMALL keeps the (noisy, wall-clock-gated) study from
+    # slowing or flaking every harness test
+    pruning_corpus_bytes=0,
 )
 
 
@@ -49,7 +53,10 @@ def test_replica_spec_parse():
 
 
 def test_measure_matrix(measured):
-    points, fault_point, fault_meta, replica_points, failover = measured
+    points, fault_point, fault_meta, replica_points, failover, pruning = (
+        measured
+    )
+    assert pruning is None  # SMALL disables the study
     assert set(points) == {1, 2}
     total = SMALL["n_clients"] * SMALL["queries_per_client"]
     for p, pt in points.items():
@@ -65,7 +72,7 @@ def test_measure_matrix(measured):
 
 
 def test_fault_run_degrades_but_completes(measured):
-    _, fault_point, fault_meta, _, _ = measured
+    _, fault_point, fault_meta, _, _, _ = measured
     assert fault_meta["completed"]
     assert fault_meta["nshards"] == 2
     assert fault_meta["failed_ranks"] == [fault_meta["crashed_rank"]]
@@ -74,7 +81,7 @@ def test_fault_run_degrades_but_completes(measured):
 
 
 def test_replica_matrix_point(measured):
-    _, _, _, replica_points, _ = measured
+    _, _, _, replica_points, _, _ = measured
     assert set(replica_points) == {_SPEC.label}
     pt = replica_points[_SPEC.label]
     assert isinstance(pt, ReplicaPoint)
@@ -88,7 +95,7 @@ def test_replica_matrix_point(measured):
 
 
 def test_failover_study(measured):
-    _, _, _, _, failover = measured
+    _, _, _, _, failover, _ = measured
     # the crash-masked run answers everything exactly like the
     # fault-free run; the single-replica control reproduces the
     # degradation the tier exists to prevent
@@ -101,8 +108,8 @@ def test_failover_study(measured):
 
 
 def test_measure_is_deterministic(measured):
-    points, fault_point, _, replica_points, failover = measured
-    again, fault_again, _, replica_again, failover_again = measure(
+    points, fault_point, _, replica_points, failover, _ = measured
+    again, fault_again, _, replica_again, failover_again, _ = measure(
         progress=None, **SMALL
     )
     for p in points:
@@ -222,6 +229,93 @@ def test_compare_flags_replica_drift():
     assert {r.field for r in regs} == {"failover.fault_r2.hedges"}
 
 
+def _pruning_run(**over):
+    base = dict(
+        label="blockmax-b1",
+        pruned=True,
+        batch_max_queries=1,
+        served=12,
+        cache_hit_rate=0.0,
+        bytes_scanned=1024.0,
+        blocks_skipped=3.0,
+        makespan_s=0.2,
+        p50_latency_s=0.001,
+        p99_latency_s=0.002,
+        wall_s=0.1,
+        wall_throughput_qps=120.0,
+        exact_match=True,
+    )
+    base.update(over)
+    return base
+
+
+def test_compare_flags_pruning_drift():
+    points = {2: _point(2)}
+    fault = _point(2)
+    base = _baseline(points, fault)
+    base["pruning"] = {
+        "nshards": 1,
+        "runs": {"blockmax-b1": _pruning_run()},
+    }
+    pruning = {"nshards": 1, "runs": {"blockmax-b1": _pruning_run()}}
+    assert compare(points, fault, base, None, None, pruning) == []
+
+    drifted = {
+        "nshards": 1,
+        "runs": {"blockmax-b1": _pruning_run(blocks_skipped=4.0)},
+    }
+    regs = compare(points, fault, base, None, None, drifted)
+    assert {r.field for r in regs} == {
+        "pruning[blockmax-b1].blocks_skipped"
+    }
+
+    # wall-clock is machine-local: never compared against the baseline
+    walled = {
+        "nshards": 1,
+        "runs": {
+            "blockmax-b1": _pruning_run(
+                wall_s=9.9, wall_throughput_qps=1.2
+            )
+        },
+    }
+    assert compare(points, fault, base, None, None, walled) == []
+
+
+def test_pruning_study_small(tmp_path):
+    from repro.bench.serving import _measure_pruning
+
+    study = _measure_pruning(
+        tmp_path,
+        corpus_seed=4,
+        workload_seed=7,
+        pruning_corpus_bytes=300_000,
+        batch_sizes=(1, 4),
+        progress=None,
+    )
+    assert set(study["runs"]) == {
+        "exhaustive",
+        "blockmax-b1",
+        "blockmax-b4",
+    }
+    assert study["runs"]["exhaustive"]["exact_match"] is None
+    for label in ("blockmax-b1", "blockmax-b4"):
+        run = study["runs"][label]
+        assert run["exact_match"] is True  # the oracle
+        assert run["served"] == study["runs"]["exhaustive"]["served"]
+        assert run["wall_s"] > 0
+    assert study["exact_match_all"] is True
+    assert study["best_config"].startswith("blockmax-")
+    json.dumps(study)
+
+
+def test_pruning_study_disabled(tmp_path):
+    from repro.bench.serving import _measure_pruning
+
+    assert (
+        _measure_pruning(tmp_path, 4, 7, 0, (1, 4), None) is None
+    )
+
+
 def test_compare_ignores_unknown_shard_counts():
     points = {4: _point(4)}
     fault = _point(4)
@@ -233,7 +327,9 @@ def test_compare_ignores_unknown_shard_counts():
 
 
 def test_build_report_schema(measured):
-    points, fault_point, fault_meta, replica_points, failover = measured
+    points, fault_point, fault_meta, replica_points, failover, pruning = (
+        measured
+    )
     report, regs = build_report(
         points,
         fault_point,
@@ -241,6 +337,7 @@ def test_build_report_schema(measured):
         {"shards": [1, 2]},
         replica_points=replica_points,
         failover=failover,
+        pruning=pruning,
     )
     assert regs == []
     assert report["schema"] == SCHEMA
@@ -248,6 +345,7 @@ def test_build_report_schema(measured):
     assert report["fault"]["completed"]
     assert set(report["replica"]["matrix"]) == {_SPEC.label}
     assert report["replica"]["failover"]["exact_match_r2"] is True
+    assert report["pruning"] is None  # disabled in SMALL
     assert "baseline" not in report
     json.dumps(report)  # must be serializable
 

@@ -1,0 +1,317 @@
+"""Block-max pruning: exactness oracle, corruption, batching identity.
+
+The pruned search kernel's one contract is byte-identity: for any
+postings, any query, any k, :func:`blockmax_search` must return
+*exactly* what the exhaustive ``accumulate_tficf`` + stable
+``topk_desc`` + positive-filter path returns -- same rows, same score
+bits, same tie order.  The Hypothesis suite here hammers that contract
+over adversarial shapes (tiny blocks, skewed tf, duplicate query
+terms, zero weights, k past n_docs); the corruption tests pin the
+``ShardFormatError`` surface of the block sections; the broker tests
+pin the cross-query batching identity at every batch size.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.session import topk_desc
+from repro.index.termindex import (
+    TermPostings,
+    accumulate_tficf,
+    icf_weights,
+)
+from repro.serve.broker import BrokerConfig, serve
+from repro.serve.query import ShardStore, blockmax_search, canonical_response
+from repro.serve.store import (
+    BlockPostings,
+    Container,
+    ShardFormatError,
+    delta_encode_postings,
+    encode_postings_sections,
+    load_model,
+    write_container,
+)
+from repro.serve.workload import generate_workload, store_profile
+
+
+def _random_postings(
+    rng: np.random.Generator,
+    n_docs: int,
+    n_terms: int,
+    block_size: int,
+) -> TermPostings:
+    """Random postings with Pareto-skewed tf, blocked at ``block_size``."""
+    offsets = [0]
+    rows_parts: list[np.ndarray] = []
+    tf_parts: list[np.ndarray] = []
+    for _ in range(n_terms):
+        df = int(rng.integers(0, n_docs + 1))
+        rows_parts.append(
+            np.sort(
+                rng.choice(n_docs, size=df, replace=False)
+            ).astype(np.int64)
+        )
+        tf_parts.append(
+            (rng.pareto(1.2, size=df) + 1.0).astype(np.int64)
+        )
+        offsets.append(offsets[-1] + df)
+    return TermPostings(
+        n_docs=n_docs,
+        offsets=np.asarray(offsets, dtype=np.int64),
+        rows=np.concatenate(rows_parts) if rows_parts else np.empty(0, np.int64),
+        tf=np.concatenate(tf_parts) if tf_parts else np.empty(0, np.int64),
+    ).with_blocks(block_size)
+
+
+def _write_block_container(path: Path, postings: TermPostings) -> Container:
+    # keep the postings' own (small, adversarial) block size -- the
+    # encoder would otherwise re-block at the 128-entry default
+    arrays = dict(
+        encode_postings_sections(
+            postings, block_size=postings.block_size
+        )
+    )
+    write_container(
+        str(path),
+        arrays,
+        {"kind": "shard", "row_lo": 0, "row_hi": postings.n_docs},
+    )
+    return Container(str(path))
+
+
+def _exhaustive(
+    postings: TermPostings,
+    term_rows: list[int],
+    icf: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The reference path: dense accumulate + stable top-k + positive filter."""
+    scores = np.zeros(postings.n_docs, dtype=np.float64)
+    accumulate_tficf(postings, term_rows, icf, scores)
+    take = min(k, scores.shape[0])
+    idx = topk_desc(scores, take)
+    idx = idx[scores[idx] > 0]
+    return idx, scores[idx]
+
+
+class TestBlockmaxExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_pruned_equals_exhaustive(self, data):
+        """Property: pruned == exhaustive, bit for bit, any input."""
+        seed = data.draw(st.integers(0, 2**31 - 1), label="seed")
+        n_docs = data.draw(st.integers(1, 60), label="n_docs")
+        n_terms = data.draw(st.integers(1, 8), label="n_terms")
+        block_size = data.draw(
+            st.sampled_from([4, 8, 16]), label="block_size"
+        )
+        k = data.draw(st.integers(1, n_docs + 2), label="k")
+        rng = np.random.default_rng(seed)
+        postings = _random_postings(rng, n_docs, n_terms, block_size)
+        # duplicate terms and zero weights are both legal queries
+        term_rows = data.draw(
+            st.lists(
+                st.integers(0, n_terms - 1), min_size=1, max_size=4
+            ),
+            label="term_rows",
+        )
+        icf = rng.uniform(0.0, 3.0, size=n_terms)
+        zero_out = data.draw(
+            st.lists(st.integers(0, n_terms - 1), max_size=2),
+            label="zero_weight_terms",
+        )
+        icf[zero_out] = 0.0
+        with tempfile.TemporaryDirectory() as tmp:
+            container = _write_block_container(
+                Path(tmp) / "shard.repro", postings
+            )
+            blocks = BlockPostings(container, n_docs)
+            got_idx, got_sc, scanned, skipped = blockmax_search(
+                blocks, term_rows, icf, k
+            )
+        want_idx, want_sc = _exhaustive(postings, term_rows, icf, k)
+        np.testing.assert_array_equal(got_idx, want_idx)
+        # bit-identity, not closeness: the scores must be the same floats
+        assert np.array_equal(
+            np.asarray(got_sc, dtype=np.float64),
+            np.asarray(want_sc, dtype=np.float64),
+        )
+        assert 0 <= skipped <= blocks.n_blocks
+        # duplicate query terms legitimately rescan a run, so the
+        # bound is per processed term, not per stored posting
+        assert 0 <= scanned <= len(term_rows) * len(postings.rows)
+
+    def test_skips_fire_on_skewed_single_term(self):
+        """One heavy-tailed term: most blocks fall under the threshold."""
+        rng = np.random.default_rng(11)
+        n_docs = 512
+        tf = np.ones(n_docs, dtype=np.int64)
+        hot = rng.choice(n_docs, size=8, replace=False)
+        tf[hot] = 50
+        postings = TermPostings(
+            n_docs=n_docs,
+            offsets=np.array([0, n_docs], dtype=np.int64),
+            rows=np.arange(n_docs, dtype=np.int64),
+            tf=tf,
+        ).with_blocks(16)
+        icf = np.array([1.7], dtype=np.float64)
+        with tempfile.TemporaryDirectory() as tmp:
+            container = _write_block_container(
+                Path(tmp) / "shard.repro", postings
+            )
+            blocks = BlockPostings(container, n_docs)
+            got_idx, got_sc, scanned, skipped = blockmax_search(
+                blocks, [0], icf, 8
+            )
+        want_idx, want_sc = _exhaustive(postings, [0], icf, 8)
+        np.testing.assert_array_equal(got_idx, want_idx)
+        assert np.array_equal(got_sc, want_sc)
+        assert skipped > 0
+        assert scanned < n_docs
+
+
+class TestBlockSectionCorruption:
+    def _postings(self) -> TermPostings:
+        rng = np.random.default_rng(3)
+        return _random_postings(rng, 40, 5, 8)
+
+    def _write_corrupt(self, tmp_path: Path, mutate) -> Path:
+        postings = self._postings()
+        arrays = dict(encode_postings_sections(postings))
+        mutate(arrays)
+        path = tmp_path / "bad.repro"
+        write_container(
+            str(path),
+            arrays,
+            {"kind": "shard", "row_lo": 0, "row_hi": postings.n_docs},
+        )
+        return path
+
+    def test_truncated_block_maxtf(self, tmp_path):
+        path = self._write_corrupt(
+            tmp_path,
+            lambda a: a.update(
+                post_block_maxtf=a["post_block_maxtf"][:-1]
+            ),
+        )
+        with pytest.raises(ShardFormatError) as err:
+            BlockPostings(Container(str(path)), 40)
+        assert str(path) in str(err.value)
+        assert "post_block_maxtf" in str(err.value)
+
+    def test_misaligned_block_offsets(self, tmp_path):
+        def _shift(a):
+            bo = np.asarray(a["post_block_offsets"]).copy()
+            # nudge an interior boundary that coincides with a term
+            # offset so a term run no longer starts on a block edge
+            offsets = np.asarray(a["post_offsets"])
+            interior = np.intersect1d(bo[1:-1], offsets[1:-1])
+            assert interior.size > 0, "fixture needs an aligned boundary"
+            j = int(np.flatnonzero(bo == interior[0])[0])
+            bo[j] += 1
+            a["post_block_offsets"] = bo
+
+        path = self._write_corrupt(tmp_path, _shift)
+        with pytest.raises(ShardFormatError) as err:
+            BlockPostings(Container(str(path)), 40)
+        assert str(path) in str(err.value)
+        assert "misaligned" in str(err.value)
+
+    def test_offsets_do_not_tile(self, tmp_path):
+        def _chop(a):
+            bo = np.asarray(a["post_block_offsets"]).copy()
+            bo[-1] -= 1
+            a["post_block_offsets"] = bo
+
+        path = self._write_corrupt(tmp_path, _chop)
+        with pytest.raises(ShardFormatError) as err:
+            BlockPostings(Container(str(path)), 40)
+        assert "tile" in str(err.value)
+
+
+class TestLegacyFallback:
+    def test_v1_container_serves_exhaustively(self, stores, tmp_path):
+        """A v1 container (no block sections) answers identically via
+        the exhaustive path, with the blocks property reporting None."""
+        store_dir = stores[1]
+        model = load_model(store_dir)
+        manifest_shard = Path(store_dir) / "shard-000.repro"
+        v2 = Container(str(manifest_shard))
+        postings = ShardStore(v2, model).postings
+        legacy = {
+            "doc_ids": np.asarray(v2.load("doc_ids")),
+            "signatures": np.asarray(v2.load("signatures")),
+            "coords": np.asarray(v2.load("coords")),
+            "assignments": np.asarray(v2.load("assignments")),
+            "post_offsets": postings.offsets,
+            "post_rows_delta": delta_encode_postings(postings),
+            "post_tf": postings.tf,
+        }
+        v1_path = tmp_path / "legacy.repro"
+        write_container(str(v1_path), legacy, dict(v2.meta), version=1)
+        old = ShardStore(Container(str(v1_path)), model)
+        new = ShardStore(v2, model)
+        assert old.blocks is None
+        assert new.blocks is not None
+        icf = icf_weights(model.term_df, model.n_docs)
+        term_rows = [0, min(3, len(model.terms) - 1)]
+        got_old = old.op_search(term_rows, icf, 10, pruned=True)
+        got_new = new.op_search(term_rows, icf, 10, pruned=True)
+        assert got_old[0] == got_new[0]  # identical candidates
+        assert got_old[2] == 0  # v1 can never skip a block
+
+
+class TestBatchedBrokerIdentity:
+    @pytest.fixture(scope="class")
+    def scripts(self, stores):
+        return generate_workload(
+            store_profile(stores[4]),
+            n_clients=4,
+            queries_per_client=10,
+            seed=13,
+            mix={"search": 1.0},
+            mean_think_s=0.0,
+        )
+
+    @staticmethod
+    def _answers(report):
+        return {
+            (r["client"], r["seq"]): canonical_response(r["response"])
+            for r in report.responses
+        }
+
+    def test_batch_sizes_and_pruning_answer_identically(
+        self, stores, scripts
+    ):
+        reference = None
+        configs = [BrokerConfig(pruned_search=False, max_inflight=64)]
+        configs += [
+            BrokerConfig(batch_max_queries=b, max_inflight=64)
+            for b in (1, 4, 16)
+        ]
+        for config in configs:
+            report = serve(stores[4], scripts, config=config)
+            assert not report.rejected
+            answers = self._answers(report)
+            if reference is None:
+                reference = answers
+            else:
+                assert answers == reference
+
+    def test_batching_reduces_virtual_makespan(self, stores, scripts):
+        solo = serve(
+            stores[4],
+            scripts,
+            config=BrokerConfig(batch_max_queries=1, max_inflight=64),
+        )
+        batched = serve(
+            stores[4],
+            scripts,
+            config=BrokerConfig(batch_max_queries=16, max_inflight=64),
+        )
+        assert batched.makespan < solo.makespan

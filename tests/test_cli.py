@@ -380,6 +380,8 @@ def test_serve_bench_smoke(tmp_path, capsys):
             "5",
             "--replica-matrix",
             "2:3:2:2:4:3",
+            "--pruning-corpus-bytes",
+            "0",
             "--out",
             str(out),
             "--update-baseline",
@@ -389,8 +391,9 @@ def test_serve_bench_smoke(tmp_path, capsys):
     import json
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "repro-bench-serving/2"
+    assert report["schema"] == "repro-bench-serving/3"
     assert set(report["results"]) == {"1", "2"}
+    assert report["pruning"] is None  # 0 bytes skips the study
     assert report["fault"]["completed"]
     assert set(report["replica"]["matrix"]) == {"2s-3w-2b-r2-c4"}
     assert report["replica"]["failover"]["exact_match_r2"] is True
