@@ -1,22 +1,34 @@
 """Wall-clock benchmark harness: the repo's performance trajectory.
 
 The simulator's *virtual* timings reproduce the paper's figures; this
-module tracks what the simulator itself costs in *real* seconds, so
+module tracks what the runtime itself costs in *real* seconds, so
 every PR can prove a speedup or catch a regression.  ``python -m
 repro.cli bench-wallclock`` runs the generated-PubMed pipeline at
-several processor counts, times each pipeline stage (scan, IFI
-indexing, topicality, association matrix, signatures, cluster +
-projection) and the end-to-end run, and writes ``BENCH_runtime.json``
-at the repo root:
+several processor counts under one or more **execution backends**
+(``sim`` -- the single-process virtual-time simulator, ``mp`` -- one
+OS process per rank), times each pipeline stage (scan, IFI indexing,
+topicality, association matrix, signatures, cluster + projection) and
+the end-to-end run, and writes ``BENCH_runtime.json`` at the repo
+root:
 
-* ``results[P].wall_seconds`` -- best-of-N end-to-end real seconds;
+* ``results[P].wall_seconds`` -- best-of-N end-to-end real seconds
+  for the ``sim`` backend (schema-stable with older baselines);
 * ``results[P].stages_wall_seconds`` -- per-stage real windows (first
   rank in to last rank out, captured via ``REPRO_TRACE_WALL``);
 * ``results[P].virtual_seconds`` -- the simulated wall time, which
   must stay **bit-identical** run to run (determinism guard);
+* ``backends[B][P]`` -- the same measurements per backend, each with
+  a ``modeled_vs_measured`` block pairing every stage's *modeled*
+  (virtual) seconds with its *measured* (real) seconds;
+* ``backend_compare[P]`` -- sim-vs-mp walls and the mp speedup.  The
+  virtual times must agree **exactly** across backends (any drift is
+  a hard failure: the backends are contractually bit-identical); the
+  wall comparison is advisory, because real mp speedup requires real
+  cores (``env.cpus`` records how many the host had);
 * ``baseline`` -- the committed reference measurements; new runs are
   compared against it and the run **fails on >15 % regression** of
-  any end-to-end time (and on any virtual-time drift).
+  any sim end-to-end time (and on any virtual-time drift, in either
+  backend).
 
 The committed ``BENCH_runtime.json`` doubles as the baseline: rerun
 with ``--update-baseline`` after an intentional performance change.
@@ -24,7 +36,9 @@ with ``--update-baseline`` after an intentional performance change.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import multiprocessing
 import os
 import platform
 import subprocess
@@ -40,8 +54,9 @@ from repro.engine.parallel import ParallelTextEngine
 from repro.runtime import MachineSpec, counter_totals
 from repro.runtime.tracing import WALL_ENV
 
-SCHEMA = "repro-bench-runtime/1"
+SCHEMA = "repro-bench-runtime/2"
 DEFAULT_PROCS = (1, 4, 8, 16)
+DEFAULT_BACKENDS = ("sim", "mp")
 DEFAULT_REPEATS = 5
 DEFAULT_THRESHOLD = 0.15
 DEFAULT_OUT = "BENCH_runtime.json"
@@ -49,7 +64,7 @@ DEFAULT_OUT = "BENCH_runtime.json"
 
 @dataclass
 class BenchPoint:
-    """Measurements for one processor count."""
+    """Measurements for one (backend, processor count) cell."""
 
     nprocs: int
     wall_seconds: float  # best of `repeats` end-to-end runs
@@ -61,6 +76,7 @@ class BenchPoint:
     #: from the fastest run -- deterministic, so they double as a
     #: behavioural fingerprint next to the wall times
     counters: dict[str, float] = None  # type: ignore[assignment]
+    backend: str = "sim"
 
 
 @dataclass
@@ -68,7 +84,7 @@ class Regression:
     """One baseline-comparison failure."""
 
     nprocs: int
-    kind: str  # "wall" or "virtual"
+    kind: str  # "wall", "virtual", or "virtual-backend"
     baseline: float
     measured: float
     detail: str = ""
@@ -90,6 +106,25 @@ def _git_commit() -> str:
         return "unknown"
 
 
+def reap_children(timeout: float = 5.0) -> list[str]:
+    """Join any live multiprocessing children; return names still alive.
+
+    The mp backend tears its workers down on every exit path, but a
+    benchmark or test that died mid-run can leave orphans whose atexit
+    handlers then race pytest's warning checks.  Joining (and, as a
+    last resort, terminating) here makes teardown deterministic.
+    """
+    leaked: list[str] = []
+    for proc in multiprocessing.active_children():
+        proc.join(timeout)
+        if proc.is_alive():  # pragma: no cover - pathological
+            proc.terminate()
+            proc.join(timeout)
+        if proc.is_alive():  # pragma: no cover - pathological
+            leaked.append(proc.name)
+    return leaked
+
+
 def measure(
     procs: tuple[int, ...] = DEFAULT_PROCS,
     repeats: int = DEFAULT_REPEATS,
@@ -97,9 +132,10 @@ def measure(
     represented_bytes: float = 2.75e9,
     downscale: float = 10_000.0,
     seed: int = 7,
+    backend: str = "sim",
     progress=None,
 ) -> dict[int, BenchPoint]:
-    """Run the benchmark matrix and return per-P measurements.
+    """Run the benchmark matrix for one backend; per-P measurements.
 
     End-to-end times are best-of-``repeats`` (the minimum is the
     standard estimator for the noise-free cost of a deterministic
@@ -108,7 +144,9 @@ def measure(
     workload = make_workload(
         dataset, dataset, represented_bytes, downscale=downscale, seed=seed
     )
-    config = default_figure_config()
+    config = dataclasses.replace(
+        default_figure_config(), backend=backend
+    )
     machine = MachineSpec()
     points: dict[int, BenchPoint] = {}
     prev_wall = os.environ.get(WALL_ENV)
@@ -143,10 +181,11 @@ def measure(
                     for k, v in result.timings.component_seconds.items()
                 },
                 counters=counter_totals(result.metrics),
+                backend=backend,
             )
             if progress:
                 progress(
-                    f"P={p}: best {min(times):.3f}s real, "
+                    f"[{backend}] P={p}: best {min(times):.3f}s real, "
                     f"{points[p].virtual_seconds:.2f}s virtual"
                 )
     finally:
@@ -154,7 +193,29 @@ def measure(
             del os.environ[WALL_ENV]
         else:
             os.environ[WALL_ENV] = prev_wall
+        leaked = reap_children()
+        if leaked and progress:  # pragma: no cover - pathological
+            progress(f"warning: unreaped child processes: {leaked}")
     return points
+
+
+def measure_backends(
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    procs: tuple[int, ...] = DEFAULT_PROCS,
+    **kwargs,
+) -> dict[str, dict[int, BenchPoint]]:
+    """Run :func:`measure` once per backend."""
+    out: dict[str, dict[int, BenchPoint]] = {}
+    for backend in backends:
+        bprocs = procs
+        if backend == "mp":
+            # one OS process per rank: P=1 exercises no cross-process
+            # machinery worth timing, but keep it if explicitly asked
+            bprocs = tuple(p for p in procs if p >= 1)
+        out[backend] = measure(
+            procs=bprocs, backend=backend, **kwargs
+        )
+    return out
 
 
 def compare(
@@ -213,13 +274,89 @@ def compare(
     return speedups, regressions
 
 
+def backend_compare(
+    by_backend: dict[str, dict[int, BenchPoint]],
+) -> tuple[dict, list[Regression], list[str]]:
+    """Cross-backend table, hard regressions, and advisory notes.
+
+    The two backends run identical code against identical virtual
+    machines, so their *virtual* times must agree to the last bit --
+    any drift is a correctness failure.  Their *wall* times reflect
+    the host: the mp backend only outruns the simulator when the OS
+    can actually schedule ranks on distinct cores, so the wall
+    comparison is advisory (logged, recorded, never fatal).
+    """
+    table: dict[str, dict] = {}
+    regressions: list[Regression] = []
+    advisories: list[str] = []
+    sim = by_backend.get("sim", {})
+    mp = by_backend.get("mp", {})
+    cpus = os.cpu_count() or 1
+    for p in sorted(set(sim) & set(mp)):
+        s, m = sim[p], mp[p]
+        entry = {
+            "sim_wall_seconds": s.wall_seconds,
+            "mp_wall_seconds": m.wall_seconds,
+            "mp_speedup": (
+                round(s.wall_seconds / m.wall_seconds, 3)
+                if m.wall_seconds > 0
+                else None
+            ),
+            "virtual_match": s.virtual_seconds == m.virtual_seconds,
+        }
+        table[str(p)] = entry
+        if s.virtual_seconds != m.virtual_seconds:
+            regressions.append(
+                Regression(
+                    nprocs=p,
+                    kind="virtual-backend",
+                    baseline=s.virtual_seconds,
+                    measured=m.virtual_seconds,
+                    detail=(
+                        f"backends disagree on virtual time at P={p}: "
+                        f"sim {s.virtual_seconds!r} vs "
+                        f"mp {m.virtual_seconds!r} (bit-exactness "
+                        "contract broken)"
+                    ),
+                )
+            )
+        if p >= 8 and m.wall_seconds > s.wall_seconds:
+            advisories.append(
+                f"advisory: mp wall {m.wall_seconds:.3f}s > sim "
+                f"{s.wall_seconds:.3f}s at P={p} "
+                f"(host has {cpus} CPU core(s); real-parallel speedup "
+                "needs >= 2)"
+            )
+    return table, regressions, advisories
+
+
+def _modeled_vs_measured(pt: BenchPoint) -> dict[str, dict[str, float]]:
+    """Pair each stage's modeled (virtual) and measured (wall) time."""
+    stages = sorted(
+        set(pt.stages_wall_seconds) | set(pt.stages_virtual_seconds)
+    )
+    out = {
+        stage: {
+            "modeled_seconds": pt.stages_virtual_seconds.get(stage, 0.0),
+            "measured_seconds": pt.stages_wall_seconds.get(stage, 0.0),
+        }
+        for stage in stages
+    }
+    out["end_to_end"] = {
+        "modeled_seconds": pt.virtual_seconds,
+        "measured_seconds": pt.wall_seconds,
+    }
+    return out
+
+
 def build_report(
-    points: dict[int, BenchPoint],
+    by_backend: dict[str, dict[int, BenchPoint]],
     config_meta: dict,
     baseline: Optional[dict] = None,
     threshold: float = DEFAULT_THRESHOLD,
-) -> tuple[dict, list[Regression]]:
+) -> tuple[dict, list[Regression], list[str]]:
     """Assemble the BENCH_runtime.json document."""
+    sim_points = by_backend.get("sim", {})
     report = {
         "schema": SCHEMA,
         "commit": _git_commit(),
@@ -228,25 +365,63 @@ def build_report(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpus": os.cpu_count() or 1,
         },
+        # schema-stable view of the sim backend, used as the baseline
         "results": {
-            str(p): asdict(pt) for p, pt in sorted(points.items())
+            str(p): asdict(pt) for p, pt in sorted(sim_points.items())
+        },
+        "backends": {
+            backend: {
+                str(p): {
+                    **asdict(pt),
+                    "modeled_vs_measured": _modeled_vs_measured(pt),
+                }
+                for p, pt in sorted(points.items())
+            }
+            for backend, points in by_backend.items()
         },
     }
     regressions: list[Regression] = []
+    advisories: list[str] = []
+    if len(by_backend) > 1:
+        table, cross_regs, advisories = backend_compare(by_backend)
+        report["backend_compare"] = table
+        regressions.extend(cross_regs)
     if baseline is not None:
-        speedups, regressions = compare(points, baseline, threshold)
+        base_results = baseline.get("results", {})
+        speedups, base_regs = compare(sim_points, baseline, threshold)
+        # mp walls vary with host cores: check only virtual drift
+        for p, pt in by_backend.get("mp", {}).items():
+            base = base_results.get(str(p))
+            if base is None or base.get("virtual_seconds") is None:
+                continue
+            if float(base["virtual_seconds"]) != pt.virtual_seconds:
+                base_regs.append(
+                    Regression(
+                        nprocs=p,
+                        kind="virtual",
+                        baseline=float(base["virtual_seconds"]),
+                        measured=pt.virtual_seconds,
+                        detail=(
+                            f"mp backend virtual time drifted at P={p}"
+                        ),
+                    )
+                )
+        regressions.extend(base_regs)
         report["baseline"] = {
             "commit": baseline.get("commit", "unknown"),
             "wall_seconds": {
                 p: b["wall_seconds"]
-                for p, b in baseline.get("results", {}).items()
+                for p, b in base_results.items()
             },
             "speedup_vs_baseline": speedups,
             "threshold": threshold,
             "regressions": [asdict(r) for r in regressions],
         }
-    return report, regressions
+    if advisories:
+        report["advisories"] = advisories
+    return report, regressions, advisories
 
 
 def run_bench(
@@ -259,6 +434,7 @@ def run_bench(
     seed: int = 7,
     threshold: float = DEFAULT_THRESHOLD,
     update_baseline: bool = False,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
     progress=print,
 ) -> int:
     """Full CLI flow; returns a process exit code.
@@ -267,19 +443,26 @@ def run_bench(
     the report and, on the next run, the committed baseline.  With
     ``update_baseline`` the comparison is skipped and the file is
     rewritten -- for intentional performance or cost-model changes.
+    Exit is non-zero only for *hard* regressions: sim wall beyond the
+    threshold, or any virtual-time drift (vs the baseline or between
+    backends).  Slower mp walls are advisory.
     """
     out_path = Path(out_path)
     baseline_path = Path(baseline_path or out_path)
     baseline: Optional[dict] = None
     if not update_baseline and baseline_path.exists():
         baseline = json.loads(baseline_path.read_text())
-        if baseline.get("schema") != SCHEMA:
+        if baseline.get("schema") not in (
+            SCHEMA,
+            "repro-bench-runtime/1",
+        ):
             progress(
                 f"ignoring {baseline_path}: unknown schema "
                 f"{baseline.get('schema')!r}"
             )
             baseline = None
-    points = measure(
+    by_backend = measure_backends(
+        backends=backends,
         procs=procs,
         repeats=repeats,
         dataset=dataset,
@@ -293,21 +476,24 @@ def run_bench(
         "seed": seed,
         "repeats": repeats,
         "procs": list(procs),
+        "backends": list(backends),
     }
-    report, regressions = build_report(
-        points, config_meta, baseline, threshold
+    report, regressions, advisories = build_report(
+        by_backend, config_meta, baseline, threshold
     )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     progress(f"wrote {out_path}")
-    if baseline is not None:
+    if baseline is not None and "baseline" in report:
         for p, s in sorted(
             report["baseline"]["speedup_vs_baseline"].items(),
-            key=lambda kv: int(kv[0]),
+            key=lambda kv: int(kv[0]) if kv[0].isdigit() else 0,
         ):
             progress(
                 f"P={p}: {s}x vs baseline "
                 f"{report['baseline']['commit'][:12]}"
             )
+    for note in advisories:
+        progress(note)
     for r in regressions:
         progress(f"REGRESSION at P={r.nprocs} [{r.kind}]: {r.detail}")
     return 1 if regressions else 0

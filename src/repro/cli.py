@@ -73,10 +73,21 @@ def _build_parser() -> argparse.ArgumentParser:
     r = sub.add_parser("run", help="run the text engine on a corpus")
     r.add_argument("--corpus", type=Path, required=True)
     r.add_argument(
+        "-P",
         "--nprocs",
         type=int,
         default=0,
         help="simulated processors (0 = serial engine)",
+    )
+    r.add_argument(
+        "--backend",
+        choices=("sim", "mp"),
+        default="sim",
+        help=(
+            "execution backend for parallel runs: 'sim' (single-"
+            "process virtual-time simulator) or 'mp' (one OS process "
+            "per rank; bit-identical results)"
+        ),
     )
     r.add_argument("--clusters", type=int, default=10)
     r.add_argument("--major-terms", type=int, default=400)
@@ -138,6 +149,15 @@ def _build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--dataset", choices=("pubmed", "trec"), default="pubmed"
     )
+    b.add_argument(
+        "--backends",
+        type=str,
+        default="sim,mp",
+        help=(
+            "comma-separated execution backends to measure "
+            "(subset of: sim, mp)"
+        ),
+    )
     b.add_argument("--downscale", type=float, default=10_000.0)
     b.add_argument("--seed", type=int, default=7)
     b.add_argument(
@@ -178,10 +198,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     m.add_argument(
+        "-P",
         "--nprocs",
         type=int,
         default=8,
         help="simulated processors for the default run",
+    )
+    m.add_argument(
+        "--backend",
+        choices=("sim", "mp"),
+        default="sim",
+        help="execution backend for the default run",
     )
     m.add_argument(
         "--dataset", choices=("pubmed", "trec"), default="pubmed"
@@ -489,9 +516,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if args.checkpoint_dir is not None
             else None
         ),
+        backend=args.backend,
     )
     if args.nprocs > 0:
-        print(f"running parallel engine on {args.nprocs} simulated procs")
+        kind = (
+            "OS processes" if args.backend == "mp" else "simulated procs"
+        )
+        print(f"running parallel engine on {args.nprocs} {kind}")
         result = ParallelTextEngine(args.nprocs, config=config).run(corpus)
     else:
         print("running serial engine")
@@ -618,6 +649,13 @@ def _cmd_bench_wallclock(args: argparse.Namespace) -> int:
     procs = tuple(
         int(tok) for tok in args.procs.split(",") if tok.strip()
     )
+    backends = tuple(
+        tok.strip() for tok in args.backends.split(",") if tok.strip()
+    )
+    bad = [b for b in backends if b not in ("sim", "mp")]
+    if bad:
+        print(f"error: unknown backend(s): {bad}", file=sys.stderr)
+        return 2
     return run_bench(
         out_path=args.out,
         baseline_path=args.baseline,
@@ -628,6 +666,7 @@ def _cmd_bench_wallclock(args: argparse.Namespace) -> int:
         seed=args.seed,
         threshold=args.threshold,
         update_baseline=args.update_baseline,
+        backends=backends,
     )
 
 
@@ -688,13 +727,17 @@ def _cmd_metrics_report(args: argparse.Namespace) -> int:
         print(
             f"running {args.dataset} ({len(workload.corpus)} docs, "
             f"downscale {args.downscale:g}) on {args.nprocs} "
-            "simulated procs",
+            f"simulated procs [{args.backend} backend]",
             file=sys.stderr,
         )
+        import dataclasses
+
         engine = ParallelTextEngine(
             args.nprocs,
             machine=MachineSpec(),
-            config=default_figure_config(),
+            config=dataclasses.replace(
+                default_figure_config(), backend=args.backend
+            ),
         )
         snap = engine.run(workload.corpus).metrics
     validate_snapshot(snap)

@@ -57,6 +57,13 @@ class EngineConfig:
     # --- projection -------------------------------------------------------
     projection_dim: int = 2
 
+    # --- execution backend --------------------------------------------------
+    #: "sim" = deterministic single-process simulator (the correctness
+    #: oracle); "mp" = one OS process per rank with shared-memory GA
+    #: state -- bit-identical results and virtual-time metrics, real
+    #: parallelism (see :mod:`repro.runtime.mpbackend`)
+    backend: str = "sim"
+
     # --- parallel indexing --------------------------------------------------
     #: documents per inversion load (fixed-size chunking, §3.3)
     chunk_docs: int = 8
@@ -88,6 +95,10 @@ class EngineConfig:
     mem_expansion: float = 1.5
 
     def __post_init__(self) -> None:
+        if self.backend not in ("sim", "mp"):
+            raise ValueError(
+                f"backend must be 'sim' or 'mp', got {self.backend!r}"
+            )
         if self.n_major_terms < 1:
             raise ValueError("n_major_terms must be >= 1")
         if not 0.0 < self.topic_fraction <= 1.0:

@@ -200,9 +200,12 @@ class ParallelTextEngine:
         try:
             while True:
                 try:
-                    sim = Cluster(nlive, machine, faults=injector).run(
-                        entry, *make_args(nlive), ckpt
-                    )
+                    sim = Cluster(
+                        nlive,
+                        machine,
+                        faults=injector,
+                        backend=self.config.backend,
+                    ).run(entry, *make_args(nlive), ckpt)
                     if recovery is not None:
                         recovery["final_nprocs"] = nlive
                     return sim, recovery
@@ -434,8 +437,8 @@ def _engine_core(
     with ctx.region("index"):
         # publish this rank's forward index in the global address space
         ctx.sched.wait_turn(ctx.rank)
-        store = ctx.world.registry.setdefault(_FWD_STORE_KEY, {})
-        store[ctx.rank] = forward
+        store = ctx.world.published_store(_FWD_STORE_KEY)
+        ctx.world.publish_store(_FWD_STORE_KEY, ctx.rank, forward)
         ctx.barrier()
         gid_lo, gid_hi = vocab.dist.local_range(ctx.rank)
         local_terms = vocab.gid_to_term[gid_lo:gid_hi]
@@ -555,6 +558,28 @@ def _engine_core(
     )
 
 
+def _dlb_cost_hints(ctx, machine, pf, forward, chunk):
+    """Per-own-load cost hints for the mp backend's claim planner.
+
+    ``None`` under the simulator (the scheduler already serializes
+    claims deterministically).  Under mp the hints let every process
+    replay the identical claim interleaving: each own load's scaled
+    transfer bytes and base inversion seconds -- exactly the charges
+    ``process_load`` makes, so the offline replay is bit-exact.
+    """
+    if getattr(ctx.world, "backend", "sim") != "mp":
+        return None
+    own = []
+    ndocs = len(forward.docs)
+    for li in range((ndocs + chunk - 1) // chunk):
+        lo = li * chunk
+        hi = min(ndocs, lo + chunk)
+        nb = machine.scaled(forward.nbytes_of_chunk(lo, hi), Scale.STREAM)
+        gsize = sum(int(d.gids.size) for d in forward.docs[lo:hi])
+        own.append((float(nb), float(machine.invert_seconds(gsize))))
+    return (pf, own)
+
+
 def _index_stage(
     ctx: RankContext,
     cfg: EngineConfig,
@@ -626,7 +651,10 @@ def _index_stage(
     # per-processor load distribution Figure 9 plots
     with ctx.region("index:invert"):
         if cfg.dynamic_load_balancing:
-            queue = SharedTaskQueue(ctx, "ifi", load_counts, chunk=1)
+            queue = SharedTaskQueue(
+                ctx, "ifi", load_counts, chunk=1,
+                cost_hints=_dlb_cost_hints(ctx, machine, pf, forward, chunk),
+            )
             while (got := queue.next_chunk()) is not None:
                 for t in range(got[0], got[1]):
                     process_load(t)

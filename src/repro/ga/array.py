@@ -84,9 +84,12 @@ class GlobalArray:
         ctx.sched.wait_turn(ctx.rank)
         entry = ctx.world.registry.get(key)
         if entry is None:
-            data = np.full(shape, fill, dtype=dtype)
             if dist is None:
                 dist = BlockDistribution(shape[0], ctx.nprocs)
+            # the world decides where the backing memory lives (a
+            # private allocation under the simulator, a shared-memory
+            # segment under the mp backend)
+            data = ctx.world.alloc_ndarray(key, shape, fill, np.dtype(dtype))
             entry = (data, dist, shape, np.dtype(dtype))
             ctx.world.registry[key] = entry
         else:
@@ -153,8 +156,9 @@ class GlobalArray:
         lo, hi = self._normalize(index, index + 1)
         ctx = self._ctx
         ctx.sched.wait_turn(ctx.rank)
-        old = int(self._data[index])
-        self._data[index] = old + inc
+        with ctx.world.ga_lock:
+            old = int(self._data[index])
+            self._data[index] = old + inc
         owner = self.dist.owner_of(index)
         if owner == ctx.rank:
             ctx.charge(ctx.machine.rpc_handler_cost_s)

@@ -66,10 +66,9 @@ class GlobalHashMap:
         key = f"hashmap:{name}"
         ctx.comm.barrier()
         ctx.sched.wait_turn(ctx.rank)
-        shards = ctx.world.registry.get(key)
-        if shards is None:
-            shards = [_OwnerState() for _ in range(ctx.nprocs)]
-            ctx.world.registry[key] = shards
+        shards = ctx.world.shared_state(
+            key, lambda: [_OwnerState() for _ in range(ctx.nprocs)]
+        )
         return cls(ctx, name, shards)
 
     # ------------------------------------------------------------------
@@ -120,9 +119,12 @@ class GlobalHashMap:
 
         nbytes = 16.0 + len(term)
         self._record_op(owner)
-        return self._rpc_with_retry(
+        gid = self._rpc_with_retry(
             owner, handler, nbytes_out=nbytes, nbytes_in=16.0
         )
+        if owner != self._ctx.rank:
+            self._ctx.world.post_hashmap_sideband(self.name, owner, [term])
+        return gid
 
     def get_or_insert_batch(self, terms: list[str]) -> dict[str, int]:
         """Insert many terms with one aggregated RPC per owner rank.
@@ -160,6 +162,12 @@ class GlobalHashMap:
             self._ctx.charge(
                 self._ctx.machine.rpc_handler_cost_s * max(0, len(batch) - 1)
             )
+            if owner != self._ctx.rank:
+                # under the mp backend the handler above ran against a
+                # process-local replica of the owner's shard; replicate
+                # the inserted terms to the owner's process so its
+                # local_items() is complete before finalization
+                self._ctx.world.post_hashmap_sideband(self.name, owner, batch)
             out.update(zip(batch, gids))
         return out
 

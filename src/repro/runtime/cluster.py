@@ -74,14 +74,20 @@ class Cluster:
         nprocs: int,
         machine: MachineSpec | None = None,
         faults: FaultPlan | FaultInjector | None = None,
+        backend: str = "sim",
     ):
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        if backend not in ("sim", "mp"):
+            raise ValueError(
+                f"backend must be 'sim' or 'mp', got {backend!r}"
+            )
         self.nprocs = nprocs
         self.machine = machine if machine is not None else MachineSpec()
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults)
         self.injector = faults
+        self.backend = backend
 
     def run(
         self,
@@ -100,6 +106,18 @@ class Cluster:
         reports the victims and their entries in ``rank_results`` stay
         ``None``).
         """
+        if self.backend == "mp":
+            from .mpbackend import run_mp
+
+            return run_mp(
+                self.nprocs,
+                self.machine,
+                self.injector,
+                fn,
+                args,
+                kwargs,
+                raise_on_failure=raise_on_failure,
+            )
         world = World(self.nprocs)
         sched = Scheduler(
             self.nprocs, injector=self.injector, metrics=world.metrics

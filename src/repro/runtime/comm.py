@@ -199,7 +199,8 @@ class Communicator:
         )
         group = [self._g(lr) for lr in members_local]
         child_key = (self._ctx_key, "split", split_id, color)
-        return Communicator(
+        # type(self) so backend-specific communicators survive a split
+        return type(self)(
             self.world,
             self.sched,
             self.machine,
@@ -426,7 +427,8 @@ class Communicator:
 
         nbytes = payload_nbytes(obj) if self.rank == root else None
         return self._collective(
-            "bcast", obj, nbytes=nbytes, finisher=finish, nbytes_hint=nbytes_hint
+            "bcast", obj, nbytes=nbytes, finisher=finish,
+            nbytes_hint=nbytes_hint, root=root,
         )
 
     def reduce(
@@ -448,7 +450,8 @@ class Communicator:
             return out
 
         return self._collective(
-            "reduce", value, finisher=finish, nbytes_hint=nbytes_hint
+            "reduce", value, finisher=finish, nbytes_hint=nbytes_hint,
+            root=root,
         )
 
     def allreduce(
@@ -486,7 +489,8 @@ class Communicator:
             return out
 
         return self._collective(
-            "gather", value, finisher=finish, nbytes_hint=nbytes_hint
+            "gather", value, finisher=finish, nbytes_hint=nbytes_hint,
+            root=root,
         )
 
     def allgather(
@@ -515,7 +519,7 @@ class Communicator:
         def finish(payloads: list[Any]) -> list[Any]:
             return list(payloads[root])
 
-        return self._collective("scatter", values, finisher=finish)
+        return self._collective("scatter", values, finisher=finish, root=root)
 
     def alltoallv(
         self, per_dest: Sequence[Any], nbytes_hint: Optional[float] = None
@@ -568,11 +572,16 @@ class Communicator:
         nbytes: Optional[float] = None,
         finisher: Optional[Callable[[list[Any]], list[Any]]] = None,
         nbytes_hint: Optional[float] = None,
+        root: Optional[int] = None,
     ) -> Any:
         """Execute one collective; see module docstring for semantics.
 
         ``nbytes_hint`` lets callers override the modelled message size
         (used by the engine to account for represented-scale payloads).
+        ``root`` names the rooted rank of rooted collectives; the
+        simulator ignores it (the finisher closure already knows), but
+        the mp backend uses it to ship payloads only where they are
+        needed.
 
         Each rank sizes its own payload **exactly once**, on arrival at
         the gate (and not at all when a hint is supplied); the last

@@ -12,7 +12,6 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional
 
-from .comm import Communicator
 from .errors import RankFailedError, TransientRpcError
 from .machine import MachineSpec, Scale
 from .payload import payload_nbytes
@@ -39,7 +38,7 @@ class RankContext:
         self.machine = machine
         self.tracer = tracer
         self.metrics = world.metrics
-        self.comm = Communicator(world, sched, machine, rank)
+        self.comm = world.make_comm(sched, machine, rank)
 
     # ------------------------------------------------------------------
     # time

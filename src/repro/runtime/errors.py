@@ -91,6 +91,7 @@ class RankFailedError(ClusterError):
 
     def __init__(self, failed: Iterable[int], detail: str = ""):
         self.failed = sorted(set(int(r) for r in failed))
+        self.detail = detail
         #: final per-rank virtual clocks of the aborted run, attached by
         #: the driver when available (None inside rank threads)
         self.rank_times = None
@@ -98,6 +99,12 @@ class RankFailedError(ClusterError):
         if detail:
             msg += f" during {detail}"
         super().__init__(msg)
+
+    def __reduce__(self):
+        # default exception pickling would replay __init__ with the
+        # formatted message; rebuild from the structured fields instead
+        # (the mp backend ships these across process boundaries)
+        return (_rebuild_rank_failed, (self.failed, self.detail, self.rank_times))
 
     @property
     def wall_time(self) -> Optional[float]:
@@ -117,11 +124,22 @@ class CommTimeoutError(ClusterError):
 
     def __init__(self, rank: int, detail: str, timeout: float):
         self.rank = rank
+        self.detail = detail
         self.timeout = timeout
         super().__init__(
             f"rank {rank}: {detail} timed out after {timeout:.6f} "
             f"virtual seconds"
         )
+
+    def __reduce__(self):
+        return (CommTimeoutError, (self.rank, self.detail, self.timeout))
+
+
+def _rebuild_rank_failed(failed, detail, rank_times):
+    """Unpickle helper for :class:`RankFailedError`."""
+    exc = RankFailedError(failed, detail)
+    exc.rank_times = rank_times
+    return exc
 
 
 class TransientRpcError(ClusterError):

@@ -9,7 +9,10 @@ at a time (the turn-holder), ranks mutate the world without locking.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Optional
+from contextlib import nullcontext
+from typing import Any, Callable, Optional
+
+import numpy as np
 
 from .metrics import MetricsRegistry
 
@@ -32,7 +35,20 @@ class CollectiveGate:
 
 
 class World:
-    """All cross-rank state of a single simulated run."""
+    """All cross-rank state of a single simulated run.
+
+    The class doubles as the *backend seam*: the GA structures, the
+    engine, and :class:`~repro.runtime.context.RankContext` only touch
+    cross-rank state through the hook methods below (``make_comm``,
+    ``shared_state``, ``alloc_ndarray``, ``ga_lock``,
+    ``published_store``/``publish_store``, ``post_hashmap_sideband``),
+    so the multiprocessing backend can substitute process-shared
+    implementations (:mod:`repro.runtime.mpbackend`) without any
+    call-site changes.
+    """
+
+    #: which execution backend this world belongs to ("sim" | "mp")
+    backend = "sim"
 
     def __init__(self, nprocs: int):
         self.nprocs = nprocs
@@ -62,3 +78,72 @@ class World:
     def mailbox(self, src: int, dst: int, tag: int, ctx="world") -> deque:
         """World-communicator mailbox accessor (testing convenience)."""
         return self.mailboxes.setdefault((ctx, src, dst, tag), deque())
+
+    # ------------------------------------------------------------------
+    # backend hooks (overridden by the multiprocessing backend)
+    # ------------------------------------------------------------------
+    def make_comm(self, sched, machine, rank: int):
+        """Build the world communicator for ``rank``."""
+        from .comm import Communicator
+
+        return Communicator(self, sched, machine, rank)
+
+    def shared_state(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Backing store for a named distributed structure.
+
+        Under the simulator the value is literally shared between rank
+        threads; under the mp backend each process holds a replica and
+        cross-process consistency is the structure's own business.
+        """
+        try:
+            return self.registry[key]
+        except KeyError:
+            value = factory()
+            self.registry[key] = value
+            return value
+
+    def alloc_ndarray(self, key: str, shape, fill, dtype) -> np.ndarray:
+        """Allocate the backing array of a global array.
+
+        The mp backend returns a ``multiprocessing.shared_memory``
+        mapped view instead of a private allocation.
+        """
+        return np.full(shape, fill, dtype=dtype)
+
+    @property
+    def ga_lock(self):
+        """Mutual exclusion for read-modify-write GA ops.
+
+        The simulator's turn-holding scheduler makes these atomic for
+        free; the mp backend substitutes a real cross-process lock.
+        """
+        return nullcontext()
+
+    def published_store(self, key: str):
+        """Rank-indexed mapping of published (read-only) objects."""
+        return self.shared_state(key, dict)
+
+    def publish_store(self, key: str, rank: int, value: Any) -> None:
+        """Publish ``value`` as rank ``rank``'s entry under ``key``.
+
+        Visibility to other ranks is guaranteed only after the next
+        collective (the engine publishes, then barriers).
+        """
+        self.published_store(key)[rank] = value
+
+    def post_hashmap_sideband(self, name: str, owner: int, batch) -> None:
+        """Replicate a remote hashmap insert to the owner's process.
+
+        A no-op under the simulator, where the owner's shard is the
+        same Python object the inserting rank just mutated.
+        """
+
+    def oob_allgather(self, key: Any, value: Any) -> list:
+        """Out-of-band (zero virtual cost) allgather.
+
+        Only the mp backend provides this -- it is real-time plumbing
+        for deterministic planning, not a modelled collective.
+        """
+        raise NotImplementedError(
+            "out-of-band allgather requires the mp backend"
+        )

@@ -5,9 +5,11 @@ import json
 from repro.bench.wallclock import (
     SCHEMA,
     BenchPoint,
+    backend_compare,
     build_report,
     compare,
     measure,
+    reap_children,
     run_bench,
 )
 
@@ -102,9 +104,76 @@ def test_run_bench_roundtrip(tmp_path, capsys):
 
 def test_build_report_schema_fields():
     points = {4: _point(4, wall=0.5, virtual=20.0)}
-    report, regs = build_report(points, {"dataset": "pubmed"})
+    report, regs, advisories = build_report(
+        {"sim": points}, {"dataset": "pubmed"}
+    )
     assert regs == []
+    assert advisories == []
     assert report["schema"] == SCHEMA
     assert report["config"] == {"dataset": "pubmed"}
-    assert set(report["env"]) == {"python", "numpy", "machine"}
+    assert set(report["env"]) == {"python", "numpy", "machine", "cpus"}
     assert report["results"]["4"]["wall_seconds"] == 0.5
+    # single backend: no cross-backend table
+    assert "backend_compare" not in report
+    mvm = report["backends"]["sim"]["4"]["modeled_vs_measured"]
+    assert mvm["end_to_end"] == {
+        "modeled_seconds": 20.0,
+        "measured_seconds": 0.5,
+    }
+
+
+def test_backend_compare_flags_virtual_drift():
+    sim = {8: _point(8, wall=1.0, virtual=10.0)}
+    mp = {8: _point(8, wall=0.5, virtual=10.000001)}
+    table, regs, advisories = backend_compare({"sim": sim, "mp": mp})
+    assert table["8"]["virtual_match"] is False
+    assert [r.kind for r in regs] == ["virtual-backend"]
+    assert advisories == []
+
+
+def test_backend_compare_slow_mp_is_advisory_only():
+    sim = {8: _point(8, wall=1.0, virtual=10.0)}
+    mp = {8: _point(8, wall=2.0, virtual=10.0)}
+    table, regs, advisories = backend_compare({"sim": sim, "mp": mp})
+    assert regs == []
+    assert len(advisories) == 1
+    assert table["8"]["mp_speedup"] == 0.5
+    # below P=8 the wall comparison is not even advisory
+    sim = {2: _point(2, wall=1.0, virtual=10.0)}
+    mp = {2: _point(2, wall=2.0, virtual=10.0)}
+    _, regs, advisories = backend_compare({"sim": sim, "mp": mp})
+    assert regs == [] and advisories == []
+
+
+def test_build_report_cross_backend_and_baseline_mp_virtual():
+    sim = {8: _point(8, wall=1.0, virtual=10.0)}
+    mp = {8: _point(8, wall=0.9, virtual=10.0)}
+    baseline = {
+        "schema": SCHEMA,
+        "commit": "feedc0de",
+        "results": {
+            "8": {"wall_seconds": 1.0, "virtual_seconds": 10.0}
+        },
+    }
+    report, regs, _ = build_report(
+        {"sim": sim, "mp": mp}, {}, baseline
+    )
+    assert regs == []
+    assert report["backend_compare"]["8"]["mp_speedup"] > 1.0
+    # mp virtual drift against the committed baseline is a hard fail
+    mp_drift = {8: _point(8, wall=0.9, virtual=11.0)}
+    _, regs, _ = build_report({"sim": sim, "mp": mp_drift}, {}, baseline)
+    assert "virtual-backend" in {r.kind for r in regs}
+    assert "virtual" in {r.kind for r in regs}
+
+
+def test_measure_mp_backend_agrees_with_sim():
+    kwargs = dict(procs=(2,), repeats=1, downscale=50_000.0)
+    sim = measure(backend="sim", **kwargs)
+    mp = measure(backend="mp", **kwargs)
+    assert mp[2].backend == "mp"
+    assert mp[2].virtual_seconds == sim[2].virtual_seconds
+    assert mp[2].stages_virtual_seconds == sim[2].stages_virtual_seconds
+    assert mp[2].counters == sim[2].counters
+    # teardown left no orphaned children behind
+    assert reap_children() == []

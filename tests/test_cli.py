@@ -88,6 +88,32 @@ def test_run_exports_everything(results_dir):
     assert len(csv) > 10
 
 
+def test_run_mp_backend_matches_sim(corpus_file, results_dir, tmp_path):
+    """`run -P 4 --backend mp` writes a byte-identical result.npz."""
+    out = tmp_path / "mp"
+    rc = main(
+        [
+            "run",
+            "--corpus",
+            str(corpus_file),
+            "-P",
+            "4",
+            "--backend",
+            "mp",
+            "--clusters",
+            "4",
+            "--major-terms",
+            "120",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    assert (out / "result.npz").read_bytes() == (
+        (results_dir / "result.npz").read_bytes()
+    )
+
+
 def test_run_serial_engine(corpus_file, tmp_path):
     out = tmp_path / "serial"
     rc = main(
