@@ -30,6 +30,14 @@ writes ``BENCH_serving.json``:
   and blocks skipped.  Every pruned configuration's answers are
   byte-compared against the exhaustive run; any mismatch fails the
   bench (exit 1) -- the exactness oracle;
+* ``workbench`` -- the analyst-workload study: seeded multi-tenant
+  sessions (open -> search -> refine/set algebra -> derive -> close)
+  replayed through the workbench tier at P in {1, 2, 4}, recording
+  throughput, virtual p50/p99 op latency, artifact cache-hit rate,
+  quota-shed rate and TTL eviction count.  Two byte-identity oracles
+  gate the study: canonical response transcripts must be identical
+  across shard counts, and the largest-P run must be byte-identical
+  under ``REPRO_SCHED_SLOWPATH=1``; any mismatch fails the bench;
 * ``baseline`` comparison -- all virtual statistics are deterministic
   for a given (corpus seed, workload seed, machine), so a drifted
   number means a behavioural change: the run fails (exit 1) unless
@@ -48,6 +56,7 @@ machine.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import tempfile
@@ -74,8 +83,14 @@ from repro.serve.workload import (
     generate_zipf_workload,
     store_profile,
 )
+from repro.workbench import (
+    WorkbenchConfig,
+    WorkbenchReport,
+    generate_analyst_workload,
+    serve_workbench,
+)
 
-SCHEMA = "repro-bench-serving/3"
+SCHEMA = "repro-bench-serving/4"
 DEFAULT_SHARDS = (1, 2, 4, 8)
 DEFAULT_OUT = "BENCH_serving.json"
 DEFAULT_CORPUS_BYTES = 120_000
@@ -105,6 +120,28 @@ _PRUNING_REPEATS = 3
 #: same-run exhaustive reference is a regression -- a same-process
 #: ratio, so it holds across machines where absolute walls do not
 _WALL_REGRESSION_FRACTION = 0.85
+
+#: analyst-workload study: shard counts the same transcript must be
+#: byte-identical across (run only at counts the main matrix built)
+_WORKBENCH_SHARDS = (1, 2, 4)
+#: deliberately tight quotas + a short TTL so the study exercises every
+#: lifecycle path: quota sheds (3 sessions/tenant vs max 2), TTL
+#: evictions (the paused sessions idle far past 30 virtual seconds),
+#: and artifact cache hits (sessions share per-tenant anchor pools)
+_WORKBENCH_CONFIG = WorkbenchConfig(
+    max_sessions=2,
+    max_sets=8,
+    max_derived_bytes=1 << 14,
+    session_ttl_s=30.0,
+)
+_WORKBENCH_KNOBS = dict(
+    n_tenants=2,
+    sessions_per_tenant=3,
+    ops_per_session=8,
+    pool_size=2,
+    pause_fraction=0.4,
+    pause_s=90.0,
+)
 
 #: replicated-tier scaling matrix:
 #: (nshards, workers, brokers, replicas, clients, queries/client).
@@ -165,6 +202,147 @@ class ServePoint:
             makespan_s=round(report.makespan, 9),
             counters=serve_counters,
         )
+
+
+#: reject reasons that count as quota sheds (vs contract errors)
+_QUOTA_REASONS = (
+    "session_quota",
+    "set_quota",
+    "derived_bytes_quota",
+)
+
+
+@dataclass
+class WorkbenchPoint:
+    """Measurements for one shard count of the analyst study."""
+
+    nshards: int
+    served: int
+    rejected: int
+    quota_shed: int
+    quota_shed_rate: float
+    sessions_opened: int
+    sessions_closed: int
+    sessions_evicted: int
+    sets_saved: int
+    artifact_hit_rate: float
+    throughput_ops_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    makespan_s: float
+    counters: dict[str, float]
+
+    @classmethod
+    def from_report(
+        cls, nshards: int, report: WorkbenchReport
+    ) -> "WorkbenchPoint":
+        wb_counters = {
+            k: v
+            for k, v in counter_totals(report.metrics).items()
+            if k.startswith("workbench.")
+        }
+        quota = sum(
+            1
+            for r in report.rejected
+            if r.reason in _QUOTA_REASONS
+        )
+        issued = report.served + len(report.rejected)
+        return cls(
+            nshards=nshards,
+            served=report.served,
+            rejected=len(report.rejected),
+            quota_shed=quota,
+            quota_shed_rate=round(quota / issued if issued else 0.0, 6),
+            sessions_opened=report.sessions_opened,
+            sessions_closed=report.sessions_closed,
+            sessions_evicted=report.sessions_evicted,
+            sets_saved=report.sets_saved,
+            artifact_hit_rate=round(report.artifact_hit_rate, 6),
+            throughput_ops_s=round(report.throughput, 6),
+            p50_latency_s=round(report.latency_percentile(50), 9),
+            p99_latency_s=round(report.latency_percentile(99), 9),
+            makespan_s=round(report.makespan, 9),
+            counters=wb_counters,
+        )
+
+
+def _workbench_transcript(report: WorkbenchReport) -> bytes:
+    return b"\n".join(
+        canonical_response(r) for r in report.responses
+    )
+
+
+def _measure_workbench(
+    stores: dict[int, str],
+    workload_seed: int,
+    progress,
+) -> dict:
+    """Analyst-workload study over the workbench tier.
+
+    Replays one seeded multi-tenant session workload at each shard
+    count in ``_WORKBENCH_SHARDS`` (restricted to the counts the main
+    matrix built) and byte-compares the canonical transcripts: result
+    sets and derived artifacts are shard-layout independent, so any
+    cross-count drift is a determinism bug.  The largest count then
+    re-runs under ``REPRO_SCHED_SLOWPATH=1`` and must reproduce the
+    fastpath transcript byte for byte.
+    """
+    wb_shards = tuple(
+        p for p in _WORKBENCH_SHARDS if p in stores
+    ) or (max(stores),)
+    scripts = generate_analyst_workload(
+        store_profile(stores[wb_shards[-1]]),
+        seed=workload_seed,
+        **_WORKBENCH_KNOBS,
+    )
+    points: dict[int, WorkbenchPoint] = {}
+    transcripts: dict[int, bytes] = {}
+    for p in wb_shards:
+        report = serve_workbench(
+            stores[p], scripts, config=_WORKBENCH_CONFIG
+        )
+        points[p] = WorkbenchPoint.from_report(p, report)
+        transcripts[p] = _workbench_transcript(report)
+        if progress:
+            pt = points[p]
+            progress(
+                f"workbench P={p}: {pt.served} ops, "
+                f"{pt.throughput_ops_s:.1f} ops/s virtual, "
+                f"p99 {pt.p99_latency_s * 1e3:.2f} ms, artifact hits "
+                f"{pt.artifact_hit_rate:.0%}, shed {pt.quota_shed}, "
+                f"evicted {pt.sessions_evicted}"
+            )
+    ref = transcripts[wb_shards[0]]
+    exact_shards = all(transcripts[p] == ref for p in wb_shards)
+    # slowpath identity at the largest count, toggled in-process (the
+    # scheduler reads the env var at cluster construction)
+    p = wb_shards[-1]
+    saved = os.environ.get("REPRO_SCHED_SLOWPATH")
+    os.environ["REPRO_SCHED_SLOWPATH"] = "1"
+    try:
+        slow = serve_workbench(
+            stores[p], scripts, config=_WORKBENCH_CONFIG
+        )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SCHED_SLOWPATH", None)
+        else:
+            os.environ["REPRO_SCHED_SLOWPATH"] = saved
+    exact_slow = _workbench_transcript(slow) == transcripts[p]
+    if progress:
+        progress(
+            f"workbench oracles: shards "
+            f"{'exact' if exact_shards else 'MISMATCH'}, slowpath "
+            f"{'exact' if exact_slow else 'MISMATCH'}"
+        )
+    return {
+        "shards": list(wb_shards),
+        "knobs": dict(_WORKBENCH_KNOBS),
+        "quotas": asdict(_WORKBENCH_CONFIG),
+        "points": {str(p): asdict(pt) for p, pt in points.items()},
+        "exact_match_shards": exact_shards,
+        "exact_match_slowpath": exact_slow,
+    }
 
 
 @dataclass(frozen=True)
@@ -593,13 +771,14 @@ def measure(
     dict[str, ReplicaPoint],
     dict,
     Optional[dict],
+    dict,
 ]:
     """Run the serving matrix, the fault run, and the replica studies.
 
     Returns ``(per-shard-count points, fault-run point, fault
-    metadata, replica matrix points, failover study, pruning study)``.
-    The same workload scripts replay at every shard count so the
-    virtual stats are comparable across P.
+    metadata, replica matrix points, failover study, pruning study,
+    workbench study)``.  The same workload scripts replay at every
+    shard count so the virtual stats are comparable across P.
     """
     if replica_matrix is None:
         replica_matrix = tuple(
@@ -675,6 +854,9 @@ def measure(
         failover = _measure_failover(
             result, postings, Path(tmp), workload_seed, progress
         )
+        workbench = _measure_workbench(
+            stores, workload_seed, progress
+        )
         pruning = _measure_pruning(
             Path(tmp),
             corpus_seed,
@@ -683,7 +865,15 @@ def measure(
             batch_sizes,
             progress,
         )
-    return points, fault_point, fault_meta, replica_points, failover, pruning
+    return (
+        points,
+        fault_point,
+        fault_meta,
+        replica_points,
+        failover,
+        pruning,
+        workbench,
+    )
 
 
 _COMPARED_FIELDS = (
@@ -709,6 +899,22 @@ _PRUNING_COMPARED_FIELDS = (
     "p99_latency_s",
 )
 
+_WORKBENCH_COMPARED_FIELDS = (
+    "served",
+    "rejected",
+    "quota_shed",
+    "quota_shed_rate",
+    "sessions_opened",
+    "sessions_closed",
+    "sessions_evicted",
+    "sets_saved",
+    "artifact_hit_rate",
+    "throughput_ops_s",
+    "p50_latency_s",
+    "p99_latency_s",
+    "makespan_s",
+)
+
 _REPLICA_COMPARED_FIELDS = (
     "served",
     "shed",
@@ -731,6 +937,7 @@ def compare(
     replica_points: dict[str, ReplicaPoint] | None = None,
     failover: dict | None = None,
     pruning: dict | None = None,
+    workbench: dict | None = None,
 ) -> list[Regression]:
     """Exact-equality check of every virtual statistic vs. a baseline.
 
@@ -801,6 +1008,23 @@ def compare(
                             measured=m,
                         )
                     )
+    base_workbench = baseline.get("workbench")
+    if workbench is not None and base_workbench is not None:
+        for p_str, run in workbench["points"].items():
+            base_run = base_workbench.get("points", {}).get(p_str)
+            if base_run is None:
+                continue
+            for field in _WORKBENCH_COMPARED_FIELDS:
+                b, m = float(base_run[field]), float(run[field])
+                if b != m:
+                    regressions.append(
+                        Regression(
+                            nshards=int(p_str),
+                            field=f"workbench.{field}",
+                            baseline=b,
+                            measured=m,
+                        )
+                    )
     base_pruning = baseline.get("pruning")
     if pruning is not None and base_pruning is not None:
         nshards = int(pruning["nshards"])
@@ -835,6 +1059,7 @@ def build_report(
     replica_points: dict[str, ReplicaPoint] | None = None,
     failover: dict | None = None,
     pruning: dict | None = None,
+    workbench: dict | None = None,
 ) -> tuple[dict, list[Regression]]:
     """Assemble the BENCH_serving.json document."""
     report = {
@@ -859,6 +1084,7 @@ def build_report(
             },
             "failover": failover,
         },
+        "workbench": workbench,
         "pruning": pruning,
     }
     regressions: list[Regression] = []
@@ -870,6 +1096,7 @@ def build_report(
             replica_points,
             failover,
             pruning,
+            workbench,
         )
         report["baseline"] = {
             "commit": baseline.get("commit", "unknown"),
@@ -919,7 +1146,15 @@ def run_bench(
         replica_matrix = tuple(
             ReplicaSpec(*row) for row in DEFAULT_REPLICA_MATRIX
         )
-    points, fault_point, fault_meta, replica_points, failover, pruning = (
+    (
+        points,
+        fault_point,
+        fault_meta,
+        replica_points,
+        failover,
+        pruning,
+        workbench,
+    ) = (
         measure(
             shards=shards,
             corpus_bytes=corpus_bytes,
@@ -953,6 +1188,7 @@ def run_bench(
         replica_points,
         failover,
         pruning,
+        workbench,
     )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     progress(f"wrote {out_path}")
@@ -969,6 +1205,18 @@ def run_bench(
         return 1
     if not failover["exact_match_r2"]:
         progress("REPLICA FAULT RUN DRIFTED from fault-free answers")
+        return 1
+    if not workbench["exact_match_shards"]:
+        progress(
+            "WORKBENCH ORACLE MISMATCH: analyst transcripts differ "
+            "across shard counts"
+        )
+        return 1
+    if not workbench["exact_match_slowpath"]:
+        progress(
+            "WORKBENCH ORACLE MISMATCH: analyst transcript differs "
+            "under REPRO_SCHED_SLOWPATH=1"
+        )
         return 1
     if pruning is not None and not pruning["exact_match_all"]:
         progress(

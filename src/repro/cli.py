@@ -198,6 +198,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     m.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        help=(
+            "render a saved metrics snapshot JSON instead (e.g. the "
+            "workbench-serve --metrics-out file)"
+        ),
+    )
+    m.add_argument(
         "-P",
         "--nprocs",
         type=int,
@@ -348,6 +357,78 @@ def _build_parser() -> argparse.ArgumentParser:
         default="1,4,16",
         help="broker batch sizes B for the pruning study",
     )
+
+    wb = sub.add_parser(
+        "workbench-serve",
+        help="replay a seeded analyst workload through the workbench",
+    )
+    wb.add_argument("--store", type=Path, required=True)
+    wb.add_argument("--tenants", type=int, default=2)
+    wb.add_argument("--sessions-per-tenant", type=int, default=2)
+    wb.add_argument("--ops-per-session", type=int, default=8)
+    wb.add_argument("--seed", type=int, default=0)
+    wb.add_argument(
+        "--backend",
+        choices=("sim", "mp"),
+        default="sim",
+        help="execution backend (answers are byte-identical)",
+    )
+    wb.add_argument("--max-sessions", type=int, default=4)
+    wb.add_argument("--max-sets", type=int, default=16)
+    wb.add_argument("--max-derived-bytes", type=int, default=1 << 15)
+    wb.add_argument(
+        "--session-ttl", type=float, default=120.0,
+        help="virtual seconds of idleness before eviction",
+    )
+    wb.add_argument(
+        "--transcript",
+        type=Path,
+        default=None,
+        help="write canonical response lines here (byte-compare anchor)",
+    )
+    wb.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the metrics snapshot JSON here (metrics-report input)",
+    )
+
+    wc = sub.add_parser(
+        "workbench-session",
+        help="run one scripted analyst session and print its responses",
+    )
+    wc.add_argument("--store", type=Path, required=True)
+    wc.add_argument(
+        "--script",
+        type=Path,
+        default=None,
+        help=(
+            "JSON list of ops: [{\"verb\": \"search\", \"name\": "
+            "\"a\", \"terms\": [\"gene\"], ...}, ...] (open/close "
+            "are implied)"
+        ),
+    )
+    wc.add_argument(
+        "--search",
+        type=str,
+        default=None,
+        help="anchor search terms for the default demo session",
+    )
+    wc.add_argument(
+        "--refine",
+        type=str,
+        default=None,
+        help="refine the anchor set with these terms",
+    )
+    wc.add_argument(
+        "--derive",
+        choices=("keyphrases", "cooccur", "relations"),
+        default="keyphrases",
+        help="derived artifact to compute on the last set",
+    )
+    wc.add_argument("--top", type=int, default=10, help="hits per set")
+    wc.add_argument("--n", type=int, default=10, help="derive terms")
+    wc.add_argument("--tenant", type=int, default=0)
 
     jf = sub.add_parser(
         "ingest-feed",
@@ -679,7 +760,17 @@ def _cmd_metrics_report(args: argparse.Namespace) -> int:
         validate_snapshot,
     )
 
-    if args.results is not None:
+    if args.snapshot is not None:
+        try:
+            snap = json.loads(args.snapshot.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"error: {args.snapshot} is not a metrics snapshot "
+                f"({exc})",
+                file=sys.stderr,
+            )
+            return 1
+    elif args.results is not None:
         import pickle
         import zipfile
 
@@ -869,6 +960,162 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             int(tok) for tok in args.batch_sizes.split(",") if tok.strip()
         ),
     )
+
+
+def _cmd_workbench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ShardFormatError
+    from repro.serve.query import canonical_response
+    from repro.serve.workload import store_profile
+    from repro.workbench import (
+        WorkbenchConfig,
+        generate_analyst_workload,
+        serve_workbench,
+    )
+
+    config = WorkbenchConfig(
+        max_sessions=args.max_sessions,
+        max_sets=args.max_sets,
+        max_derived_bytes=args.max_derived_bytes,
+        session_ttl_s=args.session_ttl,
+    )
+    try:
+        scripts = generate_analyst_workload(
+            store_profile(args.store),
+            n_tenants=args.tenants,
+            sessions_per_tenant=args.sessions_per_tenant,
+            ops_per_session=args.ops_per_session,
+            seed=args.seed,
+        )
+        report = serve_workbench(
+            str(args.store),
+            scripts,
+            config=config,
+            backend=args.backend,
+        )
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.transcript is not None:
+        args.transcript.write_bytes(
+            b"\n".join(
+                canonical_response(r) for r in report.responses
+            )
+            + b"\n"
+        )
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(
+            json.dumps(report.metrics, indent=2, sort_keys=True) + "\n"
+        )
+    print(
+        f"workbench: {report.served} ops answered, "
+        f"{len(report.rejected)} rejected, "
+        f"{report.sessions_opened} sessions opened "
+        f"({report.sessions_evicted} evicted), "
+        f"{report.sets_saved} sets saved"
+    )
+    print(
+        f"artifact cache: {report.artifact_hits} hits / "
+        f"{report.artifact_misses} misses "
+        f"({report.artifact_hit_rate:.1%}); makespan "
+        f"{report.makespan:.3f}s virtual "
+        f"({report.throughput:.1f} ops/s)"
+    )
+    return 0
+
+
+def _cmd_workbench_session(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ShardFormatError
+    from repro.serve.query import Query
+    from repro.workbench import (
+        WorkbenchOp,
+        WorkbenchScript,
+        serve_workbench,
+    )
+
+    def _op_from_doc(doc: dict) -> WorkbenchOp:
+        query = None
+        if "terms" in doc:
+            query = Query(
+                kind=doc.get("kind", "search"),
+                terms=tuple(doc["terms"]),
+                k=int(doc.get("k", args.top)),
+            )
+        return WorkbenchOp(
+            verb=doc["verb"],
+            name=doc.get("name", ""),
+            base=doc.get("base", ""),
+            other=doc.get("other", ""),
+            query=query,
+            n=int(doc.get("n", args.n)),
+            min_support=int(doc.get("min_support", 2)),
+        )
+
+    ops: list[WorkbenchOp] = [WorkbenchOp(verb="open")]
+    if args.script is not None:
+        try:
+            docs = json.loads(args.script.read_text())
+            ops += [_op_from_doc(d) for d in docs]
+        except (ValueError, KeyError) as exc:
+            print(f"error: bad script: {exc}", file=sys.stderr)
+            return 1
+    else:
+        if args.search is None:
+            print(
+                "error: pass --search TERMS or --script FILE",
+                file=sys.stderr,
+            )
+            return 1
+        ops.append(
+            WorkbenchOp(
+                verb="search",
+                name="anchor",
+                query=Query(
+                    kind="search",
+                    terms=tuple(args.search.split()),
+                    k=args.top,
+                ),
+            )
+        )
+        last = "anchor"
+        if args.refine is not None:
+            ops.append(
+                WorkbenchOp(
+                    verb="refine",
+                    name="refined",
+                    base="anchor",
+                    query=Query(
+                        kind="search",
+                        terms=tuple(args.refine.split()),
+                        k=args.top,
+                    ),
+                )
+            )
+            last = "refined"
+        ops.append(WorkbenchOp(verb=args.derive, base=last, n=args.n))
+    ops.append(WorkbenchOp(verb="close"))
+    script = WorkbenchScript(
+        tenant=args.tenant,
+        client=0,
+        ops=tuple(ops),
+        think_s=tuple(0.0 for _ in ops),
+    )
+    try:
+        report = serve_workbench(str(args.store), [script])
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for resp in report.responses:
+        print(json.dumps(resp, indent=2, sort_keys=True))
+    for rej in report.rejected:
+        print(
+            f"rejected op {rej.seq} ({rej.verb}): {rej.reason}",
+            file=sys.stderr,
+        )
+    return 0 if not report.rejected else 1
 
 
 def _cmd_ingest_feed(args: argparse.Namespace) -> int:
@@ -1061,6 +1308,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve-build": _cmd_serve_build,
         "serve-query": _cmd_serve_query,
         "serve-bench": _cmd_serve_bench,
+        "workbench-serve": _cmd_workbench_serve,
+        "workbench-session": _cmd_workbench_session,
         "ingest-feed": _cmd_ingest_feed,
         "ingest-publish": _cmd_ingest_publish,
         "ingest-compact": _cmd_ingest_compact,

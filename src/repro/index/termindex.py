@@ -335,6 +335,80 @@ def concat_postings(parts: "list[TermPostings]") -> TermPostings:
     return out
 
 
+def topk_score_row(
+    scores: np.ndarray, rows: np.ndarray, k: int
+) -> np.ndarray:
+    """Indices of the top-``k`` entries by ``(-score, row)``.
+
+    The serving layer's one merge order: descending score with
+    ascending global document row breaking ties, selected stably.
+    Every ranked answer -- shard-local top-k, broker merge, workbench
+    set algebra -- selects through this helper so tie order cannot
+    drift between subsystems.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    rows = np.asarray(rows, dtype=np.int64)
+    take = rows.size if k < 0 else min(k, rows.size)
+    return np.lexsort((rows, -scores))[:take]
+
+
+def set_term_tf(
+    postings: TermPostings, member_rows: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Per-term int64 tf totals over a set of document rows.
+
+    ``member_rows`` are postings-local rows (any order, no
+    duplicates).  Returns ``(totals, postings scanned)`` where
+    ``totals[t]`` is the exact integer sum of term ``t``'s frequencies
+    inside the member set.  Integer addition is associative, so
+    summing per-shard totals in shard order reproduces the single
+    array's totals bit for bit at every shard count -- the workbench
+    keyphrase determinism contract.
+    """
+    member_rows = np.asarray(member_rows, dtype=np.int64)
+    mask = np.zeros(postings.n_docs, dtype=bool)
+    mask[member_rows] = True
+    keep = mask[postings.rows]
+    term_ids = np.repeat(
+        np.arange(postings.n_terms, dtype=np.int64),
+        np.diff(postings.offsets),
+    )
+    out = np.zeros(postings.n_terms, dtype=np.int64)
+    np.add.at(out, term_ids[keep], postings.tf[keep])
+    return out, int(postings.rows.shape[0])
+
+
+def set_term_cooccurrence(
+    postings: TermPostings,
+    member_rows: np.ndarray,
+    term_rows: "list[int]",
+) -> tuple[np.ndarray, int]:
+    """Document co-occurrence counts of selected terms over a set.
+
+    Returns ``(C, postings scanned)`` where ``C[i, j]`` is the exact
+    int64 number of member documents containing both
+    ``term_rows[i]`` and ``term_rows[j]`` (diagonal = in-set document
+    frequency).  Computed as ``B.T @ B`` on an int64 incidence matrix,
+    so per-shard matrices sum exactly across any shard layout.
+    """
+    member_rows = np.asarray(member_rows, dtype=np.int64)
+    m = len(term_rows)
+    n = int(member_rows.shape[0])
+    if m == 0 or n == 0:
+        return np.zeros((m, m), dtype=np.int64), 0
+    rank = np.full(postings.n_docs, -1, dtype=np.int64)
+    rank[member_rows] = np.arange(n, dtype=np.int64)
+    incidence = np.zeros((n, m), dtype=np.int64)
+    scanned = 0
+    for j, t in enumerate(term_rows):
+        rows, _tfs = postings.term_slice(int(t))
+        scanned += int(rows.size)
+        if rows.size:
+            r = rank[rows]
+            incidence[r[r >= 0], j] = 1
+    return incidence.T @ incidence, scanned
+
+
 def icf_weights(df: np.ndarray, n_docs: int) -> np.ndarray:
     """Inverse-collection-frequency term weights.
 

@@ -16,6 +16,19 @@ Rising null-signature rates (vocabulary drift) never mutate the model
 mid-flight; they set the ``rebuild_recommended`` flag (and the
 ``ingest.rebuild_flags`` counter) so the operator can schedule a full
 engine re-run.
+
+**Epoch-pinning contract.**  Publishing a generation is strictly
+additive: every new generation writes its segments under a fresh
+``gen-K`` directory and flips ``CURRENT``; neither publish nor
+compaction ever deletes or rewrites a previously published
+generation's files or manifest.  A reader that captured generation
+*k*'s manifest (a workbench session opened at epoch *k*, a broker
+mid-query) can therefore keep answering from *k*'s exact bytes for as
+long as it likes while this driver publishes *k+1*, *k+2*, ... -- the
+property the workbench tier's epoch-pinned sessions and its
+``(tenant, set digest, epoch)`` artifact cache rest on.  Reclaiming
+superseded generations is an offline operator action, never part of a
+live session.
 """
 
 from __future__ import annotations

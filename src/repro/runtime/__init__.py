@@ -47,6 +47,7 @@ from .metrics import (
     stage_imbalance,
     to_prometheus,
     validate_snapshot,
+    workbench_summary,
 )
 from .mpi import ANY_SOURCE, MAX, MIN, MPIComm, PROD, SUM
 from .payload import payload_nbytes
@@ -94,6 +95,7 @@ __all__ = [
     "stage_imbalance",
     "to_prometheus",
     "validate_snapshot",
+    "workbench_summary",
     "RankContext",
     "RuntimeMisuseError",
     "Scale",

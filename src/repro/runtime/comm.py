@@ -104,6 +104,10 @@ class Request:
 class Communicator:
     """The per-rank endpoint of the simulated interconnect."""
 
+    #: whether :meth:`recv_any` is available (the mp backend's
+    #: endpoint overrides this to False)
+    supports_recv_any = True
+
     def __init__(
         self,
         world: World,

@@ -676,6 +676,54 @@ def ingest_summary(snap: dict) -> dict:
     }
 
 
+def workbench_summary(snap: dict) -> dict:
+    """Workbench-tier counters, aggregated for the text report.
+
+    Returns an empty dict when the snapshot holds no ``workbench.*``
+    families (i.e. no analyst session ran above the broker).
+    """
+    counters = snap["counters"]
+    if not any(name.startswith("workbench.") for name in counters):
+        return {}
+
+    def _total(name: str) -> float:
+        doc = counters.get(name)
+        if doc is None:
+            return 0.0
+        return float(sum(e["value"] for e in doc["values"]))
+
+    def _by_key(name: str) -> dict[str, float]:
+        doc = counters.get(name)
+        if doc is None:
+            return {}
+        out: dict[str, float] = {}
+        for e in doc["values"]:
+            key = str(e["key"][0]) if e["key"] else ""
+            out[key] = out.get(key, 0.0) + float(e["value"])
+        return out
+
+    hits = _total("workbench.artifact.hit")
+    misses = _total("workbench.artifact.miss")
+    lookups = hits + misses
+    return {
+        "ops_by_verb": _by_key("workbench.ops"),
+        "sessions": {
+            "opened": _total("workbench.sessions.opened"),
+            "closed": _total("workbench.sessions.closed"),
+            "evicted": _total("workbench.sessions.evicted"),
+        },
+        "sets_saved": _total("workbench.sets.saved"),
+        "rejected_by_reason": _by_key("workbench.rejected"),
+        "rejected": _total("workbench.rejected"),
+        "artifact_cache": {
+            "hit": hits,
+            "miss": misses,
+            "evict": _total("workbench.artifact.evict"),
+            "hit_rate": hits / lookups if lookups else 0.0,
+        },
+    }
+
+
 def render_report(snap: dict) -> str:
     """Human-readable metrics report (the ``metrics-report`` command).
 
@@ -818,6 +866,38 @@ def render_report(snap: dict) -> str:
             lines.append(
                 f"  posting blocks skipped (block-max pruning): "
                 f"{serving['blocks_skipped']:.0f} ({per_shard})"
+            )
+
+    workbench = workbench_summary(snap)
+    if workbench:
+        lines.append("")
+        lines.append("workbench tier (analyst sessions):")
+        verbs = workbench["ops_by_verb"]
+        total_ops = sum(verbs.values())
+        mix = ", ".join(f"{v}={verbs[v]:.0f}" for v in sorted(verbs))
+        lines.append(f"  ops: {total_ops:.0f} ({mix})")
+        sess = workbench["sessions"]
+        lines.append(
+            f"  sessions: {sess['opened']:.0f} opened / "
+            f"{sess['closed']:.0f} closed / "
+            f"{sess['evicted']:.0f} evicted (TTL); "
+            f"sets saved: {workbench['sets_saved']:.0f}"
+        )
+        art = workbench["artifact_cache"]
+        lines.append(
+            f"  artifact cache: {art['hit']:.0f} hits / "
+            f"{art['miss']:.0f} misses "
+            f"({art['hit_rate']:.1%} hit rate), "
+            f"{art['evict']:.0f} evictions"
+        )
+        by_r = workbench["rejected_by_reason"]
+        if workbench["rejected"]:
+            rmix = ", ".join(
+                f"{r}={by_r[r]:.0f}" for r in sorted(by_r)
+            )
+            lines.append(
+                f"  quota/contract rejections: "
+                f"{workbench['rejected']:.0f} ({rmix})"
             )
 
     ingest = ingest_summary(snap)

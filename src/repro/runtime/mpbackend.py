@@ -479,6 +479,10 @@ class MpCommunicator(Communicator):
     differs.  Self-sends keep the simulator's in-process fast path.
     """
 
+    #: callers that fan out (broker tiers) select a deterministic
+    #: sequential-recv path when this is False
+    supports_recv_any = False
+
     # -- point to point -------------------------------------------------
     def send(self, dest: int, obj: Any, tag: int = 0) -> None:
         self._check_peer(dest)

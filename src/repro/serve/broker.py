@@ -56,7 +56,11 @@ from typing import Optional
 import numpy as np
 
 from repro.analysis.session import pseudo_signature, top_positive_terms
-from repro.index.termindex import icf_weights
+from repro.index.termindex import (
+    icf_weights,
+    set_term_cooccurrence,
+    set_term_tf,
+)
 from repro.runtime.cluster import Cluster, MachineSpec
 from repro.runtime.errors import CommTimeoutError, RankFailedError
 from repro.serve.query import (
@@ -178,6 +182,7 @@ def execute_shard_op(
                 params["icf"],
                 params["k"],
                 pruned=params.get("pruned", True),
+                restrict_rows=params.get("restrict_rows"),
             )
             cands.extend(c)
             scanned += s
@@ -211,12 +216,39 @@ def execute_shard_op(
                 params["unit"],
                 params["k"],
                 params.get("skip_row", -1),
+                restrict_rows=params.get("restrict_rows"),
             )
             cands.extend(c)
             scanned += s
             n_docs += seg.n_docs
         ctx.charge_flops(2 * n_docs * params["unit"].shape[0])
         payload = cands
+    elif op == "set_tf":
+        # exact int64 per-term tf totals over a result set's rows:
+        # integer sums are associative, so the broker-side sum over
+        # shard payloads is layout-independent bit for bit
+        totals = np.zeros(model.term_df.shape[0], dtype=np.int64)
+        for seg in segs:
+            local = seg._local_restrict(params["rows"])
+            if local.size:
+                t, s = set_term_tf(seg.postings, local)
+                totals += t
+                scanned += s * 16
+        ctx.charge_cpu(scanned // 16 * 2)
+        payload = totals
+    elif op == "set_cooc":
+        m_sel = len(params["term_rows"])
+        cooc = np.zeros((m_sel, m_sel), dtype=np.int64)
+        for seg in segs:
+            local = seg._local_restrict(params["rows"])
+            if local.size:
+                c2, s = set_term_cooccurrence(
+                    seg.postings, local, params["term_rows"]
+                )
+                cooc += c2
+                scanned += s * 16
+        ctx.charge_cpu(scanned // 16 * 2 + m_sel * m_sel)
+        payload = cooc
     elif op == "fetch_unit":
         payload = (None, -1)
         for seg in segs:
@@ -452,6 +484,17 @@ class _Broker:
             ctx.comm.send(self._shard_rank(s), req, tag=TAG_REQ)
         pending = set(targets)
         got: dict[int, object] = {}
+        if not getattr(ctx.comm, "supports_recv_any", True):
+            # mp backend: no recv_any, but mp runs are fault-free, so a
+            # plain per-shard receive in sorted order is equivalent --
+            # responses carry no timing fields and the merge iterates
+            # shards in sorted order, so response bytes are unchanged.
+            for s in sorted(pending):
+                _rqid, shard_idx, payload = ctx.comm.recv(
+                    self._shard_rank(s), tag=TAG_RESP
+                )
+                got[shard_idx] = payload
+            return got, []
         resends = 0
         while pending:
             try:

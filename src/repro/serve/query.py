@@ -35,7 +35,11 @@ from repro.analysis.session import (
     topk_desc,
     unit_rows,
 )
-from repro.index.termindex import TermPostings, accumulate_tficf
+from repro.index.termindex import (
+    TermPostings,
+    accumulate_tficf,
+    topk_score_row,
+)
 from repro.serve.store import (
     BlockPostings,
     Container,
@@ -208,20 +212,41 @@ class ShardStore:
             scanned + self.unit[row].nbytes,
         )
 
+    def _local_restrict(
+        self, restrict_rows: np.ndarray
+    ) -> np.ndarray:
+        """Shard-local rows of the globally-rowed restriction set."""
+        rows = np.asarray(restrict_rows, dtype=np.int64)
+        rows = rows[(rows >= self.row_lo) & (rows < self.row_hi)]
+        return rows - self.row_lo
+
     def op_matvec(
         self,
         unit_query: np.ndarray,
         k: int,
         skip_row: int = -1,
+        restrict_rows: Optional[np.ndarray] = None,
     ) -> tuple[list[Candidate], int]:
         """Local cosine top-k against a unit query vector.
 
         ``skip_row`` (a *global* row) masks the query document itself
         for k-NN, exactly like the session's ``sims[row] = -inf``.
+        ``restrict_rows`` (global rows) limits ranking to a result
+        set's members -- the workbench ``refine`` path.  Scores are
+        per-row cosines either way, so restriction changes which rows
+        compete, never any row's float.
         """
         sims = cosine_scores(self.unit, unit_query)
         if self.row_lo <= skip_row < self.row_hi:
             sims[skip_row - self.row_lo] = -np.inf
+        if restrict_rows is not None:
+            local = self._local_restrict(restrict_rows)
+            sims_r = sims[local]
+            sel = topk_score_row(sims_r, local, k)
+            return (
+                self._candidate_list(local[sel], sims_r[sel]),
+                self.unit.nbytes,
+            )
         take = min(k, sims.shape[0])
         idx = topk_desc(sims, take)
         return self._candidates(idx, sims), self.unit.nbytes
@@ -232,6 +257,7 @@ class ShardStore:
         icf: np.ndarray,
         k: int,
         pruned: bool = True,
+        restrict_rows: Optional[np.ndarray] = None,
     ) -> tuple[list[Candidate], int, int]:
         """Local tf·icf ranked search over the shard's postings.
 
@@ -241,7 +267,33 @@ class ShardStore:
         actually decoded; legacy containers and ``pruned=False`` score
         exhaustively (0 blocks skipped by definition).  Both paths
         return bit-identical candidates -- the pruning exactness oracle.
+
+        ``restrict_rows`` (global rows) limits the ranking to a result
+        set's members (the workbench ``refine`` path).  Restricted
+        search always scores exhaustively: block-max prunes by global
+        score bounds, which are not bounds within an arbitrary subset.
+        Restriction never changes a surviving row's float -- scores are
+        accumulated over all postings in query-term order first, then
+        filtered -- so refined scores equal unrestricted scores on the
+        same rows bit for bit.
         """
+        if restrict_rows is not None:
+            postings = self.postings
+            scores = np.zeros(self.n_docs, dtype=np.float64)
+            scanned_postings = accumulate_tficf(
+                postings, term_rows, icf, scores
+            )
+            local = self._local_restrict(restrict_rows)
+            sc = scores[local]
+            pos = sc > 0
+            local = local[pos]
+            sc = sc[pos]
+            sel = topk_score_row(sc, local, k)
+            return (
+                self._candidate_list(local[sel], sc[sel]),
+                scanned_postings * 16,
+                0,
+            )
         blocks = self.blocks if pruned else None
         if blocks is not None and not np.any(
             np.asarray(icf, dtype=np.float64)[
@@ -390,7 +442,7 @@ def _single_term_search(
     cidx = np.flatnonzero(sc >= theta if theta > 0.0 else sc > 0)
     rows_c = rows_k[cidx]
     sc_c = sc[cidx]
-    sel = np.lexsort((rows_c, -sc_c))[: min(k, rows_c.size)]
+    sel = topk_score_row(sc_c, rows_c, k)
     return rows_c[sel], sc_c[sel], scanned, nb - int(kept.size)
 
 
@@ -572,7 +624,7 @@ def blockmax_search(
             kth = 0.0
         cand2 = np.flatnonzero(acc2 >= kth if kth > 0.0 else acc2 > 0)
         sc2 = acc2[cand2]
-        sel2 = np.lexsort((cand2, -sc2))[:take]
+        sel2 = topk_score_row(sc2, cand2, take)
         sel2 = sel2[sc2[sel2] > 0]
         return cand2[sel2], sc2[sel2], n_occ, 0
 
@@ -630,7 +682,7 @@ def blockmax_search(
     keep = scores > 0
     cand_pos = cand[keep]
     sc_pos = scores[keep]
-    sel = np.lexsort((cand_pos, -sc_pos))[: min(k, cand_pos.size)]
+    sel = topk_score_row(sc_pos, cand_pos, k)
     if decoded:
         ja = np.fromiter(decoded, dtype=np.int64, count=len(decoded))
         scanned = int(
@@ -652,12 +704,19 @@ def merge_desc(
     """Global top-k by (score desc, global row asc).
 
     Equivalent to a stable global argsort on descending score: shard
-    lists are already row-ordered within equal scores, so sorting the
-    concatenation by ``(-score, row)`` reproduces the reference order.
+    lists are already row-ordered within equal scores, so selecting
+    the concatenation through the shared ``(-score, row)`` helper
+    reproduces the reference order.
     """
     merged = [c for cands in per_shard for c in cands]
-    merged.sort(key=lambda c: (-c.score, c.row))
-    return merged[:k]
+    if not merged:
+        return []
+    sel = topk_score_row(
+        np.array([c.score for c in merged], dtype=np.float64),
+        np.array([c.row for c in merged], dtype=np.int64),
+        k,
+    )
+    return [merged[int(i)] for i in sel]
 
 
 def merge_asc(

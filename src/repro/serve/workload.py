@@ -46,13 +46,15 @@ class ClientScript:
     query ``i``.  ``priority`` is the client's admission class for the
     replicated tier's load shedding: 0 is the highest class; larger
     values shed first under overload.  The single-broker path ignores
-    it.
+    it.  ``tenant`` is the client's workbench billing identity (quota
+    and artifact-cache scope); plain broker serving ignores it.
     """
 
     client: int
     queries: tuple[Query, ...]
     think_s: tuple[float, ...]
     priority: int = 0
+    tenant: int = 0
 
 
 @dataclass(frozen=True)
@@ -161,6 +163,23 @@ def _client_priorities(
     ]
 
 
+def client_tenants(
+    n_clients: int, seed: int, n_tenants: int
+) -> list[int]:
+    """Seeded per-client tenant assignment.
+
+    Mirrors :func:`_client_priorities`: tenants come from a *separate*
+    rng stream derived from ``seed`` (a distinct stream key, so
+    tenant-tagging composes with priority-tagging), and the default
+    single tenant draws nothing at all -- an untagged workload's query
+    and think-time streams stay byte-identical.
+    """
+    if n_tenants <= 1:
+        return [0] * n_clients
+    rng = np.random.default_rng((seed, 0x7E))
+    return [int(rng.integers(n_tenants)) for _ in range(n_clients)]
+
+
 def generate_workload(
     profile: StoreProfile,
     n_clients: int = 4,
@@ -172,6 +191,7 @@ def generate_workload(
     mean_think_s: float = 0.05,
     priority_classes: tuple[int, ...] = (0,),
     priority_weights: tuple[float, ...] | None = None,
+    n_tenants: int = 1,
 ) -> list[ClientScript]:
     """Generate a seeded closed-loop workload over a store profile.
 
@@ -179,9 +199,10 @@ def generate_workload(
     popular queries (cache fodder); the rest are fresh draws.  Think
     times are exponential with mean ``mean_think_s`` virtual seconds.
     ``priority_classes`` (with optional ``priority_weights``) tags
-    each client with a seeded admission class; the default single
-    class leaves every script at priority 0 and the query stream
-    byte-identical to pre-priority workloads.
+    each client with a seeded admission class; ``n_tenants`` tags each
+    client with a seeded workbench tenant.  The defaults (one class,
+    one tenant) leave every script at priority 0 / tenant 0 and the
+    query stream byte-identical to untagged workloads.
     """
     if not profile.terms and not profile.doc_ids:
         raise ValueError("store profile is empty; nothing to query")
@@ -197,6 +218,7 @@ def generate_workload(
     priorities = _client_priorities(
         n_clients, seed, priority_classes, priority_weights
     )
+    tenants = client_tenants(n_clients, seed, n_tenants)
     rng = np.random.default_rng(seed)
     pool = [
         _make_query(rng, profile, kinds, cum) for _ in range(hot_pool)
@@ -218,6 +240,7 @@ def generate_workload(
                 queries=tuple(queries),
                 think_s=tuple(think),
                 priority=priorities[c],
+                tenant=tenants[c],
             )
         )
     return scripts
@@ -234,6 +257,7 @@ def generate_zipf_workload(
     mean_think_s: float = 0.2,
     priority_classes: tuple[int, ...] = (0, 1, 2),
     priority_weights: tuple[float, ...] | None = (0.2, 0.5, 0.3),
+    n_tenants: int = 1,
 ) -> list[ClientScript]:
     """Generate a Zipf hot-spot workload (the scaling-study shape).
 
@@ -262,6 +286,7 @@ def generate_zipf_workload(
     priorities = _client_priorities(
         n_clients, seed, priority_classes, priority_weights
     )
+    tenants = client_tenants(n_clients, seed, n_tenants)
     rng = np.random.default_rng(seed)
     pool = [
         _make_query(rng, profile, kinds, cum) for _ in range(pool_size)
@@ -282,6 +307,7 @@ def generate_zipf_workload(
                 queries=tuple(queries),
                 think_s=tuple(think),
                 priority=priorities[c],
+                tenant=tenants[c],
             )
         )
     return scripts

@@ -1,0 +1,46 @@
+"""Analyst workbench: multi-tenant sessions above the serving tier.
+
+The Sifaka-style mining layer of the reproduction: analysts open
+server-side *sessions* against the broker, save named result sets,
+combine them with set algebra (``refine``/``union``/``diff``/
+``intersect``), and derive keyphrase, co-occurrence, and
+entity-relation artifacts over a set -- all with the serving layer's
+``(-score, row)`` ordering and byte-identical answers across
+schedulers, execution backends, shard counts, and live ingest churn.
+"""
+
+from repro.workbench.state import (
+    WORKBENCH_VERBS,
+    WorkbenchConfig,
+    WorkbenchOp,
+    WorkbenchReject,
+    WorkbenchReport,
+    WorkbenchScript,
+    diff_sets,
+    intersect_sets,
+    order_set,
+    set_digest,
+    union_sets,
+)
+from repro.workbench.service import (
+    serve_workbench,
+    serve_workbench_replicated,
+)
+from repro.workbench.workload import generate_analyst_workload
+
+__all__ = [
+    "WORKBENCH_VERBS",
+    "WorkbenchConfig",
+    "WorkbenchOp",
+    "WorkbenchReject",
+    "WorkbenchReport",
+    "WorkbenchScript",
+    "diff_sets",
+    "intersect_sets",
+    "order_set",
+    "set_digest",
+    "union_sets",
+    "serve_workbench",
+    "serve_workbench_replicated",
+    "generate_analyst_workload",
+]

@@ -1,0 +1,178 @@
+"""Seeded analyst workloads for the workbench tier.
+
+An analyst script is the workbench analogue of a client script:
+``open`` a session, build result sets with searches, narrow them with
+``refine`` and the set combinators, derive keyphrase / co-occurrence /
+relation artifacts, and ``close``.  Everything is drawn from
+``np.random.default_rng(seed)`` over the store profile, so a
+``(profile, seed, knobs)`` triple always yields the byte-identical
+workload -- the property the serving benchmark's exact-equality
+baseline rests on.
+
+Sessions of one tenant draw their anchor queries from a small shared
+per-tenant pool: two sessions anchoring on the same query build the
+same result set (same digest), which is what gives the per-tenant
+artifact cache something to hit.  ``pause_fraction`` injects one long
+idle gap into a fraction of sessions -- eviction fodder for the
+virtual-time TTL sweep, after which the script's remaining ops answer
+with typed ``session_evicted`` rejections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.query import Query
+from repro.serve.workload import StoreProfile, _rank_biased_term
+from repro.workbench.state import WorkbenchOp, WorkbenchScript
+
+#: body-op draw weights (cumulative over this order)
+_BODY_VERBS = (
+    "search",
+    "refine",
+    "combine",
+    "keyphrases",
+    "cooccur",
+    "relations",
+)
+_BODY_WEIGHTS = (0.25, 0.20, 0.20, 0.15, 0.10, 0.10)
+
+
+def _set_query(
+    rng: np.random.Generator, profile: StoreProfile
+) -> Query:
+    """One ranked set-builder query (search or pseudo-signature)."""
+    kind = "search" if rng.random() < 0.6 else "query"
+    n_terms = 1 + int(rng.integers(0, 3))
+    terms = tuple(
+        _rank_biased_term(rng, profile.terms) for _ in range(n_terms)
+    )
+    return Query(kind=kind, terms=terms, k=20)
+
+
+def generate_analyst_workload(
+    profile: StoreProfile,
+    n_tenants: int = 2,
+    sessions_per_tenant: int = 2,
+    ops_per_session: int = 8,
+    seed: int = 0,
+    mean_think_s: float = 0.05,
+    derive_terms: int = 8,
+    pool_size: int = 3,
+    pause_fraction: float = 0.0,
+    pause_s: float = 0.0,
+) -> list[WorkbenchScript]:
+    """Generate seeded analyst sessions over a store profile.
+
+    Each script is ``open`` + ``ops_per_session`` body ops + a trailing
+    keyphrase derive on the session's anchor set + ``close``.  The
+    anchor set is always built first from the tenant's shared query
+    pool, so repeated derives across a tenant's sessions share cache
+    keys.  Fully deterministic in ``(profile, seed, knobs)``.
+    """
+    if not profile.terms:
+        raise ValueError("store profile has no terms; nothing to mine")
+    if n_tenants < 1 or sessions_per_tenant < 1:
+        raise ValueError("need at least one tenant and one session")
+    if ops_per_session < 1:
+        raise ValueError("ops_per_session must be >= 1")
+    rng = np.random.default_rng(seed)
+    pools = [
+        [_set_query(rng, profile) for _ in range(pool_size)]
+        for _ in range(n_tenants)
+    ]
+    cum = np.cumsum(
+        np.array(_BODY_WEIGHTS, dtype=np.float64)
+        / sum(_BODY_WEIGHTS)
+    )
+    scripts: list[WorkbenchScript] = []
+    client = 0
+    for tenant in range(n_tenants):
+        for _ in range(sessions_per_tenant):
+            ops: list[WorkbenchOp] = [WorkbenchOp(verb="open")]
+            anchor = pools[tenant][
+                int(rng.integers(len(pools[tenant])))
+            ]
+            ops.append(
+                WorkbenchOp(verb="search", name="anchor", query=anchor)
+            )
+            names = ["anchor"]
+            counter = 0
+            for _ in range(max(0, ops_per_session - 2)):
+                verb = _BODY_VERBS[
+                    int(
+                        np.searchsorted(
+                            cum, rng.random(), side="right"
+                        )
+                    )
+                ]
+                if verb == "search":
+                    counter += 1
+                    name = f"s{counter}"
+                    ops.append(
+                        WorkbenchOp(
+                            verb="search",
+                            name=name,
+                            query=_set_query(rng, profile),
+                        )
+                    )
+                    names.append(name)
+                elif verb == "refine":
+                    base = names[int(rng.integers(len(names)))]
+                    counter += 1
+                    name = f"s{counter}"
+                    ops.append(
+                        WorkbenchOp(
+                            verb="refine",
+                            name=name,
+                            base=base,
+                            query=_set_query(rng, profile),
+                        )
+                    )
+                    names.append(name)
+                elif verb == "combine":
+                    a = names[int(rng.integers(len(names)))]
+                    b = names[int(rng.integers(len(names)))]
+                    kind = ("union", "diff", "intersect")[
+                        int(rng.integers(3))
+                    ]
+                    counter += 1
+                    name = f"s{counter}"
+                    ops.append(
+                        WorkbenchOp(
+                            verb=kind, name=name, base=a, other=b
+                        )
+                    )
+                    names.append(name)
+                else:  # derive on a random existing set
+                    base = names[int(rng.integers(len(names)))]
+                    ops.append(
+                        WorkbenchOp(
+                            verb=verb, base=base, n=derive_terms
+                        )
+                    )
+            # the cache-fodder derive: every session of a tenant that
+            # anchored on the same pool query shares this artifact key
+            ops.append(
+                WorkbenchOp(
+                    verb="keyphrases", base="anchor", n=derive_terms
+                )
+            )
+            ops.append(WorkbenchOp(verb="close"))
+            think = [
+                float(rng.exponential(mean_think_s)) for _ in ops
+            ]
+            paused = rng.random() < pause_fraction
+            if paused and pause_s > 0.0 and len(ops) > 3:
+                # one long mid-session gap: eviction fodder
+                think[len(ops) // 2] = float(pause_s)
+            scripts.append(
+                WorkbenchScript(
+                    tenant=tenant,
+                    client=client,
+                    ops=tuple(ops),
+                    think_s=tuple(think),
+                )
+            )
+            client += 1
+    return scripts

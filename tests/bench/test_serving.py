@@ -53,9 +53,15 @@ def test_replica_spec_parse():
 
 
 def test_measure_matrix(measured):
-    points, fault_point, fault_meta, replica_points, failover, pruning = (
-        measured
-    )
+    (
+        points,
+        fault_point,
+        fault_meta,
+        replica_points,
+        failover,
+        pruning,
+        workbench,
+    ) = measured
     assert pruning is None  # SMALL disables the study
     assert set(points) == {1, 2}
     total = SMALL["n_clients"] * SMALL["queries_per_client"]
@@ -72,7 +78,7 @@ def test_measure_matrix(measured):
 
 
 def test_fault_run_degrades_but_completes(measured):
-    _, fault_point, fault_meta, _, _, _ = measured
+    _, fault_point, fault_meta, _, _, _, _ = measured
     assert fault_meta["completed"]
     assert fault_meta["nshards"] == 2
     assert fault_meta["failed_ranks"] == [fault_meta["crashed_rank"]]
@@ -81,7 +87,7 @@ def test_fault_run_degrades_but_completes(measured):
 
 
 def test_replica_matrix_point(measured):
-    _, _, _, replica_points, _, _ = measured
+    _, _, _, replica_points, _, _, _ = measured
     assert set(replica_points) == {_SPEC.label}
     pt = replica_points[_SPEC.label]
     assert isinstance(pt, ReplicaPoint)
@@ -95,7 +101,7 @@ def test_replica_matrix_point(measured):
 
 
 def test_failover_study(measured):
-    _, _, _, _, failover, _ = measured
+    _, _, _, _, failover, _, _ = measured
     # the crash-masked run answers everything exactly like the
     # fault-free run; the single-replica control reproduces the
     # degradation the tier exists to prevent
@@ -107,16 +113,40 @@ def test_failover_study(measured):
     assert failover["crashed_rank"] == 1 + 2 + failover["crashed_worker"]
 
 
+def test_workbench_study(measured):
+    *_rest, workbench = measured
+    assert workbench["exact_match_shards"] is True
+    assert workbench["exact_match_slowpath"] is True
+    assert set(workbench["points"]) == {"1", "2"}
+    for pt in workbench["points"].values():
+        assert pt["served"] > 0
+        assert pt["sessions_opened"] > 0
+        assert pt["throughput_ops_s"] > 0
+        # the tight study quotas shed at least one open, and the
+        # paused sessions idle past the TTL
+        assert pt["quota_shed"] > 0
+        assert pt["sessions_evicted"] > 0
+        assert pt["counters"]["workbench.sessions.opened"] == (
+            pt["sessions_opened"]
+        )
+    # the same workload replays at every count
+    served = {pt["served"] for pt in workbench["points"].values()}
+    assert len(served) == 1
+
+
 def test_measure_is_deterministic(measured):
-    points, fault_point, _, replica_points, failover, _ = measured
-    again, fault_again, _, replica_again, failover_again, _ = measure(
-        progress=None, **SMALL
+    points, fault_point, _, replica_points, failover, _, workbench = (
+        measured
+    )
+    again, fault_again, _, replica_again, failover_again, _, wb_again = (
+        measure(progress=None, **SMALL)
     )
     for p in points:
         assert points[p] == again[p]
     assert fault_point == fault_again
     assert replica_points == replica_again
     assert failover == failover_again
+    assert workbench == wb_again
 
 
 def _point(p, **over):
@@ -229,6 +259,43 @@ def test_compare_flags_replica_drift():
     assert {r.field for r in regs} == {"failover.fault_r2.hedges"}
 
 
+def _workbench_point(**over):
+    base = dict(
+        nshards=2,
+        served=40,
+        rejected=6,
+        quota_shed=4,
+        quota_shed_rate=4 / 46,
+        sessions_opened=4,
+        sessions_closed=3,
+        sessions_evicted=1,
+        sets_saved=12,
+        artifact_hit_rate=0.5,
+        throughput_ops_s=30.0,
+        p50_latency_s=0.001,
+        p99_latency_s=0.002,
+        makespan_s=1.5,
+        counters={},
+    )
+    base.update(over)
+    return base
+
+
+def test_compare_flags_workbench_drift():
+    points = {2: _point(2)}
+    fault = _point(2)
+    base = _baseline(points, fault)
+    base["workbench"] = {"points": {"2": _workbench_point()}}
+    wb = {"points": {"2": _workbench_point()}}
+    assert compare(points, fault, base, workbench=wb) == []
+
+    drifted = {
+        "points": {"2": _workbench_point(sessions_evicted=2)}
+    }
+    regs = compare(points, fault, base, workbench=drifted)
+    assert {r.field for r in regs} == {"workbench.sessions_evicted"}
+
+
 def _pruning_run(**over):
     base = dict(
         label="blockmax-b1",
@@ -327,9 +394,15 @@ def test_compare_ignores_unknown_shard_counts():
 
 
 def test_build_report_schema(measured):
-    points, fault_point, fault_meta, replica_points, failover, pruning = (
-        measured
-    )
+    (
+        points,
+        fault_point,
+        fault_meta,
+        replica_points,
+        failover,
+        pruning,
+        workbench,
+    ) = measured
     report, regs = build_report(
         points,
         fault_point,
@@ -338,6 +411,7 @@ def test_build_report_schema(measured):
         replica_points=replica_points,
         failover=failover,
         pruning=pruning,
+        workbench=workbench,
     )
     assert regs == []
     assert report["schema"] == SCHEMA
@@ -346,6 +420,7 @@ def test_build_report_schema(measured):
     assert set(report["replica"]["matrix"]) == {_SPEC.label}
     assert report["replica"]["failover"]["exact_match_r2"] is True
     assert report["pruning"] is None  # disabled in SMALL
+    assert report["workbench"]["exact_match_shards"] is True
     assert "baseline" not in report
     json.dumps(report)  # must be serializable
 

@@ -1,0 +1,246 @@
+"""Result-set algebra: hypothesis properties vs a brute-force model.
+
+The workbench's set combinators promise bit-exact algebraic laws
+(union/intersect commutativity and associativity, ``diff(a, a)`` empty,
+refine restricted to its base) because every merged score is the
+``max`` of operand scores and every output is re-ordered through the
+shared ``(-score, row)`` helper.  This suite checks those laws against
+a dict-based brute-force reference on arbitrary candidate sets, and the
+derive kernels against O(n^2) python loops on tiny corpora.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.termindex import (
+    set_term_cooccurrence,
+    set_term_tf,
+    topk_score_row,
+)
+from repro.serve.query import Candidate
+from repro.workbench.state import (
+    diff_sets,
+    intersect_sets,
+    order_set,
+    set_digest,
+    set_rows,
+    union_sets,
+)
+
+# candidate rows from a small universe so operands overlap often;
+# scores from a coarse float grid so ties are exercised
+_scores = st.integers(0, 40).map(lambda v: v / 8.0)
+
+
+@st.composite
+def cand_sets(draw, max_size=12):
+    rows = draw(
+        st.lists(
+            st.integers(0, 19),
+            max_size=max_size,
+            unique=True,
+        )
+    )
+    return order_set(
+        Candidate(
+            score=draw(_scores),
+            row=r,
+            doc_id=1000 + r,
+            cluster=r % 3,
+        )
+        for r in rows
+    )
+
+
+def _brute_union(a, b):
+    by_row = {}
+    for c in list(a) + list(b):
+        prev = by_row.get(c.row)
+        if prev is None or c.score > prev.score:
+            by_row[c.row] = c
+    return order_set(by_row.values())
+
+
+def _brute_intersect(a, b):
+    rows = {c.row for c in a} & {c.row for c in b}
+    by_row = {}
+    for c in list(a) + list(b):
+        if c.row in rows:
+            prev = by_row.get(c.row)
+            if prev is None or c.score > prev.score:
+                by_row[c.row] = c
+    return order_set(by_row.values())
+
+
+def _brute_diff(a, b):
+    rows = {c.row for c in b}
+    return order_set(c for c in a if c.row not in rows)
+
+
+class TestAlgebraProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(a=cand_sets(), b=cand_sets())
+    def test_matches_brute_force(self, a, b):
+        assert union_sets(a, b) == _brute_union(a, b)
+        assert intersect_sets(a, b) == _brute_intersect(a, b)
+        assert diff_sets(a, b) == _brute_diff(a, b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=cand_sets(), b=cand_sets())
+    def test_commutativity_bit_exact(self, a, b):
+        assert set_digest(union_sets(a, b)) == set_digest(
+            union_sets(b, a)
+        )
+        assert set_digest(intersect_sets(a, b)) == set_digest(
+            intersect_sets(b, a)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=cand_sets(), b=cand_sets(), c=cand_sets())
+    def test_associativity_bit_exact(self, a, b, c):
+        assert union_sets(union_sets(a, b), c) == union_sets(
+            a, union_sets(b, c)
+        )
+        assert intersect_sets(
+            intersect_sets(a, b), c
+        ) == intersect_sets(a, intersect_sets(b, c))
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=cand_sets())
+    def test_identities(self, a):
+        assert diff_sets(a, a) == ()
+        assert union_sets(a, ()) == a
+        assert intersect_sets(a, ()) == ()
+        assert union_sets(a, a) == a
+        assert intersect_sets(a, a) == a
+        assert diff_sets(a, ()) == a
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=cand_sets(), b=cand_sets())
+    def test_membership_laws(self, a, b):
+        rows_a = set(set_rows(a).tolist())
+        rows_b = set(set_rows(b).tolist())
+        assert (
+            set(set_rows(union_sets(a, b)).tolist())
+            == rows_a | rows_b
+        )
+        assert (
+            set(set_rows(intersect_sets(a, b)).tolist())
+            == rows_a & rows_b
+        )
+        assert (
+            set(set_rows(diff_sets(a, b)).tolist()) == rows_a - rows_b
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=cand_sets())
+    def test_canonical_order(self, a):
+        """Every combinator output is in (-score, row) order."""
+        keyed = [(-c.score, c.row) for c in a]
+        assert keyed == sorted(keyed)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=cand_sets(), b=cand_sets())
+    def test_digest_is_content_identity(self, a, b):
+        assert (set_digest(a) == set_digest(b)) == (a == b)
+
+
+class TestTopkScoreRow:
+    def test_orders_by_score_then_row(self):
+        scores = np.array([1.0, 3.0, 3.0, 2.0])
+        rows = np.array([7, 9, 2, 5], dtype=np.int64)
+        sel = topk_score_row(scores, rows, 3)
+        assert rows[sel].tolist() == [2, 9, 5]
+
+    def test_k_negative_returns_all(self):
+        scores = np.array([1.0, 2.0])
+        rows = np.array([1, 0], dtype=np.int64)
+        assert topk_score_row(scores, rows, -1).size == 2
+
+    def test_k_clamped(self):
+        scores = np.array([1.0])
+        rows = np.array([0], dtype=np.int64)
+        assert topk_score_row(scores, rows, 10).size == 1
+
+
+@pytest.fixture(scope="module")
+def small_postings(postings):
+    return postings
+
+
+class TestDeriveKernels:
+    """set_term_tf / set_term_cooccurrence vs brute-force loops."""
+
+    def _member_rows(self, postings, n):
+        rng = np.random.default_rng(11)
+        n = min(n, postings.n_docs)
+        return np.sort(
+            rng.choice(postings.n_docs, size=n, replace=False)
+        ).astype(np.int64)
+
+    def test_set_term_tf_matches_brute_force(self, small_postings):
+        p = small_postings
+        member = self._member_rows(p, 40)
+        totals, scanned = set_term_tf(p, member)
+        member_set = set(member.tolist())
+        expect = np.zeros(p.n_terms, dtype=np.int64)
+        for t in range(p.n_terms):
+            lo, hi = p.offsets[t], p.offsets[t + 1]
+            for r, tf in zip(p.rows[lo:hi], p.tf[lo:hi]):
+                if int(r) in member_set:
+                    expect[t] += int(tf)
+        assert totals.dtype == np.int64
+        assert np.array_equal(totals, expect)
+        assert scanned > 0
+
+    def test_set_term_tf_empty_set(self, small_postings):
+        totals, _ = set_term_tf(
+            small_postings, np.zeros(0, dtype=np.int64)
+        )
+        assert not totals.any()
+
+    def test_cooccurrence_matches_brute_force(self, small_postings):
+        p = small_postings
+        member = self._member_rows(p, 30)
+        term_rows = [0, 1, 2, 5]
+        counts, _ = set_term_cooccurrence(p, member, term_rows)
+        member_list = member.tolist()
+        docs_of = []
+        for t in term_rows:
+            lo, hi = p.offsets[t], p.offsets[t + 1]
+            docs_of.append(
+                {int(r) for r in p.rows[lo:hi]} & set(member_list)
+            )
+        m = len(term_rows)
+        expect = np.zeros((m, m), dtype=np.int64)
+        for i in range(m):
+            for j in range(m):
+                expect[i, j] = len(docs_of[i] & docs_of[j])
+        assert counts.dtype == np.int64
+        assert np.array_equal(counts, expect)
+        assert np.array_equal(counts, counts.T)
+
+    def test_cooccurrence_split_is_additive(self, small_postings):
+        """Shard-layout independence: summing per-row-range kernel
+        outputs equals the whole-set kernel output exactly."""
+        p = small_postings
+        member = self._member_rows(p, 50)
+        term_rows = [0, 3, 4]
+        whole, _ = set_term_cooccurrence(p, member, term_rows)
+        mid = int(member[len(member) // 2])
+        lo = member[member < mid]
+        hi = member[member >= mid]
+        a, _ = set_term_cooccurrence(p, lo, term_rows)
+        b, _ = set_term_cooccurrence(p, hi, term_rows)
+        assert np.array_equal(whole, a + b)
+
+    def test_set_tf_split_is_additive(self, small_postings):
+        p = small_postings
+        member = self._member_rows(p, 50)
+        whole, _ = set_term_tf(p, member)
+        mid = int(member[len(member) // 2])
+        a, _ = set_term_tf(p, member[member < mid])
+        b, _ = set_term_tf(p, member[member >= mid])
+        assert np.array_equal(whole, a + b)

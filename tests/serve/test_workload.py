@@ -138,6 +138,41 @@ class TestPriorities:
             assert a.think_s == b.think_s
         assert {s.priority for s in tagged} <= {0, 1, 2}
 
+    def test_default_single_tenant_is_zero(self, profile):
+        scripts = generate_workload(profile, n_clients=6, seed=3)
+        assert all(s.tenant == 0 for s in scripts)
+
+    def test_tenant_tagging_never_perturbs_queries(self, profile):
+        """Tenants draw from a separate rng stream.
+
+        Like priority tagging, turning on multi-tenancy must leave
+        the query/think/priority streams byte-identical -- the
+        untagged serving baselines depend on exactly this.
+        """
+        plain = generate_workload(profile, n_clients=8, seed=3)
+        tagged = generate_workload(
+            profile, n_clients=8, seed=3, n_tenants=3
+        )
+        for a, b in zip(plain, tagged):
+            assert a.queries == b.queries
+            assert a.think_s == b.think_s
+            assert a.priority == b.priority
+        assert {s.tenant for s in tagged} <= {0, 1, 2}
+
+    def test_tenants_seeded_and_distinct_from_priorities(self, profile):
+        kw = dict(
+            n_clients=30,
+            seed=5,
+            n_tenants=3,
+            priority_classes=(0, 1, 2),
+        )
+        a = generate_workload(profile, **kw)
+        b = generate_workload(profile, **kw)
+        assert [s.tenant for s in a] == [s.tenant for s in b]
+        # both streams are seeded from the same workload seed but must
+        # not mirror each other (distinct hash-salted streams)
+        assert [s.tenant for s in a] != [s.priority for s in a]
+
     def test_priorities_seeded(self, profile):
         kw = dict(
             n_clients=30, seed=5, priority_classes=(0, 1, 2)

@@ -391,6 +391,130 @@ def test_serve_query_missing_store(tmp_path, capsys):
     assert "error:" in capsys.readouterr().err
 
 
+def test_workbench_session_refine_is_exact(
+    store_dir, results_dir, capsys
+):
+    """Refining the anchor by its own query reproduces its digest."""
+    import json
+
+    from repro.engine import load_result
+
+    result = load_result(results_dir / "result.npz")
+    term = result.major_terms[0].term
+    rc = main(
+        [
+            "workbench-session",
+            "--store",
+            str(store_dir),
+            "--search",
+            term,
+            "--refine",
+            term,
+            "--derive",
+            "keyphrases",
+            "--n",
+            "4",
+        ]
+    )
+    assert rc == 0
+    decoder = json.JSONDecoder()
+    out = capsys.readouterr().out.strip()
+    docs, pos = [], 0
+    while pos < len(out):
+        doc, end = decoder.raw_decode(out, pos)
+        docs.append(doc)
+        pos = end + 1
+    by_set = {
+        d["response"]["set"]: d["response"]
+        for d in docs
+        if d["response"].get("set")
+    }
+    assert by_set["refined"]["digest"] == by_set["anchor"]["digest"]
+    kp = [d for d in docs if d["verb"] == "keyphrases"][0]
+    assert len(kp["response"]["terms"]) <= 4
+
+
+def test_workbench_session_prints_all_verbs(
+    store_dir, results_dir, capsys
+):
+    from repro.engine import load_result
+
+    result = load_result(results_dir / "result.npz")
+    term = result.major_terms[0].term
+    rc = main(
+        [
+            "workbench-session",
+            "--store",
+            str(store_dir),
+            "--search",
+            term,
+            "--derive",
+            "relations",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    for verb in ("open", "search", "relations", "close"):
+        assert f'"verb": "{verb}"' in out
+
+
+def test_workbench_serve_transcript_identity(store_dir, tmp_path):
+    args = [
+        "workbench-serve",
+        "--store",
+        str(store_dir),
+        "--seed",
+        "7",
+    ]
+    a = tmp_path / "a.bin"
+    b = tmp_path / "b.bin"
+    assert main(args + ["--transcript", str(a)]) == 0
+    assert main(args + ["--transcript", str(b)]) == 0
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_workbench_missing_store(tmp_path, capsys):
+    rc = main(
+        [
+            "workbench-session",
+            "--store",
+            str(tmp_path / "absent"),
+            "--search",
+            "x",
+        ]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+    rc = main(
+        ["workbench-serve", "--store", str(tmp_path / "absent")]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_metrics_report_snapshot_roundtrip(
+    store_dir, tmp_path, capsys
+):
+    snap = tmp_path / "wb.json"
+    rc = main(
+        [
+            "workbench-serve",
+            "--store",
+            str(store_dir),
+            "--seed",
+            "3",
+            "--metrics-out",
+            str(snap),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["metrics-report", "--snapshot", str(snap)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "workbench tier (analyst sessions):" in out
+
+
 def test_serve_bench_smoke(tmp_path, capsys):
     out = tmp_path / "BENCH_serving.json"
     rc = main(
@@ -417,7 +541,8 @@ def test_serve_bench_smoke(tmp_path, capsys):
     import json
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "repro-bench-serving/3"
+    assert report["schema"] == "repro-bench-serving/4"
+    assert report["workbench"]["exact_match_shards"] is True
     assert set(report["results"]) == {"1", "2"}
     assert report["pruning"] is None  # 0 bytes skips the study
     assert report["fault"]["completed"]
