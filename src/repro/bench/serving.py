@@ -38,6 +38,16 @@ writes ``BENCH_serving.json``:
   gate the study: canonical response transcripts must be identical
   across shard counts, and the largest-P run must be byte-identical
   under ``REPRO_SCHED_SLOWPATH=1``; any mismatch fails the bench;
+* ``dashboard`` -- the faceted-analytics workload class: many seeded
+  dashboard clients polling sliding-window queries (faceted counts,
+  per-window top terms, emerging-term detection) at high rate, mixed
+  with classic search traffic, over a *stamped* two-generation store.
+  Four exact-transcript oracles gate the study: canonical answer
+  bytes must be identical across shard counts, identical under
+  ``REPRO_SCHED_SLOWPATH=1``, identical under the multiprocessing
+  backend, and identical between fastpath and slowpath schedulers
+  while live ingest churns generations (including a stamped
+  compaction) mid-run.  Any drift fails the bench (exit 1);
 * ``baseline`` comparison -- all virtual statistics are deterministic
   for a given (corpus seed, workload seed, machine), so a drifted
   number means a behavioural change: the run fails (exit 1) unless
@@ -79,6 +89,7 @@ from repro.serve.replica import ReplicaMap
 from repro.serve.router import RouterConfig, TierReport, serve_replicated
 from repro.serve.store import build_shards
 from repro.serve.workload import (
+    generate_dashboard_workload,
     generate_workload,
     generate_zipf_workload,
     store_profile,
@@ -90,7 +101,7 @@ from repro.workbench import (
     serve_workbench,
 )
 
-SCHEMA = "repro-bench-serving/4"
+SCHEMA = "repro-bench-serving/5"
 DEFAULT_SHARDS = (1, 2, 4, 8)
 DEFAULT_OUT = "BENCH_serving.json"
 DEFAULT_CORPUS_BYTES = 120_000
@@ -142,6 +153,28 @@ _WORKBENCH_KNOBS = dict(
     pause_fraction=0.4,
     pause_s=90.0,
 )
+
+#: dashboard study: shard counts the same poll transcript must be
+#: byte-identical across (restricted to counts the main matrix built)
+_DASHBOARD_SHARDS = (1, 2, 4)
+_DASHBOARD_CORPUS_BYTES = 60_000
+_DASHBOARD_SOURCES = 4
+_DASHBOARD_SPAN_S = 600.0
+#: many clients, high poll rate, a quarter classic search traffic --
+#: the "wall of dashboards next to the analysts" shape
+_DASHBOARD_KNOBS = dict(
+    n_clients=10,
+    polls_per_client=8,
+    window_fraction=0.25,
+    mean_poll_s=0.01,
+    search_fraction=0.25,
+    source_fraction=0.25,
+    n_terms=6,
+)
+#: the stamped feed appended as the store's second generation (and
+#: replayed live in the churn oracle)
+_DASHBOARD_FEED_DOCS = 8
+_DASHBOARD_FEED_BATCHES = 2
 
 #: replicated-tier scaling matrix:
 #: (nshards, workers, brokers, replicas, clients, queries/client).
@@ -264,6 +297,226 @@ class WorkbenchPoint:
             makespan_s=round(report.makespan, 9),
             counters=wb_counters,
         )
+
+
+@dataclass
+class DashboardPoint:
+    """Measurements for one shard count of the dashboard study."""
+
+    nshards: int
+    served: int
+    rejected: int
+    degraded: int
+    facet_windows: float
+    facet_bytes_scanned: float
+    emerging_hits: float
+    cache_hit_rate: float
+    throughput_qps: float
+    p50_latency_s: float
+    p99_latency_s: float
+    makespan_s: float
+    counters: dict[str, float]
+
+    @classmethod
+    def from_report(
+        cls, nshards: int, report: ServeReport
+    ) -> "DashboardPoint":
+        totals = counter_totals(report.metrics)
+        facet_counters = {
+            k: v for k, v in totals.items() if k.startswith("facets.")
+        }
+        return cls(
+            nshards=nshards,
+            served=report.served,
+            rejected=len(report.rejected),
+            degraded=report.degraded,
+            facet_windows=totals.get("facets.windows", 0.0),
+            facet_bytes_scanned=totals.get("facets.bytes_scanned", 0.0),
+            emerging_hits=totals.get("facets.emerging_hits", 0.0),
+            cache_hit_rate=round(report.cache_hit_rate, 6),
+            throughput_qps=round(report.throughput, 6),
+            p50_latency_s=round(report.latency_percentile(50), 9),
+            p99_latency_s=round(report.latency_percentile(99), 9),
+            makespan_s=round(report.makespan, 9),
+            counters=facet_counters,
+        )
+
+
+def _with_slowpath(run):
+    """Call ``run()`` with ``REPRO_SCHED_SLOWPATH=1``, restoring the
+    prior environment afterwards."""
+    saved = os.environ.get("REPRO_SCHED_SLOWPATH")
+    os.environ["REPRO_SCHED_SLOWPATH"] = "1"
+    try:
+        return run()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SCHED_SLOWPATH", None)
+        else:
+            os.environ["REPRO_SCHED_SLOWPATH"] = saved
+
+
+def _measure_dashboard(
+    tmp: Path,
+    corpus_seed: int,
+    workload_seed: int,
+    progress,
+) -> dict:
+    """Dashboard workload study over a stamped two-generation store.
+
+    Builds a stamped corpus, shards it at each count in
+    ``_DASHBOARD_SHARDS`` and appends a stamped feed as a second,
+    pre-published generation, then replays one seeded dashboard
+    workload (sliding-window polls mixed with search traffic) at every
+    count.  Exact-transcript oracles: canonical answers must be
+    byte-identical across shard counts, under the slowpath scheduler,
+    under the ``mp`` backend, and between fastpath/slowpath while the
+    same feed is ingested *live* (with a stamped compaction mid-run).
+    """
+    import shutil
+
+    from repro.facets import FacetSpec, extract_facets
+    from repro.ingest.compact import CompactionPolicy
+    from repro.ingest.delta import append_generation, build_delta
+    from repro.ingest.feed import FeedConfig, FeedSource
+    from repro.ingest.live import IngestConfig, IngestPlan
+
+    spec = FacetSpec(
+        n_sources=_DASHBOARD_SOURCES,
+        span_s=_DASHBOARD_SPAN_S,
+        seed=corpus_seed,
+    )
+    corpus = generate_pubmed(
+        _DASHBOARD_CORPUS_BYTES, seed=corpus_seed, n_themes=6, facets=spec
+    )
+    result = SerialTextEngine(_BENCH_ENGINE).run(corpus)
+    postings = build_term_postings(
+        corpus, result, _BENCH_ENGINE.tokenizer
+    )
+    facets = extract_facets(corpus)
+    feed = FeedSource(
+        FeedConfig(
+            dataset="pubmed",
+            batch_docs=_DASHBOARD_FEED_DOCS,
+            n_batches=_DASHBOARD_FEED_BATCHES,
+            seed=corpus_seed,
+            themes=6,
+            skip_docs=len(corpus.documents),
+            start_doc_id=int(result.doc_ids[-1]) + 1,
+            mean_interarrival_s=0.05,
+            facet_sources=_DASHBOARD_SOURCES,
+        )
+    )
+    batches = feed.batches()
+    stores: dict[int, str] = {}
+    for p in _DASHBOARD_SHARDS:
+        store_dir = str(tmp / f"dash-store-{p}")
+        build_shards(
+            result, store_dir, p, postings=postings, facets=facets
+        )
+        # second generation, pre-published: visible from session start
+        # at every shard count
+        deltas = [
+            build_delta(
+                result,
+                c.documents,
+                tokenizer_config=_BENCH_ENGINE.tokenizer,
+                facets=extract_facets(c),
+            )
+            for c, _arrival in batches
+        ]
+        append_generation(store_dir, deltas, published_s=0.0)
+        stores[p] = store_dir
+    scripts = generate_dashboard_workload(
+        store_profile(stores[_DASHBOARD_SHARDS[-1]]),
+        seed=workload_seed,
+        **_DASHBOARD_KNOBS,
+    )
+    points: dict[int, DashboardPoint] = {}
+    answers: dict[int, dict] = {}
+    for p in _DASHBOARD_SHARDS:
+        report = serve(stores[p], scripts)
+        points[p] = DashboardPoint.from_report(p, report)
+        answers[p] = _canonical_answers(report.responses)
+        if progress:
+            pt = points[p]
+            progress(
+                f"dashboard P={p}: {pt.served} polls, "
+                f"{pt.throughput_qps:.1f} q/s virtual, p99 "
+                f"{pt.p99_latency_s * 1e3:.2f} ms, "
+                f"{pt.facet_windows:.0f} windows, "
+                f"{pt.facet_bytes_scanned / 1e3:.1f} kB facet scan, "
+                f"{pt.emerging_hits:.0f} emerging hits"
+            )
+    ref = answers[_DASHBOARD_SHARDS[0]]
+    exact_shards = all(
+        answers[p] == ref for p in _DASHBOARD_SHARDS
+    )
+    p = _DASHBOARD_SHARDS[-1]
+    slow = _with_slowpath(lambda: serve(stores[p], scripts))
+    exact_slow = _canonical_answers(slow.responses) == answers[p]
+    mp = serve(stores[p], scripts, backend="mp")
+    exact_mp = _canonical_answers(mp.responses) == answers[p]
+    # churn oracle: replay the feed *live* against a fresh copy of the
+    # single-generation store (max_deltas=2 forces a stamped
+    # compaction mid-session) under both scheduler mechanisms
+    churn_p = _DASHBOARD_SHARDS[len(_DASHBOARD_SHARDS) // 2]
+    churn_base = str(tmp / "dash-churn-base")
+    build_shards(
+        result, churn_base, churn_p, postings=postings, facets=facets
+    )
+    plan_cfg = IngestConfig(
+        compaction=CompactionPolicy(max_deltas=_DASHBOARD_FEED_BATCHES)
+    )
+
+    def _churn_run():
+        run_dir = tempfile.mkdtemp(dir=str(tmp), prefix="dash-churn-")
+        shutil.rmtree(run_dir)
+        shutil.copytree(churn_base, run_dir)
+        plan = IngestPlan(
+            result=result,
+            batches=list(batches),
+            config=plan_cfg,
+            tokenizer_config=_BENCH_ENGINE.tokenizer,
+        )
+        return serve(run_dir, scripts, ingest=plan)
+
+    churn_fast = _churn_run()
+    churn_slow = _with_slowpath(_churn_run)
+    exact_churn = _canonical_answers(
+        churn_fast.responses
+    ) == _canonical_answers(churn_slow.responses)
+    compactions = counter_totals(churn_fast.metrics).get(
+        "ingest.compactions", 0.0
+    )
+    if progress:
+        progress(
+            "dashboard oracles: shards "
+            f"{'exact' if exact_shards else 'MISMATCH'}, slowpath "
+            f"{'exact' if exact_slow else 'MISMATCH'}, mp "
+            f"{'exact' if exact_mp else 'MISMATCH'}, churn "
+            f"{'exact' if exact_churn else 'MISMATCH'} "
+            f"({compactions:.0f} live compactions)"
+        )
+    return {
+        "shards": list(_DASHBOARD_SHARDS),
+        "corpus_bytes": _DASHBOARD_CORPUS_BYTES,
+        "n_sources": _DASHBOARD_SOURCES,
+        "span_s": _DASHBOARD_SPAN_S,
+        "knobs": dict(_DASHBOARD_KNOBS),
+        "points": {str(p): asdict(pt) for p, pt in points.items()},
+        "churn": {
+            "nshards": churn_p,
+            "point": asdict(
+                DashboardPoint.from_report(churn_p, churn_fast)
+            ),
+            "live_compactions": compactions,
+        },
+        "exact_match_shards": exact_shards,
+        "exact_match_slowpath": exact_slow,
+        "exact_match_mp": exact_mp,
+        "exact_match_churn": exact_churn,
+    }
 
 
 def _workbench_transcript(report: WorkbenchReport) -> bytes:
@@ -772,13 +1025,15 @@ def measure(
     dict,
     Optional[dict],
     dict,
+    dict,
 ]:
     """Run the serving matrix, the fault run, and the replica studies.
 
     Returns ``(per-shard-count points, fault-run point, fault
     metadata, replica matrix points, failover study, pruning study,
-    workbench study)``.  The same workload scripts replay at every
-    shard count so the virtual stats are comparable across P.
+    workbench study, dashboard study)``.  The same workload scripts
+    replay at every shard count so the virtual stats are comparable
+    across P.
     """
     if replica_matrix is None:
         replica_matrix = tuple(
@@ -857,6 +1112,9 @@ def measure(
         workbench = _measure_workbench(
             stores, workload_seed, progress
         )
+        dashboard = _measure_dashboard(
+            Path(tmp), corpus_seed, workload_seed, progress
+        )
         pruning = _measure_pruning(
             Path(tmp),
             corpus_seed,
@@ -873,6 +1131,7 @@ def measure(
         failover,
         pruning,
         workbench,
+        dashboard,
     )
 
 
@@ -915,6 +1174,20 @@ _WORKBENCH_COMPARED_FIELDS = (
     "makespan_s",
 )
 
+_DASHBOARD_COMPARED_FIELDS = (
+    "served",
+    "rejected",
+    "degraded",
+    "facet_windows",
+    "facet_bytes_scanned",
+    "emerging_hits",
+    "cache_hit_rate",
+    "throughput_qps",
+    "p50_latency_s",
+    "p99_latency_s",
+    "makespan_s",
+)
+
 _REPLICA_COMPARED_FIELDS = (
     "served",
     "shed",
@@ -938,6 +1211,7 @@ def compare(
     failover: dict | None = None,
     pruning: dict | None = None,
     workbench: dict | None = None,
+    dashboard: dict | None = None,
 ) -> list[Regression]:
     """Exact-equality check of every virtual statistic vs. a baseline.
 
@@ -1025,6 +1299,23 @@ def compare(
                             measured=m,
                         )
                     )
+    base_dashboard = baseline.get("dashboard")
+    if dashboard is not None and base_dashboard is not None:
+        for p_str, run in dashboard["points"].items():
+            base_run = base_dashboard.get("points", {}).get(p_str)
+            if base_run is None:
+                continue
+            for field in _DASHBOARD_COMPARED_FIELDS:
+                b, m = float(base_run[field]), float(run[field])
+                if b != m:
+                    regressions.append(
+                        Regression(
+                            nshards=int(p_str),
+                            field=f"dashboard.{field}",
+                            baseline=b,
+                            measured=m,
+                        )
+                    )
     base_pruning = baseline.get("pruning")
     if pruning is not None and base_pruning is not None:
         nshards = int(pruning["nshards"])
@@ -1060,6 +1351,7 @@ def build_report(
     failover: dict | None = None,
     pruning: dict | None = None,
     workbench: dict | None = None,
+    dashboard: dict | None = None,
 ) -> tuple[dict, list[Regression]]:
     """Assemble the BENCH_serving.json document."""
     report = {
@@ -1085,6 +1377,7 @@ def build_report(
             "failover": failover,
         },
         "workbench": workbench,
+        "dashboard": dashboard,
         "pruning": pruning,
     }
     regressions: list[Regression] = []
@@ -1097,6 +1390,7 @@ def build_report(
             failover,
             pruning,
             workbench,
+            dashboard,
         )
         report["baseline"] = {
             "commit": baseline.get("commit", "unknown"),
@@ -1154,6 +1448,7 @@ def run_bench(
         failover,
         pruning,
         workbench,
+        dashboard,
     ) = (
         measure(
             shards=shards,
@@ -1178,6 +1473,12 @@ def run_bench(
         "replica_matrix": [asdict(s) for s in replica_matrix],
         "pruning_corpus_bytes": pruning_corpus_bytes,
         "batch_sizes": list(batch_sizes),
+        "dashboard": {
+            "shards": list(_DASHBOARD_SHARDS),
+            "corpus_bytes": _DASHBOARD_CORPUS_BYTES,
+            "n_sources": _DASHBOARD_SOURCES,
+            **_DASHBOARD_KNOBS,
+        },
     }
     report, regressions = build_report(
         points,
@@ -1189,6 +1490,7 @@ def run_bench(
         failover,
         pruning,
         workbench,
+        dashboard,
     )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     progress(f"wrote {out_path}")
@@ -1216,6 +1518,30 @@ def run_bench(
         progress(
             "WORKBENCH ORACLE MISMATCH: analyst transcript differs "
             "under REPRO_SCHED_SLOWPATH=1"
+        )
+        return 1
+    if not dashboard["exact_match_shards"]:
+        progress(
+            "DASHBOARD ORACLE MISMATCH: window-query transcripts "
+            "differ across shard counts"
+        )
+        return 1
+    if not dashboard["exact_match_slowpath"]:
+        progress(
+            "DASHBOARD ORACLE MISMATCH: window-query transcript "
+            "differs under REPRO_SCHED_SLOWPATH=1"
+        )
+        return 1
+    if not dashboard["exact_match_mp"]:
+        progress(
+            "DASHBOARD ORACLE MISMATCH: window-query transcript "
+            "differs under the multiprocessing backend"
+        )
+        return 1
+    if not dashboard["exact_match_churn"]:
+        progress(
+            "DASHBOARD ORACLE MISMATCH: fastpath and slowpath "
+            "transcripts differ under live ingest churn"
         )
         return 1
     if pruning is not None and not pruning["exact_match_all"]:

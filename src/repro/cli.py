@@ -68,6 +68,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="real-world byte size this corpus stands for",
     )
+    g.add_argument(
+        "--facet-sources",
+        type=int,
+        default=0,
+        help=(
+            "stamp documents with time/source facets over this many "
+            "source regions (0 = unstamped, byte-identical output)"
+        ),
+    )
+    g.add_argument(
+        "--facet-span",
+        type=float,
+        default=600.0,
+        help="stamp span in virtual seconds (with --facet-sources)",
+    )
     g.add_argument("--out", type=Path, required=True)
 
     r = sub.add_parser("run", help="run the text engine on a corpus")
@@ -297,6 +312,55 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    fq = sub.add_parser(
+        "facet-query",
+        help="answer one window query from a stamped store",
+    )
+    fq.add_argument("--store", type=Path, required=True)
+    fq.add_argument(
+        "--kind",
+        choices=("counts", "terms", "emerging"),
+        required=True,
+        help=(
+            "counts = per-source document counts; terms = exact "
+            "top terms by tf; emerging = terms rising vs. the "
+            "preceding window"
+        ),
+    )
+    fq.add_argument(
+        "--t0",
+        type=float,
+        default=None,
+        help="window start (default: store stamp range start)",
+    )
+    fq.add_argument(
+        "--t1",
+        type=float,
+        default=None,
+        help="window end, exclusive (default: store stamp range end)",
+    )
+    fq.add_argument(
+        "--source",
+        type=int,
+        default=-1,
+        help="restrict to one source region (-1 = all)",
+    )
+    fq.add_argument("--top", type=int, default=10)
+
+    ts = sub.add_parser(
+        "themeview-slices",
+        help="time-sliced ThemeView sequence from a stamped store",
+    )
+    ts.add_argument("--store", type=Path, required=True)
+    ts.add_argument("--slices", type=int, default=4)
+    ts.add_argument("--grid", type=int, default=48)
+    ts.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON payload here instead of stdout",
+    )
+
     sv = sub.add_parser(
         "serve-bench",
         help="benchmark the serving layer, write BENCH_serving.json",
@@ -465,6 +529,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="first doc_id to assign (continue after the store)",
     )
     jf.add_argument("--mean-interarrival", type=float, default=2.0)
+    jf.add_argument(
+        "--facet-sources",
+        type=int,
+        default=0,
+        help=(
+            "stamp feed batches with this many source regions "
+            "(0 = unstamped; match the base store)"
+        ),
+    )
 
     ip = sub.add_parser(
         "ingest-publish",
@@ -547,6 +620,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     kwargs = {"seed": args.seed, "represented_bytes": args.represented}
     if args.themes is not None:
         kwargs["n_themes"] = args.themes
+    if args.facet_sources:
+        from repro.facets import FacetSpec
+
+        kwargs["facets"] = FacetSpec(
+            n_sources=args.facet_sources,
+            span_s=args.facet_span,
+            seed=args.seed,
+        )
     from repro.datasets import generate_newswire
 
     gens = {
@@ -850,16 +931,20 @@ def _cmd_serve_build(args: argparse.Namespace) -> int:
 
     result = load_result(args.results)
     corpus = None
+    facets = None
     if args.corpus is not None:
+        from repro.facets import extract_facets
         from repro.text import read_source
 
         corpus = read_source(args.corpus)
+        facets = extract_facets(corpus)
     manifest = build_shards(
         result,
         args.out,
         args.shards,
         corpus=corpus,
         replication=args.replicas,
+        facets=facets,
     )
     total = sum(s.nbytes for s in manifest.shards)
     print(
@@ -870,6 +955,12 @@ def _cmd_serve_build(args: argparse.Namespace) -> int:
     if corpus is None:
         print(
             "note: no corpus given, term search disabled in this store"
+        )
+    if manifest.facets is not None:
+        fac = manifest.facets
+        print(
+            f"stamped store: {fac.n_sources} sources, stamps "
+            f"[{fac.stamp_lo:.1f}, {fac.stamp_hi:.1f}]s"
         )
     return 0
 
@@ -924,6 +1015,95 @@ def _cmd_serve_query(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_facet_query(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.facets import FacetsUnavailableError
+    from repro.serve import Query, ShardFormatError, query_store
+    from repro.serve.store import load_manifest
+
+    try:
+        manifest = load_manifest(args.store)
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if manifest.facets is None:
+        exc = FacetsUnavailableError(
+            str(args.store),
+            "store is not stamped: no facet sections "
+            "(rebuild from a stamped corpus)",
+        )
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    fac = manifest.facets
+    t0 = fac.stamp_lo if args.t0 is None else args.t0
+    # the default upper bound nudges past the last stamp so the
+    # half-open window convention never drops the final document
+    t1 = (
+        np.nextafter(fac.stamp_hi, np.inf)
+        if args.t1 is None
+        else args.t1
+    )
+    if t1 <= t0:
+        print(
+            f"error: empty window [{t0}, {t1}): t1 must be > t0",
+            file=sys.stderr,
+        )
+        return 1
+    kind = {
+        "counts": "facet_counts",
+        "terms": "window_terms",
+        "emerging": "emerging",
+    }[args.kind]
+    query = Query(
+        kind=kind,
+        t0=float(t0),
+        t1=float(t1),
+        source=args.source,
+        n_terms=args.top,
+    )
+    try:
+        response = query_store(args.store, query)
+    except ShardFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_themeview_slices(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.facets import (
+        FacetsUnavailableError,
+        slices_payload,
+        themeview_slices,
+    )
+    from repro.serve import ShardFormatError
+
+    try:
+        slices = themeview_slices(
+            args.store, n_slices=args.slices, grid=args.grid
+        )
+    except (FacetsUnavailableError, ShardFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    payload = slices_payload(slices)
+    doc = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(doc + "\n")
+        occupied = sum(1 for s in payload if s["n_docs"])
+        print(
+            f"wrote {len(payload)} slices ({occupied} non-empty) "
+            f"to {args.out}"
+        )
+    else:
+        print(doc)
     return 0
 
 
@@ -1142,6 +1322,7 @@ def _cmd_ingest_feed(args: argparse.Namespace) -> int:
             mean_interarrival_s=args.mean_interarrival,
             themes=args.themes,
             skip_docs=args.skip_docs,
+            facet_sources=args.facet_sources,
         )
     )
     # re-feeding an existing journal continues after its last arrival
@@ -1162,6 +1343,7 @@ def _cmd_ingest_feed(args: argparse.Namespace) -> int:
 def _cmd_ingest_publish(args: argparse.Namespace) -> int:
     from repro.engine import load_result
     from repro.engine.incremental import refresh_recommended
+    from repro.facets import extract_facets
     from repro.ingest import (
         CompactionPolicy,
         IngestJournal,
@@ -1195,7 +1377,9 @@ def _cmd_ingest_publish(args: argparse.Namespace) -> int:
         return 0
     rebuild = False
     for corpus, _arrival in pending:
-        delta = build_delta(result, corpus.documents)
+        delta = build_delta(
+            result, corpus.documents, facets=extract_facets(corpus)
+        )
         manifest = append_generation(args.store, [delta])
         flagged = refresh_recommended(
             delta.projected,
@@ -1307,6 +1491,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "metrics-report": _cmd_metrics_report,
         "serve-build": _cmd_serve_build,
         "serve-query": _cmd_serve_query,
+        "facet-query": _cmd_facet_query,
+        "themeview-slices": _cmd_themeview_slices,
         "serve-bench": _cmd_serve_bench,
         "workbench-serve": _cmd_workbench_serve,
         "workbench-session": _cmd_workbench_session,

@@ -45,12 +45,16 @@ def generate_newswire(
     n_themes: int = 10,
     vocab_size: int = 10_000,
     mean_story_length: float = 4.0,
+    facets=None,
 ) -> Corpus:
     """Generate a bursty newswire corpus of roughly ``target_bytes``.
 
     Consecutive dispatches belong to the same *story* (theme) with
     geometric story lengths of mean ``mean_story_length``; the
-    ``story_ids`` metadata records the grouping.
+    ``story_ids`` metadata records the grouping.  Pass a
+    :class:`repro.facets.FacetSpec` as ``facets`` to stamp the corpus
+    with time/source fields; ``None`` (default) leaves output
+    byte-identical to earlier versions.
     """
     model = ThemeModel(
         ThemeModelConfig(
@@ -99,4 +103,8 @@ def generate_newswire(
     corpus.meta["story_ids"] = story_ids[: len(corpus)]
     # the burst state, not the mixture draw, defines the true labels
     corpus.meta["theme_labels"] = themes_used[: len(corpus)]
+    if facets is not None:
+        from repro.facets.stamp import stamp_corpus
+
+        stamp_corpus(corpus, facets)
     return corpus

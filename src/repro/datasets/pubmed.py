@@ -47,12 +47,16 @@ def generate_pubmed(
     represented_bytes: float | None = None,
     n_themes: int = 12,
     vocab_size: int = 12_000,
+    facets=None,
 ) -> Corpus:
     """Generate a PubMed-like corpus of roughly ``target_bytes``.
 
     Pass ``represented_bytes`` (e.g. ``2.75e9``) to declare what real
     corpus size this stands for; the benchmark harness feeds the
-    resulting scale factor to the machine cost model.
+    resulting scale factor to the machine cost model.  Pass a
+    :class:`repro.facets.FacetSpec` as ``facets`` to stamp the corpus
+    with time/source fields from the dedicated facet rng stream; the
+    default ``None`` leaves output byte-identical to earlier versions.
     """
     model = ThemeModel(
         ThemeModelConfig(
@@ -64,10 +68,15 @@ def generate_pubmed(
         seed=seed,
         affixes=BIOMEDICAL_AFFIXES,
     )
-    return generate_corpus(
+    corpus = generate_corpus(
         name="pubmed-synthetic",
         target_bytes=target_bytes,
         field_builder=_pubmed_fields,
         model=model,
         represented_bytes=represented_bytes,
     )
+    if facets is not None:
+        from repro.facets.stamp import stamp_corpus
+
+        stamp_corpus(corpus, facets)
+    return corpus

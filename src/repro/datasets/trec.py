@@ -96,11 +96,15 @@ def generate_trec(
     n_themes: int = 16,
     vocab_size: int = 16_000,
     max_body_tokens: int = 20_000,
+    facets=None,
 ) -> Corpus:
     """Generate a GOV2-like corpus of roughly ``target_bytes``.
 
     ``max_body_tokens`` clips the Pareto tail of page sizes; lower it
     to study load balancing without single-page-dominated partitions.
+    Pass a :class:`repro.facets.FacetSpec` as ``facets`` to stamp the
+    corpus with time/source fields; ``None`` (default) leaves output
+    byte-identical to earlier versions.
     """
     model = ThemeModel(
         ThemeModelConfig(
@@ -131,10 +135,15 @@ def generate_trec(
             markup_heavy=state["markup"],
         )
 
-    return generate_corpus(
+    corpus = generate_corpus(
         name="trec-gov2-synthetic",
         target_bytes=target_bytes,
         field_builder=builder,
         model=model,
         represented_bytes=represented_bytes,
     )
+    if facets is not None:
+        from repro.facets.stamp import stamp_corpus
+
+        stamp_corpus(corpus, facets)
+    return corpus

@@ -1,0 +1,106 @@
+"""Seeded facet stamping: per-document time and source-region fields.
+
+Facet values ride on ``Corpus.meta["facets"]`` (plain JSON-able lists,
+so they round-trip exactly through the jsonl corpus format and the
+ingest journal) and are drawn from an rng stream *separate* from the
+document-content stream -- tagged :data:`FACET_STREAM_TAG` -- so
+stamping a corpus never perturbs its text, and unstamped output stays
+byte-identical to the pre-facet generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.store import FacetData, facet_data_from_meta
+from repro.text.documents import Corpus
+
+#: rng stream tag for facet stamping: ``default_rng((seed, 0xFA))``
+#: never collides with the content stream (``seed``), the priority
+#: stream (``(seed, 0x70)``), or the tenant stream (``(seed, 0x7E)``)
+FACET_STREAM_TAG = 0xFA
+
+
+class FacetsUnavailableError(Exception):
+    """A facet operation was asked of an unstamped store or corpus."""
+
+    def __init__(self, path: str, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"{path}: {reason}")
+
+
+@dataclass(frozen=True)
+class FacetSpec:
+    """How to stamp a corpus: time span, source fan-out, seed."""
+
+    n_sources: int = 4
+    #: stamps fall in ``[t0_s, t0_s + span_s)``, sorted ascending so
+    #: document-row order equals arrival order (the block-pruning
+    #: friendly layout)
+    span_s: float = 600.0
+    t0_s: float = 0.0
+    seed: int = 0
+    source_names: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.n_sources < 1:
+            raise ValueError(
+                f"n_sources must be >= 1, got {self.n_sources}"
+            )
+        if self.span_s <= 0:
+            raise ValueError(f"span_s must be > 0, got {self.span_s}")
+        if self.source_names and len(self.source_names) != self.n_sources:
+            raise ValueError(
+                f"{len(self.source_names)} source names for "
+                f"{self.n_sources} sources"
+            )
+
+
+def default_source_names(n_sources: int) -> tuple[str, ...]:
+    return tuple(f"src-{i:02d}" for i in range(n_sources))
+
+
+def facet_meta(
+    stamp_s: np.ndarray,
+    source: np.ndarray,
+    n_sources: int,
+    source_names: tuple[str, ...] = (),
+) -> dict:
+    """The JSON-able ``Corpus.meta["facets"]`` carrier."""
+    return {
+        "stamp_s": [float(t) for t in np.asarray(stamp_s)],
+        "source": [int(s) for s in np.asarray(source)],
+        "n_sources": int(n_sources),
+        "source_names": list(
+            source_names or default_source_names(n_sources)
+        ),
+    }
+
+
+def stamp_corpus(corpus: Corpus, spec: FacetSpec) -> Corpus:
+    """Attach seeded facet fields to a corpus (returned for chaining).
+
+    Stamps are sorted ascending over ``[t0_s, t0_s + span_s)`` and
+    sources are uniform over ``[0, n_sources)``, both from the
+    dedicated facet stream -- re-stamping with the same spec is
+    idempotent bit for bit.
+    """
+    rng = np.random.default_rng((spec.seed, FACET_STREAM_TAG))
+    n = len(corpus.documents)
+    stamp_s = spec.t0_s + np.sort(
+        rng.uniform(0.0, spec.span_s, size=n)
+    )
+    source = rng.integers(0, spec.n_sources, size=n, dtype=np.int64)
+    corpus.meta = dict(corpus.meta)
+    corpus.meta["facets"] = facet_meta(
+        stamp_s, source, spec.n_sources, spec.source_names
+    )
+    return corpus
+
+
+def extract_facets(corpus: Corpus) -> FacetData | None:
+    """The corpus's facet arrays, or ``None`` when unstamped."""
+    return facet_data_from_meta(corpus.meta)

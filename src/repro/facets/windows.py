@@ -1,0 +1,44 @@
+"""Exact integer kernels for window analytics.
+
+Everything here is int64 arithmetic on exact tf counts: no floats
+anywhere, so window scores are identical at every shard count, shard
+order, scheduler, and execution backend by plain associativity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def previous_window(t0: float, t1: float) -> tuple[float, float]:
+    """The adjacent window of equal width ending at ``t0``."""
+    return t0 - (t1 - t0), t0
+
+
+def window_edges(lo: float, hi: float, n_windows: int) -> np.ndarray:
+    """``n_windows + 1`` equal edges over ``[lo, hi]``."""
+    if n_windows < 1:
+        raise ValueError(f"n_windows must be >= 1, got {n_windows}")
+    return np.linspace(float(lo), float(hi), n_windows + 1)
+
+
+def emerging_scores(
+    tf_prev: np.ndarray, tf_cur: np.ndarray
+) -> np.ndarray:
+    """Exact int64 emergence score per term.
+
+    Cross-multiplied rate comparison with add-one smoothing::
+
+        s(t) = tf_cur[t] * (total_prev + 1) - tf_prev[t] * (total_cur + 1)
+
+    ``s(t) > 0`` iff the term's share of the current window strictly
+    exceeds its (smoothed) share of the previous window -- the same
+    ordering as the ratio test ``tf_cur/(total_cur+1) >
+    tf_prev/(total_prev+1)`` but computed entirely in integers, so
+    there is no float rounding to drift across shard layouts.
+    """
+    tf_prev = np.asarray(tf_prev, dtype=np.int64)
+    tf_cur = np.asarray(tf_cur, dtype=np.int64)
+    total_prev = int(tf_prev.sum())
+    total_cur = int(tf_cur.sum())
+    return tf_cur * (total_prev + 1) - tf_prev * (total_cur + 1)

@@ -11,6 +11,9 @@ rewrite reuses the stored arrays byte for byte and reassembles postings
 with :func:`repro.index.termindex.concat_postings`, so a compacted
 store answers every query bit-identically to both the pre-compaction
 generational store and a fresh build over the grown collection.
+Stamped (version-3) stores carry their facet stamp/source sections
+through the rewrite the same way, re-encoded per shard with the same
+block bounds a fresh stamped build would produce.
 
 The model container is untouched: compaction reorganizes documents,
 it never changes the frozen model (vocabulary drift is handled by the
@@ -27,8 +30,11 @@ import numpy as np
 from repro.index.termindex import TermPostings, concat_postings
 from repro.serve.store import (
     Container,
+    FACET_FORMAT_VERSION,
+    FORMAT_VERSION,
     ShardInfo,
     StoreManifest,
+    encode_facet_sections,
     encode_postings_sections,
     generation_dir,
     load_manifest,
@@ -114,6 +120,14 @@ def compact_store(
         if has_postings
         else None
     )
+    stamped = manifest.facets is not None
+    if stamped:
+        facet_stamp = np.concatenate(
+            [np.asarray(c.load("facet_stamp_s")) for c in segments]
+        )
+        facet_source = np.concatenate(
+            [np.asarray(c.load("facet_source")) for c in segments]
+        )
     n_docs = manifest.n_docs
 
     splits = np.array_split(np.arange(n_docs, dtype=np.int64), manifest.nshards)
@@ -137,6 +151,13 @@ def compact_store(
         if postings is not None:
             local = postings.restrict(row_lo, row_hi)
             arrays.update(encode_postings_sections(local))
+        if stamped:
+            arrays.update(
+                encode_facet_sections(
+                    facet_stamp[row_lo:row_hi],
+                    facet_source[row_lo:row_hi],
+                )
+            )
         meta = {
             "kind": "shard",
             "shard": i,
@@ -144,7 +165,12 @@ def compact_store(
             "row_hi": row_hi,
             "corpus_name": manifest.corpus_name,
         }
-        nbytes = write_container(os.path.join(store, fname), arrays, meta)
+        nbytes = write_container(
+            os.path.join(store, fname),
+            arrays,
+            meta,
+            version=FACET_FORMAT_VERSION if stamped else FORMAT_VERSION,
+        )
         shards.append(
             ShardInfo(
                 file=fname,

@@ -33,6 +33,9 @@ from repro.engine.results import EngineResult
 from repro.index.termindex import TermPostings, build_batch_postings
 from repro.serve.store import (
     DeltaInfo,
+    FACET_FORMAT_VERSION,
+    FORMAT_VERSION,
+    FacetData,
     MANIFEST_FORMAT_GEN,
     StoreManifest,
     generation_dir,
@@ -46,11 +49,17 @@ from repro.text.documents import Corpus, Document
 
 @dataclass
 class DeltaBatch:
-    """One batch's projected arrays plus its major-term postings."""
+    """One batch's projected arrays plus its major-term postings.
+
+    ``facets`` carries the batch's stamp/source arrays when the feed is
+    stamped; a stamped store only accepts stamped batches (and vice
+    versa), so a store can never end up half-faceted.
+    """
 
     documents: list[Document]
     projected: ProjectedBatch
     postings: TermPostings
+    facets: FacetData | None = None
 
     @property
     def n_docs(self) -> int:
@@ -65,18 +74,29 @@ def build_delta(
     result: EngineResult,
     documents: Sequence[Document],
     tokenizer_config=None,
+    facets: FacetData | None = None,
 ) -> DeltaBatch:
     """Project one batch and invert its postings against the model."""
     docs = list(documents)
     if not docs:
         raise ValueError("a delta batch needs at least one document")
+    if facets is not None and facets.n_docs != len(docs):
+        raise ValueError(
+            f"facet arrays cover {facets.n_docs} docs but the batch "
+            f"has {len(docs)}"
+        )
     projected = project_new_documents(
         result, docs, tokenizer_config=tokenizer_config
     )
     postings = build_batch_postings(
         docs, result, tokenizer_config=tokenizer_config
     )
-    return DeltaBatch(documents=docs, projected=projected, postings=postings)
+    return DeltaBatch(
+        documents=docs,
+        projected=projected,
+        postings=postings,
+        facets=facets,
+    )
 
 
 def _merged_bbox(
@@ -105,12 +125,33 @@ def append_generation(
     its virtual publish instant (live ingest passes ``ctx.now``); the
     default 0.0 marks an offline publish, visible from session start.
     """
-    from repro.serve.store import encode_postings_sections
+    from repro.serve.store import (
+        encode_facet_sections,
+        encode_postings_sections,
+    )
 
     if not deltas:
         raise ValueError("append_generation needs at least one batch")
     store = str(store_dir)
     manifest = load_manifest(store)
+    stamped = manifest.facets is not None
+    for i, d in enumerate(deltas):
+        if stamped and d.facets is None:
+            raise ValueError(
+                f"batch {i} is unstamped but the store is faceted: "
+                "every batch appended to a stamped store needs facet "
+                "arrays"
+            )
+        if not stamped and d.facets is not None:
+            raise ValueError(
+                f"batch {i} carries facet arrays but the store is not "
+                "stamped: rebuild the store from a stamped corpus first"
+            )
+        if stamped and d.facets.n_sources != manifest.facets.n_sources:
+            raise ValueError(
+                f"batch {i} has {d.facets.n_sources} sources but the "
+                f"store has {manifest.facets.n_sources}"
+            )
     gen = manifest.generation + 1
     gdir = generation_dir(gen)
     os.makedirs(os.path.join(store, gdir), exist_ok=True)
@@ -118,6 +159,8 @@ def append_generation(
     row_base = manifest.n_docs
     delta_seq = len(manifest.deltas)
     bbox = manifest.bbox
+    stamp_lo = manifest.facets.stamp_lo if stamped else 0.0
+    stamp_hi = manifest.facets.stamp_hi if stamped else 0.0
     new_infos: list[DeltaInfo] = []
     for d in deltas:
         p = d.projected
@@ -131,6 +174,12 @@ def append_generation(
             "assignments": np.asarray(p.assignments, dtype=np.int64),
             **encode_postings_sections(d.postings),
         }
+        if stamped:
+            arrays.update(
+                encode_facet_sections(d.facets.stamp_s, d.facets.source)
+            )
+            stamp_lo = min(stamp_lo, float(d.facets.stamp_s.min()))
+            stamp_hi = max(stamp_hi, float(d.facets.stamp_s.max()))
         meta = {
             "kind": "delta",
             "generation": gen,
@@ -140,7 +189,12 @@ def append_generation(
             "row_hi": row_base + n,
             "corpus_name": manifest.corpus_name,
         }
-        nbytes = write_container(os.path.join(store, fname), arrays, meta)
+        nbytes = write_container(
+            os.path.join(store, fname),
+            arrays,
+            meta,
+            version=FACET_FORMAT_VERSION if stamped else FORMAT_VERSION,
+        )
         new_infos.append(
             DeltaInfo(
                 file=fname,
@@ -166,6 +220,11 @@ def append_generation(
         deltas=manifest.deltas + tuple(new_infos),
         ingested_batches=manifest.ingested_batches + len(new_infos),
         published_s=float(published_s),
+        facets=(
+            replace(manifest.facets, stamp_lo=stamp_lo, stamp_hi=stamp_hi)
+            if stamped
+            else None
+        ),
     )
     write_generation_manifest(store, updated)
     publish_generation(store, updated)

@@ -47,6 +47,13 @@ class FeedConfig:
     #: base corpus's seed and its document count, the feed continues
     #: the same source past where the static build stopped
     skip_docs: int = 0
+    #: stamp each batch with per-document time/source facets drawn over
+    #: this many source regions; 0 (the default) leaves the feed
+    #: unstamped and byte-identical to the pre-facet output.  Facet
+    #: draws come from the dedicated ``(seed, FACET_STREAM_TAG)``
+    #: stream, so turning them on never perturbs document content or
+    #: arrival times.
+    facet_sources: int = 0
 
     def __post_init__(self) -> None:
         if self.dataset not in _GENERATORS:
@@ -62,6 +69,8 @@ class FeedConfig:
             raise ValueError("mean_interarrival_s must be > 0")
         if self.skip_docs < 0:
             raise ValueError("skip_docs must be >= 0")
+        if self.facet_sources < 0:
+            raise ValueError("facet_sources must be >= 0")
 
 
 class FeedSource:
@@ -102,19 +111,36 @@ class FeedSource:
             cfg.mean_interarrival_s, size=cfg.n_batches
         )
         arrivals = np.cumsum(gaps)
+        frng = None
+        if cfg.facet_sources:
+            from repro.facets.stamp import FACET_STREAM_TAG, facet_meta
+
+            frng = np.random.default_rng((cfg.seed, FACET_STREAM_TAG))
         out: list[tuple[Corpus, float]] = []
+        prev_arrival = 0.0
         for i in range(cfg.n_batches):
             lo = i * cfg.batch_docs
             chunk = docs[lo : lo + cfg.batch_docs]
-            out.append(
-                (
-                    Corpus(
-                        name=f"{cfg.dataset}-feed-{i:04d}",
-                        documents=chunk,
-                    ),
-                    float(arrivals[i]),
-                )
+            corpus = Corpus(
+                name=f"{cfg.dataset}-feed-{i:04d}",
+                documents=chunk,
             )
+            arrival = float(arrivals[i])
+            if frng is not None:
+                # documents in a batch arrived during the gap that
+                # preceded its delivery, sorted so row order matches
+                # arrival order (the block-pruning friendly layout)
+                stamp_s = prev_arrival + np.sort(
+                    frng.uniform(0.0, arrival - prev_arrival, len(chunk))
+                )
+                source = frng.integers(
+                    0, cfg.facet_sources, size=len(chunk), dtype=np.int64
+                )
+                corpus.meta["facets"] = facet_meta(
+                    stamp_s, source, cfg.facet_sources
+                )
+            out.append((corpus, arrival))
+            prev_arrival = arrival
         return out
 
     def feed_journal(self, journal: IngestJournal) -> list:

@@ -39,6 +39,7 @@ from typing import Optional
 
 from repro.engine.incremental import refresh_recommended
 from repro.engine.results import EngineResult
+from repro.facets.stamp import extract_facets
 from repro.runtime.cluster import MachineSpec
 from repro.serve.broker import BrokerConfig, ServeReport, serve
 from repro.serve.workload import ClientScript
@@ -107,6 +108,7 @@ class IngestPlan:
                 self.result,
                 corpus.documents,
                 tokenizer_config=self.tokenizer_config,
+                facets=extract_facets(corpus),
             )
             n = delta.n_docs
             # charge the modelled work first so the publish lands at

@@ -724,6 +724,43 @@ def workbench_summary(snap: dict) -> dict:
     }
 
 
+def facets_summary(snap: dict) -> dict:
+    """Faceted-analytics counters, aggregated for the text report.
+
+    Returns an empty dict when the snapshot holds no ``facets.*``
+    families (i.e. the session served no window queries -- unstamped
+    stores never register them).  Aggregation sums over ranks and
+    label keys, so the result is identical across the fastpath and
+    slowpath schedulers and across shard counts for a fixed workload.
+    """
+    counters = snap["counters"]
+    if not any(name.startswith("facets.") for name in counters):
+        return {}
+
+    def _total(name: str) -> float:
+        doc = counters.get(name)
+        if doc is None:
+            return 0.0
+        return float(sum(e["value"] for e in doc["values"]))
+
+    def _by_key(name: str) -> dict[str, float]:
+        doc = counters.get(name)
+        if doc is None:
+            return {}
+        out: dict[str, float] = {}
+        for e in doc["values"]:
+            key = str(e["key"][0]) if e["key"] else ""
+            out[key] = out.get(key, 0.0) + float(e["value"])
+        return out
+
+    return {
+        "windows_by_kind": _by_key("facets.windows"),
+        "windows_served": _total("facets.windows"),
+        "facet_bytes_scanned": _total("facets.bytes_scanned"),
+        "emerging_term_hits": _total("facets.emerging_hits"),
+    }
+
+
 def render_report(snap: dict) -> str:
     """Human-readable metrics report (the ``metrics-report`` command).
 
@@ -867,6 +904,23 @@ def render_report(snap: dict) -> str:
                 f"  posting blocks skipped (block-max pruning): "
                 f"{serving['blocks_skipped']:.0f} ({per_shard})"
             )
+
+    facets = facets_summary(snap)
+    if facets:
+        lines.append("")
+        lines.append("faceted analytics (window queries):")
+        kinds = facets["windows_by_kind"]
+        mix = ", ".join(f"{k}={kinds[k]:.0f}" for k in sorted(kinds))
+        lines.append(
+            f"  windows served: {facets['windows_served']:.0f}"
+            + (f" ({mix})" if mix else "")
+        )
+        lines.append(
+            f"  facet bytes scanned: "
+            f"{_fmt_bytes(facets['facet_bytes_scanned'])}; "
+            f"emerging-term hits: "
+            f"{facets['emerging_term_hits']:.0f}"
+        )
 
     workbench = workbench_summary(snap)
     if workbench:

@@ -36,7 +36,19 @@ excluded from the cache.  Every layer feeds
 :mod:`repro.runtime.metrics` (``serve.queries``,
 ``serve.cache.{hit,miss,evict}``, ``serve.rejected``,
 ``serve.degraded``, ``serve.latency``, ``serve.shard.bytes_scanned``,
-and ``ingest.broker.reloads`` in generational mode).
+``ingest.broker.reloads`` in generational mode, and the
+``facets.*`` families on stamped stores).
+
+Window analytics (stamped stores): ``facet_counts`` fans out exact
+per-source int64 counts over ``[t0, t1)``; ``window_terms`` ranks the
+model's major terms by exact int64 tf partial sums inside the window;
+``emerging`` compares the window against the preceding window of equal
+width under the epoch-pinned frozen model.  All three merge integer
+partials in sorted shard order (associative sums -- any shard layout
+lands on identical bytes) and rank through the canonical
+``(-score, row)`` order on the integers directly.  Unstamped stores
+answer facet queries with a typed ``"error"`` response, never a
+fan-out.
 
 Responses carry no timing fields; latencies live in the
 :class:`ServeReport`.  That is what makes serialized responses the
@@ -56,6 +68,7 @@ from typing import Optional
 import numpy as np
 
 from repro.analysis.session import pseudo_signature, top_positive_terms
+from repro.facets.windows import emerging_scores
 from repro.index.termindex import (
     icf_weights,
     set_term_cooccurrence,
@@ -69,6 +82,7 @@ from repro.serve.query import (
     hits_payload,
     merge_asc,
     merge_desc,
+    topk_int_score_row,
 )
 from repro.serve.store import (
     CURRENT_FILE,
@@ -292,6 +306,59 @@ def execute_shard_op(
                 np.empty(0, dtype=np.int64),
                 np.empty((0, model.centroids.shape[1])),
             )
+    elif op == "facet_counts":
+        # facet payloads carry their own scanned count so the broker
+        # can account facet bytes separately (facets.bytes_scanned)
+        counts = np.zeros(params["n_sources"], dtype=np.int64)
+        for seg in segs:
+            c, s = seg.op_facet_counts(
+                params["t0"], params["t1"], params["n_sources"]
+            )
+            counts += c
+            scanned += s
+        ctx.charge_cpu(scanned // 8)
+        payload = (counts, scanned)
+    elif op == "window_tf":
+        # exact int64 per-term tf totals over the window's rows (and
+        # optionally the preceding window): like "set_tf", integer
+        # sums make the broker-side merge layout-independent
+        pairs = [(params["t0"], params["t1"])]
+        if params.get("pair"):
+            width = params["t1"] - params["t0"]
+            pairs.insert(0, (params["t0"] - width, params["t0"]))
+        window_payload = []
+        for t0, t1 in pairs:
+            totals = np.zeros(model.term_df.shape[0], dtype=np.int64)
+            n_docs = 0
+            for seg in segs:
+                t, n, s = seg.op_window_tf(
+                    t0, t1, params.get("source", -1)
+                )
+                totals += t
+                n_docs += n
+                scanned += s
+            window_payload.append((totals, n_docs))
+        ctx.charge_cpu(scanned // 16 * 2)
+        payload = (window_payload, scanned)
+    elif op == "window_restrict":
+        rows_parts = []
+        for seg in segs:
+            rows, s = seg.op_window_restrict(
+                params["rows"],
+                params["t0"],
+                params["t1"],
+                params.get("source", -1),
+            )
+            scanned += s
+            if rows.size:
+                rows_parts.append(rows)
+        ctx.charge_cpu(scanned // 8)
+        payload = (
+            np.concatenate(rows_parts)
+            if rows_parts
+            else np.empty(0, dtype=np.int64),
+            scanned,
+        )
     else:
         raise ValueError(f"unknown shard op {op!r}")
     return payload, scanned, skipped
@@ -424,6 +491,17 @@ class _Broker:
         self.c_reloads = (
             m.counter("ingest.broker.reloads") if self.generational else None
         )
+        # likewise: facet families exist only on stamped stores, so an
+        # unstamped session's metric snapshot is byte-identical to the
+        # pre-facet output
+        if manifest.facets is not None:
+            self.c_facet_windows = m.counter("facets.windows", ("kind",))
+            self.c_facet_bytes = m.counter("facets.bytes_scanned")
+            self.c_facet_emerging = m.counter("facets.emerging_hits")
+        else:
+            self.c_facet_windows = None
+            self.c_facet_bytes = None
+            self.c_facet_emerging = None
         self.cache: OrderedDict[tuple, dict] = OrderedDict()
         self.gen_stats: dict[int, dict] = {}
 
@@ -567,6 +645,12 @@ class _Broker:
             return self._exec_similar(query)
         if kind == "cluster":
             return self._exec_cluster(query)
+        if kind == "facet_counts":
+            return self._exec_facet_counts(query)
+        if kind == "window_terms":
+            return self._exec_window_terms(query)
+        if kind == "emerging":
+            return self._exec_emerging(query)
         return self._exec_region(query)
 
     def _exec_search(self, query: Query) -> dict:
@@ -783,6 +867,158 @@ class _Broker:
         self._flag(resp, dropped)
         return resp
 
+    # -- window analytics (stamped stores) -----------------------------
+    def _facet_error(self, kind: str) -> dict:
+        """Typed answer for a facet query against an unstamped store."""
+        return {
+            "kind": kind,
+            "error": (
+                "store is not stamped: no facet sections "
+                "(rebuild from a stamped corpus)"
+            ),
+            "partial": False,
+            "failed_shards": [],
+        }
+
+    def _count_facets(
+        self, kind: str, scanned: int, hits: int = 0
+    ) -> None:
+        if self.c_facet_windows is None:
+            return
+        self.c_facet_windows.inc(self.mrank, key=(kind,))
+        self.c_facet_bytes.inc(self.mrank, float(scanned))
+        if hits:
+            self.c_facet_emerging.inc(self.mrank, float(hits))
+
+    def _exec_facet_counts(self, query: Query) -> dict:
+        fac = self.manifest.facets
+        if fac is None:
+            return self._facet_error("facet_counts")
+        got, dropped = self._fanout(
+            self.live,
+            "facet_counts",
+            {"t0": query.t0, "t1": query.t1, "n_sources": fac.n_sources},
+        )
+        counts = np.zeros(fac.n_sources, dtype=np.int64)
+        scanned = 0
+        for s in sorted(got):
+            c, sc = got[s]
+            counts += c
+            scanned += sc
+        self.ctx.charge_cpu(
+            fac.n_sources * max(1, len(got)) + _DISPATCH_OPS
+        )
+        self._count_facets("facet_counts", scanned)
+        resp = {
+            "kind": "facet_counts",
+            "t0": query.t0,
+            "t1": query.t1,
+            "sources": list(fac.source_names),
+            "counts": [int(c) for c in counts],
+            "total": int(counts.sum()),
+        }
+        self._flag(resp, dropped)
+        return resp
+
+    def _merge_window_tf(
+        self, got: dict[int, object], slot: int
+    ) -> tuple[np.ndarray, int, int]:
+        """Sum one window slot's per-shard int64 partials in sorted
+        shard order -- associative, so any shard layout lands on the
+        identical totals."""
+        totals = np.zeros(self.model.term_df.shape[0], dtype=np.int64)
+        n_docs = 0
+        scanned = 0
+        for s in sorted(got):
+            pairs, sc = got[s]
+            t, n = pairs[slot]
+            totals += t
+            n_docs += int(n)
+            scanned += sc
+        return totals, n_docs, scanned
+
+    def _exec_window_terms(self, query: Query) -> dict:
+        fac = self.manifest.facets
+        if fac is None:
+            return self._facet_error("window_terms")
+        if not self.model.has_postings:
+            return self._facet_error("window_terms")
+        got, dropped = self._fanout(
+            self.live,
+            "window_tf",
+            {"t0": query.t0, "t1": query.t1, "source": query.source},
+        )
+        totals, window_docs, scanned = self._merge_window_tf(got, 0)
+        pos = np.flatnonzero(totals > 0)
+        sel = topk_int_score_row(
+            totals[pos], pos, max(1, query.n_terms)
+        )
+        rows = pos[sel]
+        self.ctx.charge_cpu(int(totals.shape[0]) + _DISPATCH_OPS)
+        self._count_facets("window_terms", scanned)
+        resp = {
+            "kind": "window_terms",
+            "t0": query.t0,
+            "t1": query.t1,
+            "source": query.source,
+            "window_docs": window_docs,
+            "terms": [
+                {
+                    "term": self.model.terms[int(r)],
+                    "tf": int(totals[int(r)]),
+                }
+                for r in rows
+            ],
+        }
+        self._flag(resp, dropped)
+        return resp
+
+    def _exec_emerging(self, query: Query) -> dict:
+        fac = self.manifest.facets
+        if fac is None:
+            return self._facet_error("emerging")
+        if not self.model.has_postings:
+            return self._facet_error("emerging")
+        got, dropped = self._fanout(
+            self.live,
+            "window_tf",
+            {
+                "t0": query.t0,
+                "t1": query.t1,
+                "source": query.source,
+                "pair": True,
+            },
+        )
+        prev, prev_docs, scanned = self._merge_window_tf(got, 0)
+        cur, cur_docs, _ = self._merge_window_tf(got, 1)
+        scores = emerging_scores(prev, cur)
+        keep = np.flatnonzero((cur > 0) & (scores > 0))
+        sel = topk_int_score_row(
+            scores[keep], keep, max(1, query.n_terms)
+        )
+        rows = keep[sel]
+        self.ctx.charge_cpu(3 * int(cur.shape[0]) + _DISPATCH_OPS)
+        self._count_facets("emerging", scanned, hits=int(rows.size))
+        resp = {
+            "kind": "emerging",
+            "t0": query.t0,
+            "t1": query.t1,
+            "source": query.source,
+            "window_docs": cur_docs,
+            "prev_docs": prev_docs,
+            "terms": [
+                {
+                    "term": self.model.terms[int(r)],
+                    "score": int(scores[int(r)]),
+                    "tf": int(cur[int(r)]),
+                    "prev_tf": int(prev[int(r)]),
+                }
+                for r in rows
+            ],
+        }
+        self._flag(resp, dropped)
+        return resp
+
     # -- closed-loop event pump ----------------------------------------
     def _admit(self, script: ClientScript, depth: int) -> bool:
         """Whether a query may enter at the given in-flight depth."""
@@ -986,6 +1222,7 @@ def serve(
     machine: Optional[MachineSpec] = None,
     faults=None,
     ingest=None,
+    backend: str = "sim",
 ) -> ServeReport:
     """Run one broker session over a sharded store.
 
@@ -999,12 +1236,18 @@ def serve(
     :class:`repro.ingest.IngestPlan`) adds one extra driver rank that
     feeds, publishes, and compacts generations while the broker serves;
     its outcome is attached as ``report.ingest``.
+
+    ``backend`` selects the runtime execution backend (``"sim"`` or
+    ``"mp"``); reports are bit-identical across backends by the
+    runtime's cross-backend contract.
     """
     store_dir = str(store_dir)
     manifest = load_manifest(store_dir)
     config = config if config is not None else BrokerConfig()
     nprocs = manifest.nshards + 1 + (1 if ingest is not None else 0)
-    cluster = Cluster(nprocs, machine=machine, faults=faults)
+    cluster = Cluster(
+        nprocs, machine=machine, faults=faults, backend=backend
+    )
     result = cluster.run(
         _serve_main,
         store_dir,

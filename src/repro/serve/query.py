@@ -38,16 +38,27 @@ from repro.analysis.session import (
 from repro.index.termindex import (
     TermPostings,
     accumulate_tficf,
+    set_term_tf,
     topk_score_row,
 )
 from repro.serve.store import (
     BlockPostings,
     Container,
+    FacetSections,
     ServeModel,
+    load_facet_sections,
     load_segment_postings,
 )
 
-QUERY_KINDS = ("search", "query", "similar", "cluster", "region")
+#: window-analytics kinds: answerable only on stamped (facet) stores
+FACET_QUERY_KINDS = ("facet_counts", "window_terms", "emerging")
+QUERY_KINDS = (
+    "search",
+    "query",
+    "similar",
+    "cluster",
+    "region",
+) + FACET_QUERY_KINDS
 
 
 @dataclass(frozen=True)
@@ -57,7 +68,11 @@ class Query:
     ``kind`` selects the operator: ``search`` (ranked tf·icf term
     search), ``query`` (pseudo-signature cosine ranking), ``similar``
     (k-NN of one document), ``cluster`` (cluster summary), ``region``
-    (landscape-region topic terms).  Unused fields stay at their
+    (landscape-region topic terms), plus the window-analytics kinds
+    over stamped stores: ``facet_counts`` (per-source counts in
+    ``[t0, t1)``), ``window_terms`` (exact top terms by int64 tf
+    inside the window), ``emerging`` (terms rising against the
+    preceding window of equal width).  Unused fields stay at their
     defaults; :meth:`key` is the cache key.
     """
 
@@ -71,6 +86,11 @@ class Query:
     k: int = 10
     n_terms: int = 6
     n_docs: int = 5
+    #: window bounds (``t0 <= stamp < t1``, virtual seconds)
+    t0: float = 0.0
+    t1: float = 0.0
+    #: source-region filter (``-1`` = all sources)
+    source: int = -1
 
     def __post_init__(self):
         if self.kind not in QUERY_KINDS:
@@ -92,6 +112,9 @@ class Query:
             self.k,
             self.n_terms,
             self.n_docs,
+            self.t0,
+            self.t1,
+            self.source,
         )
 
 
@@ -120,6 +143,8 @@ class ShardStore:
         self._postings: Optional[TermPostings] = None
         self._blocks: Optional[BlockPostings] = None
         self._blocks_probed = False
+        self._facets: Optional[FacetSections] = None
+        self._facets_probed = False
 
     @property
     def n_docs(self) -> int:
@@ -160,6 +185,18 @@ class ShardStore:
             if "post_block_offsets" in self.container:
                 self._blocks = BlockPostings(self.container, self.n_docs)
         return self._blocks
+
+    @property
+    def facets(self) -> Optional[FacetSections]:
+        """Lazy facet sections, or ``None`` on pre-facet (v1/v2)
+        containers -- the unstamped-store signal the broker turns into
+        a typed error instead of a fan-out."""
+        if not self._facets_probed:
+            self._facets_probed = True
+            self._facets = load_facet_sections(
+                self.container, self.n_docs
+            )
+        return self._facets
 
     def _candidates(
         self, local_idx: np.ndarray, scores: np.ndarray
@@ -387,6 +424,69 @@ class ShardStore:
         block = self.signatures[mask]
         rows = self.row_lo + np.flatnonzero(mask).astype(np.int64)
         return rows, block, scanned + block.nbytes
+
+    def _require_facets(self) -> FacetSections:
+        facets = self.facets
+        if facets is None:
+            raise KeyError(
+                f"{self.container.path}: shard has no facet sections "
+                "(pre-facet store; rebuild from a stamped corpus)"
+            )
+        return facets
+
+    def op_facet_counts(
+        self, t0: float, t1: float, n_sources: int
+    ) -> tuple[np.ndarray, int]:
+        """Local per-source document counts within ``[t0, t1)``.
+
+        Integer counts sum associatively across shards, so the
+        broker's merged counts are shard-order-independent.
+        """
+        return self._require_facets().source_counts(t0, t1, n_sources)
+
+    def op_window_tf(
+        self, t0: float, t1: float, source: int = -1
+    ) -> tuple[np.ndarray, int, int]:
+        """Exact per-term int64 tf totals over the window's rows.
+
+        Returns ``(totals, window doc count, bytes scanned)``.  The
+        totals are partial sums the broker adds across shards --
+        integer addition is associative, so the merged totals (and
+        everything ranked from them) are identical at every shard
+        count and shard order.
+        """
+        rows, scanned = self._require_facets().window_rows(
+            t0, t1, source
+        )
+        totals, scanned_postings = set_term_tf(self.postings, rows)
+        return totals, int(rows.size), scanned + scanned_postings * 16
+
+    def op_window_restrict(
+        self, rows: np.ndarray, t0: float, t1: float, source: int = -1
+    ) -> tuple[np.ndarray, int]:
+        """Global rows of the restriction set that fall in the window.
+
+        The workbench ``window`` verb: filter a saved result set's
+        locally-owned rows by stamp (and optionally source) without
+        rescoring anything.  Returns ascending global rows.
+        """
+        facets = self._require_facets()
+        local = self._local_restrict(rows)
+        scanned = 0
+        if local.size:
+            scanned += 8 * int(local.size)
+            stamps = np.asarray(
+                facets.stamp_s[local], dtype=np.float64
+            )
+            keep = (stamps >= t0) & (stamps < t1)
+            local = local[keep]
+            if source >= 0 and local.size:
+                scanned += 8 * int(local.size)
+                src = np.asarray(
+                    facets.source[local], dtype=np.int64
+                )
+                local = local[src == source]
+        return np.sort(local) + self.row_lo, scanned
 
 
 # ----------------------------------------------------------------------
@@ -726,6 +826,23 @@ def merge_asc(
     merged = [c for cands in per_shard for c in cands]
     merged.sort(key=lambda c: (c.score, c.row))
     return merged[:k]
+
+
+def topk_int_score_row(
+    scores: np.ndarray, rows: np.ndarray, k: int
+) -> np.ndarray:
+    """Indices of the top-``k`` entries by ``(-score, row)``, exact
+    over int64 scores.
+
+    The integer twin of :func:`repro.index.termindex.topk_score_row`:
+    window-analytics scores are exact int64 tf sums, and selecting on
+    the integers directly keeps the order exact at any magnitude
+    (no float64 conversion anywhere).
+    """
+    scores = np.asarray(scores, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.int64)
+    take = rows.size if k < 0 else min(k, rows.size)
+    return np.lexsort((rows, -scores))[:take]
 
 
 def hits_payload(cands: list[Candidate]) -> list[dict]:

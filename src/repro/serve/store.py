@@ -41,6 +41,16 @@ search that skips a block really skips its decode.  The reader accepts
 both versions; containers without block sections fall back to
 exhaustive scoring.
 
+Version-3 containers add the *facet* sections ``facet_stamp_s`` /
+``facet_source`` (per-document arrival stamp and source-region id, in
+row order) plus per-block stamp bounds ``facet_block_lo`` /
+``facet_block_hi`` (:data:`FACET_BLOCK_ROWS` rows per block), letting
+a window query prune whole row blocks by stamp range without touching
+their stamps.  Version 3 is written *only* for stamped collections --
+an unstamped build emits byte-identical version-2 containers -- and
+version-1/2 stores remain fully readable (facet queries on them get a
+typed error, not a crash).
+
 Generational stores (live ingest)
 ---------------------------------
 
@@ -82,10 +92,14 @@ from repro.signature.topicality import RankedTerm
 
 MAGIC = b"REPROSHD"
 FORMAT_VERSION = 2
+#: container version carrying facet sections (stamped collections)
+FACET_FORMAT_VERSION = 3
 #: container versions this reader understands (1 = run-aligned delta
 #: coding, no block sections; 2 = block-aligned coding + block-max
-#: sections)
-SUPPORTED_VERSIONS = (1, 2)
+#: sections; 3 = adds facet stamp/source sections + block stamp bounds)
+SUPPORTED_VERSIONS = (1, 2, 3)
+#: document rows per facet block (one min/max stamp pair per block)
+FACET_BLOCK_ROWS = 128
 MANIFEST_FORMAT = "repro-serve/1"
 MANIFEST_FORMAT_GEN = "repro-serve/2"
 CURRENT_FORMAT = "repro-serve-current/1"
@@ -577,6 +591,227 @@ def load_segment_postings(
 
 
 # ----------------------------------------------------------------------
+# facet sections (stamped collections, container version 3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FacetData:
+    """Row-aligned facet arrays of one collection (or one batch).
+
+    ``stamp_s`` is the per-document arrival stamp (virtual seconds,
+    float64) and ``source`` the per-document source-region id (int64,
+    ``0 <= source < n_sources``), both in document-row order.
+    """
+
+    stamp_s: np.ndarray
+    source: np.ndarray
+    n_sources: int
+    source_names: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        stamp = np.asarray(self.stamp_s, dtype=np.float64)
+        source = np.asarray(self.source, dtype=np.int64)
+        if stamp.ndim != 1 or source.shape != stamp.shape:
+            raise ValueError(
+                "facet stamp_s and source must be 1-D arrays of "
+                f"equal length, got {stamp.shape} and {source.shape}"
+            )
+        object.__setattr__(self, "stamp_s", stamp)
+        object.__setattr__(self, "source", source)
+
+    @property
+    def n_docs(self) -> int:
+        return int(self.stamp_s.shape[0])
+
+    def slice(self, row_lo: int, row_hi: int) -> "FacetData":
+        return FacetData(
+            stamp_s=self.stamp_s[row_lo:row_hi],
+            source=self.source[row_lo:row_hi],
+            n_sources=self.n_sources,
+            source_names=self.source_names,
+        )
+
+
+def facet_data_from_meta(meta: dict) -> FacetData | None:
+    """Decode a corpus's ``meta["facets"]`` carrier, if present.
+
+    The generators and the ingest feed stamp corpora by attaching
+    ``{"stamp_s": [...], "source": [...], "n_sources": k,
+    "source_names": [...]}`` to ``Corpus.meta`` (which round-trips
+    through the jsonl journal).  Unstamped corpora return ``None``.
+    """
+    fac = (meta or {}).get("facets")
+    if fac is None:
+        return None
+    try:
+        return FacetData(
+            stamp_s=np.asarray(fac["stamp_s"], dtype=np.float64),
+            source=np.asarray(fac["source"], dtype=np.int64),
+            n_sources=int(fac["n_sources"]),
+            source_names=tuple(fac.get("source_names", ())),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"corrupt corpus facet metadata: {exc}") from exc
+
+
+def encode_facet_sections(
+    stamp_s: np.ndarray,
+    source: np.ndarray,
+    block_rows: int = FACET_BLOCK_ROWS,
+) -> dict[str, np.ndarray]:
+    """The four facet sections of one stamped segment.
+
+    Shared by :func:`build_shards`, the ingest delta builder, and the
+    compactor, so every writer produces byte-identical facet sections
+    for identical rows (the compaction-parity invariant extends to
+    facets).
+    """
+    stamp = np.ascontiguousarray(np.asarray(stamp_s, dtype=np.float64))
+    src = np.ascontiguousarray(np.asarray(source, dtype=np.int64))
+    if stamp.ndim != 1 or src.shape != stamp.shape:
+        raise ValueError(
+            "facet stamp/source must be 1-D arrays of equal length, "
+            f"got {stamp.shape} and {src.shape}"
+        )
+    n = stamp.shape[0]
+    if n:
+        starts = np.arange(0, n, block_rows, dtype=np.int64)
+        block_lo = np.minimum.reduceat(stamp, starts)
+        block_hi = np.maximum.reduceat(stamp, starts)
+    else:
+        block_lo = np.empty(0, dtype=np.float64)
+        block_hi = np.empty(0, dtype=np.float64)
+    return {
+        "facet_stamp_s": stamp,
+        "facet_source": src,
+        "facet_block_lo": np.asarray(block_lo, dtype=np.float64),
+        "facet_block_hi": np.asarray(block_hi, dtype=np.float64),
+    }
+
+
+class FacetSections:
+    """Lazily-read facet arrays of one shard container.
+
+    Stamps and sources stay memmapped; the small per-block stamp
+    bounds are materialized eagerly so a window query can prune whole
+    blocks -- ``[t0, t1)`` only touches blocks whose
+    ``[block_lo, block_hi]`` envelope intersects the window.  The
+    honest bytes-scanned accounting counts the bounds scan plus
+    exactly the stamp/source bytes of the blocks touched.
+
+    Corrupt facet sections -- stamp or source arrays whose length is
+    not the shard's row count, a bounds table of the wrong length, or
+    an inverted ``lo > hi`` envelope -- raise
+    :class:`ShardFormatError` naming the container path.
+    """
+
+    def __init__(self, container: Container, n_docs: int):
+        self.path = container.path
+        self.n_docs = int(n_docs)
+        self.block_rows = FACET_BLOCK_ROWS
+        self.stamp_s = container.load("facet_stamp_s")
+        self.source = container.load("facet_source")
+        self.block_lo = np.asarray(
+            container.load("facet_block_lo"), dtype=np.float64
+        )
+        self.block_hi = np.asarray(
+            container.load("facet_block_hi"), dtype=np.float64
+        )
+        self._validate()
+
+    def _fail(self, reason: str) -> None:
+        raise ShardFormatError(self.path, reason)
+
+    def _validate(self) -> None:
+        n = self.n_docs
+        if self.stamp_s.ndim != 1 or int(self.stamp_s.shape[0]) != n:
+            self._fail(
+                "corrupt facet sections: facet_stamp_s has "
+                f"{int(self.stamp_s.shape[0])} stamps for {n} rows"
+            )
+        if self.source.shape != self.stamp_s.shape:
+            self._fail(
+                "corrupt facet sections: facet_source has "
+                f"{int(self.source.shape[0])} entries for {n} rows"
+            )
+        nblocks = -(-n // self.block_rows) if n else 0
+        if self.block_lo.shape != (nblocks,) or self.block_hi.shape != (
+            nblocks,
+        ):
+            self._fail(
+                "corrupt facet sections: stamp bounds have "
+                f"{int(self.block_lo.shape[0])}/"
+                f"{int(self.block_hi.shape[0])} entries for "
+                f"{nblocks} blocks (truncated?)"
+            )
+        if nblocks and bool(np.any(self.block_lo > self.block_hi)):
+            self._fail(
+                "corrupt facet sections: block stamp envelope has "
+                "lo > hi"
+            )
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_lo.shape[0])
+
+    def window_rows(
+        self, t0: float, t1: float, source: int = -1
+    ) -> tuple[np.ndarray, int]:
+        """Ascending local rows with ``t0 <= stamp < t1``.
+
+        ``source >= 0`` additionally filters to one source region.
+        Returns ``(rows, bytes_scanned)``; the scan count is the full
+        bounds table plus the stamp (and, under a source filter, the
+        source) bytes of every block the pruning could not skip.
+        """
+        scanned = 16 * self.n_blocks
+        if t1 <= t0 or not self.n_blocks:
+            return np.empty(0, dtype=np.int64), scanned
+        cand = np.flatnonzero(
+            (self.block_lo < t1) & (self.block_hi >= t0)
+        )
+        parts = []
+        for b in cand:
+            lo = int(b) * self.block_rows
+            hi = min(lo + self.block_rows, self.n_docs)
+            stamps = np.asarray(self.stamp_s[lo:hi], dtype=np.float64)
+            scanned += 8 * (hi - lo)
+            rows = np.flatnonzero((stamps >= t0) & (stamps < t1)) + lo
+            if source >= 0 and rows.size:
+                scanned += 8 * int(rows.size)
+                src = np.asarray(self.source[rows], dtype=np.int64)
+                rows = rows[src == source]
+            if rows.size:
+                parts.append(rows)
+        if not parts:
+            return np.empty(0, dtype=np.int64), scanned
+        return np.concatenate(parts).astype(np.int64), scanned
+
+    def source_counts(
+        self, t0: float, t1: float, n_sources: int
+    ) -> tuple[np.ndarray, int]:
+        """Per-source document counts within ``[t0, t1)`` (int64)."""
+        rows, scanned = self.window_rows(t0, t1)
+        counts = np.zeros(n_sources, dtype=np.int64)
+        if rows.size:
+            scanned += 8 * int(rows.size)
+            src = np.asarray(self.source[rows], dtype=np.int64)
+            src = src[(src >= 0) & (src < n_sources)]
+            counts += np.bincount(src, minlength=n_sources).astype(
+                np.int64
+            )
+        return counts, scanned
+
+
+def load_facet_sections(
+    container: Container, n_docs: int
+) -> FacetSections | None:
+    """The container's facet sections, or ``None`` if unstamped."""
+    if "facet_stamp_s" not in container:
+        return None
+    return FacetSections(container, n_docs)
+
+
+# ----------------------------------------------------------------------
 # manifest
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -619,6 +854,23 @@ class DeltaInfo:
 
 
 @dataclass(frozen=True)
+class FacetsInfo:
+    """Store-level facet summary recorded in a stamped manifest.
+
+    ``stamp_lo`` / ``stamp_hi`` bracket every stamp in the store
+    (base shards plus deltas) so a dashboard can pick windows without
+    scanning; unstamped stores simply omit the entry
+    (``StoreManifest.facets is None``).
+    """
+
+    n_sources: int
+    source_names: tuple[str, ...]
+    stamp_lo: float
+    stamp_hi: float
+    block_rows: int = FACET_BLOCK_ROWS
+
+
+@dataclass(frozen=True)
 class StoreManifest:
     """Directory-level description of a sharded store.
 
@@ -645,6 +897,9 @@ class StoreManifest:
     #: replicas per shard the replicated tier should place by default
     #: (1 = unreplicated; carried through every later generation)
     replication: int = 1
+    #: facet summary of a stamped store (None = unstamped; facet
+    #: queries get a typed error instead of a fan-out)
+    facets: FacetsInfo | None = None
 
     @property
     def base_n_docs(self) -> int:
@@ -674,6 +929,17 @@ class StoreManifest:
         raise KeyError(f"row {row} outside store of {self.n_docs} docs")
 
 
+def _facets_doc(facets: FacetsInfo) -> dict:
+    """JSON form of a manifest's facet summary."""
+    return {
+        "n_sources": facets.n_sources,
+        "source_names": list(facets.source_names),
+        "stamp_lo": facets.stamp_lo,
+        "stamp_hi": facets.stamp_hi,
+        "block_rows": facets.block_rows,
+    }
+
+
 def _manifest_from_data(
     path: str, data: dict, expect_format: str
 ) -> StoreManifest:
@@ -684,6 +950,18 @@ def _manifest_from_data(
                 f"unsupported store format {data['format']!r} "
                 f"(reader supports {expect_format!r})",
             )
+        fac = data.get("facets")
+        facets = (
+            FacetsInfo(
+                n_sources=int(fac["n_sources"]),
+                source_names=tuple(fac["source_names"]),
+                stamp_lo=float(fac["stamp_lo"]),
+                stamp_hi=float(fac["stamp_hi"]),
+                block_rows=int(fac.get("block_rows", FACET_BLOCK_ROWS)),
+            )
+            if fac is not None
+            else None
+        )
         return StoreManifest(
             format=data["format"],
             nshards=int(data["nshards"]),
@@ -719,6 +997,7 @@ def _manifest_from_data(
             ingested_batches=int(data.get("ingested_batches", 0)),
             published_s=float(data.get("published_s", 0.0)),
             replication=int(data.get("replication", 1)),
+            facets=facets,
         )
     except ShardFormatError:
         raise
@@ -850,6 +1129,8 @@ def write_generation_manifest(
             for d in manifest.deltas
         ],
     }
+    if manifest.facets is not None:
+        doc["facets"] = _facets_doc(manifest.facets)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -920,6 +1201,7 @@ def build_shards(
     postings: TermPostings | None = None,
     tokenizer_config=None,
     replication: int = 1,
+    facets: FacetData | None = None,
 ) -> StoreManifest:
     """Partition an engine result into a P-shard on-disk store.
 
@@ -931,6 +1213,13 @@ def build_shards(
     in the manifest as the replicated tier's default copy count; it
     does not change the on-disk layout (every worker reads the same
     immutable containers).
+
+    ``facets`` (or a stamped ``corpus`` whose ``meta["facets"]``
+    carries them) makes the store *stamped*: every shard gains the
+    facet sections, the containers are written at version 3, and the
+    manifest records a :class:`FacetsInfo` summary.  Unstamped builds
+    are byte-identical to what this function wrote before facets
+    existed.
     """
     if replication < 1:
         raise ValueError(f"replication must be >= 1, got {replication}")
@@ -946,6 +1235,14 @@ def build_shards(
         postings = build_term_postings(
             corpus, result, tokenizer_config=tokenizer_config
         )
+    if facets is None and corpus is not None:
+        facets = facet_data_from_meta(corpus.meta)
+    if facets is not None and facets.n_docs != n_docs:
+        raise ValueError(
+            f"facet arrays cover {facets.n_docs} docs but the result "
+            f"has {n_docs}"
+        )
+    version = FACET_FORMAT_VERSION if facets is not None else FORMAT_VERSION
     out = str(out_dir)
     os.makedirs(out, exist_ok=True)
 
@@ -1011,6 +1308,13 @@ def build_shards(
         if postings is not None:
             local = postings.restrict(row_lo, row_hi)
             arrays.update(encode_postings_sections(local))
+        if facets is not None:
+            arrays.update(
+                encode_facet_sections(
+                    facets.stamp_s[row_lo:row_hi],
+                    facets.source[row_lo:row_hi],
+                )
+            )
         meta = {
             "kind": "shard",
             "shard": i,
@@ -1018,7 +1322,9 @@ def build_shards(
             "row_hi": row_hi,
             "corpus_name": result.corpus_name,
         }
-        nbytes = write_container(os.path.join(out, fname), arrays, meta)
+        nbytes = write_container(
+            os.path.join(out, fname), arrays, meta, version=version
+        )
         shards.append(
             ShardInfo(
                 file=fname,
@@ -1038,6 +1344,14 @@ def build_shards(
         float(result.coords[:, 0].max()) if n_docs else 0.0,
         float(result.coords[:, 1].max()) if n_docs else 0.0,
     )
+    facets_info = None
+    if facets is not None:
+        facets_info = FacetsInfo(
+            n_sources=facets.n_sources,
+            source_names=tuple(facets.source_names),
+            stamp_lo=float(facets.stamp_s.min()) if n_docs else 0.0,
+            stamp_hi=float(facets.stamp_s.max()) if n_docs else 0.0,
+        )
     manifest = StoreManifest(
         format=MANIFEST_FORMAT,
         nshards=nshards,
@@ -1047,35 +1361,34 @@ def build_shards(
         bbox=bbox,
         shards=tuple(shards),
         replication=replication,
+        facets=facets_info,
     )
+    doc = {
+        "format": manifest.format,
+        "nshards": manifest.nshards,
+        "n_docs": manifest.n_docs,
+        "replication": manifest.replication,
+        "corpus_name": manifest.corpus_name,
+        "model_file": manifest.model_file,
+        "bbox": list(manifest.bbox),
+        "shards": [
+            {
+                "file": s.file,
+                "row_lo": s.row_lo,
+                "row_hi": s.row_hi,
+                "doc_lo": s.doc_lo,
+                "doc_hi": s.doc_hi,
+                "nbytes": s.nbytes,
+            }
+            for s in manifest.shards
+        ],
+    }
+    if manifest.facets is not None:
+        doc["facets"] = _facets_doc(manifest.facets)
     with open(
         os.path.join(out, MANIFEST_FILE), "w", encoding="utf-8"
     ) as f:
-        json.dump(
-            {
-                "format": manifest.format,
-                "nshards": manifest.nshards,
-                "n_docs": manifest.n_docs,
-                "replication": manifest.replication,
-                "corpus_name": manifest.corpus_name,
-                "model_file": manifest.model_file,
-                "bbox": list(manifest.bbox),
-                "shards": [
-                    {
-                        "file": s.file,
-                        "row_lo": s.row_lo,
-                        "row_hi": s.row_hi,
-                        "doc_lo": s.doc_lo,
-                        "doc_hi": s.doc_hi,
-                        "nbytes": s.nbytes,
-                    }
-                    for s in manifest.shards
-                ],
-            },
-            f,
-            indent=2,
-            sort_keys=True,
-        )
+        json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
     return manifest
 

@@ -59,12 +59,19 @@ class ClientScript:
 
 @dataclass(frozen=True)
 class StoreProfile:
-    """What the generator needs to know about a store."""
+    """What the generator needs to know about a store.
+
+    ``facet_range``/``n_sources`` describe a stamped store's facet
+    envelope (``None``/``0`` for unstamped stores); the dashboard
+    workload generator needs them, the classic generators ignore them.
+    """
 
     terms: tuple[str, ...]
     doc_ids: tuple[int, ...]
     n_clusters: int
     bbox: tuple[float, float, float, float]
+    facet_range: tuple[float, float] | None = None
+    n_sources: int = 0
 
 
 def store_profile(store_dir: str | os.PathLike) -> StoreProfile:
@@ -77,11 +84,16 @@ def store_profile(store_dir: str | os.PathLike) -> StoreProfile:
     for s in manifest.shards:
         if s.n_docs:
             doc_ids.extend((s.doc_lo, s.doc_hi))
+    fac = manifest.facets
     return StoreProfile(
         terms=tuple(model.terms),
         doc_ids=tuple(doc_ids),
         n_clusters=int(model.centroids.shape[0]),
         bbox=manifest.bbox,
+        facet_range=(
+            (fac.stamp_lo, fac.stamp_hi) if fac is not None else None
+        ),
+        n_sources=fac.n_sources if fac is not None else 0,
     )
 
 
@@ -234,6 +246,125 @@ def generate_workload(
                 q = _make_query(rng, profile, kinds, cum)
             queries.append(q)
             think.append(float(rng.exponential(mean_think_s)))
+        scripts.append(
+            ClientScript(
+                client=c,
+                queries=tuple(queries),
+                think_s=tuple(think),
+                priority=priorities[c],
+                tenant=tenants[c],
+            )
+        )
+    return scripts
+
+
+#: default dashboard poll mix over the window query kinds (sums to 1)
+DASHBOARD_MIX: dict[str, float] = {
+    "facet_counts": 0.45,
+    "window_terms": 0.35,
+    "emerging": 0.20,
+}
+
+
+def generate_dashboard_workload(
+    profile: StoreProfile,
+    n_clients: int = 12,
+    polls_per_client: int = 10,
+    seed: int = 0,
+    window_fraction: float = 0.25,
+    mean_poll_s: float = 0.02,
+    search_fraction: float = 0.25,
+    source_fraction: float = 0.25,
+    n_terms: int = 8,
+    mix: dict[str, float] | None = None,
+    priority_classes: tuple[int, ...] = (0,),
+    priority_weights: tuple[float, ...] | None = None,
+    n_tenants: int = 1,
+) -> list[ClientScript]:
+    """Generate the dashboard workload class over a *stamped* store.
+
+    Many clients poll sliding-window queries at high rate: each client
+    owns a window of ``window_fraction`` of the store's stamp range at
+    a seeded phase offset, and every poll slides it forward so the last
+    poll's window ends at the range's upper bound -- the "live
+    dashboard tailing the feed" shape.  Polls draw their kind from
+    ``mix`` (over ``facet_counts`` / ``window_terms`` / ``emerging``),
+    a ``source_fraction`` of them restrict to one seeded source
+    region, and a ``search_fraction`` of polls interleave classic
+    search-mix traffic so dashboards contend with interactive
+    analysis.  Think times are exponential with mean ``mean_poll_s``
+    (high-rate polling).  Fully deterministic in ``(profile, seed,
+    knobs)``; raises ``ValueError`` on unstamped profiles.
+    """
+    if profile.facet_range is None or profile.n_sources < 1:
+        raise ValueError(
+            "store profile is unstamped: dashboard workloads need a "
+            "facet range and source count (build the store from a "
+            "stamped corpus)"
+        )
+    if not 0.0 < window_fraction <= 1.0:
+        raise ValueError(
+            f"window_fraction must be in (0, 1], got {window_fraction}"
+        )
+    if not 0.0 <= search_fraction < 1.0:
+        raise ValueError(
+            f"search_fraction must be in [0, 1), got {search_fraction}"
+        )
+    if not 0.0 <= source_fraction <= 1.0:
+        raise ValueError(
+            f"source_fraction must be in [0, 1], got {source_fraction}"
+        )
+    mix = dict(DASHBOARD_MIX if mix is None else mix)
+    bad = sorted(set(mix) - set(DASHBOARD_MIX))
+    if bad:
+        raise ValueError(f"unknown dashboard query kinds in mix: {bad}")
+    kinds = sorted(mix)
+    weights = np.array([mix[k] for k in kinds], dtype=np.float64)
+    if weights.sum() <= 0:
+        raise ValueError(f"dashboard mix has no mass: {mix}")
+    cum = np.cumsum(weights / weights.sum())
+    search_kinds = sorted(DEFAULT_MIX)
+    search_weights = np.array(
+        [DEFAULT_MIX[k] for k in search_kinds], dtype=np.float64
+    )
+    search_cum = np.cumsum(search_weights / search_weights.sum())
+    priorities = _client_priorities(
+        n_clients, seed, priority_classes, priority_weights
+    )
+    tenants = client_tenants(n_clients, seed, n_tenants)
+    lo, hi = profile.facet_range
+    span = max(hi - lo, 1e-9)
+    window = span * window_fraction
+    rng = np.random.default_rng(seed)
+    scripts: list[ClientScript] = []
+    for c in range(n_clients):
+        # each client's window starts at a seeded phase and slides so
+        # its final poll ends exactly at the stamp range's upper bound
+        phase = float(rng.random()) * (span - window)
+        t1_first = lo + phase + window
+        slide = (hi - t1_first) / max(1, polls_per_client - 1)
+        queries: list[Query] = []
+        think: list[float] = []
+        for i in range(polls_per_client):
+            if search_fraction and rng.random() < search_fraction:
+                q = _make_query(rng, profile, search_kinds, search_cum)
+            else:
+                kind = kinds[
+                    int(np.searchsorted(cum, rng.random(), side="right"))
+                ]
+                t1 = t1_first + i * slide
+                source = -1
+                if source_fraction and rng.random() < source_fraction:
+                    source = int(rng.integers(profile.n_sources))
+                q = Query(
+                    kind=kind,
+                    n_terms=n_terms,
+                    t0=t1 - window,
+                    t1=t1,
+                    source=source,
+                )
+            queries.append(q)
+            think.append(float(rng.exponential(mean_poll_s)))
         scripts.append(
             ClientScript(
                 client=c,

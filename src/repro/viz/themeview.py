@@ -46,13 +46,19 @@ class ThemeView:
 
 
 def _grid_coords(
-    coords: np.ndarray, grid: int
+    coords: np.ndarray,
+    grid: int,
+    bbox: Optional[tuple[float, float, float, float]] = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     x, y = coords[:, 0], coords[:, 1]
-    pad_x = (x.max() - x.min()) * 0.05 + 1e-9
-    pad_y = (y.max() - y.min()) * 0.05 + 1e-9
-    x_edges = np.linspace(x.min() - pad_x, x.max() + pad_x, grid + 1)
-    y_edges = np.linspace(y.min() - pad_y, y.max() + pad_y, grid + 1)
+    if bbox is None:
+        x_lo, y_lo, x_hi, y_hi = x.min(), y.min(), x.max(), y.max()
+    else:
+        x_lo, y_lo, x_hi, y_hi = bbox
+    pad_x = (x_hi - x_lo) * 0.05 + 1e-9
+    pad_y = (y_hi - y_lo) * 0.05 + 1e-9
+    x_edges = np.linspace(x_lo - pad_x, x_hi + pad_x, grid + 1)
+    y_edges = np.linspace(y_lo - pad_y, y_hi + pad_y, grid + 1)
     xi = np.clip(np.searchsorted(x_edges, x, side="right") - 1, 0, grid - 1)
     yi = np.clip(np.searchsorted(y_edges, y, side="right") - 1, 0, grid - 1)
     return x_edges, y_edges, xi, yi
@@ -65,18 +71,23 @@ def build_themeview(
     grid: int = 48,
     sigma_cells: float = 1.8,
     max_peaks: int = 12,
+    bbox: Optional[tuple[float, float, float, float]] = None,
 ) -> ThemeView:
     """Build the terrain for projected documents.
 
     ``assignments``/``cluster_labels`` (both optional) attach cluster
-    identities and top-term labels to the detected peaks.
+    identities and top-term labels to the detected peaks.  ``bbox``
+    ``(x_lo, y_lo, x_hi, y_hi)`` fixes the grid extent instead of
+    deriving it from ``coords`` -- a time-sliced sequence built over
+    one store's manifest bbox gets aligned grids, so the same cell
+    means the same place in every slice.
     """
     coords = np.asarray(coords, dtype=np.float64)
     if coords.ndim != 2 or coords.shape[1] < 2:
         raise ValueError("coords must be (n, >=2)")
     if coords.shape[0] == 0:
         raise ValueError("need at least one document")
-    x_edges, y_edges, xi, yi = _grid_coords(coords[:, :2], grid)
+    x_edges, y_edges, xi, yi = _grid_coords(coords[:, :2], grid, bbox)
     counts = np.zeros((grid, grid))
     np.add.at(counts, (yi, xi), 1.0)
     heights = _gaussian_blur(counts, sigma_cells)

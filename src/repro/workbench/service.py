@@ -479,6 +479,55 @@ class _WorkbenchCore:
             sess.last_active_s = float(ctx.now)
             return resp, False, gen
 
+        if op.verb == "window":
+            base = sess.sets.get(op.base)
+            if base is None:
+                return (
+                    self._reject(
+                        script, seq, op, "unknown_set", rejected
+                    ),
+                    False,
+                    gen,
+                )
+            if self.manifest.facets is None:
+                return (
+                    self._reject(
+                        script, seq, op, "unstamped_store", rejected
+                    ),
+                    False,
+                    gen,
+                )
+            rows = set_rows(base)
+            dropped: list[int] = []
+            kept: set[int] = set()
+            if rows.size:
+                got, dropped = self._session_fanout(
+                    sess,
+                    "window_restrict",
+                    {
+                        "rows": rows,
+                        "t0": op.t0,
+                        "t1": op.t1,
+                        "source": op.source,
+                    },
+                )
+                scanned = 0
+                for s in sorted(got):
+                    in_window, shard_scanned = got[s]
+                    kept.update(int(r) for r in in_window)
+                    scanned += int(shard_scanned)
+                self._count_facets("window_restrict", scanned)
+            # filtering the base set preserves its canonical order
+            cands = tuple(c for c in base if c.row in kept)
+            ctx.charge_cpu(
+                _ALGEBRA_OPS_PER_CAND * len(base) + _DERIVE_OPS
+            )
+            resp = self._save_set(
+                script, seq, op, sess, cands, dropped, rejected
+            )
+            sess.last_active_s = float(ctx.now)
+            return resp, False, gen
+
         if op.verb in ("union", "diff", "intersect"):
             a = sess.sets.get(op.base)
             b = sess.sets.get(op.other)

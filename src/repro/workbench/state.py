@@ -36,6 +36,7 @@ WORKBENCH_VERBS = (
     "union",
     "diff",
     "intersect",
+    "window",
     "keyphrases",
     "cooccur",
     "relations",
@@ -81,11 +82,14 @@ class WorkbenchConfig:
 class WorkbenchOp:
     """One scripted analyst action inside a session.
 
-    ``name`` is the result set an op *creates* (``search``/``refine``
-    and the combinators); ``base``/``other`` name its operands
-    (``refine`` refines ``base``; derives read ``base``).  ``n`` is
-    the top-term budget of a derive; ``min_support`` the relation
-    pair-count floor.
+    ``name`` is the result set an op *creates* (``search``/``refine``,
+    the combinators, and ``window``); ``base``/``other`` name its
+    operands (``refine`` refines ``base``; derives read ``base``).
+    ``n`` is the top-term budget of a derive; ``min_support`` the
+    relation pair-count floor.  ``window`` restricts ``base`` to rows
+    stamped inside ``[t0, t1)`` (and to one source region when
+    ``source >= 0``), keeping per-row scores and the canonical order;
+    it needs a stamped store.
     """
 
     verb: str
@@ -95,6 +99,9 @@ class WorkbenchOp:
     query: Optional[Query] = None
     n: int = 10
     min_support: int = 2
+    t0: float = 0.0
+    t1: float = 0.0
+    source: int = -1
 
     def __post_init__(self) -> None:
         if self.verb not in WORKBENCH_VERBS:
@@ -117,6 +124,9 @@ class WorkbenchOp:
             self.query.key() if self.query is not None else None,
             self.n,
             self.min_support,
+            self.t0,
+            self.t1,
+            self.source,
         )
 
 
@@ -144,7 +154,9 @@ class WorkbenchReject:
 
     ``reason`` is one of: ``session_quota``, ``set_quota``,
     ``derived_bytes_quota``, ``session_evicted``, ``no_session``,
-    ``already_open``, ``unknown_set``, ``bad_query``.
+    ``already_open``, ``unknown_set``, ``bad_query``,
+    ``unstamped_store`` (a ``window`` op against a store without
+    facet sections).
     """
 
     tenant: int

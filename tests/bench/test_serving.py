@@ -61,6 +61,7 @@ def test_measure_matrix(measured):
         failover,
         pruning,
         workbench,
+        dashboard,
     ) = measured
     assert pruning is None  # SMALL disables the study
     assert set(points) == {1, 2}
@@ -78,7 +79,7 @@ def test_measure_matrix(measured):
 
 
 def test_fault_run_degrades_but_completes(measured):
-    _, fault_point, fault_meta, _, _, _, _ = measured
+    _, fault_point, fault_meta, _, _, _, _, _ = measured
     assert fault_meta["completed"]
     assert fault_meta["nshards"] == 2
     assert fault_meta["failed_ranks"] == [fault_meta["crashed_rank"]]
@@ -87,7 +88,7 @@ def test_fault_run_degrades_but_completes(measured):
 
 
 def test_replica_matrix_point(measured):
-    _, _, _, replica_points, _, _, _ = measured
+    _, _, _, replica_points, _, _, _, _ = measured
     assert set(replica_points) == {_SPEC.label}
     pt = replica_points[_SPEC.label]
     assert isinstance(pt, ReplicaPoint)
@@ -101,7 +102,7 @@ def test_replica_matrix_point(measured):
 
 
 def test_failover_study(measured):
-    _, _, _, _, failover, _, _ = measured
+    _, _, _, _, failover, _, _, _ = measured
     # the crash-masked run answers everything exactly like the
     # fault-free run; the single-replica control reproduces the
     # degradation the tier exists to prevent
@@ -114,7 +115,7 @@ def test_failover_study(measured):
 
 
 def test_workbench_study(measured):
-    *_rest, workbench = measured
+    *_rest, workbench, _dashboard = measured
     assert workbench["exact_match_shards"] is True
     assert workbench["exact_match_slowpath"] is True
     assert set(workbench["points"]) == {"1", "2"}
@@ -134,19 +135,53 @@ def test_workbench_study(measured):
     assert len(served) == 1
 
 
+def test_dashboard_study(measured):
+    *_rest, dashboard = measured
+    assert dashboard["exact_match_shards"] is True
+    assert dashboard["exact_match_slowpath"] is True
+    assert dashboard["exact_match_mp"] is True
+    assert dashboard["exact_match_churn"] is True
+    assert dashboard["churn"]["live_compactions"] > 0
+    points = dashboard["points"]
+    assert set(points) == {"1", "2", "4"}
+    for pt in points.values():
+        assert pt["served"] > 0
+        assert pt["facet_windows"] > 0
+        assert pt["facet_bytes_scanned"] > 0
+        assert pt["counters"]["facets.windows"] == pt["facet_windows"]
+    # the same poll transcript replays at every count
+    assert len({pt["served"] for pt in points.values()}) == 1
+    assert len({pt["facet_windows"] for pt in points.values()}) == 1
+
+
 def test_measure_is_deterministic(measured):
-    points, fault_point, _, replica_points, failover, _, workbench = (
-        measured
-    )
-    again, fault_again, _, replica_again, failover_again, _, wb_again = (
-        measure(progress=None, **SMALL)
-    )
+    (
+        points,
+        fault_point,
+        _,
+        replica_points,
+        failover,
+        _,
+        workbench,
+        dashboard,
+    ) = measured
+    (
+        again,
+        fault_again,
+        _,
+        replica_again,
+        failover_again,
+        _,
+        wb_again,
+        dash_again,
+    ) = measure(progress=None, **SMALL)
     for p in points:
         assert points[p] == again[p]
     assert fault_point == fault_again
     assert replica_points == replica_again
     assert failover == failover_again
     assert workbench == wb_again
+    assert dashboard == dash_again
 
 
 def _point(p, **over):
@@ -296,6 +331,41 @@ def test_compare_flags_workbench_drift():
     assert {r.field for r in regs} == {"workbench.sessions_evicted"}
 
 
+def _dashboard_point(**over):
+    base = dict(
+        nshards=2,
+        served=48,
+        rejected=0,
+        degraded=0,
+        facet_windows=24.0,
+        facet_bytes_scanned=4096.0,
+        emerging_hits=9.0,
+        cache_hit_rate=0.1,
+        throughput_qps=80.0,
+        p50_latency_s=0.001,
+        p99_latency_s=0.002,
+        makespan_s=0.6,
+        counters={},
+    )
+    base.update(over)
+    return base
+
+
+def test_compare_flags_dashboard_drift():
+    points = {2: _point(2)}
+    fault = _point(2)
+    base = _baseline(points, fault)
+    base["dashboard"] = {"points": {"2": _dashboard_point()}}
+    dash = {"points": {"2": _dashboard_point()}}
+    assert compare(points, fault, base, dashboard=dash) == []
+
+    drifted = {
+        "points": {"2": _dashboard_point(emerging_hits=10.0)}
+    }
+    regs = compare(points, fault, base, dashboard=drifted)
+    assert {r.field for r in regs} == {"dashboard.emerging_hits"}
+
+
 def _pruning_run(**over):
     base = dict(
         label="blockmax-b1",
@@ -402,6 +472,7 @@ def test_build_report_schema(measured):
         failover,
         pruning,
         workbench,
+        dashboard,
     ) = measured
     report, regs = build_report(
         points,
@@ -412,6 +483,7 @@ def test_build_report_schema(measured):
         failover=failover,
         pruning=pruning,
         workbench=workbench,
+        dashboard=dashboard,
     )
     assert regs == []
     assert report["schema"] == SCHEMA
@@ -421,6 +493,8 @@ def test_build_report_schema(measured):
     assert report["replica"]["failover"]["exact_match_r2"] is True
     assert report["pruning"] is None  # disabled in SMALL
     assert report["workbench"]["exact_match_shards"] is True
+    assert report["dashboard"]["exact_match_shards"] is True
+    assert report["dashboard"]["exact_match_churn"] is True
     assert "baseline" not in report
     json.dumps(report)  # must be serializable
 

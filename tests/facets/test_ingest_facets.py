@@ -1,0 +1,236 @@
+"""Facet sections through the delta builder and the compactor.
+
+The same stamped rows must produce byte-identical facet sections no
+matter which writer persisted them: a fresh ``build_shards``, an
+``append_generation`` publish, or a ``compact_store`` rewrite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.facets import FacetData, extract_facets
+from repro.index.termindex import concat_postings
+from repro.ingest.delta import extend_result
+from repro.ingest.compact import compact_store
+from repro.ingest.delta import append_generation, build_delta
+from repro.ingest.feed import FeedConfig, FeedSource
+from repro.serve.broker import serve
+from repro.serve.query import Query, canonical_response
+from repro.serve.store import (
+    Container,
+    build_shards,
+    load_manifest,
+)
+from repro.serve.workload import ClientScript
+
+from .conftest import ENGINE_CONFIG, N_SOURCES
+
+FACET_SECTIONS = (
+    "facet_stamp_s",
+    "facet_source",
+    "facet_block_lo",
+    "facet_block_hi",
+)
+
+
+@pytest.fixture(scope="module")
+def feed_batches(result):
+    cfg = FeedConfig(
+        batch_docs=6,
+        n_batches=2,
+        seed=4,
+        themes=4,
+        skip_docs=int(result.doc_ids.size),
+        start_doc_id=int(result.doc_ids[-1]) + 1,
+        facet_sources=N_SOURCES,
+    )
+    return FeedSource(cfg).batches()
+
+
+@pytest.fixture(scope="module")
+def grown_store(result, postings, facets, feed_batches, tmp_path_factory):
+    """A stamped store with one appended generation."""
+    store = tmp_path_factory.mktemp("grown") / "store"
+    build_shards(result, store, 2, postings=postings, facets=facets)
+    deltas = [
+        build_delta(
+            result,
+            corpus.documents,
+            tokenizer_config=ENGINE_CONFIG.tokenizer,
+            facets=extract_facets(corpus),
+        )
+        for corpus, _arrival in feed_batches
+    ]
+    append_generation(store, deltas, published_s=0.0)
+    return store
+
+
+def test_delta_segments_carry_facet_sections(grown_store, feed_batches):
+    manifest = load_manifest(grown_store)
+    assert manifest.facets is not None
+    assert len(manifest.deltas) == 2
+    for (corpus, _arrival), seg in zip(feed_batches, manifest.deltas):
+        cont = Container(str(grown_store / seg.file))
+        fac = extract_facets(corpus)
+        assert np.array_equal(
+            np.asarray(cont.load("facet_stamp_s")), fac.stamp_s
+        )
+        assert np.array_equal(
+            np.asarray(cont.load("facet_source")), fac.source
+        )
+
+
+def test_manifest_stamp_bounds_extend_with_deltas(
+    grown_store, facets, feed_batches
+):
+    manifest = load_manifest(grown_store)
+    stamps = [np.asarray(facets.stamp_s)] + [
+        np.asarray(extract_facets(c).stamp_s) for c, _ in feed_batches
+    ]
+    allstamps = np.concatenate(stamps)
+    assert manifest.facets.stamp_lo == float(allstamps.min())
+    assert manifest.facets.stamp_hi == float(allstamps.max())
+
+
+def test_unstamped_batch_rejected_on_stamped_store(
+    grown_store, result, feed_batches
+):
+    corpus, _ = feed_batches[0]
+    delta = build_delta(
+        result,
+        corpus.documents,
+        tokenizer_config=ENGINE_CONFIG.tokenizer,
+    )
+    with pytest.raises(ValueError, match="unstamped"):
+        append_generation(grown_store, [delta])
+
+
+def test_stamped_batch_rejected_on_plain_store(
+    plain_store, result, feed_batches
+):
+    corpus, _ = feed_batches[0]
+    delta = build_delta(
+        result,
+        corpus.documents,
+        tokenizer_config=ENGINE_CONFIG.tokenizer,
+        facets=extract_facets(corpus),
+    )
+    with pytest.raises(ValueError, match="not stamped"):
+        append_generation(plain_store, [delta])
+
+
+def test_source_count_mismatch_rejected(
+    grown_store, result, feed_batches
+):
+    corpus, _ = feed_batches[0]
+    fac = extract_facets(corpus)
+    delta = build_delta(
+        result,
+        corpus.documents,
+        tokenizer_config=ENGINE_CONFIG.tokenizer,
+        facets=FacetData(
+            stamp_s=fac.stamp_s,
+            source=fac.source,
+            n_sources=fac.n_sources + 2,
+            source_names=fac.source_names
+            + ("src-xx", "src-yy"),
+        ),
+    )
+    with pytest.raises(ValueError, match="sources"):
+        append_generation(grown_store, [delta])
+
+
+def test_compaction_matches_fresh_stamped_build(
+    result, postings, facets, feed_batches, tmp_path
+):
+    store = tmp_path / "store"
+    build_shards(result, store, 2, postings=postings, facets=facets)
+    deltas = [
+        build_delta(
+            result,
+            corpus.documents,
+            tokenizer_config=ENGINE_CONFIG.tokenizer,
+            facets=extract_facets(corpus),
+        )
+        for corpus, _arrival in feed_batches
+    ]
+    append_generation(store, deltas, published_s=0.0)
+    compacted = compact_store(store)
+    assert compacted.facets is not None
+    assert not compacted.deltas
+
+    # fresh reference build over the same merged rows
+    batch_corpora = [c for c, _arrival in feed_batches]
+    merged_result = extend_result(
+        result,
+        batch_corpora,
+        tokenizer_config=ENGINE_CONFIG.tokenizer,
+    )
+    merged_postings = concat_postings(
+        [postings] + [d.postings for d in deltas]
+    )
+    stamp_parts = [np.asarray(facets.stamp_s)] + [
+        np.asarray(extract_facets(c).stamp_s) for c in batch_corpora
+    ]
+    source_parts = [np.asarray(facets.source)] + [
+        np.asarray(extract_facets(c).source) for c in batch_corpora
+    ]
+    fresh_dir = tmp_path / "fresh"
+    build_shards(
+        merged_result,
+        fresh_dir,
+        compacted.nshards,
+        postings=merged_postings,
+        facets=FacetData(
+            stamp_s=np.concatenate(stamp_parts),
+            source=np.concatenate(source_parts),
+            n_sources=N_SOURCES,
+            source_names=facets.source_names,
+        ),
+    )
+    fresh = load_manifest(fresh_dir)
+    assert fresh.facets.stamp_lo == compacted.facets.stamp_lo
+    assert fresh.facets.stamp_hi == compacted.facets.stamp_hi
+    for cs, fs in zip(compacted.shards, fresh.shards):
+        cc = Container(str(store / cs.file))
+        fc = Container(str(fresh_dir / fs.file))
+        for name in FACET_SECTIONS:
+            assert np.array_equal(
+                np.asarray(cc.load(name)), np.asarray(fc.load(name))
+            ), name
+
+
+def test_window_answers_unchanged_by_compaction(
+    result, postings, facets, feed_batches, tmp_path
+):
+    store = tmp_path / "store"
+    build_shards(result, store, 2, postings=postings, facets=facets)
+    deltas = [
+        build_delta(
+            result,
+            corpus.documents,
+            tokenizer_config=ENGINE_CONFIG.tokenizer,
+            facets=extract_facets(corpus),
+        )
+        for corpus, _arrival in feed_batches
+    ]
+    append_generation(store, deltas, published_s=0.0)
+    scripts = [
+        ClientScript(
+            client=0,
+            queries=(
+                Query(kind="facet_counts", t0=0.0, t1=700.0),
+                Query(kind="window_terms", t0=50.0, t1=450.0, k=10),
+                Query(kind="emerging", t0=300.0, t1=600.0, k=10),
+            ),
+            think_s=(0.0, 0.0, 0.0),
+        )
+    ]
+    before = serve(store, scripts)
+    compact_store(store)
+    after = serve(store, scripts)
+    key = lambda rep: {
+        (r["client"], r["seq"]): canonical_response(r["response"])
+        for r in rep.responses
+    }
+    assert key(before) == key(after)

@@ -1,0 +1,123 @@
+"""Stamping: separate rng stream, byte-identical unstamped output."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    generate_newswire,
+    generate_pubmed,
+    generate_trec,
+)
+from repro.facets import (
+    FacetSpec,
+    extract_facets,
+    facet_meta,
+    stamp_corpus,
+)
+from repro.ingest.feed import FeedConfig, FeedSource
+from repro.text.io import read_corpus, write_corpus
+
+GENERATORS = {
+    "pubmed": generate_pubmed,
+    "trec": generate_trec,
+    "newswire": generate_newswire,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_stamping_never_perturbs_content(name):
+    gen = GENERATORS[name]
+    plain = gen(20_000, seed=7, n_themes=3)
+    stamped = gen(
+        20_000, seed=7, n_themes=3, facets=FacetSpec(n_sources=4)
+    )
+    assert len(plain.documents) == len(stamped.documents)
+    for a, b in zip(plain.documents, stamped.documents):
+        assert a.doc_id == b.doc_id
+        assert a.fields == b.fields
+    assert "facets" not in plain.meta
+    assert "facets" in stamped.meta
+
+
+def test_stamp_is_seed_deterministic_and_idempotent():
+    spec = FacetSpec(n_sources=5, span_s=100.0, seed=11)
+    a = generate_pubmed(15_000, seed=3, facets=spec)
+    b = generate_pubmed(15_000, seed=3, facets=spec)
+    assert a.meta["facets"] == b.meta["facets"]
+    restamped = stamp_corpus(a, spec)
+    assert restamped.meta["facets"] == b.meta["facets"]
+
+
+def test_stamps_sorted_and_in_span():
+    spec = FacetSpec(n_sources=4, span_s=250.0, t0_s=50.0, seed=2)
+    corpus = generate_pubmed(15_000, seed=2, facets=spec)
+    fac = extract_facets(corpus)
+    stamps = np.asarray(fac.stamp_s)
+    assert np.all(np.diff(stamps) >= 0)
+    assert stamps.min() >= 50.0
+    assert stamps.max() < 300.0
+    src = np.asarray(fac.source)
+    assert src.min() >= 0 and src.max() < 4
+
+
+def test_facet_meta_roundtrips_through_jsonl(tmp_path):
+    corpus = generate_pubmed(
+        15_000, seed=5, facets=FacetSpec(n_sources=3, seed=5)
+    )
+    path = tmp_path / "stamped.jsonl"
+    write_corpus(corpus, path)
+    back = read_corpus(path)
+    assert back.meta["facets"] == corpus.meta["facets"]
+
+
+def test_extract_facets_none_for_unstamped():
+    corpus = generate_pubmed(10_000, seed=1)
+    assert extract_facets(corpus) is None
+
+
+def test_feed_stamping_never_perturbs_documents_or_arrivals():
+    plain_cfg = FeedConfig(batch_docs=6, n_batches=3, seed=9)
+    stamped_cfg = FeedConfig(
+        batch_docs=6, n_batches=3, seed=9, facet_sources=4
+    )
+    plain = FeedSource(plain_cfg).batches()
+    stamped = FeedSource(stamped_cfg).batches()
+    assert len(plain) == len(stamped)
+    for (pc, pa), (sc, sa) in zip(plain, stamped):
+        assert pa == sa
+        assert [d.fields for d in pc.documents] == [
+            d.fields for d in sc.documents
+        ]
+        assert "facets" not in pc.meta
+        assert "facets" in sc.meta
+
+
+def test_feed_stamps_fall_in_arrival_gaps():
+    cfg = FeedConfig(batch_docs=8, n_batches=4, seed=3, facet_sources=2)
+    prev = 0.0
+    for corpus, arrival in FeedSource(cfg).batches():
+        stamps = np.asarray(corpus.meta["facets"]["stamp_s"])
+        assert np.all(np.diff(stamps) >= 0)
+        assert stamps.min() >= prev
+        assert stamps.max() <= arrival
+        prev = arrival
+
+
+def test_facet_meta_shape():
+    meta = facet_meta(
+        np.array([1.0, 2.0]), np.array([0, 1]), 2
+    )
+    assert meta["n_sources"] == 2
+    assert meta["source_names"] == ["src-00", "src-01"]
+    assert meta["stamp_s"] == [1.0, 2.0]
+
+
+def test_facet_spec_validation():
+    with pytest.raises(ValueError):
+        FacetSpec(n_sources=0)
+    with pytest.raises(ValueError):
+        FacetSpec(span_s=0.0)
+    with pytest.raises(ValueError):
+        FacetSpec(n_sources=2, source_names=("just-one",))
+    with pytest.raises(ValueError):
+        FeedConfig(facet_sources=-1)

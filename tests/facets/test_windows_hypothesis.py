@@ -1,0 +1,121 @@
+"""Property tests for the window-analytics kernels.
+
+* window-count additivity: per-source counts over any partition of a
+  range sum to the whole-range counts (half-open windows never double
+  count or drop a stamp);
+* shard-order independence: per-window tf totals merged over shards in
+  any order, at any shard count, select the same top terms;
+* emerging scores are pure int64 arithmetic (no float drift).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.facets.windows import emerging_scores
+from repro.serve.query import ShardStore, topk_int_score_row
+from repro.serve.store import Container, load_manifest, load_model
+
+
+@pytest.fixture(scope="module")
+def shard_stores(stamped_stores):
+    """``{P: [ShardStore, ...]}`` over the stamped store fixtures."""
+    out = {}
+    for p, store_dir in stamped_stores.items():
+        manifest = load_manifest(store_dir)
+        model = load_model(store_dir)
+        out[p] = [
+            ShardStore(Container(str(store_dir / s.file)), model)
+            for s in manifest.shards
+        ]
+    return out
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.lists(
+        st.floats(min_value=-50.0, max_value=700.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2,
+        max_size=6,
+        unique=True,
+    )
+)
+def test_window_count_additivity(shard_stores, edges):
+    edges = sorted(edges)
+    shard = shard_stores[1][0]
+    total, _ = shard.op_facet_counts(edges[0], edges[-1], 3)
+    summed = np.zeros(3, dtype=np.int64)
+    for t0, t1 in zip(edges, edges[1:]):
+        counts, _ = shard.op_facet_counts(t0, t1, 3)
+        summed += counts
+    assert np.array_equal(summed, total)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    t0=st.floats(min_value=0.0, max_value=550.0,
+                 allow_nan=False, allow_infinity=False),
+    width=st.floats(min_value=1.0, max_value=400.0,
+                    allow_nan=False, allow_infinity=False),
+    source=st.sampled_from([-1, 0, 1, 2]),
+    order_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_window_terms_shard_order_independent(
+    shard_stores, t0, width, source, order_seed
+):
+    t1 = t0 + width
+    ref_totals, ref_docs, _ = shard_stores[1][0].op_window_tf(
+        t0, t1, source
+    )
+    k = 10
+    ref_top = topk_int_score_row(
+        ref_totals, np.arange(ref_totals.size), k
+    )
+    for p in (2, 4):
+        shards = list(shard_stores[p])
+        np.random.default_rng(order_seed).shuffle(shards)
+        totals = np.zeros_like(ref_totals)
+        docs = 0
+        for s in shards:
+            part, n, _ = s.op_window_tf(t0, t1, source)
+            totals += part
+            docs += n
+        assert docs == ref_docs
+        assert np.array_equal(totals, ref_totals)
+        top = topk_int_score_row(totals, np.arange(totals.size), k)
+        assert np.array_equal(top, ref_top)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    tf_prev=st.lists(
+        st.integers(min_value=0, max_value=10**6),
+        min_size=1,
+        max_size=12,
+    ),
+    tf_cur_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_emerging_scores_exact_int64(tf_prev, tf_cur_seed):
+    tf_prev = np.array(tf_prev, dtype=np.int64)
+    tf_cur = np.random.default_rng(tf_cur_seed).integers(
+        0, 10**6, size=tf_prev.size
+    )
+    scores = emerging_scores(tf_prev, tf_cur)
+    assert scores.dtype == np.int64
+    total_prev = int(tf_prev.sum())
+    total_cur = int(tf_cur.sum())
+    for i in range(tf_prev.size):
+        expect = int(tf_cur[i]) * (total_prev + 1) - int(
+            tf_prev[i]
+        ) * (total_cur + 1)
+        assert int(scores[i]) == expect
+        # sign agrees with the smoothed rate comparison
+        rate_cmp = tf_cur[i] / (total_cur + 1) - tf_prev[i] / (
+            total_prev + 1
+        )
+        if expect > 0:
+            assert rate_cmp > 0
+        elif expect < 0:
+            assert rate_cmp < 0

@@ -1,0 +1,151 @@
+"""The workbench ``window`` verb: epoch-pinned set restriction."""
+
+import pytest
+
+from repro.serve.query import Query, canonical_response
+from repro.serve.store import load_model
+from repro.workbench import (
+    WorkbenchOp,
+    WorkbenchScript,
+    serve_workbench,
+)
+
+
+@pytest.fixture(scope="module")
+def search_terms(stamped_stores):
+    """Two real model terms, so the base set is never empty."""
+    return tuple(load_model(stamped_stores[1]).terms[:2])
+
+
+def _script(terms, t0, t1, source=-1):
+    return WorkbenchScript(
+        tenant=0,
+        client=0,
+        ops=(
+            WorkbenchOp(verb="open"),
+            WorkbenchOp(
+                verb="search",
+                name="base",
+                query=Query(kind="search", terms=terms, k=40),
+            ),
+            WorkbenchOp(
+                verb="window",
+                name="recent",
+                base="base",
+                t0=t0,
+                t1=t1,
+                source=source,
+            ),
+            WorkbenchOp(verb="keyphrases", base="recent", n=6),
+            WorkbenchOp(verb="close"),
+        ),
+        think_s=(0.0,) * 5,
+    )
+
+
+def _answers(report):
+    return {
+        (r["client"], r["seq"]): canonical_response(r["response"])
+        for r in report.responses
+    }
+
+
+def test_window_restricts_set(stamped_stores, search_terms):
+    report = serve_workbench(
+        stamped_stores[2], [_script(search_terms, 0.0, 300.0)]
+    )
+    assert not report.rejected
+    by_seq = {r["seq"]: r["response"] for r in report.responses}
+    base = by_seq[1]
+    windowed = by_seq[2]
+    assert windowed["size"] <= base["size"]
+    base_docs = {h["doc"] for h in base["hits"]}
+    assert {h["doc"] for h in windowed["hits"]} <= base_docs
+
+
+def test_window_answers_identical_across_shard_counts(
+    stamped_stores, search_terms
+):
+    scripts = [
+        _script(search_terms, 0.0, 300.0),
+        _script(search_terms, 150.0, 601.0, source=1),
+    ]
+    # distinct clients so responses key uniquely
+    scripts[1] = WorkbenchScript(
+        tenant=0,
+        client=1,
+        ops=scripts[1].ops,
+        think_s=scripts[1].think_s,
+    )
+    ref = None
+    for p in sorted(stamped_stores):
+        report = serve_workbench(stamped_stores[p], scripts)
+        answers = _answers(report)
+        if ref is None:
+            ref = answers
+        else:
+            assert answers == ref
+
+
+def test_window_preserves_canonical_order(stamped_stores, search_terms):
+    report = serve_workbench(
+        stamped_stores[1], [_script(search_terms, 0.0, 450.0)]
+    )
+    windowed = {r["seq"]: r["response"] for r in report.responses}[2]
+    scores = [h["score"] for h in windowed["hits"]]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_window_source_filter_narrows(stamped_stores, search_terms):
+    all_src = serve_workbench(
+        stamped_stores[2], [_script(search_terms, 0.0, 601.0)]
+    )
+    one_src = serve_workbench(
+        stamped_stores[2], [_script(search_terms, 0.0, 601.0, source=0)]
+    )
+    size_all = {
+        r["seq"]: r["response"] for r in all_src.responses
+    }[2]["size"]
+    size_one = {
+        r["seq"]: r["response"] for r in one_src.responses
+    }[2]["size"]
+    assert size_one <= size_all
+
+
+def test_window_rejects_unstamped_store(plain_store, search_terms):
+    report = serve_workbench(
+        plain_store, [_script(search_terms, 0.0, 300.0)]
+    )
+    assert any(
+        rej.verb == "window" and rej.reason == "unstamped_store"
+        for rej in report.rejected
+    )
+
+
+def test_window_unknown_base_rejected(stamped_stores):
+    script = WorkbenchScript(
+        tenant=0,
+        client=0,
+        ops=(
+            WorkbenchOp(verb="open"),
+            WorkbenchOp(
+                verb="window",
+                name="w",
+                base="nonexistent",
+                t0=0.0,
+                t1=100.0,
+            ),
+            WorkbenchOp(verb="close"),
+        ),
+        think_s=(0.0, 0.0, 0.0),
+    )
+    report = serve_workbench(stamped_stores[1], [script])
+    assert any(
+        rej.verb == "window" and rej.reason == "unknown_set"
+        for rej in report.rejected
+    )
+
+
+def test_window_op_requires_known_verb():
+    with pytest.raises(ValueError, match="unknown workbench verb"):
+        WorkbenchOp(verb="windowed")

@@ -9,6 +9,7 @@ from repro.serve.query import ShardStore
 from repro.serve.store import (
     FORMAT_VERSION,
     MAGIC,
+    SUPPORTED_VERSIONS,
     Container,
     ShardFormatError,
     build_shards,
@@ -80,13 +81,14 @@ class TestShardFormatError:
         assert "magic" in str(err.value)
 
     def test_version_mismatch(self, tmp_path):
+        unsupported = max(SUPPORTED_VERSIONS) + 1
         path = _write(tmp_path)
         data = bytearray(path.read_bytes())
-        data[8:12] = (FORMAT_VERSION + 1).to_bytes(4, "little")
+        data[8:12] = unsupported.to_bytes(4, "little")
         path.write_bytes(bytes(data))
         with pytest.raises(ShardFormatError) as err:
             Container(path)
-        assert f"version {FORMAT_VERSION + 1}" in str(err.value)
+        assert f"version {unsupported}" in str(err.value)
         assert err.value.path == str(path)
 
     def test_truncated_file(self, tmp_path):

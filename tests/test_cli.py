@@ -541,8 +541,10 @@ def test_serve_bench_smoke(tmp_path, capsys):
     import json
 
     report = json.loads(out.read_text())
-    assert report["schema"] == "repro-bench-serving/4"
+    assert report["schema"] == "repro-bench-serving/5"
     assert report["workbench"]["exact_match_shards"] is True
+    assert report["dashboard"]["exact_match_shards"] is True
+    assert report["dashboard"]["exact_match_churn"] is True
     assert set(report["results"]) == {"1", "2"}
     assert report["pruning"] is None  # 0 bytes skips the study
     assert report["fault"]["completed"]
@@ -746,3 +748,157 @@ def test_bench_ingest_smoke(tmp_path, capsys):
     assert report["schema"] == "repro-bench-ingest/1"
     assert report["results"]["1"]["docs_ingested"] == 8
     assert report["fault"]["completed"]
+
+
+@pytest.fixture(scope="module")
+def stamped_cli_store(tmp_path_factory):
+    """generate --facet-sources -> run -> serve-build, end to end."""
+    base = tmp_path_factory.mktemp("cli-facets")
+    corpus = base / "corpus.jsonl"
+    rc = main(
+        [
+            "generate",
+            "--dataset",
+            "pubmed",
+            "--bytes",
+            "60000",
+            "--seed",
+            "5",
+            "--themes",
+            "4",
+            "--facet-sources",
+            "3",
+            "--out",
+            str(corpus),
+        ]
+    )
+    assert rc == 0
+    results = base / "results"
+    rc = main(
+        [
+            "run",
+            "--corpus",
+            str(corpus),
+            "--nprocs",
+            "2",
+            "--clusters",
+            "4",
+            "--major-terms",
+            "120",
+            "--out",
+            str(results),
+        ]
+    )
+    assert rc == 0
+    store = base / "store"
+    rc = main(
+        [
+            "serve-build",
+            "--results",
+            str(results / "result.npz"),
+            "--corpus",
+            str(corpus),
+            "--shards",
+            "2",
+            "--out",
+            str(store),
+        ]
+    )
+    assert rc == 0
+    return store
+
+
+def test_serve_build_reports_stamped_store(stamped_cli_store):
+    from repro.serve import load_manifest
+
+    manifest = load_manifest(stamped_cli_store)
+    assert manifest.facets is not None
+    assert manifest.facets.n_sources == 3
+
+
+def test_facet_query_counts(stamped_cli_store, capsys):
+    import json
+
+    rc = main(
+        [
+            "facet-query",
+            "--store",
+            str(stamped_cli_store),
+            "--kind",
+            "counts",
+        ]
+    )
+    assert rc == 0
+    resp = json.loads(capsys.readouterr().out)
+    assert resp["kind"] == "facet_counts"
+    assert len(resp["counts"]) == 3
+    assert resp["total"] == sum(resp["counts"]) > 0
+
+
+def test_facet_query_terms_window(stamped_cli_store, capsys):
+    import json
+
+    rc = main(
+        [
+            "facet-query",
+            "--store",
+            str(stamped_cli_store),
+            "--kind",
+            "terms",
+            "--t0",
+            "0",
+            "--t1",
+            "300",
+            "--top",
+            "5",
+        ]
+    )
+    assert rc == 0
+    resp = json.loads(capsys.readouterr().out)
+    assert resp["kind"] == "window_terms"
+    assert len(resp["terms"]) <= 5
+
+
+def test_facet_query_rejects_unstamped_store(store_dir, capsys):
+    rc = main(
+        [
+            "facet-query",
+            "--store",
+            str(store_dir),
+            "--kind",
+            "counts",
+        ]
+    )
+    assert rc == 1
+    assert "not stamped" in capsys.readouterr().err
+
+
+def test_themeview_slices_writes_payload(
+    stamped_cli_store, tmp_path, capsys
+):
+    import json
+
+    out = tmp_path / "slices.json"
+    rc = main(
+        [
+            "themeview-slices",
+            "--store",
+            str(stamped_cli_store),
+            "--slices",
+            "3",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert len(payload) == 3
+    assert any(s["n_docs"] > 0 for s in payload)
+
+
+def test_themeview_slices_rejects_unstamped_store(store_dir, capsys):
+    rc = main(
+        ["themeview-slices", "--store", str(store_dir)]
+    )
+    assert rc == 1
+    assert "not stamped" in capsys.readouterr().err
